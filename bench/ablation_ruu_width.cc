@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: RUU issue width beyond the paper's 4 units.
+ *
+ * "We present the results for up to 4 issue units since having more
+ * than 4 issue units did not make a significant difference."  This
+ * bench extends the sweep to 8 and 16 units to verify the
+ * saturation and locate the binding constraint (functional-unit
+ * throughput and the program's dataflow, not issue width).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hh"
+#include "mfusim/core/stats.hh"
+#include "mfusim/dataflow/limits.hh"
+#include "mfusim/harness/experiment.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/ruu_sim.hh"
+
+using namespace mfusim;
+
+int
+main()
+{
+    std::printf(
+        "Ablation: RUU issue units beyond 4 (M11BR5 and M5BR2,\n"
+        "RUU size 96, restricted N-Bus)\n\n");
+
+    AsciiTable table;
+    table.setHeader({ "Code", "Config", "w=1", "w=2", "w=4", "w=8",
+                      "w=16", "dataflow limit" });
+
+    for (const LoopClass cls :
+         { LoopClass::kScalar, LoopClass::kVectorizable }) {
+        for (const MachineConfig &cfg :
+             { configM11BR5(), configM5BR2() }) {
+            std::vector<std::string> row = { loopClassName(cls),
+                                             cfg.name() };
+            for (unsigned width : { 1u, 2u, 4u, 8u, 16u }) {
+                const double rate = meanIssueRate(
+                    [width](const MachineConfig &c)
+                        -> std::unique_ptr<Simulator> {
+                        return std::make_unique<RuuSim>(
+                            RuuConfig{ width, 96, BusKind::kPerUnit },
+                            c);
+                    },
+                    cls, cfg);
+                row.push_back(AsciiTable::num(rate));
+            }
+            std::vector<double> limits;
+            for (int id : loopsOf(cls)) {
+                limits.push_back(
+                    computeLimits(TraceLibrary::instance().trace(id),
+                                  cfg)
+                        .actualRate);
+            }
+            row.push_back(AsciiTable::num(harmonicMean(limits)));
+            table.addRow(std::move(row));
+        }
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nExpected shape (paper): scalar code saturates by 2-4 "
+        "units; widths\nbeyond 4 add little even for vectorizable "
+        "code, which stays well\nunder the dataflow limit (branch "
+        "serialization and FU throughput bind).\n");
+    return 0;
+}

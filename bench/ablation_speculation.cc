@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation: branch prediction (extension beyond the paper).
+ *
+ * The paper deliberately studies machines with no branch
+ * speculation.  This bench quantifies that choice: every machine is
+ * rerun under a static BTFN predictor and under a perfect oracle,
+ * bracketing what any prediction scheme could add on top of the
+ * paper's results.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hh"
+#include "mfusim/harness/experiment.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+
+using namespace mfusim;
+
+int
+main()
+{
+    std::printf(
+        "Ablation: branch speculation (M11BR5).  The paper's model\n"
+        "is 'blocking'; btfn = static backward-taken predictor;\n"
+        "oracle = perfect prediction.\n\n");
+
+    // Predictor quality on these workloads.
+    {
+        std::uint64_t correct = 0, total = 0;
+        for (int id = 1; id <= 14; ++id) {
+            const TraceStats stats =
+                TraceLibrary::instance().trace(id).stats();
+            correct += stats.btfnCorrectBranches;
+            total += stats.branches;
+        }
+        std::printf("static BTFN accuracy over LL1-14: %.1f%% "
+                    "(loop-closing branches dominate)\n\n",
+                    100.0 * double(correct) / double(total));
+    }
+
+    const MachineConfig cfg = configM11BR5();
+    AsciiTable table;
+    table.setHeader({ "Code", "Machine", "blocking", "btfn", "oracle",
+                      "oracle gain" });
+
+    for (const LoopClass cls :
+         { LoopClass::kScalar, LoopClass::kVectorizable }) {
+        const auto sweep = [&](const char *name,
+                               const std::function<std::unique_ptr<
+                                   Simulator>(const MachineConfig &,
+                                              BranchPolicy)> &make) {
+            double rates[3];
+            int idx = 0;
+            for (const BranchPolicy policy :
+                 { BranchPolicy::kBlocking, BranchPolicy::kBtfn,
+                   BranchPolicy::kOracle }) {
+                rates[idx++] = meanIssueRate(
+                    [&make, policy](const MachineConfig &c) {
+                        return make(c, policy);
+                    },
+                    cls, cfg);
+            }
+            table.addRow({
+                loopClassName(cls),
+                name,
+                AsciiTable::num(rates[0]),
+                AsciiTable::num(rates[1]),
+                AsciiTable::num(rates[2]),
+                AsciiTable::num(
+                    (rates[2] - rates[0]) / rates[0] * 100, 0) + "%",
+            });
+        };
+
+        sweep("CRAY-like",
+              [](const MachineConfig &c, BranchPolicy policy)
+                  -> std::unique_ptr<Simulator> {
+                  ScoreboardConfig org = ScoreboardConfig::crayLike();
+                  org.branchPolicy = policy;
+                  return std::make_unique<ScoreboardSim>(org, c);
+              });
+        sweep("OOO issue (w=4)",
+              [](const MachineConfig &c, BranchPolicy policy)
+                  -> std::unique_ptr<Simulator> {
+                  MultiIssueConfig org{ 4, true, BusKind::kPerUnit,
+                                        false, policy };
+                  return std::make_unique<MultiIssueSim>(org, c);
+              });
+        sweep("RUU (w=4, 100)",
+              [](const MachineConfig &c, BranchPolicy policy)
+                  -> std::unique_ptr<Simulator> {
+                  RuuConfig org{ 4, 100, BusKind::kPerUnit, policy };
+                  return std::make_unique<RuuSim>(org, c);
+              });
+        table.addRule();
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nExpected shape: prediction is nearly worthless for the "
+        "blocking\nsingle-issue machine (data hazards dominate) but "
+        "multiplies the RUU\nmachine's rate -- once dependencies are "
+        "resolved in hardware, control\nis the last wall.  This is "
+        "the paper's implicit motivation for the\nspeculative "
+        "out-of-order designs that followed it.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: software loop unrolling (extension beyond the paper).
+ *
+ * The paper keeps code untouched but predicts: "loop unrolling will
+ * in some cases shorten the critical path because some of the
+ * program's branches are removed."  This bench unrolls two parallel
+ * loops (LL1, LL12) and two recurrences (LL5, LL11) by 1..8x and
+ * measures the pseudo-dataflow limit and machine issue rates.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "mfusim/codegen/livermore.hh"
+#include "mfusim/dataflow/limits.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+
+using namespace mfusim;
+
+int
+main()
+{
+    std::printf(
+        "Ablation: software unrolling x1..x8, M11BR5\n"
+        "(pseudo-dataflow limit | CRAY-like | RUU 4x48 per cell)\n\n");
+
+    const MachineConfig cfg = configM11BR5();
+    AsciiTable table;
+    table.setHeader({ "Loop", "Kind", "x1", "x2", "x4", "x8" });
+
+    for (int id : unrollableLoopIds()) {
+        std::vector<std::string> row = {
+            "LL" + std::to_string(id),
+            (id == 1 || id == 12) ? "parallel" : "recurrence",
+        };
+        for (int factor : { 1, 2, 4, 8 }) {
+            const Kernel kernel = buildUnrolledKernel(id, factor);
+            const KernelRun run = runKernel(kernel);
+            const double limit =
+                computeLimits(run.trace, cfg).pseudoRate;
+            ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+            RuuSim ruu({ 4, 48, BusKind::kPerUnit }, cfg);
+            row.push_back(AsciiTable::num(limit) + "|" +
+                          AsciiTable::num(
+                              cray.run(run.trace).issueRate()) +
+                          "|" +
+                          AsciiTable::num(
+                              ruu.run(run.trace).issueRate()));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nExpected shape: for the parallel loops the dataflow limit "
+        "climbs\nsteeply with the unroll factor (branch gating "
+        "removed) and the RUU\ncaptures much of it; the recurrences' "
+        "limits barely move (the serial\nfp chain, not the branch, "
+        "is the critical path), and no machine gains\nmore than the "
+        "removed loop overhead.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared driver for Tables 3-6: multiple issue units over an
+ * instruction buffer, sequential or out-of-order issue, N-Bus and
+ * 1-Bus organizations, 1..8 issue stations.
+ */
+
+#ifndef MFUSIM_BENCH_MULTI_ISSUE_TABLE_HH
+#define MFUSIM_BENCH_MULTI_ISSUE_TABLE_HH
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hh"
+#include "mfusim/harness/experiment.hh"
+#include "mfusim/harness/paper_data.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+
+namespace mfusim
+{
+namespace bench
+{
+
+inline int
+runMultiIssueTable(const char *title, LoopClass cls, bool outOfOrder)
+{
+    std::printf("%s\n(measured [paper])\n\n", title);
+
+    RatioTracker ratios;
+    AsciiTable table;
+    table.setHeader({ "Stations", "M11BR5 N-Bus", "M11BR5 1-Bus",
+                      "M11BR2 N-Bus", "M11BR2 1-Bus", "M5BR5 N-Bus",
+                      "M5BR5 1-Bus", "M5BR2 N-Bus", "M5BR2 1-Bus" });
+
+    for (unsigned stations = 1; stations <= 8; ++stations) {
+        std::vector<std::string> row = { std::to_string(stations) };
+        const auto &configs = standardConfigs();
+        for (int cfg = 0; cfg < 4; ++cfg) {
+            for (const BusKind bus :
+                 { BusKind::kPerUnit, BusKind::kSingle }) {
+                const double measured = meanIssueRate(
+                    [stations, bus,
+                     outOfOrder](const MachineConfig &c)
+                        -> std::unique_ptr<Simulator> {
+                        return std::make_unique<MultiIssueSim>(
+                            MultiIssueConfig{ stations, outOfOrder,
+                                              bus, false },
+                            c);
+                    },
+                    cls, configs[std::size_t(cfg)]);
+                const bool one_bus = bus == BusKind::kSingle;
+                const double published =
+                    outOfOrder
+                        ? paper::table5_6(cls, cfg, int(stations),
+                                          one_bus)
+                        : paper::table3_4(cls, cfg, int(stations),
+                                          one_bus);
+                row.push_back(cell(measured, published));
+                ratios.add(measured, published);
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    ratios.printSummary(title);
+    return 0;
+}
+
+} // namespace bench
+} // namespace mfusim
+
+#endif // MFUSIM_BENCH_MULTI_ISSUE_TABLE_HH

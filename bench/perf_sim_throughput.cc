@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of simulator throughput
+ * (simulated instructions per wall-clock second).  Not a paper
+ * table; this guards the simulators' own performance so the full
+ * table sweeps stay fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mfusim/codegen/livermore.hh"
+#include "mfusim/dataflow/limits.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+
+namespace
+{
+
+using namespace mfusim;
+
+const DynTrace &
+bigTrace()
+{
+    // LL6 is the longest trace (~17k dynamic ops).
+    return TraceLibrary::instance().trace(6);
+}
+
+void
+BM_SimpleSim(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    SimpleSim sim(configM11BR5());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_SimpleSim);
+
+void
+BM_ScoreboardCrayLike(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    for (auto _ : state) {
+        ScoreboardSim sim(ScoreboardConfig::crayLike(),
+                          configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_ScoreboardCrayLike);
+
+void
+BM_MultiIssue(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    const unsigned width = unsigned(state.range(0));
+    const bool ooo = state.range(1) != 0;
+    for (auto _ : state) {
+        MultiIssueSim sim({ width, ooo, BusKind::kPerUnit, false },
+                          configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_MultiIssue)
+    ->Args({ 4, 0 })
+    ->Args({ 4, 1 })
+    ->Args({ 8, 1 });
+
+void
+BM_Ruu(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    const unsigned width = unsigned(state.range(0));
+    const unsigned size = unsigned(state.range(1));
+    for (auto _ : state) {
+        RuuSim sim({ width, size, BusKind::kPerUnit },
+                   configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_Ruu)->Args({ 1, 10 })->Args({ 4, 100 });
+
+void
+BM_DataflowLimits(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            computeLimits(trace, configM11BR5()).actualRate);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_DataflowLimits);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    // Assemble + interpret + validate LL1 from scratch.
+    for (auto _ : state) {
+        const Kernel kernel = buildKernel(1);
+        benchmark::DoNotOptimize(runKernel(kernel).trace.size());
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

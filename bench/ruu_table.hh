@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared driver for Tables 7-8: multiple issue units with RUU
+ * dependency resolution, swept over RUU sizes {10..100}, 1..4 issue
+ * units, N-Bus (restricted) and 1-Bus organizations.
+ */
+
+#ifndef MFUSIM_BENCH_RUU_TABLE_HH
+#define MFUSIM_BENCH_RUU_TABLE_HH
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hh"
+#include "mfusim/harness/experiment.hh"
+#include "mfusim/harness/paper_data.hh"
+#include "mfusim/sim/ruu_sim.hh"
+
+namespace mfusim
+{
+namespace bench
+{
+
+inline int
+runRuuTable(const char *title, LoopClass cls)
+{
+    std::printf("%s\n(measured [paper])\n\n", title);
+
+    RatioTracker ratios;
+    AsciiTable table;
+    table.setHeader({ "Machine", "RUU", "1 N-Bus", "1 1-Bus",
+                      "2 N-Bus", "2 1-Bus", "3 N-Bus", "3 1-Bus",
+                      "4 N-Bus", "4 1-Bus" });
+
+    const auto &configs = standardConfigs();
+    for (int cfg = 0; cfg < 4; ++cfg) {
+        for (int size_idx = 0; size_idx < 6; ++size_idx) {
+            const unsigned size =
+                unsigned(paper::ruuSizes()[std::size_t(size_idx)]);
+            std::vector<std::string> row = {
+                size_idx == 0
+                    ? configs[std::size_t(cfg)].name()
+                    : "",
+                std::to_string(size),
+            };
+            for (unsigned units = 1; units <= 4; ++units) {
+                for (const BusKind bus :
+                     { BusKind::kPerUnit, BusKind::kSingle }) {
+                    const double measured = meanIssueRate(
+                        [units, size,
+                         bus](const MachineConfig &c)
+                            -> std::unique_ptr<Simulator> {
+                            return std::make_unique<RuuSim>(
+                                RuuConfig{ units, size, bus }, c);
+                        },
+                        cls, configs[std::size_t(cfg)]);
+                    const double published = paper::table7_8(
+                        cls, cfg, size_idx, int(units),
+                        bus == BusKind::kSingle);
+                    row.push_back(cell(measured, published));
+                    ratios.add(measured, published);
+                }
+            }
+            table.addRow(std::move(row));
+        }
+        if (cfg < 3)
+            table.addRule();
+    }
+    table.print(std::cout);
+    ratios.printSummary(title);
+    return 0;
+}
+
+} // namespace bench
+} // namespace mfusim
+
+#endif // MFUSIM_BENCH_RUU_TABLE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Section 3.3: "Other Issue Schemes with a Single Issue Unit".
+ *
+ * The paper surveys single-issue dependency-resolution schemes --
+ * the CDC 6600 scoreboard (RAW handled at the units, WAW blocks),
+ * the IBM 360/91 Tomasulo scheme (RAW and WAW both resolved), and
+ * the RUU -- and quotes: "using the dependency resolution scheme
+ * described in [10], the issue rate of an M11BR5 machine with a
+ * single issue unit can be improved to about 0.72 instructions per
+ * cycle for scalar code and 0.81 instructions for vectorizable
+ * code."
+ *
+ * This bench reproduces that progression on mfusim's traces.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hh"
+#include "mfusim/harness/experiment.hh"
+#include "mfusim/sim/cdc6600_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/tomasulo_sim.hh"
+
+using namespace mfusim;
+
+int
+main()
+{
+    std::printf(
+        "Section 3.3: single-issue dependency-resolution schemes\n"
+        "(issue rates; paper quotes RUU-style single issue at 0.72 "
+        "scalar /\n0.81 vectorizable on M11BR5)\n\n");
+
+    const std::vector<std::pair<const char *, SimFactory>> schemes = {
+        { "CRAY-like blocking issue",
+          [](const MachineConfig &c) -> std::unique_ptr<Simulator> {
+              return std::make_unique<ScoreboardSim>(
+                  ScoreboardConfig::crayLike(), c);
+          } },
+        { "CDC 6600 (RAW at units)",
+          [](const MachineConfig &c) -> std::unique_ptr<Simulator> {
+              return std::make_unique<Cdc6600Sim>(Cdc6600Config{},
+                                                  c);
+          } },
+        { "Tomasulo (3 RS, 1 CDB)",
+          [](const MachineConfig &c) -> std::unique_ptr<Simulator> {
+              return std::make_unique<TomasuloSim>(
+                  TomasuloConfig{ 3, 1, BranchPolicy::kBlocking },
+                  c);
+          } },
+        { "Tomasulo (8 RS, 2 CDB)",
+          [](const MachineConfig &c) -> std::unique_ptr<Simulator> {
+              return std::make_unique<TomasuloSim>(
+                  TomasuloConfig{ 8, 2, BranchPolicy::kBlocking },
+                  c);
+          } },
+        { "RUU (1 unit, 50 entries)",
+          [](const MachineConfig &c) -> std::unique_ptr<Simulator> {
+              return std::make_unique<RuuSim>(
+                  RuuConfig{ 1, 50, BusKind::kPerUnit }, c);
+          } },
+    };
+
+    AsciiTable table;
+    table.setHeader({ "Scheme", "Scalar M11BR5", "Scalar M5BR2",
+                      "Vector M11BR5", "Vector M5BR2" });
+    for (const auto &[name, factory] : schemes) {
+        table.addRow({
+            name,
+            AsciiTable::num(meanIssueRate(factory, LoopClass::kScalar,
+                                          configM11BR5())),
+            AsciiTable::num(meanIssueRate(factory, LoopClass::kScalar,
+                                          configM5BR2())),
+            AsciiTable::num(meanIssueRate(
+                factory, LoopClass::kVectorizable, configM11BR5())),
+            AsciiTable::num(meanIssueRate(
+                factory, LoopClass::kVectorizable, configM5BR2())),
+        });
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nExpected shape: each step of hazard resolution (RAW at "
+        "the units,\nthen WAW renamed, then a unified windowed "
+        "buffer) raises the rate;\nthe RUU row is the paper's "
+        "'dependency resolution with a single\nissue unit' "
+        "configuration.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine responses to pure dependence structures.
+ *
+ * Each synthetic workload pushes one property to an extreme (serial
+ * chain, full independence, log-depth tree, pure WAW reuse, memory
+ * stream, branch-gated loop); the table shows which machine
+ * mechanism each structure isolates.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "mfusim/codegen/synthetic.hh"
+#include "mfusim/dataflow/limits.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/tomasulo_sim.hh"
+
+using namespace mfusim;
+
+int
+main()
+{
+    std::printf(
+        "Synthetic dependence structures, M11BR5\n"
+        "(issue rates; DF = pure dataflow limit)\n\n");
+
+    const MachineConfig cfg = configM11BR5();
+
+    const std::vector<std::pair<const char *, DynTrace>> workloads = {
+        { "serial chain (fadd)", synthetic::chain(400) },
+        { "independent (fadd)", synthetic::independent(400) },
+        { "reduction tree x8", synthetic::reductionTree(8) },
+        { "WAW storm (fmul/and)", synthetic::wawStorm(400) },
+        { "memory stream 70/30", synthetic::memoryStream(400) },
+        { "loop, 6-op body", synthetic::loopPattern(6, 60) },
+    };
+
+    AsciiTable table;
+    table.setHeader({ "Structure", "CRAY-like", "OOO w=4",
+                      "Tomasulo", "RUU 4x64", "DF limit" });
+
+    for (const auto &[name, trace] : workloads) {
+        ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+        MultiIssueSim ooo({ 4, true, BusKind::kPerUnit, false }, cfg);
+        TomasuloSim tom({ 4, 2, BranchPolicy::kBlocking }, cfg);
+        RuuSim ruu({ 4, 64, BusKind::kPerUnit }, cfg);
+        table.addRow({
+            name,
+            AsciiTable::num(cray.run(trace).issueRate()),
+            AsciiTable::num(ooo.run(trace).issueRate()),
+            AsciiTable::num(tom.run(trace).issueRate()),
+            AsciiTable::num(ruu.run(trace).issueRate()),
+            AsciiTable::num(computeLimits(trace, cfg).actualRate),
+        });
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nReading the table:\n"
+        " - the serial chain caps everything at 1/latency;\n"
+        " - independence separates issue width from dependence "
+        "handling;\n"
+        " - the WAW storm isolates renaming: blocking machines "
+        "serialize on\n   the register reservation, renaming "
+        "machines run at unit speed;\n"
+        " - the memory stream isolates the single port;\n"
+        " - the loop pattern isolates branch gating (compare with "
+        "BR2 or the\n   speculation ablation).\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Table 1: "Instruction Issue Rates for Different Basic
+ * Machine Organizations" -- the Simple, SerialMemory, NonSegmented
+ * and CRAY-like single-issue machines over the four M/BR
+ * configurations, for both loop classes.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hh"
+#include "mfusim/harness/experiment.hh"
+#include "mfusim/harness/paper_data.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+
+using namespace mfusim;
+
+namespace
+{
+
+SimFactory
+factoryFor(int machine)
+{
+    return [machine](const MachineConfig &cfg)
+        -> std::unique_ptr<Simulator> {
+        switch (machine) {
+          case paper::kSimple:
+            return std::make_unique<SimpleSim>(cfg);
+          case paper::kSerialMemory:
+            return std::make_unique<ScoreboardSim>(
+                ScoreboardConfig::serialMemory(), cfg);
+          case paper::kNonSegmented:
+            return std::make_unique<ScoreboardSim>(
+                ScoreboardConfig::nonSegmented(), cfg);
+          default:
+            return std::make_unique<ScoreboardSim>(
+                ScoreboardConfig::crayLike(), cfg);
+        }
+    };
+}
+
+const char *machineNames[4] = {
+    "Simple", "SerialMemory", "NonSegmented", "CRAY-like",
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 1: issue rates of single-issue machines\n");
+    std::printf("(measured [paper])\n\n");
+
+    bench::RatioTracker ratios;
+    AsciiTable table;
+    table.setHeader({ "Code", "Machine", "M11BR5", "M11BR2", "M5BR5",
+                      "M5BR2" });
+
+    for (const LoopClass cls :
+         { LoopClass::kScalar, LoopClass::kVectorizable }) {
+        for (int machine = 0; machine < 4; ++machine) {
+            std::vector<std::string> row = {
+                machine == 0 ? loopClassName(cls) : "",
+                machineNames[machine],
+            };
+            const auto means =
+                meanIssueRateAllConfigs(factoryFor(machine), cls);
+            for (int cfg = 0; cfg < 4; ++cfg) {
+                const double published =
+                    paper::table1(cls, machine, cfg);
+                row.push_back(bench::cell(means[std::size_t(cfg)],
+                                          published));
+                ratios.add(means[std::size_t(cfg)], published);
+            }
+            table.addRow(std::move(row));
+        }
+        if (cls == LoopClass::kScalar)
+            table.addRule();
+    }
+    table.print(std::cout);
+    ratios.printSummary("Table 1");
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces Table 3: "Multiple Issue Units, Sequential Issue of
+ * Scalar Code".
+ */
+
+#include "multi_issue_table.hh"
+
+int
+main()
+{
+    return mfusim::bench::runMultiIssueTable(
+        "Table 3: multiple issue units, sequential issue, scalar "
+        "loops",
+        mfusim::LoopClass::kScalar, /*outOfOrder=*/false);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces Table 4: "Multiple Issue Units, Sequential Issue for
+ * Vectorizable Code".
+ */
+
+#include "multi_issue_table.hh"
+
+int
+main()
+{
+    return mfusim::bench::runMultiIssueTable(
+        "Table 4: multiple issue units, sequential issue, "
+        "vectorizable loops",
+        mfusim::LoopClass::kVectorizable, /*outOfOrder=*/false);
+}

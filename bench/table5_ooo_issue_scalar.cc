@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces Table 5: "Multiple Issue Units, Out-of-Order Issue for
+ * Scalar Code".
+ */
+
+#include "multi_issue_table.hh"
+
+int
+main()
+{
+    return mfusim::bench::runMultiIssueTable(
+        "Table 5: multiple issue units, out-of-order issue, scalar "
+        "loops",
+        mfusim::LoopClass::kScalar, /*outOfOrder=*/true);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces Table 6: "Multiple Issue Units, Out-of-Order Issue for
+ * Vectorizable Loops".
+ */
+
+#include "multi_issue_table.hh"
+
+int
+main()
+{
+    return mfusim::bench::runMultiIssueTable(
+        "Table 6: multiple issue units, out-of-order issue, "
+        "vectorizable loops",
+        mfusim::LoopClass::kVectorizable, /*outOfOrder=*/true);
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Reproduces Table 7: "Multiple Issue Units with Dependency
+ * Resolution; Scalar Code".
+ */
+
+#include "ruu_table.hh"
+
+int
+main()
+{
+    return mfusim::bench::runRuuTable(
+        "Table 7: RUU dependency resolution, scalar loops",
+        mfusim::LoopClass::kScalar);
+}

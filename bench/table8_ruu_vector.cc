@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Reproduces Table 8: "Multiple Issue Units with Dependency
+ * Resolution; Vectorizable Code".
+ */
+
+#include "ruu_table.hh"
+
+int
+main()
+{
+    return mfusim::bench::runRuuTable(
+        "Table 8: RUU dependency resolution, vectorizable loops",
+        mfusim::LoopClass::kVectorizable);
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension: the vector unit the paper's "vectorizable" loops would
+ * actually use.
+ *
+ * The paper studies scalar issue logic precisely because vector
+ * hardware already handled the parallel loops ("we expect the
+ * vectorizable loops to exhibit a reasonably high degree of
+ * parallelism"), and its M5 configuration models staging scalar
+ * data through vector registers.  This bench runs strip-mined
+ * CRAY-1 vector compilations of LL1/LL7/LL12 on the same CRAY-like
+ * machine and compares them with every scalar issue scheme —
+ * showing how far even the best scalar issue logic (RUU) remains
+ * from simply using the vector unit, and what chaining contributes.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "mfusim/codegen/livermore.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+
+using namespace mfusim;
+
+int
+main()
+{
+    std::printf(
+        "Vector unit vs scalar issue schemes (cycles per kernel,\n"
+        "M11BR5; speedups relative to the CRAY-like scalar "
+        "machine)\n\n");
+
+    AsciiTable table;
+    table.setHeader({ "Loop", "scalar CRAY", "scalar RUU 4x100",
+                      "vector (no chain)", "vector (chained)",
+                      "chained speedup" });
+
+    const MachineConfig cfg = configM11BR5();
+    for (int id : vectorizedLoopIds()) {
+        const DynTrace &scalar = TraceLibrary::instance().trace(id);
+        const KernelRun vec = runKernel(buildVectorizedKernel(id));
+
+        ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+        RuuSim ruu({ 4, 100, BusKind::kPerUnit }, cfg);
+        ScoreboardConfig unchained = ScoreboardConfig::crayLike();
+        unchained.vectorChaining = false;
+        ScoreboardSim no_chain(unchained, cfg);
+        ScoreboardSim chained(ScoreboardConfig::crayLike(), cfg);
+
+        const double base = double(cray.run(scalar).cycles);
+        const double with_chain =
+            double(chained.run(vec.trace).cycles);
+        table.addRow({
+            "LL" + std::to_string(id),
+            std::to_string(cray.run(scalar).cycles),
+            std::to_string(ruu.run(scalar).cycles),
+            std::to_string(no_chain.run(vec.trace).cycles),
+            std::to_string(chained.run(vec.trace).cycles),
+            AsciiTable::num(base / with_chain, 1) + "x",
+        });
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nExpected shape: the vector unit beats even the most "
+        "aggressive scalar\nissue logic by several times on these "
+        "loops -- the context in which the\npaper's question (how "
+        "far can *scalar* issue be pushed?) matters, since\nthe "
+        "scalar unit handles everything the vectorizer cannot.\n"
+        "Chaining is worth roughly another 20-40%%.\n");
+    return 0;
+}

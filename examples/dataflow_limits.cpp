@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dataflow-limit analysis walkthrough: per-loop pseudo-dataflow,
+ * resource and serial limits, and how far each simulated machine
+ * falls from them -- the paper's section 4 methodology applied loop
+ * by loop.
+ *
+ *   $ ./examples/dataflow_limits [M11BR5|M11BR2|M5BR5|M5BR2]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "mfusim/mfusim.hh"
+
+using namespace mfusim;
+
+int
+main(int argc, char **argv)
+{
+    MachineConfig cfg = configM11BR5();
+    if (argc > 1) {
+        bool found = false;
+        for (const MachineConfig &candidate : standardConfigs()) {
+            if (candidate.name() == argv[1]) {
+                cfg = candidate;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "unknown config '%s'\n", argv[1]);
+            return 1;
+        }
+    }
+
+    std::printf("Per-loop performance limits, %s\n\n",
+                cfg.name().c_str());
+
+    AsciiTable table;
+    table.setHeader({ "Loop", "Pseudo-DF", "Resource", "Actual",
+                      "Serial", "CRAY-like", "% of limit" });
+
+    for (const KernelSpec &spec : kernelSpecs()) {
+        const DynTrace &trace =
+            TraceLibrary::instance().trace(spec.id);
+        const LimitResult pure = computeLimits(trace, cfg, false);
+        const LimitResult serial = computeLimits(trace, cfg, true);
+
+        ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+        const double achieved = cray.run(trace).issueRate();
+
+        table.addRow({
+            "LL" + std::to_string(spec.id),
+            AsciiTable::num(pure.pseudoRate),
+            AsciiTable::num(pure.resourceRate),
+            AsciiTable::num(pure.actualRate),
+            AsciiTable::num(serial.actualRate),
+            AsciiTable::num(achieved),
+            AsciiTable::num(achieved / pure.actualRate * 100, 0) + "%",
+        });
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nReading the table (paper section 4):\n"
+        " - Pseudo-DF: critical path with branch gating, registers "
+        "renamed.\n"
+        " - Resource: busiest functional unit of the base machine.\n"
+        " - Actual: the tighter of the two; what any issue scheme "
+        "could hope for.\n"
+        " - Serial: in-order completion per register (no WAW "
+        "buffering):\n   the ceiling for every machine that blocks "
+        "on WAW hazards.\n");
+    return 0;
+}

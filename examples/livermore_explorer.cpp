@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Livermore loop explorer: per-loop issue rates on every machine
+ * organization, for one configuration chosen on the command line.
+ *
+ *   $ ./examples/livermore_explorer            # M11BR5
+ *   $ ./examples/livermore_explorer M5BR2
+ *   $ ./examples/livermore_explorer M11BR2 5   # loop 5 only
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "mfusim/mfusim.hh"
+
+using namespace mfusim;
+
+namespace
+{
+
+MachineConfig
+parseConfig(const char *name)
+{
+    for (const MachineConfig &cfg : standardConfigs()) {
+        if (cfg.name() == name)
+            return cfg;
+    }
+    std::fprintf(stderr,
+                 "unknown config '%s' (use M11BR5, M11BR2, M5BR5 or "
+                 "M5BR2)\n",
+                 name);
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const MachineConfig cfg =
+        argc > 1 ? parseConfig(argv[1]) : configM11BR5();
+    const int only_loop = argc > 2 ? std::atoi(argv[2]) : 0;
+
+    std::printf("Per-loop issue rates, %s\n\n", cfg.name().c_str());
+
+    AsciiTable table;
+    table.setHeader({ "Loop", "Class", "Ops", "Mem%", "Simple",
+                      "CRAY-like", "OOO w=4", "RUU 4x50", "DF limit" });
+
+    for (const KernelSpec &spec : kernelSpecs()) {
+        if (only_loop != 0 && spec.id != only_loop)
+            continue;
+        const DynTrace &trace =
+            TraceLibrary::instance().trace(spec.id);
+        const TraceStats stats = trace.stats();
+
+        SimpleSim simple(cfg);
+        ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+        MultiIssueSim ooo({ 4, true, BusKind::kPerUnit, false }, cfg);
+        RuuSim ruu({ 4, 52, BusKind::kPerUnit }, cfg);
+
+        table.addRow({
+            "LL" + std::to_string(spec.id) + " " + spec.name,
+            spec.vectorizable ? "vector" : "scalar",
+            std::to_string(stats.totalOps),
+            AsciiTable::num(stats.memoryFraction() * 100, 0),
+            AsciiTable::num(simple.run(trace).issueRate()),
+            AsciiTable::num(cray.run(trace).issueRate()),
+            AsciiTable::num(ooo.run(trace).issueRate()),
+            AsciiTable::num(ruu.run(trace).issueRate()),
+            AsciiTable::num(computeLimits(trace, cfg).actualRate),
+        });
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nScalar loops: 5, 6, 11, 13, 14; vectorizable: the rest "
+        "(paper's split).\n");
+    return 0;
+}

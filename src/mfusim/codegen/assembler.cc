@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Macro-assembler implementation.
+ */
+
+#include "mfusim/codegen/assembler.hh"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace mfusim
+{
+
+namespace
+{
+
+[[maybe_unused]] bool
+isA(RegId r)
+{
+    return isValidReg(r) && classOf(r) == RegClass::A;
+}
+
+[[maybe_unused]] bool
+isS(RegId r)
+{
+    return isValidReg(r) && classOf(r) == RegClass::S;
+}
+
+[[maybe_unused]] bool
+isB(RegId r)
+{
+    return isValidReg(r) && classOf(r) == RegClass::B;
+}
+
+[[maybe_unused]] bool
+isT(RegId r)
+{
+    return isValidReg(r) && classOf(r) == RegClass::T;
+}
+
+[[maybe_unused]] bool
+isV(RegId r)
+{
+    return isValidReg(r) && classOf(r) == RegClass::V;
+}
+
+} // namespace
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < code.size(); ++i)
+        os << i << ":\t" << code[i].disassemble() << '\n';
+    return os.str();
+}
+
+Assembler::Label
+Assembler::newLabel()
+{
+    labelTargets_.push_back(-1);
+    return Label{ int(labelTargets_.size()) - 1 };
+}
+
+void
+Assembler::bind(Label label)
+{
+    assert(label.id >= 0 && label.id < int(labelTargets_.size()));
+    assert(labelTargets_[label.id] == -1 && "label bound twice");
+    labelTargets_[label.id] = std::int64_t(code_.size());
+}
+
+Assembler::Label
+Assembler::here()
+{
+    Label label = newLabel();
+    bind(label);
+    return label;
+}
+
+void
+Assembler::emit(const Instruction &inst)
+{
+    code_.push_back(inst);
+}
+
+void
+Assembler::emitBranch(Op op, RegId cond, Label target)
+{
+    assert(target.id >= 0 && target.id < int(labelTargets_.size()));
+    fixups_.emplace_back(StaticIndex(code_.size()), target.id);
+    emit({ op, kNoReg, cond, kNoReg, 0 });
+}
+
+// ---- address-register operations ----------------------------------
+
+void
+Assembler::aconst(RegId dst, std::int64_t value)
+{
+    assert(isA(dst));
+    emit({ Op::kAConst, dst, kNoReg, kNoReg, value });
+}
+
+void
+Assembler::aadd(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isA(dst) && isA(srcA) && isA(srcB));
+    emit({ Op::kAAdd, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::aaddi(RegId dst, RegId srcA, std::int64_t imm)
+{
+    assert(isA(dst) && isA(srcA));
+    emit({ Op::kAAddI, dst, srcA, kNoReg, imm });
+}
+
+void
+Assembler::asub(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isA(dst) && isA(srcA) && isA(srcB));
+    emit({ Op::kASub, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::amul(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isA(dst) && isA(srcA) && isA(srcB));
+    emit({ Op::kAMul, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::amovs(RegId dst, RegId src)
+{
+    assert(isA(dst) && isS(src));
+    emit({ Op::kAMovS, dst, src, kNoReg, 0 });
+}
+
+void
+Assembler::amovb(RegId dst, RegId src)
+{
+    assert(isA(dst) && isB(src));
+    emit({ Op::kAMovB, dst, src, kNoReg, 0 });
+}
+
+void
+Assembler::bmova(RegId dst, RegId src)
+{
+    assert(isB(dst) && isA(src));
+    emit({ Op::kBMovA, dst, src, kNoReg, 0 });
+}
+
+// ---- scalar-register operations ------------------------------------
+
+void
+Assembler::sconsti(RegId dst, std::int64_t value)
+{
+    assert(isS(dst));
+    emit({ Op::kSConst, dst, kNoReg, kNoReg, value });
+}
+
+void
+Assembler::sconstf(RegId dst, double value)
+{
+    assert(isS(dst));
+    emit({ Op::kSConst, dst, kNoReg, kNoReg,
+           std::bit_cast<std::int64_t>(value) });
+}
+
+void
+Assembler::sadd(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isS(dst) && isS(srcA) && isS(srcB));
+    emit({ Op::kSAdd, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::ssub(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isS(dst) && isS(srcA) && isS(srcB));
+    emit({ Op::kSSub, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::sand_(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isS(dst) && isS(srcA) && isS(srcB));
+    emit({ Op::kSAnd, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::sor_(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isS(dst) && isS(srcA) && isS(srcB));
+    emit({ Op::kSOr, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::sxor_(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isS(dst) && isS(srcA) && isS(srcB));
+    emit({ Op::kSXor, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::sshl(RegId dst, RegId src, unsigned count)
+{
+    assert(isS(dst) && isS(src) && count < 64);
+    emit({ Op::kSShL, dst, src, kNoReg, std::int64_t(count) });
+}
+
+void
+Assembler::sshr(RegId dst, RegId src, unsigned count)
+{
+    assert(isS(dst) && isS(src) && count < 64);
+    emit({ Op::kSShR, dst, src, kNoReg, std::int64_t(count) });
+}
+
+void
+Assembler::smovs(RegId dst, RegId src)
+{
+    assert(isS(dst) && isS(src));
+    emit({ Op::kSMovS, dst, src, kNoReg, 0 });
+}
+
+void
+Assembler::smova(RegId dst, RegId src)
+{
+    assert(isS(dst) && isA(src));
+    emit({ Op::kSMovA, dst, src, kNoReg, 0 });
+}
+
+void
+Assembler::smovt(RegId dst, RegId src)
+{
+    assert(isS(dst) && isT(src));
+    emit({ Op::kSMovT, dst, src, kNoReg, 0 });
+}
+
+void
+Assembler::tmovs(RegId dst, RegId src)
+{
+    assert(isT(dst) && isS(src));
+    emit({ Op::kTMovS, dst, src, kNoReg, 0 });
+}
+
+// ---- floating point -------------------------------------------------
+
+void
+Assembler::fadd(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isS(dst) && isS(srcA) && isS(srcB));
+    emit({ Op::kFAdd, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::fsub(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isS(dst) && isS(srcA) && isS(srcB));
+    emit({ Op::kFSub, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::fmul(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isS(dst) && isS(srcA) && isS(srcB));
+    emit({ Op::kFMul, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::frecip(RegId dst, RegId src)
+{
+    assert(isS(dst) && isS(src));
+    emit({ Op::kFRecip, dst, src, kNoReg, 0 });
+}
+
+void
+Assembler::sfix(RegId dst, RegId src)
+{
+    assert(isS(dst) && isS(src));
+    emit({ Op::kSFix, dst, src, kNoReg, 0 });
+}
+
+void
+Assembler::sfloat(RegId dst, RegId src)
+{
+    assert(isS(dst) && isS(src));
+    emit({ Op::kSFloat, dst, src, kNoReg, 0 });
+}
+
+void
+Assembler::fdiv(RegId dst, RegId num, RegId den, RegId tmpA, RegId tmpB)
+{
+    // CRAY-1 full-precision divide: r = recip(den);
+    // r' = r * (2 - den * r); dst = num * r'.  The Interpreter's
+    // frecip is already exact, so the correction step exists purely
+    // to reproduce the instruction mix of a real CRAY divide.
+    assert(tmpA != tmpB && tmpA != num && tmpB != num &&
+           tmpA != den && tmpB != den);
+    // dst doubles as scratch for the 2.0 constant before the final
+    // multiply, so it must not alias an input.
+    assert(dst != num && dst != den && dst != tmpA && dst != tmpB);
+    frecip(tmpA, den);              // tmpA = ~1/den
+    fmul(tmpB, den, tmpA);          // tmpB = den * r
+    sconstf(dst, 2.0);              // dst used as scratch for 2.0
+    fsub(tmpB, dst, tmpB);          // tmpB = 2 - den * r
+    fmul(tmpA, tmpA, tmpB);         // tmpA = corrected reciprocal
+    fmul(dst, num, tmpA);           // dst = num / den
+}
+
+// ---- vector unit ------------------------------------------------------
+
+void
+Assembler::vsetlen(RegId srcA)
+{
+    assert(isA(srcA));
+    emit({ Op::kVSetLen, kVlReg, srcA, kNoReg, 0 });
+}
+
+void
+Assembler::vload(RegId dst, RegId base, std::int64_t stride)
+{
+    assert(isV(dst) && isA(base) && stride != 0);
+    emit({ Op::kVLoad, dst, base, kNoReg, stride });
+}
+
+void
+Assembler::vstore(RegId base, std::int64_t stride, RegId src)
+{
+    assert(isA(base) && isV(src) && stride != 0);
+    emit({ Op::kVStore, kNoReg, base, src, stride });
+}
+
+void
+Assembler::vfadd(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isV(dst) && isV(srcA) && isV(srcB));
+    emit({ Op::kVFAdd, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::vfsub(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isV(dst) && isV(srcA) && isV(srcB));
+    emit({ Op::kVFSub, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::vfmul(RegId dst, RegId srcA, RegId srcB)
+{
+    assert(isV(dst) && isV(srcA) && isV(srcB));
+    emit({ Op::kVFMul, dst, srcA, srcB, 0 });
+}
+
+void
+Assembler::vfaddsv(RegId dst, RegId srcS, RegId srcV)
+{
+    assert(isV(dst) && isS(srcS) && isV(srcV));
+    emit({ Op::kVFAddSV, dst, srcS, srcV, 0 });
+}
+
+void
+Assembler::vfmulsv(RegId dst, RegId srcS, RegId srcV)
+{
+    assert(isV(dst) && isS(srcS) && isV(srcV));
+    emit({ Op::kVFMulSV, dst, srcS, srcV, 0 });
+}
+
+// ---- memory ----------------------------------------------------------
+
+void
+Assembler::loadA(RegId dst, RegId base, std::int64_t disp)
+{
+    assert(isA(dst) && isA(base));
+    emit({ Op::kLoadA, dst, base, kNoReg, disp });
+}
+
+void
+Assembler::loadS(RegId dst, RegId base, std::int64_t disp)
+{
+    assert(isS(dst) && isA(base));
+    emit({ Op::kLoadS, dst, base, kNoReg, disp });
+}
+
+void
+Assembler::storeA(RegId base, std::int64_t disp, RegId src)
+{
+    assert(isA(base) && isA(src));
+    emit({ Op::kStoreA, kNoReg, base, src, disp });
+}
+
+void
+Assembler::storeS(RegId base, std::int64_t disp, RegId src)
+{
+    assert(isA(base) && isS(src));
+    emit({ Op::kStoreS, kNoReg, base, src, disp });
+}
+
+// ---- control ----------------------------------------------------------
+
+void
+Assembler::braz(Label target)
+{
+    emitBranch(Op::kBrAZ, A0, target);
+}
+
+void
+Assembler::branz(Label target)
+{
+    emitBranch(Op::kBrANZ, A0, target);
+}
+
+void
+Assembler::brap(Label target)
+{
+    emitBranch(Op::kBrAP, A0, target);
+}
+
+void
+Assembler::bram(Label target)
+{
+    emitBranch(Op::kBrAM, A0, target);
+}
+
+void
+Assembler::brsz(Label target)
+{
+    emitBranch(Op::kBrSZ, S0, target);
+}
+
+void
+Assembler::brsnz(Label target)
+{
+    emitBranch(Op::kBrSNZ, S0, target);
+}
+
+void
+Assembler::brsp(Label target)
+{
+    emitBranch(Op::kBrSP, S0, target);
+}
+
+void
+Assembler::brsm(Label target)
+{
+    emitBranch(Op::kBrSM, S0, target);
+}
+
+void
+Assembler::jump(Label target)
+{
+    emitBranch(Op::kJump, kNoReg, target);
+}
+
+void
+Assembler::halt()
+{
+    emit({ Op::kHalt, kNoReg, kNoReg, kNoReg, 0 });
+}
+
+StaticIndex
+Assembler::position() const
+{
+    return StaticIndex(code_.size());
+}
+
+Program
+Assembler::finish()
+{
+    for (const auto &[inst_idx, label_id] : fixups_) {
+        const std::int64_t target = labelTargets_[label_id];
+        if (target < 0) {
+            throw std::logic_error(
+                "Assembler::finish: unbound label referenced by "
+                "instruction " + std::to_string(inst_idx));
+        }
+        code_[inst_idx].imm = target;
+    }
+    fixups_.clear();
+
+    Program program;
+    program.code = std::move(code_);
+    code_.clear();
+    return program;
+}
+
+} // namespace mfusim

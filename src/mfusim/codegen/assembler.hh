@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Program container and macro-assembler for the base architecture.
+ *
+ * The paper drove its simulators with traces of CRAY Fortran-compiled
+ * Livermore Loops.  mfusim substitutes a small macro-assembler: each
+ * benchmark kernel is written by hand the way a straightforward,
+ * non-optimizing compiler of the era would have compiled it (greedy
+ * register allocation, induction-variable addressing, no unrolling,
+ * no instruction scheduling), then executed by the Interpreter to
+ * produce a dynamic trace.
+ */
+
+#ifndef MFUSIM_CODEGEN_ASSEMBLER_HH
+#define MFUSIM_CODEGEN_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mfusim/core/instruction.hh"
+#include "mfusim/core/opcode.hh"
+#include "mfusim/core/registers.hh"
+
+namespace mfusim
+{
+
+/** A finished static program: a flat vector of instructions. */
+struct Program
+{
+    std::vector<Instruction> code;
+
+    std::size_t size() const { return code.size(); }
+    const Instruction &operator[](StaticIndex i) const { return code[i]; }
+
+    /** Multi-line disassembly listing. */
+    std::string disassemble() const;
+};
+
+/**
+ * Builder for Programs with forward-reference label support.
+ *
+ * Typical use:
+ * @code
+ *   Assembler as;
+ *   as.aconst(A1, 100);                 // loop counter
+ *   const auto loop = as.here();
+ *   as.loadS(S1, A2, 0);
+ *   ...
+ *   as.aaddi(A0, A1, -1);
+ *   as.amovs(A1, ...);                  // etc.
+ *   as.branz(loop);                     // branch on A0 != 0
+ *   as.halt();
+ *   Program p = as.finish();
+ * @endcode
+ *
+ * Register-class constraints of the base ISA (e.g. address adds only
+ * operate on A registers) are checked with assertions at emit time.
+ */
+class Assembler
+{
+  public:
+    /** Opaque label handle. */
+    struct Label
+    {
+        int id = -1;
+    };
+
+    /** Create a fresh, unbound label (for forward branches). */
+    Label newLabel();
+
+    /** Bind @p label to the current emission point. */
+    void bind(Label label);
+
+    /** Create a label bound to the current emission point. */
+    Label here();
+
+    // ---- address-register operations -----------------------------
+    void aconst(RegId dst, std::int64_t value);
+    void aadd(RegId dst, RegId srcA, RegId srcB);
+    void aaddi(RegId dst, RegId srcA, std::int64_t imm);
+    void asub(RegId dst, RegId srcA, RegId srcB);
+    void amul(RegId dst, RegId srcA, RegId srcB);
+    void amovs(RegId dst, RegId src);   //!< Ai = Sj
+    void amovb(RegId dst, RegId src);   //!< Ai = Bk
+    void bmova(RegId dst, RegId src);   //!< Bk = Ai
+
+    // ---- scalar-register operations -------------------------------
+    void sconsti(RegId dst, std::int64_t value);    //!< integer bits
+    void sconstf(RegId dst, double value);          //!< FP bit pattern
+    void sadd(RegId dst, RegId srcA, RegId srcB);
+    void ssub(RegId dst, RegId srcA, RegId srcB);
+    void sand_(RegId dst, RegId srcA, RegId srcB);
+    void sor_(RegId dst, RegId srcA, RegId srcB);
+    void sxor_(RegId dst, RegId srcA, RegId srcB);
+    void sshl(RegId dst, RegId src, unsigned count);
+    void sshr(RegId dst, RegId src, unsigned count);
+    void smovs(RegId dst, RegId src);   //!< Si = Sj
+    void smova(RegId dst, RegId src);   //!< Si = Aj
+    void smovt(RegId dst, RegId src);   //!< Si = Tk
+    void tmovs(RegId dst, RegId src);   //!< Tk = Si
+
+    // ---- floating point -------------------------------------------
+    void fadd(RegId dst, RegId srcA, RegId srcB);
+    void fsub(RegId dst, RegId srcA, RegId srcB);
+    void fmul(RegId dst, RegId srcA, RegId srcB);
+    void frecip(RegId dst, RegId src);
+    void sfix(RegId dst, RegId src);    //!< double -> int64
+    void sfloat(RegId dst, RegId src);  //!< int64 -> double
+
+    /**
+     * Full-precision divide idiom: dst = num / den, expanded as the
+     * CRAY-1 reciprocal-approximation sequence (frecip + one
+     * Newton-Raphson correction step + final multiply).  Uses
+     * @p tmpA and @p tmpB as scratch S registers.
+     */
+    void fdiv(RegId dst, RegId num, RegId den, RegId tmpA, RegId tmpB);
+
+    // ---- vector unit (extension) ------------------------------------
+    void vsetlen(RegId srcA);                   //!< VL = Aj
+    void vload(RegId dst, RegId base, std::int64_t stride);
+    void vstore(RegId base, std::int64_t stride, RegId src);
+    void vfadd(RegId dst, RegId srcA, RegId srcB);   //!< V = V + V
+    void vfsub(RegId dst, RegId srcA, RegId srcB);
+    void vfmul(RegId dst, RegId srcA, RegId srcB);
+    void vfaddsv(RegId dst, RegId srcS, RegId srcV); //!< V = S + V
+    void vfmulsv(RegId dst, RegId srcS, RegId srcV);
+
+    // ---- memory references (word addressed) ------------------------
+    void loadA(RegId dst, RegId base, std::int64_t disp);
+    void loadS(RegId dst, RegId base, std::int64_t disp);
+    void storeA(RegId base, std::int64_t disp, RegId src);
+    void storeS(RegId base, std::int64_t disp, RegId src);
+
+    // ---- control ----------------------------------------------------
+    void braz(Label target);    //!< branch if A0 == 0
+    void branz(Label target);   //!< branch if A0 != 0
+    void brap(Label target);    //!< branch if A0 >= 0
+    void bram(Label target);    //!< branch if A0 < 0
+    void brsz(Label target);    //!< branch if S0 == 0
+    void brsnz(Label target);   //!< branch if S0 != 0
+    void brsp(Label target);    //!< branch if S0 >= 0
+    void brsm(Label target);    //!< branch if S0 < 0
+    void jump(Label target);
+    void halt();
+
+    /** Number of instructions emitted so far. */
+    StaticIndex position() const;
+
+    /**
+     * Resolve all branch targets and return the finished Program.
+     * Throws std::logic_error if any referenced label is unbound.
+     */
+    Program finish();
+
+  private:
+    void emit(const Instruction &inst);
+    void emitBranch(Op op, RegId cond, Label target);
+
+    std::vector<Instruction> code_;
+    std::vector<std::int64_t> labelTargets_;    //!< -1 while unbound
+    // (instruction index, label id) pairs awaiting resolution
+    std::vector<std::pair<StaticIndex, int>> fixups_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_CODEGEN_ASSEMBLER_HH

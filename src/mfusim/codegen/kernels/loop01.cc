@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Livermore Loop 1 — hydro fragment (vectorizable).
+ *
+ *   DO 1 k = 1,n
+ * 1   X(k) = Q + Y(k)*(R*Z(k+10) + T*Z(k+11))
+ *
+ * Compiled with three induction-variable pointers (x, y, z), the
+ * k+10/k+11 accesses folded into load displacements, and the scalar
+ * constants Q, R, T held in S registers across the loop.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop01()
+{
+    constexpr int n = 400;
+    constexpr std::uint64_t xBase = 0;
+    constexpr std::uint64_t yBase = 500;
+    constexpr std::uint64_t zBase = 1000;
+
+    constexpr double q = 0.5;
+    constexpr double r = 0.25;
+    constexpr double t = 0.35;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[0];
+    kernel.memWords = 1500;
+
+    // Synthetic inputs.
+    std::vector<double> x(n, 0.0);
+    std::vector<double> y(n), z(n + 11);
+    for (int k = 0; k < n; ++k)
+        y[k] = kernelValue(1, std::uint64_t(k), 0.5, 1.5);
+    for (int k = 0; k < n + 11; ++k)
+        z[k] = kernelValue(1, 1000 + std::uint64_t(k), 0.5, 1.5);
+
+    for (int k = 0; k < n; ++k)
+        kernel.initF.push_back({ yBase + std::uint64_t(k), y[k] });
+    for (int k = 0; k < n + 11; ++k)
+        kernel.initF.push_back({ zBase + std::uint64_t(k), z[k] });
+
+    // Assembly.
+    Assembler as;
+    as.aconst(A0, n);           // loop count
+    as.aconst(A1, xBase);       // &x[k]
+    as.aconst(A2, yBase);       // &y[k]
+    as.aconst(A3, zBase);       // &z[k]
+    as.sconstf(S5, q);
+    as.sconstf(S6, r);
+    as.sconstf(S7, t);
+
+    const auto loop = as.here();
+    as.loadS(S1, A2, 0);        // y[k]
+    as.loadS(S2, A3, 10);       // z[k+10]
+    as.loadS(S3, A3, 11);       // z[k+11]
+    as.fmul(S2, S6, S2);        // r*z[k+10]
+    as.fmul(S3, S7, S3);        // t*z[k+11]
+    as.fadd(S2, S2, S3);
+    as.fmul(S1, S1, S2);        // y[k]*(...)
+    as.fadd(S1, S5, S1);        // q + ...
+    as.storeS(A1, 0, S1);
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A2, A2, 1);
+    as.aaddi(A3, A3, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    kernel.program = as.finish();
+
+    // Reference expectations.
+    ref::loop1(x, y, z, q, r, t, n);
+    for (int k = 0; k < n; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Livermore Loop 2 — excerpt from an incomplete Cholesky conjugate
+ * gradient code (vectorizable).
+ *
+ *   ii = n; ipntp = 0
+ *   DO WHILE (ii > 1)
+ *     ipnt = ipntp; ipntp = ipntp + ii; ii = ii/2; i = ipntp
+ *     DO 2 k = ipnt+2, ipntp, 2
+ *       X(i) = X(k) - V(k)*X(k-1) - V(k+1)*X(k+1)
+ *       i = i + 1
+ *   2 CONTINUE
+ *
+ * The cyclic-reduction control structure gives a doubly nested loop
+ * whose inner trip count halves each outer pass.  The ii/2 step is
+ * compiled through the S-register shifter because the base ISA (like
+ * the CRAY-1) has no address-register shift.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop02()
+{
+    constexpr int n = 256;                  // power of two
+    constexpr std::uint64_t xBase = 0;      // x spans ~2n entries
+    constexpr std::uint64_t vBase = 600;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[1];
+    kernel.memWords = 1200;
+
+    const int total = 2 * n;                // touched index range
+    std::vector<double> x(total + 2), v(total + 2);
+    for (int k = 0; k < total + 2; ++k) {
+        x[k] = kernelValue(2, std::uint64_t(k), 0.5, 1.5);
+        v[k] = kernelValue(2, 10000 + std::uint64_t(k), 0.0, 0.5);
+    }
+    for (int k = 0; k < total + 2; ++k) {
+        kernel.initF.push_back({ xBase + std::uint64_t(k), x[k] });
+        kernel.initF.push_back({ vBase + std::uint64_t(k), v[k] });
+    }
+
+    Assembler as;
+    // A4 = ii, A5 = ipntp, A6 = ipnt
+    as.aconst(A4, n);
+    as.aconst(A5, 0);
+
+    const auto outer = as.here();
+    as.aaddi(A6, A5, 0);            // ipnt = ipntp
+    as.aadd(A5, A5, A4);            // ipntp += ii
+    as.smova(S1, A4);               // ii /= 2 via scalar shifter
+    as.sshr(S1, S1, 1);
+    as.amovs(A4, S1);
+    as.aconst(A7, xBase + 1);
+    as.aadd(A1, A7, A6);            // A1 = &x[ipnt+1]
+    as.aconst(A7, vBase + 1);
+    as.aadd(A2, A7, A6);            // A2 = &v[ipnt+1]
+    as.aconst(A7, xBase);
+    as.aadd(A3, A7, A5);            // A3 = &x[i], i = ipntp
+    as.aaddi(A0, A4, 0);            // inner count = new ii
+
+    const auto inner = as.here();
+    as.loadS(S1, A1, 0);            // x[k]
+    as.loadS(S2, A1, -1);           // x[k-1]
+    as.loadS(S3, A2, 0);            // v[k]
+    as.fmul(S2, S3, S2);            // v[k]*x[k-1]
+    as.fsub(S1, S1, S2);
+    as.loadS(S2, A1, 1);            // x[k+1]
+    as.loadS(S3, A2, 1);            // v[k+1]
+    as.fmul(S2, S3, S2);
+    as.fsub(S1, S1, S2);
+    as.storeS(A3, 0, S1);           // x[i]
+    as.aaddi(A1, A1, 2);
+    as.aaddi(A2, A2, 2);
+    as.aaddi(A3, A3, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(inner);
+
+    as.aaddi(A0, A4, -1);           // while (ii > 1)
+    as.branz(outer);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop2(x, v, n);
+    for (int k = 0; k < total + 2; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

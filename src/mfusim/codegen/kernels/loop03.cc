@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Livermore Loop 3 — inner product (vectorizable).
+ *
+ *   Q = 0.0
+ *   DO 3 k = 1,n
+ * 3   Q = Q + Z(k)*X(k)
+ *
+ * The scalar compilation is a serial accumulate chain through the
+ * floating add unit; the final Q is stored to memory for validation.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop03()
+{
+    constexpr int n = 400;
+    constexpr std::uint64_t zBase = 0;
+    constexpr std::uint64_t xBase = 500;
+    constexpr std::uint64_t qAddr = 999;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[2];
+    kernel.memWords = 1000;
+
+    std::vector<double> z(n), x(n);
+    for (int k = 0; k < n; ++k) {
+        z[k] = kernelValue(3, std::uint64_t(k), 0.5, 1.5);
+        x[k] = kernelValue(3, 1000 + std::uint64_t(k), 0.5, 1.5);
+    }
+    for (int k = 0; k < n; ++k) {
+        kernel.initF.push_back({ zBase + std::uint64_t(k), z[k] });
+        kernel.initF.push_back({ xBase + std::uint64_t(k), x[k] });
+    }
+
+    Assembler as;
+    as.aconst(A0, n);
+    as.aconst(A1, zBase);
+    as.aconst(A2, xBase);
+    as.sconstf(S3, 0.0);        // accumulator
+
+    const auto loop = as.here();
+    as.loadS(S1, A1, 0);        // z[k]
+    as.loadS(S2, A2, 0);        // x[k]
+    as.fmul(S1, S1, S2);
+    as.fadd(S3, S3, S1);        // serial reduction
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A2, A2, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.aconst(A1, qAddr);
+    as.storeS(A1, 0, S3);
+    as.halt();
+    kernel.program = as.finish();
+
+    const double q = ref::loop3(z, x, n);
+    kernel.expectF.push_back({ qAddr, q });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

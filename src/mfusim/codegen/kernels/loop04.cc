@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Livermore Loop 4 — banded linear equations (vectorizable).
+ *
+ *   m = (1001-7)/2
+ *   DO 4 k = 7,1001,m
+ *     lw = k - 6
+ *     temp = X(k-1)
+ *     DO 4 j = 5,n,5
+ *       temp = temp - X(lw)*Y(j)
+ * 4     lw = lw + 1
+ *     X(k-1) = Y(5)*temp
+ *
+ * Three outer passes, each a 200-iteration dot-product-like inner
+ * loop with stride 5 on Y and stride 1 on X.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop04()
+{
+    constexpr int n = 1001;
+    constexpr int m = (1001 - 7) / 2;       // 497
+    constexpr int innerCount = (n - 4 + 4) / 5;     // j = 4,9,...,999
+    constexpr std::uint64_t xBase = 0;
+    constexpr int xLen = 1300;              // inner loop reads x[lw] up to
+                                            // lw = 994+199 = 1193
+    constexpr std::uint64_t yBase = 1400;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[3];
+    kernel.memWords = 2500;
+
+    std::vector<double> x(xLen), y(n + 1);
+    for (int k = 0; k < xLen; ++k)
+        x[k] = kernelValue(4, std::uint64_t(k), 0.5, 1.5);
+    for (int k = 0; k < n + 1; ++k)
+        y[k] = kernelValue(4, 10000 + std::uint64_t(k), 0.0, 0.01);
+    for (int k = 0; k < xLen; ++k)
+        kernel.initF.push_back({ xBase + std::uint64_t(k), x[k] });
+    for (int k = 0; k < n + 1; ++k)
+        kernel.initF.push_back({ yBase + std::uint64_t(k), y[k] });
+
+    Assembler as;
+    // A4 = k (0-based: 6, 503, 1000), A5 = outer count
+    as.aconst(A4, 6);
+    as.aconst(A5, 3);
+    as.aconst(A3, yBase + 4);
+    as.loadS(S5, A3, 0);            // y[4], loop invariant
+
+    const auto outer = as.here();
+    as.aconst(A6, std::int64_t(xBase) - 6);
+    as.aadd(A1, A6, A4);            // A1 = &x[lw], lw = k-6
+    as.aconst(A6, std::int64_t(xBase) - 1);
+    as.aadd(A7, A6, A4);            // A7 = &x[k-1]
+    as.loadS(S1, A7, 0);            // temp = x[k-1]
+    as.aconst(A2, yBase + 4);       // A2 = &y[j], j = 4
+    as.aconst(A0, innerCount);
+
+    const auto inner = as.here();
+    as.loadS(S2, A1, 0);            // x[lw]
+    as.loadS(S3, A2, 0);            // y[j]
+    as.fmul(S2, S2, S3);
+    as.fsub(S1, S1, S2);            // temp -= x[lw]*y[j]
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A2, A2, 5);
+    as.aaddi(A0, A0, -1);
+    as.branz(inner);
+
+    as.fmul(S1, S5, S1);            // y[4]*temp
+    as.storeS(A7, 0, S1);
+    as.aaddi(A4, A4, m);
+    as.aaddi(A5, A5, -1);
+    as.aaddi(A0, A5, 0);
+    as.branz(outer);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop4(x, y, n, m);
+    for (int k = 0; k < n; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

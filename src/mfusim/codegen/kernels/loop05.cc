@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Livermore Loop 5 — tri-diagonal elimination, below diagonal
+ * (scalar: a first-order linear recurrence).
+ *
+ *   DO 5 i = 2,n
+ * 5   X(i) = Z(i)*(Y(i) - X(i-1))
+ *
+ * The carried value x[i-1] lives in S1 across iterations, so the
+ * fsub/fmul pair forms a 13-cycle serial dependence chain per
+ * iteration — the canonical "inherently scalar" loop of the paper.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop05()
+{
+    constexpr int n = 400;
+    constexpr std::uint64_t xBase = 0;
+    constexpr std::uint64_t yBase = 500;
+    constexpr std::uint64_t zBase = 1000;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[4];
+    kernel.memWords = 1500;
+
+    std::vector<double> x(n), y(n), z(n);
+    for (int i = 0; i < n; ++i) {
+        x[i] = i == 0 ? kernelValue(5, 0, 0.5, 1.5) : 0.0;
+        y[i] = kernelValue(5, 1000 + std::uint64_t(i), 1.5, 2.5);
+        z[i] = kernelValue(5, 2000 + std::uint64_t(i), 0.5, 1.0);
+    }
+    kernel.initF.push_back({ xBase, x[0] });
+    for (int i = 0; i < n; ++i) {
+        kernel.initF.push_back({ yBase + std::uint64_t(i), y[i] });
+        kernel.initF.push_back({ zBase + std::uint64_t(i), z[i] });
+    }
+
+    Assembler as;
+    as.aconst(A0, n - 1);       // i = 1..n-1
+    as.aconst(A1, xBase + 1);   // &x[i]
+    as.aconst(A2, yBase + 1);   // &y[i]
+    as.aconst(A3, zBase + 1);   // &z[i]
+    as.aconst(A4, xBase);
+    as.loadS(S1, A4, 0);        // x[0] carried in S1
+
+    const auto loop = as.here();
+    as.loadS(S2, A2, 0);        // y[i]
+    as.loadS(S3, A3, 0);        // z[i]
+    as.fsub(S2, S2, S1);        // y[i] - x[i-1]
+    as.fmul(S1, S3, S2);        // x[i]
+    as.storeS(A1, 0, S1);
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A2, A2, 1);
+    as.aaddi(A3, A3, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop5(x, y, z, n);
+    for (int i = 0; i < n; ++i)
+        kernel.expectF.push_back({ xBase + std::uint64_t(i), x[i] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

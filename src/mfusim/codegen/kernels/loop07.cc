@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Livermore Loop 7 — equation of state fragment (vectorizable).
+ *
+ *   DO 7 k = 1,n
+ * 7   X(k) = U(k) + R*(Z(k) + R*Y(k)) +
+ *            T*(U(k+3) + R*(U(k+2) + R*U(k+1)) +
+ *               T*(U(k+6) + Q*(U(k+5) + Q*U(k+4))))
+ *
+ * A long, independent basic block with nine loads and twelve
+ * floating-point operations per iteration — the most ILP-rich of the
+ * vectorizable loops.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop07()
+{
+    constexpr int n = 256;
+    constexpr std::uint64_t xBase = 0;
+    constexpr std::uint64_t uBase = 300;
+    constexpr std::uint64_t zBase = 600;
+    constexpr std::uint64_t yBase = 900;
+
+    constexpr double q = 0.5;
+    constexpr double r = 0.375;
+    constexpr double t = 0.25;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[6];
+    kernel.memWords = 1200;
+
+    std::vector<double> x(n, 0.0), u(n + 6), z(n), y(n);
+    for (int k = 0; k < n + 6; ++k)
+        u[k] = kernelValue(7, std::uint64_t(k), 0.5, 1.5);
+    for (int k = 0; k < n; ++k) {
+        z[k] = kernelValue(7, 1000 + std::uint64_t(k), 0.5, 1.5);
+        y[k] = kernelValue(7, 2000 + std::uint64_t(k), 0.5, 1.5);
+    }
+    for (int k = 0; k < n + 6; ++k)
+        kernel.initF.push_back({ uBase + std::uint64_t(k), u[k] });
+    for (int k = 0; k < n; ++k) {
+        kernel.initF.push_back({ zBase + std::uint64_t(k), z[k] });
+        kernel.initF.push_back({ yBase + std::uint64_t(k), y[k] });
+    }
+
+    Assembler as;
+    as.aconst(A0, n);
+    as.aconst(A1, xBase);
+    as.aconst(A2, uBase);
+    as.aconst(A3, zBase);
+    as.aconst(A4, yBase);
+    as.sconstf(S5, r);
+    as.sconstf(S6, t);
+    as.sconstf(S7, q);
+
+    const auto loop = as.here();
+    as.loadS(S1, A4, 0);        // y[k]
+    as.loadS(S2, A3, 0);        // z[k]
+    as.fmul(S1, S5, S1);        // r*y
+    as.fadd(S1, S2, S1);        // z + r*y
+    as.fmul(S1, S5, S1);        // r*(z + r*y)
+    as.loadS(S2, A2, 0);        // u[k]
+    as.fadd(S1, S2, S1);        // u[k] + r*(...)
+    as.loadS(S2, A2, 1);        // u[k+1]
+    as.fmul(S2, S5, S2);        // r*u1
+    as.loadS(S3, A2, 2);        // u[k+2]
+    as.fadd(S2, S3, S2);        // u2 + r*u1
+    as.fmul(S2, S5, S2);        // r*(u2 + r*u1)
+    as.loadS(S3, A2, 3);        // u[k+3]
+    as.fadd(S2, S3, S2);        // u3 + r*(...)
+    as.loadS(S3, A2, 4);        // u[k+4]
+    as.fmul(S3, S7, S3);        // q*u4
+    as.loadS(S4, A2, 5);        // u[k+5]
+    as.fadd(S3, S4, S3);        // u5 + q*u4
+    as.fmul(S3, S7, S3);        // q*(u5 + q*u4)
+    as.loadS(S4, A2, 6);        // u[k+6]
+    as.fadd(S3, S4, S3);        // u6 + q*(...)
+    as.fmul(S3, S6, S3);        // t*(...)
+    as.fadd(S2, S2, S3);        // u3 + r*(...) + t*(...)
+    as.fmul(S2, S6, S2);        // t*(...)
+    as.fadd(S1, S1, S2);        // x[k]
+    as.storeS(A1, 0, S1);
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A2, A2, 1);
+    as.aaddi(A3, A3, 1);
+    as.aaddi(A4, A4, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop7(x, y, z, u, q, r, t, n);
+    for (int k = 0; k < n; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Livermore Loop 8 — ADI integration (vectorizable).
+ *
+ * The largest basic block of the suite: per ky iteration, three
+ * difference vectors du1..du3 are formed and the three solution
+ * arrays u1..u3 are updated with 9 coupling coefficients a11..a33
+ * plus sig.  The 11 loop-invariant constants live in T registers
+ * (fetched with 1-cycle T->S moves), exercising the CRAY-1 save
+ * files; u1, u2, u3 are allocated contiguously so one walking
+ * pointer with fixed displacements addresses all three.
+ *
+ * mfusim dimensions: ny = 32 (LFK: 101), kx = 1..2 as in LFK.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop08()
+{
+    constexpr int ny = 32;
+    constexpr int row = 5;                  // kx dimension
+    constexpr int plane = (ny + 1) * row;   // 165: one nl plane
+    constexpr int uSize = 2 * plane;        // 330: one u array
+    constexpr std::uint64_t uBase = 0;      // u1, u2, u3 contiguous
+    constexpr std::uint64_t duBase = 1000;  // du1, du2, du3 spaced 40
+    constexpr double sig = 0.25;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[7];
+    kernel.memWords = 1200;
+
+    const double a[9] = { 0.11, 0.12, 0.13, 0.21, 0.22, 0.23,
+                          0.31, 0.32, 0.33 };
+
+    std::vector<double> u1(uSize), u2(uSize), u3(uSize);
+    std::vector<double> du1(ny + 1, 0.0), du2(ny + 1, 0.0);
+    std::vector<double> du3(ny + 1, 0.0);
+    for (int i = 0; i < uSize; ++i) {
+        u1[i] = kernelValue(8, std::uint64_t(i), 0.5, 1.5);
+        u2[i] = kernelValue(8, 1000 + std::uint64_t(i), 0.5, 1.5);
+        u3[i] = kernelValue(8, 2000 + std::uint64_t(i), 0.5, 1.5);
+    }
+    for (int i = 0; i < uSize; ++i) {
+        kernel.initF.push_back({ uBase + std::uint64_t(i), u1[i] });
+        kernel.initF.push_back(
+            { uBase + uSize + std::uint64_t(i), u2[i] });
+        kernel.initF.push_back(
+            { uBase + 2 * uSize + std::uint64_t(i), u3[i] });
+    }
+
+    Assembler as;
+    // Preload the 11 invariant constants into T0..T10.
+    for (int i = 0; i < 9; ++i) {
+        as.sconstf(S1, a[i]);
+        as.tmovs(regT(unsigned(i)), S1);
+    }
+    as.sconstf(S1, sig);
+    as.tmovs(regT(9), S1);
+    as.sconstf(S1, 2.0);
+    as.tmovs(regT(10), S1);
+
+    // A6 = kx (1 then 2), A5 = outer count.
+    as.aconst(A6, 1);
+    as.aconst(A5, 2);
+
+    const auto kxLoop = as.here();
+    as.aconst(A7, uBase + row);         // &u1[nl1][1][0]
+    as.aadd(A1, A7, A6);                // + kx
+    as.aconst(A2, duBase + 1);          // &du1[1]
+    as.aconst(A0, ny - 1);              // ky = 1..ny-1
+
+    const auto kyLoop = as.here();
+    // du1..du3[ky] = um[nl1][ky+1][kx] - um[nl1][ky-1][kx]
+    as.loadS(S1, A1, row);
+    as.loadS(S2, A1, -row);
+    as.fsub(S1, S1, S2);                // du1
+    as.storeS(A2, 0, S1);
+    as.loadS(S2, A1, uSize + row);
+    as.loadS(S3, A1, uSize - row);
+    as.fsub(S2, S2, S3);                // du2
+    as.storeS(A2, 40, S2);
+    as.loadS(S3, A1, 2 * uSize + row);
+    as.loadS(S4, A1, 2 * uSize - row);
+    as.fsub(S3, S3, S4);                // du3
+    as.storeS(A2, 80, S3);
+
+    // One update: um[nl2][ky][kx] given base displacement and the
+    // T-register ids of its three coupling coefficients.
+    const auto update = [&](int base, unsigned ta, unsigned tb,
+                            unsigned tc) {
+        as.loadS(S4, A1, base);         // center
+        as.smovt(S5, regT(ta));
+        as.fmul(S5, S5, S1);
+        as.fadd(S4, S4, S5);
+        as.smovt(S5, regT(tb));
+        as.fmul(S5, S5, S2);
+        as.fadd(S4, S4, S5);
+        as.smovt(S5, regT(tc));
+        as.fmul(S5, S5, S3);
+        as.fadd(S4, S4, S5);
+        as.loadS(S5, A1, base + 1);     // kx+1
+        as.loadS(S6, A1, base);         // center
+        as.smovt(S7, regT(10));         // 2.0
+        as.fmul(S6, S7, S6);
+        as.fsub(S5, S5, S6);
+        as.loadS(S6, A1, base - 1);     // kx-1
+        as.fadd(S5, S5, S6);
+        as.smovt(S6, regT(9));          // sig
+        as.fmul(S5, S6, S5);
+        as.fadd(S4, S4, S5);
+        as.storeS(A1, base + plane, S4);
+    };
+    update(0, 0, 1, 2);                 // u1 with a11, a12, a13
+    update(uSize, 3, 4, 5);             // u2 with a21, a22, a23
+    update(2 * uSize, 6, 7, 8);         // u3 with a31, a32, a33
+
+    as.aaddi(A1, A1, row);
+    as.aaddi(A2, A2, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(kyLoop);
+
+    as.aaddi(A6, A6, 1);
+    as.aaddi(A5, A5, -1);
+    as.aaddi(A0, A5, 0);
+    as.branz(kxLoop);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop8(u1, u2, u3, du1, du2, du3, a, sig, ny);
+    for (int i = 0; i < uSize; ++i) {
+        kernel.expectF.push_back({ uBase + std::uint64_t(i), u1[i] });
+        kernel.expectF.push_back(
+            { uBase + uSize + std::uint64_t(i), u2[i] });
+        kernel.expectF.push_back(
+            { uBase + 2 * uSize + std::uint64_t(i), u3[i] });
+    }
+    for (int i = 0; i <= ny; ++i) {
+        kernel.expectF.push_back(
+            { duBase + std::uint64_t(i), du1[i] });
+        kernel.expectF.push_back(
+            { duBase + 40 + std::uint64_t(i), du2[i] });
+        kernel.expectF.push_back(
+            { duBase + 80 + std::uint64_t(i), du3[i] });
+    }
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

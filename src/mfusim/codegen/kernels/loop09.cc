@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Livermore Loop 9 — integrate predictors (vectorizable).
+ *
+ *   DO 9 i = 1,n
+ * 9   PX(1,i) = DM28*PX(13,i) + DM27*PX(12,i) + DM26*PX(11,i) +
+ *               DM25*PX(10,i) + DM24*PX( 9,i) + DM23*PX( 8,i) +
+ *               DM22*PX( 7,i) + C0*(PX(5,i) + PX(6,i)) + PX(3,i)
+ *
+ * Each particle row is 13 words; the 8 integration coefficients are
+ * held in T registers.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop09()
+{
+    constexpr int n = 128;
+    constexpr int row = 13;
+    constexpr std::uint64_t pxBase = 0;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[8];
+    kernel.memWords = std::size_t(n) * row + 50;
+
+    const double dm[7] = { 0.22, 0.23, 0.24, 0.25, 0.26, 0.27, 0.28 };
+    constexpr double c0 = 0.5;
+
+    std::vector<double> px(std::size_t(n) * row);
+    for (std::size_t i = 0; i < px.size(); ++i)
+        px[i] = kernelValue(9, i, 0.5, 1.5);
+    for (std::size_t i = 0; i < px.size(); ++i)
+        kernel.initF.push_back({ pxBase + i, px[i] });
+
+    Assembler as;
+    // dm22..dm28 -> T0..T6, c0 -> T7
+    for (int i = 0; i < 7; ++i) {
+        as.sconstf(S1, dm[i]);
+        as.tmovs(regT(unsigned(i)), S1);
+    }
+    as.sconstf(S1, c0);
+    as.tmovs(regT(7), S1);
+
+    as.aconst(A0, n);
+    as.aconst(A1, pxBase);
+
+    const auto loop = as.here();
+    as.loadS(S1, A1, 12);           // px[12]
+    as.smovt(S2, regT(6));          // dm28
+    as.fmul(S1, S2, S1);            // acc
+    for (int col = 11; col >= 6; --col) {
+        as.loadS(S2, A1, col);
+        as.smovt(S3, regT(unsigned(col - 6)));
+        as.fmul(S2, S3, S2);
+        as.fadd(S1, S1, S2);
+    }
+    as.loadS(S2, A1, 4);
+    as.loadS(S3, A1, 5);
+    as.fadd(S2, S2, S3);            // px[4] + px[5]
+    as.smovt(S3, regT(7));          // c0
+    as.fmul(S2, S3, S2);
+    as.fadd(S1, S1, S2);
+    as.loadS(S2, A1, 2);
+    as.fadd(S1, S1, S2);
+    as.storeS(A1, 0, S1);
+    as.aaddi(A1, A1, row);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop9(px, dm, c0, n);
+    for (int i = 0; i < n; ++i) {
+        kernel.expectF.push_back(
+            { pxBase + std::uint64_t(i) * row, px[std::size_t(i) * row] });
+    }
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Livermore Loop 10 — difference predictors (vectorizable).
+ *
+ * Per particle, a chain of nine first differences is pushed through
+ * columns 4..13 of the predictor table:
+ *
+ *   ar = CX(5,i); br = ar - PX(5,i); PX(5,i) = ar
+ *   cr = br - PX(6,i); PX(6,i) = br; ...
+ *   PX(14,i) = cr - PX(13,i); PX(13,i) = cr
+ *
+ * Rows are 14 words; no constants, all work in three rotating S
+ * registers, half the references are stores.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop10()
+{
+    constexpr int n = 128;
+    constexpr int row = 14;
+    constexpr std::uint64_t pxBase = 0;
+    constexpr std::uint64_t cxBase = 2000;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[9];
+    kernel.memWords = 2000 + std::size_t(n) * row + 50;
+
+    std::vector<double> px(std::size_t(n) * row);
+    std::vector<double> cx(std::size_t(n) * row);
+    for (std::size_t i = 0; i < px.size(); ++i) {
+        px[i] = kernelValue(10, i, 0.5, 1.5);
+        cx[i] = kernelValue(10, 10000 + i, 0.5, 1.5);
+    }
+    for (std::size_t i = 0; i < px.size(); ++i) {
+        kernel.initF.push_back({ pxBase + i, px[i] });
+        kernel.initF.push_back({ cxBase + i, cx[i] });
+    }
+
+    Assembler as;
+    as.aconst(A0, n);
+    as.aconst(A1, pxBase);
+    as.aconst(A2, cxBase);
+
+    const auto loop = as.here();
+    as.loadS(S1, A2, 4);            // ar = cx[4]
+    as.loadS(S2, A1, 4);
+    as.fsub(S3, S1, S2);            // br = ar - px[4]
+    as.storeS(A1, 4, S1);           // px[4] = ar
+    as.loadS(S2, A1, 5);
+    as.fsub(S1, S3, S2);            // cr = br - px[5]
+    as.storeS(A1, 5, S3);           // px[5] = br
+    as.loadS(S2, A1, 6);
+    as.fsub(S3, S1, S2);            // ar = cr - px[6]
+    as.storeS(A1, 6, S1);           // px[6] = cr
+    as.loadS(S2, A1, 7);
+    as.fsub(S1, S3, S2);            // br = ar - px[7]
+    as.storeS(A1, 7, S3);           // px[7] = ar
+    as.loadS(S2, A1, 8);
+    as.fsub(S3, S1, S2);            // cr = br - px[8]
+    as.storeS(A1, 8, S1);           // px[8] = br
+    as.loadS(S2, A1, 9);
+    as.fsub(S1, S3, S2);            // ar = cr - px[9]
+    as.storeS(A1, 9, S3);           // px[9] = cr
+    as.loadS(S2, A1, 10);
+    as.fsub(S3, S1, S2);            // br = ar - px[10]
+    as.storeS(A1, 10, S1);          // px[10] = ar
+    as.loadS(S2, A1, 11);
+    as.fsub(S1, S3, S2);            // cr = br - px[11]
+    as.storeS(A1, 11, S3);          // px[11] = br
+    as.loadS(S2, A1, 12);
+    as.fsub(S3, S1, S2);            // px[13] value = cr - px[12]
+    as.storeS(A1, 13, S3);
+    as.storeS(A1, 12, S1);          // px[12] = cr
+    as.aaddi(A1, A1, row);
+    as.aaddi(A2, A2, row);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop10(px, cx, n);
+    for (std::size_t i = 0; i < px.size(); ++i)
+        kernel.expectF.push_back({ pxBase + i, px[i] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

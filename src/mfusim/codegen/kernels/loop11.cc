@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Livermore Loop 11 — first sum (scalar: a prefix-sum recurrence).
+ *
+ *   DO 11 k = 2,n
+ * 11  X(k) = X(k-1) + Y(k)
+ *
+ * The running sum is carried in S1; each iteration is one load, one
+ * floating add, and one store plus loop overhead.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop11()
+{
+    constexpr int n = 400;
+    constexpr std::uint64_t xBase = 0;
+    constexpr std::uint64_t yBase = 500;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[10];
+    kernel.memWords = 1000;
+
+    std::vector<double> x(n, 0.0), y(n);
+    x[0] = kernelValue(11, 0, 0.5, 1.5);
+    for (int k = 0; k < n; ++k)
+        y[k] = kernelValue(11, 1000 + std::uint64_t(k), 0.5, 1.5);
+
+    kernel.initF.push_back({ xBase, x[0] });
+    for (int k = 0; k < n; ++k)
+        kernel.initF.push_back({ yBase + std::uint64_t(k), y[k] });
+
+    Assembler as;
+    as.aconst(A0, n - 1);
+    as.aconst(A1, xBase + 1);   // &x[k]
+    as.aconst(A2, yBase + 1);   // &y[k]
+    as.aconst(A3, xBase);
+    as.loadS(S1, A3, 0);        // x[0] carried
+
+    const auto loop = as.here();
+    as.loadS(S2, A2, 0);        // y[k]
+    as.fadd(S1, S1, S2);        // x[k] = x[k-1] + y[k]
+    as.storeS(A1, 0, S1);
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A2, A2, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop11(x, y, n);
+    for (int k = 0; k < n; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Livermore Loop 12 — first difference (vectorizable).
+ *
+ *   DO 12 k = 1,n
+ * 12  X(k) = Y(k+1) - Y(k)
+ *
+ * Fully parallel: every iteration is independent.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop12()
+{
+    constexpr int n = 400;
+    constexpr std::uint64_t xBase = 0;
+    constexpr std::uint64_t yBase = 500;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[11];
+    kernel.memWords = 1000;
+
+    std::vector<double> x(n, 0.0), y(n + 1);
+    for (int k = 0; k < n + 1; ++k)
+        y[k] = kernelValue(12, std::uint64_t(k), 0.5, 1.5);
+    for (int k = 0; k < n + 1; ++k)
+        kernel.initF.push_back({ yBase + std::uint64_t(k), y[k] });
+
+    Assembler as;
+    as.aconst(A0, n);
+    as.aconst(A1, xBase);
+    as.aconst(A2, yBase);
+
+    const auto loop = as.here();
+    as.loadS(S1, A2, 1);        // y[k+1]
+    as.loadS(S2, A2, 0);        // y[k]
+    as.fsub(S1, S1, S2);
+    as.storeS(A1, 0, S1);
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A2, A2, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop12(x, y, n);
+    for (int k = 0; k < n; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Livermore Loop 13 — 2-D particle in cell (scalar).
+ *
+ * Per particle: locate its grid cell from its float coordinates,
+ * gather field values (b, c), advance velocity and position, gather
+ * again with the moved position (y, z tables and the e, f index
+ * grids), and scatter a count into the h grid.  Heavy on
+ * float->int conversion, masking, and computed addressing — the
+ * paper's canonical hard-to-vectorize loop.
+ *
+ * mfusim adaptation (documented in DESIGN.md): 32x32 grids instead
+ * of 64x64, e/f stored as integer grids, and an explicit &31 wrap
+ * after the e/f index increments so synthetic field data can never
+ * index out of bounds.  The C++ reference implements the identical
+ * adapted recurrence.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop13()
+{
+    constexpr int n = 128;
+    constexpr int gridWords = 32 * 32;
+    constexpr std::uint64_t pBase = 0;          // [n][4]
+    constexpr std::uint64_t gBase = 1000;       // b,c,e,f,h contiguous
+    constexpr std::int64_t cOff = 1024;
+    constexpr std::int64_t eOff = 2048;
+    constexpr std::int64_t fOff = 3072;
+    constexpr std::int64_t hOff = 4096;
+    constexpr std::uint64_t yzBase = 6200;      // y[64] then z[64]
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[12];
+    kernel.memWords = 6500;
+
+    std::vector<double> p(std::size_t(n) * 4);
+    std::vector<double> b(gridWords), c(gridWords), h(gridWords, 0.0);
+    std::vector<std::int64_t> e(gridWords), f(gridWords);
+    std::vector<double> yz(128);
+    for (int ip = 0; ip < n; ++ip) {
+        p[std::size_t(ip) * 4 + 0] =
+            kernelValue(13, std::uint64_t(ip), 1.0, 30.0);
+        p[std::size_t(ip) * 4 + 1] =
+            kernelValue(13, 500 + std::uint64_t(ip), 1.0, 30.0);
+        p[std::size_t(ip) * 4 + 2] =
+            kernelValue(13, 1000 + std::uint64_t(ip), 0.0, 1.0);
+        p[std::size_t(ip) * 4 + 3] =
+            kernelValue(13, 1500 + std::uint64_t(ip), 0.0, 1.0);
+    }
+    for (int i = 0; i < gridWords; ++i) {
+        b[i] = kernelValue(13, 2000 + std::uint64_t(i), 0.0, 0.5);
+        c[i] = kernelValue(13, 4000 + std::uint64_t(i), 0.0, 0.5);
+        e[i] = std::int64_t(kernelValue(13, 6000 + std::uint64_t(i),
+                                        0.0, 4.0));
+        f[i] = std::int64_t(kernelValue(13, 8000 + std::uint64_t(i),
+                                        0.0, 4.0));
+    }
+    for (int i = 0; i < 128; ++i)
+        yz[i] = kernelValue(13, 10000 + std::uint64_t(i), 0.0, 0.9);
+
+    for (std::size_t i = 0; i < p.size(); ++i)
+        kernel.initF.push_back({ pBase + i, p[i] });
+    for (int i = 0; i < gridWords; ++i) {
+        kernel.initF.push_back({ gBase + std::uint64_t(i), b[i] });
+        kernel.initF.push_back(
+            { gBase + std::uint64_t(cOff + i), c[i] });
+        kernel.initI.push_back(
+            { gBase + std::uint64_t(eOff + i), e[i] });
+        kernel.initI.push_back(
+            { gBase + std::uint64_t(fOff + i), f[i] });
+    }
+    for (int i = 0; i < 128; ++i)
+        kernel.initF.push_back({ yzBase + std::uint64_t(i), yz[i] });
+
+    Assembler as;
+    as.aconst(A0, n);
+    as.aconst(A1, pBase);           // &p[ip][0], stride 4
+    as.aconst(A3, gBase);           // grid block base
+    as.aconst(A5, yzBase + 32);     // y offset base
+    as.sconsti(S7, 31);             // wrap mask
+    as.sconstf(S1, 1.0);
+    as.tmovs(regT(0), S1);
+
+    const auto loop = as.here();
+    as.loadS(S1, A1, 0);            // px
+    as.sfix(S1, S1);
+    as.sand_(S1, S1, S7);           // i1
+    as.loadS(S2, A1, 1);            // py
+    as.sfix(S2, S2);
+    as.sand_(S2, S2, S7);           // j1
+    as.sshl(S3, S2, 5);             // j1*32
+    as.sadd(S3, S3, S1);            // cell index
+    as.amovs(A4, S3);
+    as.aadd(A4, A3, A4);            // &b[j1][i1]
+    as.loadS(S4, A4, 0);            // b
+    as.loadS(S5, A1, 2);            // vx
+    as.fadd(S5, S5, S4);
+    as.storeS(A1, 2, S5);           // p[ip][2] (S5 = vx')
+    as.loadS(S4, A4, cOff);         // c
+    as.loadS(S3, A1, 3);            // vy
+    as.fadd(S3, S3, S4);
+    as.storeS(A1, 3, S3);           // p[ip][3] (S3 = vy')
+    as.loadS(S1, A1, 0);
+    as.fadd(S1, S1, S5);            // px += vx'
+    as.loadS(S2, A1, 1);
+    as.fadd(S2, S2, S3);            // py += vy'
+    as.sfix(S4, S1);
+    as.sand_(S4, S4, S7);           // i2
+    as.sfix(S3, S2);
+    as.sand_(S3, S3, S7);           // j2
+    as.amovs(A4, S4);
+    as.aadd(A6, A5, A4);
+    as.loadS(S5, A6, 0);            // y[i2+32]
+    as.fadd(S1, S1, S5);
+    as.storeS(A1, 0, S1);           // p[ip][0]
+    as.amovs(A4, S3);
+    as.aadd(A6, A5, A4);
+    as.loadS(S5, A6, 64);           // z[j2+32]
+    as.fadd(S2, S2, S5);
+    as.storeS(A1, 1, S2);           // p[ip][1]
+    as.sshl(S5, S3, 5);             // j2*32
+    as.sadd(S6, S5, S4);
+    as.amovs(A4, S6);
+    as.aadd(A6, A3, A4);
+    as.loadS(S6, A6, eOff);         // e[j2][i2]
+    as.sadd(S4, S4, S6);
+    as.sand_(S4, S4, S7);           // i2 wrapped
+    as.sadd(S6, S5, S4);            // j2*32 + new i2
+    as.amovs(A4, S6);
+    as.aadd(A6, A3, A4);
+    as.loadS(S6, A6, fOff);         // f[j2][i2]
+    as.sadd(S3, S3, S6);
+    as.sand_(S3, S3, S7);           // j2 wrapped
+    as.sshl(S5, S3, 5);
+    as.sadd(S6, S5, S4);
+    as.amovs(A4, S6);
+    as.aadd(A6, A3, A4);
+    as.loadS(S5, A6, hOff);         // h[j2][i2]
+    as.smovt(S6, regT(0));
+    as.fadd(S5, S5, S6);
+    as.storeS(A6, hOff, S5);
+    as.aaddi(A1, A1, 4);
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop13(p, b, c, h, e, f, yz, n);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        kernel.expectF.push_back({ pBase + i, p[i] });
+    for (int i = 0; i < gridWords; ++i) {
+        kernel.expectF.push_back(
+            { gBase + std::uint64_t(hOff + i), h[i] });
+    }
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Livermore Loop 14 — 1-D particle in cell (scalar).
+ *
+ * Three passes over the particles: (A) locate each particle's cell
+ * and gather the field (ex, dex) at that cell; (B) advance velocity
+ * and position, split the position into cell number and remainder
+ * with fix/float conversions and a 2047 wrap mask; (C) scatter the
+ * charge into the density array rh with two read-modify-write
+ * updates per particle.
+ */
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace kernels
+{
+
+Kernel
+buildLoop14()
+{
+    constexpr int n = 128;
+    constexpr int nCells = 512;
+    // Contiguous per-particle arrays, addressed from one walking
+    // pointer with displacement multiples of n.
+    constexpr std::uint64_t grdBase = 0;
+    constexpr std::int64_t vxOff = n;
+    constexpr std::int64_t xxOff = 2 * n;
+    constexpr std::int64_t ixOff = 3 * n;
+    constexpr std::int64_t xiOff = 4 * n;
+    constexpr std::int64_t ex1Off = 5 * n;
+    constexpr std::int64_t dex1Off = 6 * n;
+    constexpr std::int64_t irOff = 7 * n;
+    constexpr std::int64_t rxOff = 8 * n;
+    constexpr std::uint64_t exBase = 1200;      // ex, then dex at +512
+    constexpr std::uint64_t rhBase = 2300;      // 2050 entries
+    constexpr double flx = 1.5;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[13];
+    kernel.memWords = 4500;
+
+    std::vector<double> grd(n), ex(nCells), dex(nCells);
+    std::vector<double> vx(n, 0.0), xx(n, 0.0), rx(n, 0.0);
+    std::vector<std::int64_t> ir(n, 0);
+    std::vector<double> rh(2050, 0.0);
+    for (int k = 0; k < n; ++k)
+        grd[k] = kernelValue(14, std::uint64_t(k), 2.0, 510.0);
+    for (int i = 0; i < nCells; ++i) {
+        ex[i] = kernelValue(14, 1000 + std::uint64_t(i), 0.0, 1.0);
+        dex[i] = kernelValue(14, 3000 + std::uint64_t(i), 0.0, 0.01);
+    }
+
+    for (int k = 0; k < n; ++k)
+        kernel.initF.push_back({ grdBase + std::uint64_t(k), grd[k] });
+    for (int i = 0; i < nCells; ++i) {
+        kernel.initF.push_back({ exBase + std::uint64_t(i), ex[i] });
+        kernel.initF.push_back(
+            { exBase + nCells + std::uint64_t(i), dex[i] });
+    }
+
+    Assembler as;
+    as.aconst(A3, exBase);
+    as.aconst(A6, rhBase);
+    as.sconstf(S1, flx);
+    as.tmovs(regT(0), S1);
+    as.sconstf(S1, 1.0);
+    as.tmovs(regT(1), S1);
+    as.sconsti(S5, 0);
+    as.sconsti(S6, 1);
+    as.sconsti(S7, 2047);
+
+    // ---- pass A: gather field at each particle's cell ------------
+    as.aconst(A0, n);
+    as.aconst(A1, grdBase);
+    const auto passA = as.here();
+    as.loadS(S1, A1, 0);            // grd[k]
+    as.sfix(S2, S1);                // ix
+    as.storeS(A1, ixOff, S2);
+    as.sfloat(S3, S2);              // xi
+    as.storeS(A1, xiOff, S3);
+    as.amovs(A4, S2);
+    as.aadd(A4, A3, A4);            // &ex[ix]
+    as.loadS(S4, A4, -1);           // ex[ix-1]
+    as.storeS(A1, ex1Off, S4);
+    as.loadS(S4, A4, nCells - 1);   // dex[ix-1]
+    as.storeS(A1, dex1Off, S4);
+    as.storeS(A1, vxOff, S5);       // vx = 0
+    as.storeS(A1, xxOff, S5);       // xx = 0
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(passA);
+
+    // ---- pass B: advance particles ---------------------------------
+    as.aconst(A0, n);
+    as.aconst(A1, grdBase);
+    const auto passB = as.here();
+    as.loadS(S1, A1, xxOff);        // xx
+    as.loadS(S2, A1, xiOff);        // xi
+    as.fsub(S1, S1, S2);
+    as.loadS(S2, A1, dex1Off);
+    as.fmul(S1, S1, S2);            // (xx-xi)*dex1
+    as.loadS(S2, A1, ex1Off);
+    as.fadd(S1, S2, S1);            // ex1 + ...
+    as.loadS(S2, A1, vxOff);
+    as.fadd(S2, S2, S1);            // vx'
+    as.storeS(A1, vxOff, S2);
+    as.loadS(S1, A1, xxOff);
+    as.fadd(S1, S1, S2);            // xx + vx'
+    as.smovt(S3, regT(0));
+    as.fadd(S1, S1, S3);            // + flx
+    as.sfix(S2, S1);                // i
+    as.sfloat(S3, S2);
+    as.fsub(S3, S1, S3);            // rx = xx - i
+    as.storeS(A1, rxOff, S3);
+    as.sand_(S2, S2, S7);
+    as.sadd(S2, S2, S6);            // ir = (i & 2047) + 1
+    as.storeS(A1, irOff, S2);
+    as.sfloat(S4, S2);
+    as.fadd(S3, S3, S4);            // xx = rx + ir
+    as.storeS(A1, xxOff, S3);
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(passB);
+
+    // ---- pass C: scatter charge ------------------------------------
+    as.aconst(A0, n);
+    as.aconst(A1, grdBase);
+    const auto passC = as.here();
+    as.loadS(S1, A1, irOff);        // ir
+    as.loadS(S2, A1, rxOff);        // rx
+    as.amovs(A4, S1);
+    as.aadd(A4, A6, A4);            // &rh[ir]
+    as.loadS(S3, A4, -1);
+    as.smovt(S4, regT(1));          // 1.0
+    as.fsub(S4, S4, S2);            // 1 - rx
+    as.fadd(S3, S3, S4);
+    as.storeS(A4, -1, S3);          // rh[ir-1]
+    as.loadS(S3, A4, 0);
+    as.fadd(S3, S3, S2);
+    as.storeS(A4, 0, S3);           // rh[ir]
+    as.aaddi(A1, A1, 1);
+    as.aaddi(A0, A0, -1);
+    as.branz(passC);
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop14(grd, ex, dex, vx, xx, ir, rx, rh, flx, n);
+    for (int k = 0; k < n; ++k) {
+        kernel.expectF.push_back(
+            { grdBase + std::uint64_t(vxOff + k), vx[k] });
+        kernel.expectF.push_back(
+            { grdBase + std::uint64_t(xxOff + k), xx[k] });
+        kernel.expectF.push_back(
+            { grdBase + std::uint64_t(rxOff + k), rx[k] });
+        kernel.expectI.push_back(
+            { grdBase + std::uint64_t(irOff + k), ir[k] });
+    }
+    for (std::size_t i = 0; i < rh.size(); ++i)
+        kernel.expectF.push_back({ rhBase + i, rh[i] });
+
+    return kernel;
+}
+
+} // namespace kernels
+} // namespace mfusim

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Vectorized variants of Livermore loops 1, 7 and 12 (extension).
+ *
+ * The paper classifies nine loops as "vectorizable" but studies only
+ * their scalar compilations — its subject is the scalar issue
+ * logic.  These variants compile three of them the way CFT actually
+ * would on a CRAY-1: strip-mined into 64-element vector operations
+ * with a VL'd tail strip, constants kept in S registers and applied
+ * with scalar-vector forms.  Elementwise computation and FP order
+ * match the scalar kernels, so the same C++ references validate the
+ * results.
+ *
+ * Strip loop idiom (n need not divide 64):
+ *
+ *   A5 = n
+ * strip:
+ *   A0 = A5 - 64;  if (A0 >= 0) VL = 64 else VL = A5
+ *   ... vector body (pointers advanced by 64) ...
+ *   A5 -= 64;  A0 = A5 - 1;  if (A0 >= 0) goto strip
+ */
+
+#include <stdexcept>
+
+#include "mfusim/codegen/kernels/kernels.hh"
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+
+namespace
+{
+
+constexpr RegId V1 = regV(1);
+constexpr RegId V2 = regV(2);
+constexpr RegId V3 = regV(3);
+constexpr RegId V4 = regV(4);
+
+/**
+ * Emit the strip-mining prologue: selects VL for this strip.
+ * Expects A5 = remaining elements, A6 = 64.
+ */
+void
+emitSelectVl(Assembler &as)
+{
+    const auto full = as.newLabel();
+    const auto go = as.newLabel();
+    as.asub(A0, A5, A6);        // remaining - 64
+    as.brap(full);
+    as.vsetlen(A5);             // tail strip
+    as.jump(go);
+    as.bind(full);
+    as.vsetlen(A6);             // full 64-element strip
+    as.bind(go);
+}
+
+/** Emit the strip-mining epilogue; @p strip is the loop head. */
+void
+emitStripAdvance(Assembler &as, Assembler::Label strip,
+                 std::initializer_list<RegId> pointers)
+{
+    for (const RegId ptr : pointers)
+        as.aadd(ptr, ptr, A6);
+    as.asub(A5, A5, A6);
+    as.aaddi(A0, A5, -1);
+    as.brap(strip);             // continue while remaining >= 1
+}
+
+Kernel
+buildVectorLoop01()
+{
+    constexpr int n = 400;
+    constexpr std::uint64_t xBase = 0;
+    constexpr std::uint64_t yBase = 500;
+    constexpr std::uint64_t zBase = 1000;
+    constexpr double q = 0.5;
+    constexpr double r = 0.25;
+    constexpr double t = 0.35;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[0];
+    kernel.memWords = 1500;
+
+    std::vector<double> x(n, 0.0), y(n), z(n + 11);
+    for (int k = 0; k < n; ++k)
+        y[k] = kernelValue(1, std::uint64_t(k), 0.5, 1.5);
+    for (int k = 0; k < n + 11; ++k)
+        z[k] = kernelValue(1, 1000 + std::uint64_t(k), 0.5, 1.5);
+    for (int k = 0; k < n; ++k)
+        kernel.initF.push_back({ yBase + std::uint64_t(k), y[k] });
+    for (int k = 0; k < n + 11; ++k)
+        kernel.initF.push_back({ zBase + std::uint64_t(k), z[k] });
+
+    Assembler as;
+    as.aconst(A1, xBase);
+    as.aconst(A2, yBase);
+    as.aconst(A3, zBase);
+    as.aconst(A5, n);
+    as.aconst(A6, 64);
+    as.sconstf(S5, q);
+    as.sconstf(S6, r);
+    as.sconstf(S7, t);
+
+    const auto strip = as.here();
+    emitSelectVl(as);
+    as.vload(V1, A2, 1);            // y[k..]
+    as.aaddi(A7, A3, 10);
+    as.vload(V2, A7, 1);            // z[k+10..]
+    as.aaddi(A7, A3, 11);
+    as.vload(V3, A7, 1);            // z[k+11..]
+    as.vfmulsv(V2, S6, V2);         // r*z[k+10]
+    as.vfmulsv(V3, S7, V3);         // t*z[k+11]
+    as.vfadd(V2, V2, V3);
+    as.vfmul(V1, V1, V2);
+    as.vfaddsv(V1, S5, V1);         // q + ...
+    as.vstore(A1, 1, V1);
+    emitStripAdvance(as, strip, { A1, A2, A3 });
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop1(x, y, z, q, r, t, n);
+    for (int k = 0; k < n; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+    return kernel;
+}
+
+Kernel
+buildVectorLoop07()
+{
+    constexpr int n = 256;
+    constexpr std::uint64_t xBase = 0;
+    constexpr std::uint64_t uBase = 300;
+    constexpr std::uint64_t zBase = 600;
+    constexpr std::uint64_t yBase = 900;
+    constexpr double q = 0.5;
+    constexpr double r = 0.375;
+    constexpr double t = 0.25;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[6];
+    kernel.memWords = 1200;
+
+    std::vector<double> x(n, 0.0), u(n + 6), z(n), y(n);
+    for (int k = 0; k < n + 6; ++k)
+        u[k] = kernelValue(7, std::uint64_t(k), 0.5, 1.5);
+    for (int k = 0; k < n; ++k) {
+        z[k] = kernelValue(7, 1000 + std::uint64_t(k), 0.5, 1.5);
+        y[k] = kernelValue(7, 2000 + std::uint64_t(k), 0.5, 1.5);
+    }
+    for (int k = 0; k < n + 6; ++k)
+        kernel.initF.push_back({ uBase + std::uint64_t(k), u[k] });
+    for (int k = 0; k < n; ++k) {
+        kernel.initF.push_back({ zBase + std::uint64_t(k), z[k] });
+        kernel.initF.push_back({ yBase + std::uint64_t(k), y[k] });
+    }
+
+    Assembler as;
+    as.aconst(A1, xBase);
+    as.aconst(A2, uBase);
+    as.aconst(A3, zBase);
+    as.aconst(A4, yBase);
+    as.aconst(A5, n);
+    as.aconst(A6, 64);
+    as.sconstf(S5, r);
+    as.sconstf(S6, t);
+    as.sconstf(S7, q);
+
+    const auto uload = [&as](RegId v, int off) {
+        as.aaddi(A7, A2, off);
+        as.vload(v, A7, 1);
+    };
+
+    const auto strip = as.here();
+    emitSelectVl(as);
+    as.vload(V1, A4, 1);            // y
+    as.vload(V2, A3, 1);            // z
+    as.vfmulsv(V1, S5, V1);         // r*y
+    as.vfadd(V1, V2, V1);           // z + r*y
+    as.vfmulsv(V1, S5, V1);         // r*(z + r*y)
+    as.vload(V2, A2, 1);            // u[k]
+    as.vfadd(V1, V2, V1);           // u[k] + ...
+    uload(V2, 1);                   // u[k+1]
+    as.vfmulsv(V2, S5, V2);
+    uload(V3, 2);                   // u[k+2]
+    as.vfadd(V2, V3, V2);
+    as.vfmulsv(V2, S5, V2);
+    uload(V3, 3);                   // u[k+3]
+    as.vfadd(V2, V3, V2);
+    uload(V3, 4);                   // u[k+4]
+    as.vfmulsv(V3, S7, V3);
+    uload(V4, 5);                   // u[k+5]
+    as.vfadd(V3, V4, V3);
+    as.vfmulsv(V3, S7, V3);
+    uload(V4, 6);                   // u[k+6]
+    as.vfadd(V3, V4, V3);
+    as.vfmulsv(V3, S6, V3);         // t*(...)
+    as.vfadd(V2, V2, V3);
+    as.vfmulsv(V2, S6, V2);         // t*(...)
+    as.vfadd(V1, V1, V2);
+    as.vstore(A1, 1, V1);
+    emitStripAdvance(as, strip, { A1, A2, A3, A4 });
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop7(x, y, z, u, q, r, t, n);
+    for (int k = 0; k < n; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+    return kernel;
+}
+
+Kernel
+buildVectorLoop12()
+{
+    constexpr int n = 400;
+    constexpr std::uint64_t xBase = 0;
+    constexpr std::uint64_t yBase = 500;
+
+    Kernel kernel;
+    kernel.spec = kernelSpecs()[11];
+    kernel.memWords = 1000;
+
+    std::vector<double> x(n, 0.0), y(n + 1);
+    for (int k = 0; k < n + 1; ++k)
+        y[k] = kernelValue(12, std::uint64_t(k), 0.5, 1.5);
+    for (int k = 0; k < n + 1; ++k)
+        kernel.initF.push_back({ yBase + std::uint64_t(k), y[k] });
+
+    Assembler as;
+    as.aconst(A1, xBase);
+    as.aconst(A2, yBase);
+    as.aconst(A5, n);
+    as.aconst(A6, 64);
+
+    const auto strip = as.here();
+    emitSelectVl(as);
+    as.aaddi(A7, A2, 1);
+    as.vload(V1, A7, 1);            // y[k+1..]
+    as.vload(V2, A2, 1);            // y[k..]
+    as.vfsub(V1, V1, V2);
+    as.vstore(A1, 1, V1);
+    emitStripAdvance(as, strip, { A1, A2 });
+    as.halt();
+    kernel.program = as.finish();
+
+    ref::loop12(x, y, n);
+    for (int k = 0; k < n; ++k)
+        kernel.expectF.push_back({ xBase + std::uint64_t(k), x[k] });
+    return kernel;
+}
+
+} // namespace
+
+const std::vector<int> &
+vectorizedLoopIds()
+{
+    static const std::vector<int> ids = { 1, 7, 12 };
+    return ids;
+}
+
+Kernel
+buildVectorizedKernel(int id)
+{
+    switch (id) {
+      case 1:
+        return buildVectorLoop01();
+      case 7:
+        return buildVectorLoop07();
+      case 12:
+        return buildVectorLoop12();
+      default:
+        throw std::invalid_argument(
+            "buildVectorizedKernel: loop " + std::to_string(id) +
+            " has no vectorized variant (use 1, 7 or 12)");
+    }
+}
+
+} // namespace mfusim

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Reference kernel implementations.
+ */
+
+#include "mfusim/codegen/reference_kernels.hh"
+
+namespace mfusim
+{
+namespace ref
+{
+
+double
+refDiv(double num, double den)
+{
+    const double r0 = 1.0 / den;
+    const double corr = 2.0 - den * r0;
+    const double r1 = r0 * corr;
+    return num * r1;
+}
+
+void
+loop1(std::vector<double> &x, const std::vector<double> &y,
+      const std::vector<double> &z, double q, double r, double t, int n)
+{
+    for (int k = 0; k < n; ++k)
+        x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+}
+
+void
+loop2(std::vector<double> &x, const std::vector<double> &v, int n)
+{
+    int ii = n;
+    int ipntp = 0;
+    do {
+        const int ipnt = ipntp;
+        ipntp += ii;
+        ii /= 2;
+        int i = ipntp - 1;
+        for (int k = ipnt + 1; k < ipntp; k += 2) {
+            ++i;
+            x[i] = (x[k] - v[k] * x[k - 1]) - v[k + 1] * x[k + 1];
+        }
+    } while (ii > 1);
+}
+
+double
+loop3(const std::vector<double> &z, const std::vector<double> &x, int n)
+{
+    double q = 0.0;
+    for (int k = 0; k < n; ++k)
+        q += z[k] * x[k];
+    return q;
+}
+
+void
+loop4(std::vector<double> &x, const std::vector<double> &y, int n, int m)
+{
+    for (int k = 6; k < n; k += m) {
+        int lw = k - 6;
+        double temp = x[k - 1];
+        for (int j = 4; j < n; j += 5) {
+            temp -= x[lw] * y[j];
+            ++lw;
+        }
+        x[k - 1] = y[4] * temp;
+    }
+}
+
+void
+loop5(std::vector<double> &x, const std::vector<double> &y,
+      const std::vector<double> &z, int n)
+{
+    for (int i = 1; i < n; ++i)
+        x[i] = z[i] * (y[i] - x[i - 1]);
+}
+
+void
+loop6(std::vector<double> &w, const std::vector<double> &b, int n)
+{
+    for (int i = 1; i < n; ++i) {
+        double s = 0.01;
+        for (int k = 0; k < i; ++k)
+            s += b[std::size_t(k) * n + i] * w[(i - k) - 1];
+        w[i] = s;
+    }
+}
+
+void
+loop7(std::vector<double> &x, const std::vector<double> &y,
+      const std::vector<double> &z, const std::vector<double> &u,
+      double q, double r, double t, int n)
+{
+    for (int k = 0; k < n; ++k) {
+        x[k] = (u[k] + r * (z[k] + r * y[k])) +
+            t * ((u[k + 3] + r * (u[k + 2] + r * u[k + 1])) +
+                 t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+    }
+}
+
+void
+loop8(std::vector<double> &u1, std::vector<double> &u2,
+      std::vector<double> &u3, std::vector<double> &du1,
+      std::vector<double> &du2, std::vector<double> &du3,
+      const double a[9], double sig, int ny)
+{
+    const int row = 5;
+    const int plane = (ny + 1) * row;
+    const auto at = [&](int l, int ky, int kx) {
+        return std::size_t(l * plane + ky * row + kx);
+    };
+    const int nl1 = 0, nl2 = 1;
+    const double a11 = a[0], a12 = a[1], a13 = a[2];
+    const double a21 = a[3], a22 = a[4], a23 = a[5];
+    const double a31 = a[6], a32 = a[7], a33 = a[8];
+
+    for (int kx = 1; kx < 3; ++kx) {
+        for (int ky = 1; ky < ny; ++ky) {
+            du1[ky] = u1[at(nl1, ky + 1, kx)] - u1[at(nl1, ky - 1, kx)];
+            du2[ky] = u2[at(nl1, ky + 1, kx)] - u2[at(nl1, ky - 1, kx)];
+            du3[ky] = u3[at(nl1, ky + 1, kx)] - u3[at(nl1, ky - 1, kx)];
+            u1[at(nl2, ky, kx)] =
+                (((u1[at(nl1, ky, kx)] + a11 * du1[ky]) + a12 * du2[ky]) +
+                 a13 * du3[ky]) +
+                sig * ((u1[at(nl1, ky, kx + 1)] -
+                        2.0 * u1[at(nl1, ky, kx)]) +
+                       u1[at(nl1, ky, kx - 1)]);
+            u2[at(nl2, ky, kx)] =
+                (((u2[at(nl1, ky, kx)] + a21 * du1[ky]) + a22 * du2[ky]) +
+                 a23 * du3[ky]) +
+                sig * ((u2[at(nl1, ky, kx + 1)] -
+                        2.0 * u2[at(nl1, ky, kx)]) +
+                       u2[at(nl1, ky, kx - 1)]);
+            u3[at(nl2, ky, kx)] =
+                (((u3[at(nl1, ky, kx)] + a31 * du1[ky]) + a32 * du2[ky]) +
+                 a33 * du3[ky]) +
+                sig * ((u3[at(nl1, ky, kx + 1)] -
+                        2.0 * u3[at(nl1, ky, kx)]) +
+                       u3[at(nl1, ky, kx - 1)]);
+        }
+    }
+}
+
+void
+loop9(std::vector<double> &px, const double dm[7], double c0, int n)
+{
+    const int row = 13;
+    for (int i = 0; i < n; ++i) {
+        double *p = &px[std::size_t(i) * row];
+        double acc = dm[6] * p[12];         // dm28 * px[12]
+        acc += dm[5] * p[11];
+        acc += dm[4] * p[10];
+        acc += dm[3] * p[9];
+        acc += dm[2] * p[8];
+        acc += dm[1] * p[7];
+        acc += dm[0] * p[6];
+        acc += c0 * (p[4] + p[5]);
+        acc += p[2];
+        p[0] = acc;
+    }
+}
+
+void
+loop10(std::vector<double> &px, const std::vector<double> &cx, int n)
+{
+    const int row = 14;
+    for (int i = 0; i < n; ++i) {
+        double *p = &px[std::size_t(i) * row];
+        const double *c = &cx[std::size_t(i) * row];
+        double ar = c[4];
+        double br = ar - p[4];
+        p[4] = ar;
+        double cr = br - p[5];
+        p[5] = br;
+        ar = cr - p[6];
+        p[6] = cr;
+        br = ar - p[7];
+        p[7] = ar;
+        cr = br - p[8];
+        p[8] = br;
+        ar = cr - p[9];
+        p[9] = cr;
+        br = ar - p[10];
+        p[10] = ar;
+        cr = br - p[11];
+        p[11] = br;
+        p[13] = cr - p[12];
+        p[12] = cr;
+    }
+}
+
+void
+loop11(std::vector<double> &x, const std::vector<double> &y, int n)
+{
+    for (int k = 1; k < n; ++k)
+        x[k] = x[k - 1] + y[k];
+}
+
+void
+loop12(std::vector<double> &x, const std::vector<double> &y, int n)
+{
+    for (int k = 0; k < n; ++k)
+        x[k] = y[k + 1] - y[k];
+}
+
+void
+loop13(std::vector<double> &p, const std::vector<double> &b,
+       const std::vector<double> &c, std::vector<double> &h,
+       const std::vector<std::int64_t> &e,
+       const std::vector<std::int64_t> &f,
+       const std::vector<double> &yz, int n)
+{
+    const std::int64_t mask = 31;
+    for (int ip = 0; ip < n; ++ip) {
+        double *pp = &p[std::size_t(ip) * 4];
+        std::int64_t i1 = std::int64_t(pp[0]) & mask;
+        std::int64_t j1 = std::int64_t(pp[1]) & mask;
+        pp[2] += b[std::size_t(j1 * 32 + i1)];
+        pp[3] += c[std::size_t(j1 * 32 + i1)];
+        pp[0] += pp[2];
+        pp[1] += pp[3];
+        std::int64_t i2 = std::int64_t(pp[0]) & mask;
+        std::int64_t j2 = std::int64_t(pp[1]) & mask;
+        pp[0] += yz[std::size_t(i2 + 32)];          // y half
+        pp[1] += yz[std::size_t(j2 + 32 + 64)];     // z half
+        i2 = (i2 + e[std::size_t(j2 * 32 + i2)]) & mask;
+        j2 = (j2 + f[std::size_t(j2 * 32 + i2)]) & mask;
+        h[std::size_t(j2 * 32 + i2)] += 1.0;
+    }
+}
+
+void
+loop14(const std::vector<double> &grd, const std::vector<double> &ex,
+       const std::vector<double> &dex, std::vector<double> &vx,
+       std::vector<double> &xx, std::vector<std::int64_t> &ir,
+       std::vector<double> &rx, std::vector<double> &rh, double flx,
+       int n)
+{
+    std::vector<std::int64_t> ix(std::size_t(n), 0);
+    std::vector<double> xi(std::size_t(n), 0.0);
+    std::vector<double> ex1(std::size_t(n), 0.0);
+    std::vector<double> dex1(std::size_t(n), 0.0);
+
+    for (int k = 0; k < n; ++k) {
+        vx[k] = 0.0;
+        xx[k] = 0.0;
+        ix[k] = std::int64_t(grd[k]);
+        xi[k] = double(ix[k]);
+        ex1[k] = ex[std::size_t(ix[k] - 1)];
+        dex1[k] = dex[std::size_t(ix[k] - 1)];
+    }
+    for (int k = 0; k < n; ++k) {
+        vx[k] = vx[k] + (ex1[k] + (xx[k] - xi[k]) * dex1[k]);
+        xx[k] = (xx[k] + vx[k]) + flx;
+        std::int64_t i = std::int64_t(xx[k]);
+        rx[k] = xx[k] - double(i);
+        ir[k] = (i & 2047) + 1;
+        xx[k] = rx[k] + double(ir[k]);
+    }
+    for (int k = 0; k < n; ++k) {
+        rh[std::size_t(ir[k] - 1)] += 1.0 - rx[k];
+        rh[std::size_t(ir[k])] += rx[k];
+    }
+}
+
+} // namespace ref
+} // namespace mfusim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Plain C++ reference implementations of the 14 Livermore loops.
+ *
+ * These are the golden models the assembly kernels are validated
+ * against.  Each function mirrors the Fortran kernel of McMahon's
+ * "FORTRAN CPU Performance Analysis" suite, restated in C++ with the
+ * exact floating-point association order used by the corresponding
+ * assembly kernel, so results agree to rounding noise.
+ *
+ * refDiv() reproduces the CRAY-1 divide idiom (reciprocal
+ * approximation plus one Newton-Raphson step) that Assembler::fdiv
+ * expands to, so kernels containing divides validate bit-for-bit in
+ * structure.
+ */
+
+#ifndef MFUSIM_CODEGEN_REFERENCE_KERNELS_HH
+#define MFUSIM_CODEGEN_REFERENCE_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mfusim
+{
+namespace ref
+{
+
+/** The CRAY-1 reciprocal-approximation divide: num / den. */
+double refDiv(double num, double den);
+
+/** LL1: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]). */
+void loop1(std::vector<double> &x, const std::vector<double> &y,
+           const std::vector<double> &z, double q, double r, double t,
+           int n);
+
+/** LL2: incomplete Cholesky conjugate gradient excerpt (in-place x). */
+void loop2(std::vector<double> &x, const std::vector<double> &v, int n);
+
+/** LL3: inner product q = sum z[k]*x[k]. */
+double loop3(const std::vector<double> &z, const std::vector<double> &x,
+             int n);
+
+/** LL4: banded linear equations. */
+void loop4(std::vector<double> &x, const std::vector<double> &y, int n,
+           int m);
+
+/** LL5: tri-diagonal elimination x[i] = z[i]*(y[i] - x[i-1]). */
+void loop5(std::vector<double> &x, const std::vector<double> &y,
+           const std::vector<double> &z, int n);
+
+/** LL6: w[i] = 0.01 + sum_k b[k][i]*w[i-k-1] (b flattened [n][n]). */
+void loop6(std::vector<double> &w, const std::vector<double> &b, int n);
+
+/** LL7: equation of state fragment. */
+void loop7(std::vector<double> &x, const std::vector<double> &y,
+           const std::vector<double> &z, const std::vector<double> &u,
+           double q, double r, double t, int n);
+
+/**
+ * LL8: ADI integration.  u1, u2, u3 are flattened [2][ny+1][5]
+ * arrays; du1..du3 are scratch of length ny+1.
+ */
+void loop8(std::vector<double> &u1, std::vector<double> &u2,
+           std::vector<double> &u3, std::vector<double> &du1,
+           std::vector<double> &du2, std::vector<double> &du3,
+           const double a[9], double sig, int ny);
+
+/** LL9: integrate predictors; px flattened [n][13]. */
+void loop9(std::vector<double> &px, const double dm[7], double c0,
+           int n);
+
+/** LL10: difference predictors; px, cx flattened [n][14]. */
+void loop10(std::vector<double> &px, const std::vector<double> &cx,
+            int n);
+
+/** LL11: first sum x[k] = x[k-1] + y[k]. */
+void loop11(std::vector<double> &x, const std::vector<double> &y, int n);
+
+/** LL12: first difference x[k] = y[k+1] - y[k]. */
+void loop12(std::vector<double> &x, const std::vector<double> &y, int n);
+
+/**
+ * LL13: 2-D particle-in-cell (mfusim adaptation: 32x32 grids, wrap
+ * mask after indirect index increments).  p is flattened [n][4];
+ * b, c, h are flattened 32x32 double grids; e, f are flattened 32x32
+ * integer grids; yz holds y (64 entries) followed by z (64 entries).
+ */
+void loop13(std::vector<double> &p, const std::vector<double> &b,
+            const std::vector<double> &c, std::vector<double> &h,
+            const std::vector<std::int64_t> &e,
+            const std::vector<std::int64_t> &f,
+            const std::vector<double> &yz, int n);
+
+/**
+ * LL14: 1-D particle-in-cell.  grd holds cell coordinates in
+ * [1, nCells); ex/dex have nCells entries; rh has 2050 entries.
+ * Outputs: vx, xx, ir, rx and the charge density rh.
+ */
+void loop14(const std::vector<double> &grd, const std::vector<double> &ex,
+            const std::vector<double> &dex, std::vector<double> &vx,
+            std::vector<double> &xx, std::vector<std::int64_t> &ir,
+            std::vector<double> &rx, std::vector<double> &rh,
+            double flx, int n);
+
+} // namespace ref
+} // namespace mfusim
+
+#endif // MFUSIM_CODEGEN_REFERENCE_KERNELS_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Synthetic workload generators.
+ */
+
+#include "mfusim/codegen/synthetic.hh"
+
+#include <cassert>
+#include <vector>
+
+namespace mfusim
+{
+namespace synthetic
+{
+
+namespace
+{
+
+DynOp
+mk(Op op, RegId dst, RegId src_a = kNoReg, RegId src_b = kNoReg)
+{
+    DynOp dyn;
+    dyn.op = op;
+    dyn.dst = dst;
+    dyn.srcA = src_a;
+    dyn.srcB = src_b;
+    return dyn;
+}
+
+} // namespace
+
+DynTrace
+chain(std::size_t n, Op op)
+{
+    DynTrace trace("synthetic-chain");
+    const bool two_src = traitsOf(op).shape == OperandShape::kTwoSrc;
+    // S1 = f(S1 [, S2]) forever: pure serial flow through S1.
+    for (std::size_t i = 0; i < n; ++i)
+        trace.append(mk(op, S1, S1, two_src ? S2 : kNoReg));
+    return trace;
+}
+
+DynTrace
+independent(std::size_t n, Op op)
+{
+    DynTrace trace("synthetic-independent");
+    const bool two_src = traitsOf(op).shape == OperandShape::kTwoSrc;
+    // Destinations rotate S1..S7; the only sources are S0 (never
+    // written), so there are no RAW dependences at all.
+    for (std::size_t i = 0; i < n; ++i) {
+        trace.append(mk(op, regS(1 + unsigned(i % 7)), S0,
+                        two_src ? S0 : kNoReg));
+    }
+    return trace;
+}
+
+DynTrace
+reductionTree(unsigned leaves)
+{
+    // The tree must be expressible with last-writer (renamed)
+    // dependences in the 8-register S file: level ops read the two
+    // adjacent results of the previous level, so the width may not
+    // exceed the register count.
+    assert((leaves == 2 || leaves == 4 || leaves == 8) &&
+           "leaves must be 2, 4 or 8");
+    DynTrace trace("synthetic-tree");
+
+    // Level 0: `leaves` independent loads into S0..S(leaves-1).
+    for (unsigned i = 0; i < leaves; ++i)
+        trace.append(mk(Op::kLoadS, regS(i), A1));
+    // Each level halves: op i combines S(2i) and S(2i+1) into S(i).
+    // Since i < 2i for i > 0 and op 0 reads its own slot first, no
+    // producer is overwritten before its consumer reads it.
+    for (unsigned width = leaves / 2; width >= 1; width /= 2) {
+        for (unsigned i = 0; i < width; ++i) {
+            trace.append(mk(Op::kFAdd, regS(i), regS(2 * i),
+                            regS(2 * i + 1)));
+        }
+        if (width == 1)
+            break;
+    }
+    return trace;
+}
+
+DynTrace
+wawStorm(std::size_t n)
+{
+    DynTrace trace("synthetic-waw");
+    // All write S1; sources are S0 (never written): zero RAW, all
+    // WAW.  Alternating latencies (fmul 7 / logical 1) make the
+    // register reservation the binding constraint on machines
+    // without renaming.
+    for (std::size_t i = 0; i < n; ++i)
+        trace.append(mk(i % 2 == 0 ? Op::kFMul : Op::kSAnd, S1, S0,
+                        S0));
+    return trace;
+}
+
+DynTrace
+memoryStream(std::size_t n, unsigned loadPercent)
+{
+    DynTrace trace("synthetic-memory");
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool is_load = (i % 100) < loadPercent;
+        const RegId addr = regA(1 + unsigned(i % 7));
+        if (is_load) {
+            trace.append(
+                mk(Op::kLoadS, regS(1 + unsigned(i % 7)), addr));
+        } else {
+            trace.append(mk(Op::kStoreS, kNoReg, addr, S0));
+        }
+    }
+    return trace;
+}
+
+DynTrace
+loopPattern(std::size_t bodyOps, std::size_t iters)
+{
+    DynTrace trace("synthetic-loop");
+    for (std::size_t it = 0; it < iters; ++it) {
+        for (std::size_t i = 0; i < bodyOps; ++i)
+            trace.append(mk(Op::kSAnd, regS(1 + unsigned(i % 7)),
+                            S0, S0));
+        trace.append(mk(Op::kAAddI, A0, A0));   // decrement counter
+        DynOp br = mk(Op::kBrANZ, kNoReg, A0);
+        br.taken = it + 1 < iters;
+        br.backward = true;
+        trace.append(br);
+    }
+    return trace;
+}
+
+} // namespace synthetic
+} // namespace mfusim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic dependence-structure workloads.
+ *
+ * ILP limit studies use controlled structures alongside real code:
+ * each generator below produces a dynamic trace with one dependence
+ * property pushed to an extreme, so a machine's response isolates
+ * one mechanism (issue blocking, renaming, unit throughput, memory
+ * pipelining, branch gating).  The analytic issue-rate limits of
+ * these traces are known in closed form and pinned by unit tests.
+ */
+
+#ifndef MFUSIM_CODEGEN_SYNTHETIC_HH
+#define MFUSIM_CODEGEN_SYNTHETIC_HH
+
+#include <cstddef>
+
+#include "mfusim/core/trace.hh"
+
+namespace mfusim
+{
+namespace synthetic
+{
+
+/**
+ * A pure serial chain: op i reads op i-1's result.
+ * Dataflow width 1; every machine is latency-bound.
+ */
+DynTrace chain(std::size_t n, Op op = Op::kFAdd);
+
+/**
+ * n mutually independent operations of one class, destinations
+ * rotating through S1..S7 (so WAW reuse appears every 7 ops).
+ * Bound by the unit's 1/cycle throughput — and, on machines without
+ * renaming, by the WAW recycle distance.
+ */
+DynTrace independent(std::size_t n, Op op = Op::kFAdd);
+
+/**
+ * A balanced binary reduction tree: `leaves` inputs (loads) combined
+ * pairwise by fadds.  Dataflow width halves per level; total depth
+ * is logarithmic.  @p leaves must be a power of two, >= 2.
+ */
+DynTrace reductionTree(unsigned leaves);
+
+/**
+ * Every instruction writes the same register and none reads another:
+ * nothing is data dependent, everything is WAW dependent.
+ * Alternating multiply (7 cycles) and logical (1 cycle) ops make the
+ * hazard bite: a blocking machine holds each logical op on the
+ * previous multiply's register reservation, while renaming machines
+ * run at full unit speed.
+ */
+DynTrace wawStorm(std::size_t n);
+
+/**
+ * A memory stream: @p loadPercent% loads / rest stores, all
+ * independent, addresses from rotating A registers.  Bound by the
+ * memory port (1/cycle interleaved; latency-serialized when the
+ * memory is serial).
+ */
+DynTrace memoryStream(std::size_t n, unsigned loadPercent = 70);
+
+/**
+ * A counted loop: @p iters iterations of @p bodyOps independent
+ * 1-cycle ops plus a decrement and a taken backward branch (the
+ * last iteration falls through).  Issue rate is branch-gated:
+ * the dataflow limit is (bodyOps + 2) / (branch chain per
+ * iteration).
+ */
+DynTrace loopPattern(std::size_t bodyOps, std::size_t iters);
+
+} // namespace synthetic
+} // namespace mfusim
+
+#endif // MFUSIM_CODEGEN_SYNTHETIC_HH

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Branch policy names.
+ */
+
+#include "mfusim/core/branch_policy.hh"
+
+namespace mfusim
+{
+
+const char *
+branchPolicyName(BranchPolicy policy)
+{
+    switch (policy) {
+      case BranchPolicy::kBlocking:
+        return "blocking";
+      case BranchPolicy::kBtfn:
+        return "btfn";
+      default:
+        return "oracle";
+    }
+}
+
+} // namespace mfusim

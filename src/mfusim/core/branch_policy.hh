@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Branch handling policies (extension beyond the paper).
+ *
+ * The paper deliberately models no speculation: "we have not
+ * incorporated any type of guessing or branch prediction to get an
+ * early start on the execution of a likely branch target path.
+ * Execution of the branch target is not started until the branch
+ * outcome is known."  mfusim additionally implements two policies to
+ * quantify what that assumption costs (bench/ablation_speculation):
+ *
+ *  - kBlocking: the paper's model.  A branch issues once its
+ *    condition register is available and blocks all later issue for
+ *    the configured branch time.
+ *  - kBtfn: static backward-taken / forward-not-taken prediction.
+ *    A correctly predicted branch costs only its issue slot; a
+ *    mispredicted branch blocks later issue until it resolves
+ *    (condition available) plus the branch time (refetch).
+ *  - kOracle: perfect prediction; every branch costs only its issue
+ *    slot.  An upper bound on any prediction scheme.
+ *
+ * Idealization (documented in DESIGN.md): wrong-path instructions
+ * consume no functional-unit or bus resources, and speculation depth
+ * is unbounded.  The policies therefore bracket, rather than model, a real
+ * speculative front end.
+ */
+
+#ifndef MFUSIM_CORE_BRANCH_POLICY_HH
+#define MFUSIM_CORE_BRANCH_POLICY_HH
+
+#include <cstdint>
+
+namespace mfusim
+{
+
+/** How the issue stage treats branches. */
+enum class BranchPolicy : std::uint8_t
+{
+    kBlocking,  //!< the paper's model: wait for outcome, then block
+    kBtfn,      //!< static backward-taken/forward-not-taken predictor
+    kOracle,    //!< perfect prediction (bound)
+};
+
+/** Display name: "blocking", "btfn", "oracle". */
+const char *branchPolicyName(BranchPolicy policy);
+
+/**
+ * True if the BTFN predictor gets this branch right.
+ *
+ * @param backward the branch target precedes the branch
+ * @param taken    the resolved outcome
+ */
+constexpr bool
+btfnCorrect(bool backward, bool taken)
+{
+    return backward == taken;
+}
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_BRANCH_POLICY_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Static instruction representation (one element of a Program).
+ */
+
+#ifndef MFUSIM_CORE_INSTRUCTION_HH
+#define MFUSIM_CORE_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mfusim/core/opcode.hh"
+#include "mfusim/core/registers.hh"
+#include "mfusim/core/types.hh"
+
+namespace mfusim
+{
+
+/**
+ * One static instruction as produced by the Assembler.
+ *
+ * Field use depends on the opcode's OperandShape:
+ *  - kOneSrc / kTwoSrc:  dst <- f(srcA [, srcB])
+ *  - kSrcImm:            dst <- f(srcA, imm)
+ *  - kNone (constants):  dst <- imm
+ *  - kLoad:              dst <- M[srcA + imm]
+ *  - kStore:             M[srcA + imm] <- srcB   (no dst)
+ *  - kBranchCond:        branch on srcA to static index imm
+ *  - kBranchUncond:      branch to static index imm
+ */
+struct Instruction
+{
+    Op op = Op::kHalt;
+    RegId dst = kNoReg;
+    RegId srcA = kNoReg;
+    RegId srcB = kNoReg;
+    std::int64_t imm = 0;
+
+    /** Branch target as a static Program index (branches only). */
+    StaticIndex
+    target() const
+    {
+        return static_cast<StaticIndex>(imm);
+    }
+
+    /** Disassemble into a human-readable string. */
+    std::string disassemble() const;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_INSTRUCTION_HH

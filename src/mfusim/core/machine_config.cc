@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Machine configuration presets.
+ */
+
+#include "mfusim/core/machine_config.hh"
+
+namespace mfusim
+{
+
+std::string
+MachineConfig::name() const
+{
+    return "M" + std::to_string(memLatency) +
+        "BR" + std::to_string(branchTime);
+}
+
+MachineConfig
+configM11BR5()
+{
+    return MachineConfig{ 11, 5 };
+}
+
+MachineConfig
+configM11BR2()
+{
+    return MachineConfig{ 11, 2 };
+}
+
+MachineConfig
+configM5BR5()
+{
+    return MachineConfig{ 5, 5 };
+}
+
+MachineConfig
+configM5BR2()
+{
+    return MachineConfig{ 5, 2 };
+}
+
+const std::array<MachineConfig, 4> &
+standardConfigs()
+{
+    static const std::array<MachineConfig, 4> configs = {
+        configM11BR5(), configM11BR2(), configM5BR5(), configM5BR2(),
+    };
+    return configs;
+}
+
+} // namespace mfusim

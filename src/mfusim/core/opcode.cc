@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Static opcode metadata tables.
+ */
+
+#include "mfusim/core/opcode.hh"
+
+#include <cassert>
+
+namespace mfusim
+{
+
+namespace
+{
+
+/**
+ * The traits table, indexed by Op.  Latency 0 means "depends on the
+ * machine configuration" (memory references and branches).
+ *
+ * Parcel counts follow the CRAY-1S encoding rules: register-register
+ * operations are 1 parcel; instructions carrying a 22-bit constant
+ * (immediates, memory displacements, branch addresses) are 2 parcels.
+ */
+const OpTraits opTraitsTable[kNumOps] = {
+    // mnemonic   fu                       lat par shape
+    { "aconst",   FuClass::kTransfer,       1, 2, OperandShape::kNone },
+    { "aadd",     FuClass::kAddrAdd,        2, 1, OperandShape::kTwoSrc },
+    { "aaddi",    FuClass::kAddrAdd,        2, 1, OperandShape::kSrcImm },
+    { "asub",     FuClass::kAddrAdd,        2, 1, OperandShape::kTwoSrc },
+    { "amul",     FuClass::kAddrMul,        6, 1, OperandShape::kTwoSrc },
+    { "amovs",    FuClass::kTransfer,       1, 1, OperandShape::kOneSrc },
+    { "amovb",    FuClass::kTransfer,       1, 1, OperandShape::kOneSrc },
+    { "bmova",    FuClass::kTransfer,       1, 1, OperandShape::kOneSrc },
+
+    { "sconst",   FuClass::kTransfer,       1, 2, OperandShape::kNone },
+    { "sadd",     FuClass::kScalarAdd,      3, 1, OperandShape::kTwoSrc },
+    { "ssub",     FuClass::kScalarAdd,      3, 1, OperandShape::kTwoSrc },
+    { "sand",     FuClass::kScalarLogical,  1, 1, OperandShape::kTwoSrc },
+    { "sor",      FuClass::kScalarLogical,  1, 1, OperandShape::kTwoSrc },
+    { "sxor",     FuClass::kScalarLogical,  1, 1, OperandShape::kTwoSrc },
+    { "sshl",     FuClass::kScalarShift,    2, 1, OperandShape::kSrcImm },
+    { "sshr",     FuClass::kScalarShift,    2, 1, OperandShape::kSrcImm },
+    { "smovs",    FuClass::kScalarLogical,  1, 1, OperandShape::kOneSrc },
+    { "smova",    FuClass::kTransfer,       1, 1, OperandShape::kOneSrc },
+    { "smovt",    FuClass::kTransfer,       1, 1, OperandShape::kOneSrc },
+    { "tmovs",    FuClass::kTransfer,       1, 1, OperandShape::kOneSrc },
+
+    { "fadd",     FuClass::kFpAdd,          6, 1, OperandShape::kTwoSrc },
+    { "fsub",     FuClass::kFpAdd,          6, 1, OperandShape::kTwoSrc },
+    { "fmul",     FuClass::kFpMul,          7, 1, OperandShape::kTwoSrc },
+    { "frecip",   FuClass::kRecip,         14, 1, OperandShape::kOneSrc },
+    { "sfix",     FuClass::kFpAdd,          6, 1, OperandShape::kOneSrc },
+    { "sfloat",   FuClass::kFpAdd,          6, 1, OperandShape::kOneSrc },
+
+    { "loada",    FuClass::kMemory,         0, 2, OperandShape::kLoad },
+    { "loads",    FuClass::kMemory,         0, 2, OperandShape::kLoad },
+    { "storea",   FuClass::kMemory,         0, 2, OperandShape::kStore },
+    { "stores",   FuClass::kMemory,         0, 2, OperandShape::kStore },
+
+    { "vsetlen",  FuClass::kTransfer,       1, 1, OperandShape::kOneSrc },
+    { "vload",    FuClass::kMemory,         0, 1, OperandShape::kLoad },
+    { "vstore",   FuClass::kMemory,         0, 1, OperandShape::kStore },
+    { "vfadd",    FuClass::kFpAdd,          6, 1, OperandShape::kTwoSrc },
+    { "vfsub",    FuClass::kFpAdd,          6, 1, OperandShape::kTwoSrc },
+    { "vfmul",    FuClass::kFpMul,          7, 1, OperandShape::kTwoSrc },
+    { "vfaddsv",  FuClass::kFpAdd,          6, 1, OperandShape::kTwoSrc },
+    { "vfmulsv",  FuClass::kFpMul,          7, 1, OperandShape::kTwoSrc },
+
+    { "braz",     FuClass::kBranch,         0, 2, OperandShape::kBranchCond },
+    { "branz",    FuClass::kBranch,         0, 2, OperandShape::kBranchCond },
+    { "brap",     FuClass::kBranch,         0, 2, OperandShape::kBranchCond },
+    { "bram",     FuClass::kBranch,         0, 2, OperandShape::kBranchCond },
+    { "brsz",     FuClass::kBranch,         0, 2, OperandShape::kBranchCond },
+    { "brsnz",    FuClass::kBranch,         0, 2, OperandShape::kBranchCond },
+    { "brsp",     FuClass::kBranch,         0, 2, OperandShape::kBranchCond },
+    { "brsm",     FuClass::kBranch,         0, 2, OperandShape::kBranchCond },
+    { "jump",     FuClass::kBranch,         0, 2,
+      OperandShape::kBranchUncond },
+    { "halt",     FuClass::kBranch,         0, 1, OperandShape::kNone },
+};
+
+const char *fuClassNames[kNumFuClasses] = {
+    "Transfer", "AddrAdd", "AddrMul", "ScalarAdd", "ScalarLogical",
+    "ScalarShift", "FpAdd", "FpMul", "Recip", "Memory", "Branch",
+};
+
+} // namespace
+
+const OpTraits &
+traitsOf(Op op)
+{
+    const auto idx = static_cast<unsigned>(op);
+    assert(idx < kNumOps);
+    return opTraitsTable[idx];
+}
+
+const char *
+fuClassName(FuClass fu)
+{
+    const auto idx = static_cast<unsigned>(fu);
+    assert(idx < kNumFuClasses);
+    return fuClassNames[idx];
+}
+
+bool
+isBranch(Op op)
+{
+    return traitsOf(op).fu == FuClass::kBranch && op != Op::kHalt;
+}
+
+bool
+isMemory(Op op)
+{
+    return traitsOf(op).fu == FuClass::kMemory;
+}
+
+bool
+isStore(Op op)
+{
+    return traitsOf(op).shape == OperandShape::kStore;
+}
+
+bool
+isLoad(Op op)
+{
+    return traitsOf(op).shape == OperandShape::kLoad;
+}
+
+bool
+isVector(Op op)
+{
+    switch (op) {
+      case Op::kVSetLen:
+      case Op::kVLoad:
+      case Op::kVStore:
+      case Op::kVFAdd:
+      case Op::kVFSub:
+      case Op::kVFMul:
+      case Op::kVFAddSV:
+      case Op::kVFMulSV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+producesResult(Op op)
+{
+    return !isBranch(op) && !isStore(op) && op != Op::kHalt;
+}
+
+unsigned
+latencyOf(Op op, const MachineConfig &cfg)
+{
+    const OpTraits &traits = traitsOf(op);
+    if (traits.fu == FuClass::kMemory)
+        return cfg.memLatency;
+    if (traits.fu == FuClass::kBranch)
+        return cfg.branchTime;
+    return traits.latency;
+}
+
+const char *
+mnemonicOf(Op op)
+{
+    return traitsOf(op).mnemonic;
+}
+
+} // namespace mfusim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The CRAY-1-like scalar instruction set and its static properties.
+ *
+ * The paper's base architecture has "an instruction set very similar
+ * to the CRAY-1S instruction set, consisting of 1-parcel (16 bits) and
+ * 2-parcel (32 bits) instructions", executed on functional units with
+ * CRAY-1 performance characteristics.  This header defines:
+ *
+ *  - Op: the opcodes mfusim's compiler/assembler emits,
+ *  - FuClass: the hardware functional units of the base machine,
+ *  - OpTraits: static metadata (functional unit, latency, parcel
+ *    count, operand shape) for each opcode.
+ *
+ * Latencies follow the CRAY-1 Hardware Reference Manual: address add
+ * 2, address multiply 6, scalar (integer) add 3, scalar logical 1,
+ * scalar shift 2, floating add 6, floating multiply 7, reciprocal
+ * approximation 14.  Memory and branch latencies are configuration
+ * parameters (MachineConfig), so latencyOf() takes the config.
+ */
+
+#ifndef MFUSIM_CORE_OPCODE_HH
+#define MFUSIM_CORE_OPCODE_HH
+
+#include <cstdint>
+
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/core/types.hh"
+
+namespace mfusim
+{
+
+/**
+ * Opcodes of the base architecture.
+ *
+ * Naming: leading letter gives the destination register file (A =
+ * address, S = scalar, B/T = save files); "F" prefixes floating-point
+ * operations on S registers.
+ */
+enum class Op : std::uint8_t
+{
+    // --- address (A-register) integer operations ------------------
+    kAConst,    //!< Ai = imm                       (transfer path)
+    kAAdd,      //!< Ai = Aj + Ak                   (address add unit)
+    kAAddI,     //!< Ai = Aj + imm                  (address add unit)
+    kASub,      //!< Ai = Aj - Ak                   (address add unit)
+    kAMul,      //!< Ai = Aj * Ak                   (address multiply)
+    kAMovS,     //!< Ai = Sj                        (transfer path)
+    kAMovB,     //!< Ai = Bjk                       (transfer path)
+    kBMovA,     //!< Bjk = Ai                       (transfer path)
+
+    // --- scalar (S-register) integer/logical operations -----------
+    kSConst,    //!< Si = imm                       (transfer path)
+    kSAdd,      //!< Si = Sj + Sk   (integer)       (scalar add unit)
+    kSSub,      //!< Si = Sj - Sk   (integer)       (scalar add unit)
+    kSAnd,      //!< Si = Sj & Sk                   (scalar logical)
+    kSOr,       //!< Si = Sj | Sk                   (scalar logical)
+    kSXor,      //!< Si = Sj ^ Sk                   (scalar logical)
+    kSShL,      //!< Si = Sj << imm                 (scalar shift)
+    kSShR,      //!< Si = Sj >> imm (logical)       (scalar shift)
+    kSMovS,     //!< Si = Sj                        (scalar logical)
+    kSMovA,     //!< Si = Aj                        (transfer path)
+    kSMovT,     //!< Si = Tjk                       (transfer path)
+    kTMovS,     //!< Tjk = Si                       (transfer path)
+
+    // --- scalar floating-point operations -------------------------
+    kFAdd,      //!< Si = Sj +f Sk                  (floating add)
+    kFSub,      //!< Si = Sj -f Sk                  (floating add)
+    kFMul,      //!< Si = Sj *f Sk                  (floating multiply)
+    kFRecip,    //!< Si = 1.0 / Sj                  (recip. approx.)
+    kSFix,      //!< Si = int64(double(Sj))         (floating add)
+    kSFloat,    //!< Si = double(int64(Sj))         (floating add)
+
+    // --- memory references (base register + displacement) ---------
+    kLoadA,     //!< Ai = M[Ah + imm]               (memory)
+    kLoadS,     //!< Si = M[Ah + imm]               (memory)
+    kStoreA,    //!< M[Ah + imm] = Ai               (memory)
+    kStoreS,    //!< M[Ah + imm] = Si               (memory)
+
+    // --- vector unit (extension; CRAY-1 vector instructions) ------
+    kVSetLen,   //!< VL = Aj                        (transfer path)
+    kVLoad,     //!< Vi = M[Aj + k*imm], k < VL     (memory)
+    kVStore,    //!< M[Aj + k*imm] = Vj, k < VL     (memory)
+    kVFAdd,     //!< Vi = Vj +f Vk  elementwise     (floating add)
+    kVFSub,     //!< Vi = Vj -f Vk                  (floating add)
+    kVFMul,     //!< Vi = Vj *f Vk                  (floating multiply)
+    kVFAddSV,   //!< Vi = Sj +f Vk  (scalar-vector) (floating add)
+    kVFMulSV,   //!< Vi = Sj *f Vk                  (floating multiply)
+
+    // --- control transfers (no branch prediction in the paper) ----
+    kBrAZ,      //!< branch if A0 == 0
+    kBrANZ,     //!< branch if A0 != 0
+    kBrAP,      //!< branch if A0 >= 0 (plus)
+    kBrAM,      //!< branch if A0 < 0  (minus)
+    kBrSZ,      //!< branch if S0 == 0
+    kBrSNZ,     //!< branch if S0 != 0
+    kBrSP,      //!< branch if S0 >= 0 (plus)
+    kBrSM,      //!< branch if S0 < 0  (minus)
+    kJump,      //!< unconditional branch
+    kHalt,      //!< stop the program (never enters a trace)
+
+    kNumOps
+};
+
+constexpr unsigned kNumOps = static_cast<unsigned>(Op::kNumOps);
+
+/**
+ * The hardware functional units of the base machine.
+ *
+ * There is exactly one unit of each class; whether a unit is
+ * segmented (pipelined, accepting one operation per cycle) or
+ * non-segmented (busy for its whole latency) is a property of the
+ * simulated machine organization, not of this enum.
+ */
+enum class FuClass : std::uint8_t
+{
+    kTransfer,      //!< register-to-register / immediate data paths
+    kAddrAdd,       //!< address add unit (2 cycles)
+    kAddrMul,       //!< address multiply unit (6 cycles)
+    kScalarAdd,     //!< scalar integer add unit (3 cycles)
+    kScalarLogical, //!< scalar logical unit (1 cycle)
+    kScalarShift,   //!< scalar shift unit (2 cycles)
+    kFpAdd,         //!< floating-point add unit (6 cycles)
+    kFpMul,         //!< floating-point multiply unit (7 cycles)
+    kRecip,         //!< reciprocal approximation unit (14 cycles)
+    kMemory,        //!< the memory "functional unit" (11 / 5 cycles)
+    kBranch,        //!< branch resolution (handled by the issue stage)
+    kNumClasses
+};
+
+constexpr unsigned kNumFuClasses =
+    static_cast<unsigned>(FuClass::kNumClasses);
+
+/** Short name of a functional-unit class, e.g. "FpAdd". */
+const char *fuClassName(FuClass fu);
+
+/** How an instruction's register operand fields are interpreted. */
+enum class OperandShape : std::uint8_t
+{
+    kNone,          //!< no register operands (kAConst dst only, kJump)
+    kOneSrc,        //!< dst <- f(srcA)
+    kTwoSrc,        //!< dst <- f(srcA, srcB)
+    kSrcImm,        //!< dst <- f(srcA, imm)
+    kLoad,          //!< dst <- M[srcA + imm]
+    kStore,         //!< M[srcA + imm] <- srcB
+    kBranchCond,    //!< branch on srcA (A0 or S0), target = imm
+    kBranchUncond,  //!< branch, target = imm
+};
+
+/** Static properties of an opcode. */
+struct OpTraits
+{
+    const char *mnemonic;   //!< assembler mnemonic
+    FuClass fu;             //!< functional unit that executes it
+    std::uint8_t latency;   //!< fixed latency; 0 = config-dependent
+    std::uint8_t parcels;   //!< instruction size: 1 or 2 parcels
+    OperandShape shape;     //!< operand field interpretation
+};
+
+/** Look up the static traits of @p op. */
+const OpTraits &traitsOf(Op op);
+
+/** True for conditional and unconditional branches. */
+bool isBranch(Op op);
+
+/** True for loads and stores. */
+bool isMemory(Op op);
+
+/** True for stores (memory reference producing no register result). */
+bool isStore(Op op);
+
+/** True for loads. */
+bool isLoad(Op op);
+
+/**
+ * True for vector-unit instructions (the extension ops operating on
+ * V registers; kVSetLen counts as vector too).
+ */
+bool isVector(Op op);
+
+/**
+ * True if the instruction produces a register result and therefore
+ * needs a result bus slot at its completion cycle.  Stores, branches
+ * and kHalt do not.
+ */
+bool producesResult(Op op);
+
+/**
+ * Execution latency of @p op under configuration @p cfg: the number
+ * of cycles from issue until the result is usable by a dependent
+ * instruction (for branches: until the target stream may issue).
+ */
+unsigned latencyOf(Op op, const MachineConfig &cfg);
+
+/** Mnemonic of @p op, e.g. "fadd". */
+const char *mnemonicOf(Op op);
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_OPCODE_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The CRAY-1-like architectural register files.
+ *
+ * The base architecture of the paper uses the CRAY-1S register
+ * structure:
+ *
+ *  - 8 address registers   A0..A7  (24-bit in the real machine),
+ *  - 8 scalar registers    S0..S7  (64-bit),
+ *  - 64 address-save registers B0..B63,
+ *  - 64 scalar-save registers   T0..T63.
+ *
+ * mfusim maps all of them into one flat RegId space so that hazard
+ * scoreboards are simple dense arrays.  A0 plays a special role: it is
+ * the register on which conditional branch decisions are made (the
+ * paper: "the register upon which the branch decision is made").  S0
+ * plays the same role for scalar-conditioned branches.
+ */
+
+#ifndef MFUSIM_CORE_REGISTERS_HH
+#define MFUSIM_CORE_REGISTERS_HH
+
+#include <cassert>
+#include <string>
+
+#include "mfusim/core/types.hh"
+
+namespace mfusim
+{
+
+/** The CRAY-1 register files (plus the vector file and VL). */
+enum class RegClass : std::uint8_t { A, S, B, T, V, VL };
+
+constexpr unsigned kNumARegs = 8;
+constexpr unsigned kNumSRegs = 8;
+constexpr unsigned kNumBRegs = 64;
+constexpr unsigned kNumTRegs = 64;
+constexpr unsigned kNumVRegs = 8;
+/** Elements per vector register (CRAY-1: 64). */
+constexpr unsigned kVectorLength = 64;
+
+constexpr RegId kABase = 0;
+constexpr RegId kSBase = kABase + kNumARegs;
+constexpr RegId kBBase = kSBase + kNumSRegs;
+constexpr RegId kTBase = kBBase + kNumBRegs;
+constexpr RegId kVBase = kTBase + kNumTRegs;
+/** The vector-length register (a single architectural register). */
+constexpr RegId kVlReg = kVBase + kNumVRegs;
+
+/** Total number of architectural registers (size for scoreboards). */
+constexpr unsigned kNumRegs = kNumARegs + kNumSRegs + kNumBRegs +
+    kNumTRegs + kNumVRegs + 1;
+
+/** Flat id of address register A<i>. */
+constexpr RegId
+regA(unsigned i)
+{
+    return static_cast<RegId>(kABase + i);
+}
+
+/** Flat id of scalar register S<i>. */
+constexpr RegId
+regS(unsigned i)
+{
+    return static_cast<RegId>(kSBase + i);
+}
+
+/** Flat id of address-save register B<i>. */
+constexpr RegId
+regB(unsigned i)
+{
+    return static_cast<RegId>(kBBase + i);
+}
+
+/** Flat id of scalar-save register T<i>. */
+constexpr RegId
+regT(unsigned i)
+{
+    return static_cast<RegId>(kTBase + i);
+}
+
+/** Flat id of vector register V<i>. */
+constexpr RegId
+regV(unsigned i)
+{
+    return static_cast<RegId>(kVBase + i);
+}
+
+/** Which register file a flat id belongs to. */
+constexpr RegClass
+classOf(RegId r)
+{
+    if (r < kSBase)
+        return RegClass::A;
+    if (r < kBBase)
+        return RegClass::S;
+    if (r < kTBase)
+        return RegClass::B;
+    if (r < kVBase)
+        return RegClass::T;
+    if (r < kVlReg)
+        return RegClass::V;
+    return RegClass::VL;
+}
+
+/** Index of a flat id within its register file. */
+constexpr unsigned
+indexOf(RegId r)
+{
+    switch (classOf(r)) {
+      case RegClass::A:
+        return r - kABase;
+      case RegClass::S:
+        return r - kSBase;
+      case RegClass::B:
+        return r - kBBase;
+      case RegClass::T:
+        return r - kTBase;
+      case RegClass::V:
+        return r - kVBase;
+      default:
+        return 0;       // VL
+    }
+}
+
+/** True if @p r names a real architectural register. */
+constexpr bool
+isValidReg(RegId r)
+{
+    return r < kNumRegs;
+}
+
+/** Human-readable register name, e.g. "A0", "S3", "B17", "T63". */
+std::string regName(RegId r);
+
+/** Convenience constants for the most frequently used registers. */
+constexpr RegId A0 = regA(0);
+constexpr RegId A1 = regA(1);
+constexpr RegId A2 = regA(2);
+constexpr RegId A3 = regA(3);
+constexpr RegId A4 = regA(4);
+constexpr RegId A5 = regA(5);
+constexpr RegId A6 = regA(6);
+constexpr RegId A7 = regA(7);
+
+constexpr RegId S0 = regS(0);
+constexpr RegId S1 = regS(1);
+constexpr RegId S2 = regS(2);
+constexpr RegId S3 = regS(3);
+constexpr RegId S4 = regS(4);
+constexpr RegId S5 = regS(5);
+constexpr RegId S6 = regS(6);
+constexpr RegId S7 = regS(7);
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_REGISTERS_HH

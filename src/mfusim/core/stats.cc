@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Statistics helpers.
+ */
+
+#include "mfusim/core/stats.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace mfusim
+{
+
+double
+harmonicMean(std::span<const double> rates)
+{
+    if (rates.empty())
+        return 0.0;
+    double inv_sum = 0.0;
+    for (double r : rates) {
+        assert(r > 0.0 && "harmonic mean requires positive rates");
+        inv_sum += 1.0 / r;
+    }
+    return double(rates.size()) / inv_sum;
+}
+
+double
+arithmeticMean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+double
+geometricMean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0 && "geometric mean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace mfusim

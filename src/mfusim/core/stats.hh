@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Statistics helpers used throughout the paper's evaluation.
+ *
+ * The paper reports "the harmonic mean of the individual loop issue
+ * rates (number of instructions issued per clock cycle)" for each
+ * loop class, citing Worlton's argument that the harmonic mean is the
+ * right way to aggregate rates.
+ */
+
+#ifndef MFUSIM_CORE_STATS_HH
+#define MFUSIM_CORE_STATS_HH
+
+#include <span>
+#include <vector>
+
+namespace mfusim
+{
+
+/**
+ * Harmonic mean of a set of rates: n / sum(1/x_i).
+ *
+ * Returns 0 for an empty input; every element must be > 0.
+ */
+double harmonicMean(std::span<const double> rates);
+
+/** Arithmetic mean; returns 0 for an empty input. */
+double arithmeticMean(std::span<const double> values);
+
+/** Geometric mean; returns 0 for an empty input. */
+double geometricMean(std::span<const double> values);
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_STATS_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * ASCII table rendering.
+ */
+
+#include "mfusim/core/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mfusim
+{
+
+void
+AsciiTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+AsciiTable::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+AsciiTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    // Column widths over header and all rows.
+    std::vector<std::size_t> widths;
+    const auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            os << std::left << std::setw(int(widths[i])) << cell;
+            if (i + 1 < widths.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    total = total >= 2 ? total - 2 : 0;
+    const std::string rule(total, '-');
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << rule << '\n';
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            os << rule << '\n';
+        else
+            emit(row);
+    }
+}
+
+} // namespace mfusim

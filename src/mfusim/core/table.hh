@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal ASCII table formatter for the benchmark harness.
+ *
+ * Every bench binary prints its reproduction of one paper table as a
+ * fixed-width ASCII table: measured value, the paper's published
+ * value, and their ratio, side by side.
+ */
+
+#ifndef MFUSIM_CORE_TABLE_HH
+#define MFUSIM_CORE_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mfusim
+{
+
+/**
+ * A table of strings with per-column width auto-sizing.
+ *
+ * Build it row by row (addRow / cell helpers) and render with print().
+ * The first row added via setHeader() is underlined in the output.
+ */
+class AsciiTable
+{
+  public:
+    /** Set the header row (printed first, underlined). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; it may be shorter than the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal rule between row groups. */
+    void addRule();
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    // Empty vector encodes a horizontal rule.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_TABLE_HH

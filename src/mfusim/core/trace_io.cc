@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Trace serialization implementation.
+ */
+
+#include "mfusim/core/trace_io.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "mfusim/core/registers.hh"
+
+namespace mfusim
+{
+
+namespace
+{
+
+std::string
+fmtReg(RegId r)
+{
+    return regName(r);
+}
+
+RegId
+parseReg(const std::string &text)
+{
+    if (text == "--")
+        return kNoReg;
+    if (text == "VL")
+        return kVlReg;
+    if (text.size() < 2)
+        throw std::runtime_error("trace_io: bad register '" + text +
+                                 "'");
+    const unsigned index = unsigned(std::stoul(text.substr(1)));
+    switch (text[0]) {
+      case 'A':
+        if (index < kNumARegs)
+            return regA(index);
+        break;
+      case 'S':
+        if (index < kNumSRegs)
+            return regS(index);
+        break;
+      case 'B':
+        if (index < kNumBRegs)
+            return regB(index);
+        break;
+      case 'T':
+        if (index < kNumTRegs)
+            return regT(index);
+        break;
+      case 'V':
+        if (index < kNumVRegs)
+            return regV(index);
+        break;
+      default:
+        break;
+    }
+    throw std::runtime_error("trace_io: bad register '" + text + "'");
+}
+
+Op
+parseOp(const std::string &mnemonic)
+{
+    static const std::unordered_map<std::string, Op> table = [] {
+        std::unordered_map<std::string, Op> map;
+        for (unsigned i = 0; i < kNumOps; ++i) {
+            const Op op = static_cast<Op>(i);
+            map.emplace(mnemonicOf(op), op);
+        }
+        return map;
+    }();
+    const auto it = table.find(mnemonic);
+    if (it == table.end()) {
+        throw std::runtime_error("trace_io: unknown mnemonic '" +
+                                 mnemonic + "'");
+    }
+    return it->second;
+}
+
+} // namespace
+
+void
+saveTrace(std::ostream &os, const DynTrace &trace)
+{
+    os << "mfusim-trace v1\n";
+    os << "name " << trace.name() << '\n';
+    os << "ops " << trace.size() << '\n';
+    for (const DynOp &op : trace.ops()) {
+        os << mnemonicOf(op.op) << ' ' << fmtReg(op.dst) << ' '
+           << fmtReg(op.srcA) << ' ' << fmtReg(op.srcB) << ' '
+           << op.staticIdx << ' ';
+        if (isBranch(op.op)) {
+            os << (op.taken ? 'T' : 'N') << ' '
+               << (op.backward ? 'B' : 'F');
+        } else {
+            os << "- -";
+        }
+        os << ' ' << unsigned(op.vl) << '\n';
+    }
+}
+
+DynTrace
+loadTrace(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != "mfusim-trace v1")
+        throw std::runtime_error("trace_io: bad header");
+
+    if (!std::getline(is, line) || line.rfind("name ", 0) != 0)
+        throw std::runtime_error("trace_io: missing name line");
+    DynTrace trace(line.substr(5));
+
+    if (!std::getline(is, line) || line.rfind("ops ", 0) != 0)
+        throw std::runtime_error("trace_io: missing ops line");
+    const std::uint64_t expected = std::stoull(line.substr(4));
+    trace.reserve(expected);
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string mnemonic, dst, src_a, src_b, taken, backward;
+        StaticIndex static_idx = 0;
+        unsigned vl = 0;
+        if (!(fields >> mnemonic >> dst >> src_a >> src_b >>
+              static_idx >> taken >> backward)) {
+            throw std::runtime_error("trace_io: malformed line '" +
+                                     line + "'");
+        }
+        fields >> vl;   // optional (absent in pre-vector files)
+        DynOp op;
+        op.op = parseOp(mnemonic);
+        op.dst = parseReg(dst);
+        op.srcA = parseReg(src_a);
+        op.srcB = parseReg(src_b);
+        op.staticIdx = static_idx;
+        op.taken = taken == "T";
+        op.backward = backward == "B";
+        op.vl = std::uint8_t(vl);
+        trace.append(op);
+    }
+
+    if (trace.size() != expected) {
+        throw std::runtime_error(
+            "trace_io: op count mismatch (header says " +
+            std::to_string(expected) + ", file has " +
+            std::to_string(trace.size()) + ")");
+    }
+    return trace;
+}
+
+} // namespace mfusim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dynamic trace serialization.
+ *
+ * A simple line-oriented text format so traces can be archived,
+ * diffed, or fed to external tools — the workflow the paper's group
+ * used, where trace generation and timing simulation were separate
+ * programs:
+ *
+ *   mfusim-trace v1
+ *   name LL5
+ *   ops 3996
+ *   <mnemonic> <dst> <srcA> <srcB> <staticIdx> <T|N|-> <B|F|->
+ *   ...
+ *
+ * Registers print as names ("S1", "A0", "--"); the last two fields
+ * are branch outcome (Taken / Not-taken / not-a-branch) and target
+ * direction (Backward / Forward / not-a-branch).
+ */
+
+#ifndef MFUSIM_CORE_TRACE_IO_HH
+#define MFUSIM_CORE_TRACE_IO_HH
+
+#include <iosfwd>
+
+#include "mfusim/core/trace.hh"
+
+namespace mfusim
+{
+
+/** Write @p trace to @p os in the mfusim-trace v1 format. */
+void saveTrace(std::ostream &os, const DynTrace &trace);
+
+/**
+ * Parse a trace from @p is.
+ *
+ * @throws std::runtime_error on malformed input (bad header, unknown
+ *         mnemonic or register, op-count mismatch).
+ */
+DynTrace loadTrace(std::istream &is);
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_TRACE_IO_HH

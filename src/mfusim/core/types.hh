@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every mfusim component.
+ *
+ * mfusim reproduces Pleszkun & Sohi, "The Performance Potential of
+ * Multiple Functional Unit Processors" (UW-Madison CS TR #752 / ISCA
+ * 1988).  All timing in the library is expressed in integral clock
+ * cycles of a single global clock, exactly as in the paper: "All
+ * operations are measured in clock units and the clock speed is the
+ * same irrespective of the hardware organization."
+ */
+
+#ifndef MFUSIM_CORE_TYPES_HH
+#define MFUSIM_CORE_TYPES_HH
+
+#include <cstdint>
+
+namespace mfusim
+{
+
+/** A point in time, or a duration, measured in processor clock cycles. */
+using ClockCycle = std::uint64_t;
+
+/**
+ * Identifier of an architectural register.
+ *
+ * The register space is flat; see registers.hh for the layout of the
+ * CRAY-1-like register files (A, S, B and T) inside it.
+ */
+using RegId = std::uint16_t;
+
+/** Sentinel meaning "no register" (unused operand slot). */
+constexpr RegId kNoReg = 0xffff;
+
+/** Index of an instruction within a static Program. */
+using StaticIndex = std::uint32_t;
+
+/** Index of an instruction within a dynamic trace. */
+using DynIndex = std::uint64_t;
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_TYPES_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Dataflow limit computation.
+ */
+
+#include "mfusim/dataflow/limits.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace mfusim
+{
+
+LimitResult
+computeLimits(const DynTrace &trace, const MachineConfig &cfg,
+              bool serialWaw, unsigned fuCopies, unsigned memPorts)
+{
+    LimitResult result;
+    if (trace.empty())
+        return result;
+
+    // ---- pseudo-dataflow: critical path with branch gating --------
+    // valueReady: when the current value of each architectural
+    // register exists (registers renamed: each write creates a new
+    // value, so WAW/WAR impose nothing unless serialWaw).
+    std::array<ClockCycle, kNumRegs> value_ready{};
+    // lastDone: completion time of the previous writer of each
+    // architectural register (for the serial constraint).
+    std::array<ClockCycle, kNumRegs> last_done{};
+    ClockCycle ctrl_ready = 0;      // resolve time of last branch
+    ClockCycle critical = 0;
+
+    for (const DynOp &op : trace.ops()) {
+        const unsigned latency = latencyOf(op.op, cfg);
+        const unsigned elements = vectorOccupancy(op);
+
+        ClockCycle start = ctrl_ready;
+        if (op.srcA != kNoReg)
+            start = std::max(start, value_ready[op.srcA]);
+        if (op.srcB != kNoReg)
+            start = std::max(start, value_ready[op.srcB]);
+
+        // Pure dataflow is elementwise for vector ops: the first
+        // result element exists after one unit latency (perfect
+        // chaining), the op completes after streaming all elements.
+        ClockCycle done = start + latency + (elements - 1);
+        if (serialWaw && op.dst != kNoReg) {
+            // No buffering: must finish no earlier than the previous
+            // writer of the same register.
+            done = std::max(done, last_done[op.dst]);
+        }
+
+        if (isBranch(op.op)) {
+            // Later instructions (the next loop iteration) are gated
+            // on this branch resolving.
+            ctrl_ready = start + cfg.branchTime;
+            critical = std::max(critical, ctrl_ready);
+        } else {
+            if (op.dst != kNoReg) {
+                // A chained vector consumer sees the first element
+                // one latency after the producer starts.
+                value_ready[op.dst] = elements > 1 ?
+                    start + latency + 1 : done;
+                last_done[op.dst] = done;
+            }
+            critical = std::max(critical, done);
+        }
+    }
+
+    // ---- resource limit: busiest functional unit ------------------
+    const TraceStats stats = trace.stats();
+    ClockCycle resource = 0;
+    for (unsigned fu = 0; fu < kNumFuClasses; ++fu) {
+        const auto fu_class = static_cast<FuClass>(fu);
+        if (fu_class == FuClass::kTransfer ||
+            fu_class == FuClass::kBranch) {
+            // Register data paths and the issue stage are not
+            // functional-unit resources of the base machine.
+            continue;
+        }
+        // A vector op holds its unit for one cycle per element: its
+        // element count replaces its single perFu slot in the
+        // class's busy time.
+        std::uint64_t count = stats.perFu[fu] -
+            stats.vectorOpsPerFu[fu] + stats.vectorElementsPerFu[fu];
+        if (count == 0)
+            continue;
+        unsigned latency;
+        if (fu_class == FuClass::kMemory) {
+            latency = cfg.memLatency;
+            count = (count + memPorts - 1) / memPorts;
+        } else {
+            count = (count + fuCopies - 1) / fuCopies;
+        }
+        if (fu_class != FuClass::kMemory) {
+            // All ops of a class share the unit latency; find it
+            // from any op of that class (fixed trait latency).
+            latency = 0;
+            for (unsigned o = 0; o < kNumOps; ++o) {
+                if (traitsOf(static_cast<Op>(o)).fu == fu_class) {
+                    latency = traitsOf(static_cast<Op>(o)).latency;
+                    break;
+                }
+            }
+        }
+        resource = std::max(resource, ClockCycle(count + latency));
+    }
+
+    const double n = double(trace.size());
+    result.pseudoCycles = critical;
+    result.resourceCycles = resource;
+    result.pseudoRate = critical == 0 ? 0.0 : n / double(critical);
+    result.resourceRate = resource == 0 ? 0.0 : n / double(resource);
+    if (result.resourceRate == 0.0)
+        result.actualRate = result.pseudoRate;
+    else
+        result.actualRate =
+            std::min(result.pseudoRate, result.resourceRate);
+    return result;
+}
+
+} // namespace mfusim

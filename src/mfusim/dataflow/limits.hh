@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Performance limits: pseudo-dataflow, resource, actual, serial
+ * (paper section 4, Table 2).
+ *
+ * The pseudo-dataflow limit assumes the program is stored as a
+ * dataflow graph and every instruction executes the moment its
+ * operands exist — unlimited issue width, unlimited buffering, pure
+ * value flow (registers renamed away) — except that "different
+ * portions of the dynamic program graph, i.e., different loop
+ * iterations, cannot start until the appropriate branch conditions
+ * have been resolved": every instruction is additionally gated on
+ * the resolve time of the most recent preceding branch.
+ *
+ * The resource limit bounds execution by the busiest functional unit
+ * of the *base machine*: a program with c operations on a unit of
+ * latency L cannot finish before c + L cycles.
+ *
+ * The actual limit of a program is the tighter of the two; the
+ * paper's class numbers are harmonic means of per-loop actual
+ * limits.
+ *
+ * The serial variant adds the constraint of a machine with no WAW
+ * result buffering: instructions that write the same architectural
+ * register must *complete* in program order ("forcing it to finish,
+ * at best, at the same time").
+ */
+
+#ifndef MFUSIM_DATAFLOW_LIMITS_HH
+#define MFUSIM_DATAFLOW_LIMITS_HH
+
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/core/trace.hh"
+
+namespace mfusim
+{
+
+/** The three limits of one trace under one machine configuration. */
+struct LimitResult
+{
+    double pseudoRate = 0.0;    //!< pseudo-dataflow issue-rate limit
+    double resourceRate = 0.0;  //!< resource issue-rate limit
+    double actualRate = 0.0;    //!< min of the two
+
+    ClockCycle pseudoCycles = 0;
+    ClockCycle resourceCycles = 0;
+};
+
+/**
+ * Compute the limits of @p trace under @p cfg.
+ *
+ * @param serialWaw  apply the serial (in-order completion per
+ *                   architectural register) constraint to the
+ *                   critical-path computation.
+ * @param fuCopies   copies of each functional unit assumed by the
+ *                   resource limit (the paper's base machine: 1)
+ * @param memPorts   memory ports assumed by the resource limit
+ */
+LimitResult computeLimits(const DynTrace &trace,
+                          const MachineConfig &cfg,
+                          bool serialWaw = false,
+                          unsigned fuCopies = 1,
+                          unsigned memPorts = 1);
+
+} // namespace mfusim
+
+#endif // MFUSIM_DATAFLOW_LIMITS_HH

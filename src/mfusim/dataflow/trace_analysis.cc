@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Trace structure analysis implementation.
+ */
+
+#include "mfusim/dataflow/trace_analysis.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace mfusim
+{
+
+DependenceStats
+dependenceDistances(const DynTrace &trace)
+{
+    DependenceStats stats;
+    std::vector<std::int64_t> last_writer(kNumRegs, -1);
+    std::uint64_t distance_sum = 0;
+
+    const auto &ops = trace.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const DynOp &op = ops[i];
+        for (const RegId src : { op.srcA, op.srcB }) {
+            if (src == kNoReg)
+                continue;
+            const std::int64_t writer = last_writer[src];
+            if (writer < 0)
+                continue;
+            const std::uint64_t dist = std::uint64_t(
+                std::int64_t(i) - writer);
+            stats.totalDeps++;
+            distance_sum += dist;
+            if (dist <= DependenceStats::kBuckets)
+                stats.histogram[dist - 1]++;
+            else
+                stats.longer++;
+        }
+        if (op.dst != kNoReg)
+            last_writer[op.dst] = std::int64_t(i);
+    }
+    if (stats.totalDeps > 0) {
+        stats.meanDistance =
+            double(distance_sum) / double(stats.totalDeps);
+    }
+    return stats;
+}
+
+BasicBlockStats
+basicBlocks(const DynTrace &trace)
+{
+    BasicBlockStats stats;
+    std::uint64_t current = 0;
+    for (const DynOp &op : trace.ops()) {
+        ++current;
+        if (isBranch(op.op)) {
+            stats.blocks++;
+            stats.totalOps += current;
+            stats.maxLength = std::max(stats.maxLength, current);
+            current = 0;
+        }
+    }
+    if (current > 0) {
+        stats.blocks++;
+        stats.totalOps += current;
+        stats.maxLength = std::max(stats.maxLength, current);
+    }
+    return stats;
+}
+
+WidthProfile
+widthProfile(const DynTrace &trace, const MachineConfig &cfg)
+{
+    WidthProfile profile;
+    if (trace.empty())
+        return profile;
+
+    // The pseudo-dataflow schedule: each op starts at the max of its
+    // renamed operand ready times and the last branch resolve time.
+    std::vector<ClockCycle> value_ready(kNumRegs, 0);
+    ClockCycle ctrl_ready = 0;
+    std::map<ClockCycle, std::uint64_t> starts;
+    ClockCycle critical = 0;
+
+    for (const DynOp &op : trace.ops()) {
+        const unsigned latency = latencyOf(op.op, cfg);
+        ClockCycle start = ctrl_ready;
+        if (op.srcA != kNoReg)
+            start = std::max(start, value_ready[op.srcA]);
+        if (op.srcB != kNoReg)
+            start = std::max(start, value_ready[op.srcB]);
+        starts[start]++;
+        const ClockCycle done = start + latency;
+        if (isBranch(op.op)) {
+            ctrl_ready = start + cfg.branchTime;
+            critical = std::max(critical, ctrl_ready);
+        } else {
+            if (op.dst != kNoReg)
+                value_ready[op.dst] = done;
+            critical = std::max(critical, done);
+        }
+    }
+
+    profile.levels = critical;
+    profile.meanWidth = critical == 0 ?
+        0.0 : double(trace.size()) / double(critical);
+    for (const auto &[cycle, count] : starts)
+        profile.peakWidth = std::max(profile.peakWidth, count);
+    profile.activeFraction = critical == 0 ?
+        0.0 : double(starts.size()) / double(critical);
+    return profile;
+}
+
+BufferDemand
+bufferDemand(const DynTrace &trace, const MachineConfig &cfg)
+{
+    BufferDemand demand;
+    if (trace.empty())
+        return demand;
+
+    const auto &ops = trace.ops();
+    const std::size_t n = ops.size();
+
+    // Pseudo-dataflow schedule: start/done per op (renamed values,
+    // branch gating), as in computeLimits().
+    std::vector<ClockCycle> done(n, 0);
+    std::vector<std::size_t> last_writer(kNumRegs, SIZE_MAX);
+    // Death time of each producing op's value: max start time of a
+    // consumer (at least the production time).
+    std::vector<ClockCycle> death(n, 0);
+    std::vector<ClockCycle> value_ready(kNumRegs, 0);
+    ClockCycle ctrl_ready = 0;
+    ClockCycle critical = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const DynOp &op = ops[i];
+        ClockCycle start = ctrl_ready;
+        for (const RegId src : { op.srcA, op.srcB }) {
+            if (src == kNoReg)
+                continue;
+            start = std::max(start, value_ready[src]);
+        }
+        const ClockCycle finish =
+            start + latencyOf(op.op, cfg);
+        for (const RegId src : { op.srcA, op.srcB }) {
+            if (src == kNoReg)
+                continue;
+            const std::size_t producer = last_writer[src];
+            if (producer != SIZE_MAX)
+                death[producer] = std::max(death[producer], start);
+        }
+        if (isBranch(op.op)) {
+            ctrl_ready = start + cfg.branchTime;
+            critical = std::max(critical, ctrl_ready);
+        } else {
+            if (op.dst != kNoReg) {
+                value_ready[op.dst] = finish;
+                last_writer[op.dst] = i;
+                done[i] = finish;
+                death[i] = finish;      // at least until produced
+            }
+            critical = std::max(critical, finish);
+        }
+    }
+
+    // Sweep: +1 at each value's production, -1 after its death.
+    std::map<ClockCycle, std::int64_t> events;
+    std::uint64_t values = 0;
+    double live_integral = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (done[i] == 0 && !producesResult(ops[i].op))
+            continue;
+        if (ops[i].dst == kNoReg)
+            continue;
+        events[done[i]] += 1;
+        events[death[i] + 1] -= 1;
+        live_integral += double(death[i] + 1 - done[i]);
+        ++values;
+    }
+    std::int64_t live = 0;
+    for (const auto &[cycle, delta] : events) {
+        live += delta;
+        demand.peakLiveValues =
+            std::max(demand.peakLiveValues, std::uint64_t(live));
+    }
+    demand.meanLiveValues =
+        critical == 0 ? 0.0 : live_integral / double(critical);
+    (void)values;
+    return demand;
+}
+
+std::string
+analyzeTrace(const DynTrace &trace, const MachineConfig &cfg)
+{
+    std::ostringstream os;
+    const TraceStats stats = trace.stats();
+    const DependenceStats deps = dependenceDistances(trace);
+    const BasicBlockStats blocks = basicBlocks(trace);
+    const WidthProfile width = widthProfile(trace, cfg);
+
+    os << "trace '" << trace.name() << "' (" << trace.size()
+       << " ops, " << cfg.name() << ")\n";
+
+    os << "  mix:";
+    for (unsigned fu = 0; fu < kNumFuClasses; ++fu) {
+        if (stats.perFu[fu] == 0)
+            continue;
+        os << ' ' << fuClassName(static_cast<FuClass>(fu)) << '='
+           << (100 * stats.perFu[fu] + stats.totalOps / 2) /
+              stats.totalOps
+           << '%';
+    }
+    os << '\n';
+
+    os << "  branches: every "
+       << (stats.branches == 0 ?
+           0.0 : double(stats.totalOps) / double(stats.branches))
+       << " ops, " << 100.0 * stats.btfnAccuracy()
+       << "% BTFN-predictable\n";
+
+    os << "  basic blocks: mean " << blocks.meanLength() << " ops, max "
+       << blocks.maxLength << '\n';
+
+    os << "  dependences: mean distance " << deps.meanDistance
+       << " ops, " << 100.0 * deps.adjacentFraction()
+       << "% adjacent\n";
+
+    const BufferDemand demand = bufferDemand(trace, cfg);
+    os << "  dataflow width: mean " << width.meanWidth << ", peak "
+       << width.peakWidth << ", active cycles "
+       << 100.0 * width.activeFraction << "%\n";
+    os << "  buffering demand at the dataflow limit: peak "
+       << demand.peakLiveValues << " live values (mean "
+       << demand.meanLiveValues << ")\n";
+    return os.str();
+}
+
+} // namespace mfusim

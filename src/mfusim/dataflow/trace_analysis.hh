@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Trace structure analysis: why a trace achieves the issue rate it
+ * does.
+ *
+ * The paper's argument rests on properties of the dynamic
+ * instruction stream — "It is rare that 2 consecutive instructions
+ * are independent and can issue simultaneously", branch density, the
+ * width of the dataflow graph.  This module measures those
+ * properties directly so the issue-rate results can be explained,
+ * not just reported.
+ */
+
+#ifndef MFUSIM_DATAFLOW_TRACE_ANALYSIS_HH
+#define MFUSIM_DATAFLOW_TRACE_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/core/trace.hh"
+
+namespace mfusim
+{
+
+/**
+ * Distribution of register dependence distances: for every source
+ * operand with an in-trace producer, the number of dynamic
+ * instructions between producer and consumer.
+ */
+struct DependenceStats
+{
+    /** Bucket for distances 1..15; histogram[0] = distance 1. */
+    static constexpr unsigned kBuckets = 15;
+    std::array<std::uint64_t, kBuckets> histogram{};
+    std::uint64_t longer = 0;       //!< distances >= 16
+    std::uint64_t totalDeps = 0;
+    double meanDistance = 0.0;
+
+    /**
+     * Fraction of dependences with distance 1 — consecutive
+     * dependent instructions, the case the paper highlights as the
+     * issue-rate killer.
+     */
+    double
+    adjacentFraction() const
+    {
+        return totalDeps == 0 ?
+            0.0 : double(histogram[0]) / double(totalDeps);
+    }
+};
+
+/** Compute register (RAW) dependence distances over @p trace. */
+DependenceStats dependenceDistances(const DynTrace &trace);
+
+/** Dynamic basic-block structure (runs between branches). */
+struct BasicBlockStats
+{
+    std::uint64_t blocks = 0;
+    std::uint64_t totalOps = 0;
+    std::uint64_t maxLength = 0;
+
+    double
+    meanLength() const
+    {
+        return blocks == 0 ? 0.0 : double(totalOps) / double(blocks);
+    }
+};
+
+/** Measure dynamic basic blocks of @p trace. */
+BasicBlockStats basicBlocks(const DynTrace &trace);
+
+/**
+ * Width profile of the branch-gated dataflow graph: how many
+ * instructions become executable at each dataflow level (the same
+ * schedule the pseudo-dataflow limit uses).
+ */
+struct WidthProfile
+{
+    std::uint64_t levels = 0;       //!< critical path length (cycles)
+    double meanWidth = 0.0;         //!< ops / levels
+    std::uint64_t peakWidth = 0;    //!< max ops starting in one cycle
+    /** Fraction of cycles in which at least one op starts. */
+    double activeFraction = 0.0;
+};
+
+/** Compute the dataflow width profile of @p trace under @p cfg. */
+WidthProfile widthProfile(const DynTrace &trace,
+                          const MachineConfig &cfg);
+
+/**
+ * Buffering the pseudo-dataflow limit implicitly assumes.
+ *
+ * Table 2's "Pure" limits assume "an unlimited amount of buffer
+ * storage is available to store temporary or intermediate results".
+ * This measures how much that really is: scheduling the trace at its
+ * pseudo-dataflow times, a value is buffered from its production
+ * until its last consumer has started; the peak count of
+ * simultaneously buffered values approximates the reservation
+ * station / RUU capacity needed to reach the limit — directly
+ * comparable with the RUU-size saturation points of Tables 7/8.
+ */
+struct BufferDemand
+{
+    std::uint64_t peakLiveValues = 0;
+    double meanLiveValues = 0.0;
+};
+
+/** Measure the dataflow schedule's buffering demand. */
+BufferDemand bufferDemand(const DynTrace &trace,
+                          const MachineConfig &cfg);
+
+/** Multi-line human-readable analysis of @p trace. */
+std::string analyzeTrace(const DynTrace &trace,
+                         const MachineConfig &cfg);
+
+} // namespace mfusim
+
+#endif // MFUSIM_DATAFLOW_TRACE_ANALYSIS_HH

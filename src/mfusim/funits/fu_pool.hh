@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The complete functional-unit complement of the base machine.
+ *
+ * One unit of each FuClass (address add/multiply, scalar add,
+ * logical, shift, floating add/multiply, reciprocal approximation)
+ * plus the memory port.  Register-transfer operations use dedicated
+ * data paths and never contend for a unit; branches are resolved by
+ * the issue stage and likewise bypass the pool.
+ */
+
+#ifndef MFUSIM_FUNITS_FU_POOL_HH
+#define MFUSIM_FUNITS_FU_POOL_HH
+
+#include <array>
+#include <vector>
+
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/core/opcode.hh"
+#include "mfusim/funits/functional_unit.hh"
+#include "mfusim/funits/memory_port.hh"
+
+namespace mfusim
+{
+
+/** Hardware organization of the execution resources. */
+struct FuPoolConfig
+{
+    FuDiscipline fuDiscipline = FuDiscipline::kSegmented;
+    MemDiscipline memDiscipline = MemDiscipline::kInterleaved;
+
+    /**
+     * Copies of each functional unit (extension).  The paper's base
+     * machine has exactly one of each ("there is only 1 floating
+     * point multiply unit and this unit can only accept 1 new
+     * floating point operation every clock cycle"); replicating
+     * units tests the paper's opening premise that performance can
+     * be sought by "increasing the number of functional units".
+     */
+    unsigned fuCopies = 1;
+
+    /** Independent memory ports (extension; the base machine: 1). */
+    unsigned memPorts = 1;
+};
+
+/**
+ * Accept-availability of every execution resource of the machine.
+ */
+class FuPool
+{
+  public:
+    FuPool(const FuPoolConfig &poolCfg, const MachineConfig &machineCfg);
+
+    /** True if @p op's execution resource can accept it at @p when. */
+    bool canAccept(Op op, ClockCycle when) const;
+
+    /** Earliest cycle >= @p when at which @p op can be accepted. */
+    ClockCycle earliestAccept(Op op, ClockCycle when) const;
+
+    /**
+     * Accept @p op at cycle @p when; returns the cycle at which its
+     * result is usable by dependents (when + latency; for a vector
+     * op with @p occupancy elements, when + latency + occupancy - 1,
+     * the last element).
+     */
+    ClockCycle accept(Op op, ClockCycle when, unsigned occupancy = 1);
+
+    void reset();
+
+  private:
+    /** True if @p op contends for a pool resource at all. */
+    static bool usesPool(Op op);
+
+    /** The copy of @p op's unit class that frees up first. */
+    const FunctionalUnit &bestUnit(Op op) const;
+    FunctionalUnit &bestUnit(Op op);
+    const MemoryPort &bestPort() const;
+    MemoryPort &bestPort();
+
+    MachineConfig machineCfg_;
+    // units_[class * fuCopies + copy]
+    std::vector<FunctionalUnit> units_;
+    std::vector<MemoryPort> memory_;
+    unsigned fuCopies_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_FUNITS_FU_POOL_HH

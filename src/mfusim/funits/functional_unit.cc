@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Functional unit timing.
+ */
+
+#include "mfusim/funits/functional_unit.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mfusim
+{
+
+void
+FunctionalUnit::accept(ClockCycle when, unsigned latency,
+                       unsigned occupancy)
+{
+    assert(canAccept(when) && "accepted an op while busy");
+    assert(occupancy >= 1);
+    if (discipline_ == FuDiscipline::kSegmented) {
+        // A segmented unit starts one new operation per cycle; a
+        // vector operation feeds it one element per cycle and so
+        // holds it for its whole occupancy.
+        nextFree_ = when + occupancy;
+    } else {
+        nextFree_ = when + std::max(latency, occupancy);
+    }
+}
+
+} // namespace mfusim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Timing model of one hardware functional unit.
+ *
+ * The paper distinguishes two functional-unit disciplines:
+ *
+ *  - "non-segmented": a unit is busy for the full latency of each
+ *    operation it accepts (CDC-6600 style; the paper's SerialMemory
+ *    and NonSegmented machines);
+ *  - "segmented" (pipelined): a unit accepts a new independent
+ *    operation every clock cycle (CRAY style).
+ *
+ * A FunctionalUnit tracks only when it can next *accept* work; the
+ * per-operation result latency is the caller's business.
+ */
+
+#ifndef MFUSIM_FUNITS_FUNCTIONAL_UNIT_HH
+#define MFUSIM_FUNITS_FUNCTIONAL_UNIT_HH
+
+#include "mfusim/core/types.hh"
+
+namespace mfusim
+{
+
+/** Pipelining discipline of a functional unit. */
+enum class FuDiscipline
+{
+    kSegmented,     //!< accepts one operation per cycle
+    kNonSegmented,  //!< busy for the whole operation latency
+};
+
+/**
+ * One functional unit's accept-availability timeline.
+ */
+class FunctionalUnit
+{
+  public:
+    explicit FunctionalUnit(FuDiscipline discipline =
+                            FuDiscipline::kSegmented)
+        : discipline_(discipline)
+    {}
+
+    /** Earliest cycle at which a new operation can be accepted. */
+    ClockCycle nextFree() const { return nextFree_; }
+
+    /** True if an operation can be accepted at cycle @p when. */
+    bool
+    canAccept(ClockCycle when) const
+    {
+        return when >= nextFree_;
+    }
+
+    /**
+     * Accept an operation at cycle @p when with result latency
+     * @p latency.  @p when must be >= nextFree().
+     *
+     * @param occupancy cycles the unit is held by this operation: 1
+     *        for scalar ops; a vector op streams one element per
+     *        cycle and holds even a segmented unit for VL cycles.
+     */
+    void accept(ClockCycle when, unsigned latency,
+                unsigned occupancy = 1);
+
+    FuDiscipline discipline() const { return discipline_; }
+
+    /** Forget all reservations (start a new simulation). */
+    void reset() { nextFree_ = 0; }
+
+  private:
+    FuDiscipline discipline_;
+    ClockCycle nextFree_ = 0;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_FUNITS_FUNCTIONAL_UNIT_HH

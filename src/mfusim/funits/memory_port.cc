@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Memory port timing.
+ */
+
+#include "mfusim/funits/memory_port.hh"
+
+#include <cassert>
+
+namespace mfusim
+{
+
+ClockCycle
+MemoryPort::accept(ClockCycle when, unsigned occupancy)
+{
+    assert(canAccept(when) && "memory accepted a request while busy");
+    assert(occupancy >= 1);
+    if (discipline_ == MemDiscipline::kInterleaved)
+        nextFree_ = when + occupancy;
+    else
+        nextFree_ = when + latency_ + occupancy - 1;
+    return when + latency_ + occupancy - 1;
+}
+
+} // namespace mfusim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Result-bus reservation implementation.
+ */
+
+#include "mfusim/funits/result_bus.hh"
+
+#include <cassert>
+
+namespace mfusim
+{
+
+std::uint64_t
+CycleReservations::maskFor(ClockCycle t) const
+{
+    assert(t >= base_ && "reservation in the forgotten past");
+    assert(t < base_ + 64 && "reservation beyond the 64-cycle window");
+    return std::uint64_t(1) << (t - base_);
+}
+
+bool
+CycleReservations::isReserved(ClockCycle t) const
+{
+    if (t < base_)
+        return false;
+    if (t >= base_ + 64)
+        return false;
+    return (bits_ & (std::uint64_t(1) << (t - base_))) != 0;
+}
+
+bool
+CycleReservations::tryReserve(ClockCycle t)
+{
+    const std::uint64_t mask = maskFor(t);
+    if (bits_ & mask)
+        return false;
+    bits_ |= mask;
+    return true;
+}
+
+void
+CycleReservations::advanceTo(ClockCycle now)
+{
+    if (now <= base_)
+        return;
+    const ClockCycle shift = now - base_;
+    bits_ = shift >= 64 ? 0 : bits_ >> shift;
+    base_ = now;
+}
+
+void
+CycleReservations::reset()
+{
+    base_ = 0;
+    bits_ = 0;
+}
+
+const char *
+busKindName(BusKind kind)
+{
+    switch (kind) {
+      case BusKind::kPerUnit:
+        return "N-Bus";
+      case BusKind::kSingle:
+        return "1-Bus";
+      default:
+        return "X-Bar";
+    }
+}
+
+ResultBusSet::ResultBusSet(BusKind kind, unsigned numUnits)
+    : kind_(kind)
+{
+    assert(numUnits >= 1);
+    const unsigned count = kind == BusKind::kSingle ? 1 : numUnits;
+    busses_.resize(count);
+}
+
+bool
+ResultBusSet::canReserve(unsigned unit, ClockCycle completion) const
+{
+    switch (kind_) {
+      case BusKind::kSingle:
+        return !busses_[0].isReserved(completion);
+      case BusKind::kPerUnit:
+        assert(unit < busses_.size());
+        return !busses_[unit].isReserved(completion);
+      default:  // crossbar: any free bus will do
+        for (const CycleReservations &bus : busses_) {
+            if (!bus.isReserved(completion))
+                return true;
+        }
+        return false;
+    }
+}
+
+void
+ResultBusSet::reserve(unsigned unit, ClockCycle completion)
+{
+    switch (kind_) {
+      case BusKind::kSingle:
+        {
+            const bool ok = busses_[0].tryReserve(completion);
+            assert(ok && "1-Bus slot taken");
+            (void)ok;
+        }
+        break;
+      case BusKind::kPerUnit:
+        {
+            assert(unit < busses_.size());
+            const bool ok = busses_[unit].tryReserve(completion);
+            assert(ok && "N-Bus slot taken");
+            (void)ok;
+        }
+        break;
+      default:
+        for (CycleReservations &bus : busses_) {
+            if (bus.tryReserve(completion))
+                return;
+        }
+        assert(false && "X-Bar: all busses taken");
+        break;
+    }
+}
+
+void
+ResultBusSet::advanceTo(ClockCycle now)
+{
+    for (CycleReservations &bus : busses_)
+        bus.advanceTo(now);
+}
+
+void
+ResultBusSet::reset()
+{
+    for (CycleReservations &bus : busses_)
+        bus.reset();
+}
+
+} // namespace mfusim

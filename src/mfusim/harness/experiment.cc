@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment runner implementation.
+ */
+
+#include "mfusim/harness/experiment.hh"
+
+#include "mfusim/codegen/livermore.hh"
+#include "mfusim/core/stats.hh"
+#include "mfusim/harness/trace_library.hh"
+
+namespace mfusim
+{
+
+const std::vector<int> &
+loopsOf(LoopClass cls)
+{
+    return cls == LoopClass::kScalar ? scalarLoopIds()
+                                     : vectorizableLoopIds();
+}
+
+const char *
+loopClassName(LoopClass cls)
+{
+    return cls == LoopClass::kScalar ? "Scalar" : "Vectorizable";
+}
+
+std::vector<double>
+perLoopRates(const SimFactory &factory, const std::vector<int> &loops,
+             const MachineConfig &cfg)
+{
+    std::vector<double> rates;
+    rates.reserve(loops.size());
+    for (int loop : loops) {
+        const DynTrace &trace = TraceLibrary::instance().trace(loop);
+        auto sim = factory(cfg);
+        rates.push_back(sim->run(trace).issueRate());
+    }
+    return rates;
+}
+
+double
+meanIssueRate(const SimFactory &factory, LoopClass cls,
+              const MachineConfig &cfg)
+{
+    const std::vector<double> rates =
+        perLoopRates(factory, loopsOf(cls), cfg);
+    return harmonicMean(rates);
+}
+
+std::vector<double>
+meanIssueRateAllConfigs(const SimFactory &factory, LoopClass cls)
+{
+    std::vector<double> means;
+    for (const MachineConfig &cfg : standardConfigs())
+        means.push_back(meanIssueRate(factory, cls, cfg));
+    return means;
+}
+
+} // namespace mfusim

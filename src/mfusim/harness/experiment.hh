@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Experiment runner: loop classes x machine configurations ->
+ * harmonic-mean issue rates, in the paper's reporting conventions.
+ */
+
+#ifndef MFUSIM_HARNESS_EXPERIMENT_HH
+#define MFUSIM_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/core/trace.hh"
+#include "mfusim/sim/simulator.hh"
+
+namespace mfusim
+{
+
+/** Builds a simulator for a given machine configuration. */
+using SimFactory =
+    std::function<std::unique_ptr<Simulator>(const MachineConfig &)>;
+
+/** The paper's two loop classes. */
+enum class LoopClass { kScalar, kVectorizable };
+
+/** Loop ids of a class ({5,6,11,13,14} or {1,2,3,4,7,8,9,10,12}). */
+const std::vector<int> &loopsOf(LoopClass cls);
+
+/** "Scalar" / "Vectorizable". */
+const char *loopClassName(LoopClass cls);
+
+/** Per-loop issue rates of @p factory's machine over @p loops. */
+std::vector<double> perLoopRates(const SimFactory &factory,
+                                 const std::vector<int> &loops,
+                                 const MachineConfig &cfg);
+
+/**
+ * The paper's reported number: the harmonic mean of the per-loop
+ * issue rates of one loop class on one machine.
+ */
+double meanIssueRate(const SimFactory &factory, LoopClass cls,
+                     const MachineConfig &cfg);
+
+/**
+ * meanIssueRate across the four standard configurations, in table
+ * order (M11BR5, M11BR2, M5BR5, M5BR2).
+ */
+std::vector<double> meanIssueRateAllConfigs(const SimFactory &factory,
+                                            LoopClass cls);
+
+} // namespace mfusim
+
+#endif // MFUSIM_HARNESS_EXPERIMENT_HH

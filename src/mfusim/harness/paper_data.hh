@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The paper's published numbers (Tables 1-8), embedded for
+ * side-by-side comparison in the bench binaries and for
+ * shape-checking in tests.
+ *
+ * Values are transcribed from Pleszkun & Sohi, UW-Madison CS TR
+ * #752, February 1988.  A few cells of Table 4/5/6 (row 8 of some
+ * columns) and of Table 8's M11BR5 block are illegible in the
+ * available scan; those cells are reconstructed by monotone
+ * continuation of the adjacent rows and are flagged in
+ * paper_data.cc.
+ *
+ * Configuration index convention everywhere: 0 = M11BR5,
+ * 1 = M11BR2, 2 = M5BR5, 3 = M5BR2 (the order of
+ * standardConfigs()).
+ */
+
+#ifndef MFUSIM_HARNESS_PAPER_DATA_HH
+#define MFUSIM_HARNESS_PAPER_DATA_HH
+
+#include <array>
+
+#include "mfusim/harness/experiment.hh"
+
+namespace mfusim
+{
+namespace paper
+{
+
+/** Machine row index for table1(). */
+enum Table1Machine
+{
+    kSimple = 0,
+    kSerialMemory = 1,
+    kNonSegmented = 2,
+    kCrayLike = 3,
+};
+
+/** Table 1: single-issue machine issue rates. */
+double table1(LoopClass cls, int machine, int cfg);
+
+/** One row of Table 2. */
+struct Table2Row
+{
+    double pseudo;
+    double resource;
+    double actual;
+};
+
+/** Table 2: dataflow limits ("Pure" when !serial, else "Serial"). */
+Table2Row table2(bool serial, LoopClass cls, int cfg);
+
+/** Tables 3/4: sequential multi-issue; stations in 1..8. */
+double table3_4(LoopClass cls, int cfg, int stations, bool oneBus);
+
+/** Tables 5/6: out-of-order multi-issue; stations in 1..8. */
+double table5_6(LoopClass cls, int cfg, int stations, bool oneBus);
+
+/** RUU sizes used by Tables 7/8: {10, 20, 30, 40, 50, 100}. */
+const std::array<int, 6> &ruuSizes();
+
+/**
+ * Tables 7/8: RUU machines; sizeIdx indexes ruuSizes(), units in
+ * 1..4.
+ */
+double table7_8(LoopClass cls, int cfg, int sizeIdx, int units,
+                bool oneBus);
+
+} // namespace paper
+} // namespace mfusim
+
+#endif // MFUSIM_HARNESS_PAPER_DATA_HH

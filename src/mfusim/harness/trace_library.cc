@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Trace cache implementation.
+ */
+
+#include "mfusim/harness/trace_library.hh"
+
+#include <stdexcept>
+
+#include "mfusim/codegen/livermore.hh"
+
+namespace mfusim
+{
+
+TraceLibrary &
+TraceLibrary::instance()
+{
+    static TraceLibrary library;
+    return library;
+}
+
+const DynTrace &
+TraceLibrary::trace(int loopId)
+{
+    if (loopId < 1 || loopId > 14) {
+        throw std::invalid_argument(
+            "TraceLibrary: loop id must be 1..14");
+    }
+    auto &slot = traces_[std::size_t(loopId)];
+    if (!slot)
+        slot = std::make_unique<DynTrace>(traceKernel(loopId));
+    return *slot;
+}
+
+} // namespace mfusim

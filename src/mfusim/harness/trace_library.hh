@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cached dynamic traces of the 14 Livermore loops.
+ *
+ * Trace generation (assemble + interpret + validate) costs far more
+ * than a timing simulation, and every experiment sweeps the same 14
+ * traces over dozens of machine configurations, so traces are built
+ * once per process and shared.
+ */
+
+#ifndef MFUSIM_HARNESS_TRACE_LIBRARY_HH
+#define MFUSIM_HARNESS_TRACE_LIBRARY_HH
+
+#include <array>
+#include <memory>
+
+#include "mfusim/core/trace.hh"
+
+namespace mfusim
+{
+
+/**
+ * Lazily built, process-wide cache of the benchmark traces.
+ */
+class TraceLibrary
+{
+  public:
+    /** The process-wide instance. */
+    static TraceLibrary &instance();
+
+    /**
+     * The validated dynamic trace of Livermore loop @p loopId
+     * (1..14).  Built (and checked against the C++ reference
+     * kernels) on first use; throws if validation fails.
+     */
+    const DynTrace &trace(int loopId);
+
+  private:
+    TraceLibrary() = default;
+    std::array<std::unique_ptr<DynTrace>, 15> traces_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_HARNESS_TRACE_LIBRARY_HH

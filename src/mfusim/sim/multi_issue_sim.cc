@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Multiple-issue buffer machine implementation.
+ */
+
+#include "mfusim/sim/multi_issue_sim.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+#include <limits>
+#include <vector>
+
+namespace mfusim
+{
+
+namespace
+{
+
+constexpr ClockCycle kNever = std::numeric_limits<ClockCycle>::max();
+
+} // namespace
+
+MultiIssueSim::MultiIssueSim(const MultiIssueConfig &org,
+                             const MachineConfig &cfg)
+    : org_(org), cfg_(cfg)
+{
+    assert(org_.width >= 1);
+}
+
+std::string
+MultiIssueSim::name() const
+{
+    std::string text = org_.outOfOrder ? "OutOfOrderIssue" : "SeqIssue";
+    text += "(w=" + std::to_string(org_.width) + ", ";
+    text += busKindName(org_.busKind);
+    text += ")";
+    return text;
+}
+
+SimResult
+MultiIssueSim::run(const DynTrace &trace)
+{
+    SimResult result;
+    result.instructions = trace.size();
+    if (trace.empty())
+        return result;
+
+    const auto &ops = trace.ops();
+    const std::size_t n = ops.size();
+
+    // The multiple-issue study is scalar-only, as in the paper.
+    for (const DynOp &guard_op : trace.ops()) {
+        if (isVector(guard_op.op)) {
+            throw std::invalid_argument(
+                "MultiIssueSim: vector instructions are not "
+                "supported (the paper's multiple-issue study is "
+                "scalar-only; use ScoreboardSim)");
+        }
+    }
+
+    // A branch is "predicted free" when the (extension) branch
+    // policy resolves it without gating the stream: oracle always,
+    // BTFN when the static prediction matches the outcome.
+    const auto predicted_free = [this](const DynOp &op) {
+        if (!isBranch(op.op))
+            return false;
+        if (org_.branchPolicy == BranchPolicy::kOracle)
+            return true;
+        return org_.branchPolicy == BranchPolicy::kBtfn &&
+            btfnCorrect(op.backward, op.taken);
+    };
+    // A branch squashes the buffer slots behind it when the machine
+    // must refetch: a taken branch under the blocking policy, or any
+    // mispredicted branch under BTFN.
+    const auto squashes = [this, &predicted_free](const DynOp &op) {
+        if (!isBranch(op.op) || predicted_free(op))
+            return false;
+        return op.taken ||
+            org_.branchPolicy == BranchPolicy::kBtfn;
+    };
+
+    // Program-order dependence links.  With out-of-order issue a
+    // younger instruction may write a register before an older
+    // reader has issued; the older reader must wait on its *true*
+    // (program-order) producer, not on whatever wrote the register
+    // most recently.  (The paper ignores WAR hazards, so the younger
+    // write neither blocks nor creates a dependence.)  prodA/prodB
+    // point at the last earlier writer of each source; prevWriter at
+    // the last earlier writer of the destination (the CRAY WAW
+    // register reservation).
+    constexpr std::size_t kNoProd = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> prodA(n, kNoProd), prodB(n, kNoProd);
+    std::vector<std::size_t> prevWriter(n, kNoProd);
+    {
+        std::array<std::size_t, kNumRegs> lastWriter;
+        lastWriter.fill(kNoProd);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (ops[j].srcA != kNoReg)
+                prodA[j] = lastWriter[ops[j].srcA];
+            if (ops[j].srcB != kNoReg)
+                prodB[j] = lastWriter[ops[j].srcB];
+            if (ops[j].dst != kNoReg) {
+                prevWriter[j] = lastWriter[ops[j].dst];
+                lastWriter[ops[j].dst] = j;
+            }
+        }
+    }
+    // Completion (result-available) time of each issued instruction.
+    std::vector<ClockCycle> completion(n, 0);
+    FuPool pool({ FuDiscipline::kSegmented,
+                  MemDiscipline::kInterleaved, org_.fuCopies,
+                  org_.memPorts },
+                cfg_);
+    ResultBusSet bus(org_.busKind, org_.width);
+
+    std::size_t wStart = 0;             // first instruction in buffer
+    std::vector<bool> issued(org_.width, false);
+
+    // Issue floor imposed by the most recently issued branch: no
+    // instruction that follows it in program order may issue before
+    // floorTime.
+    std::size_t floorIdx = std::numeric_limits<std::size_t>::max();
+    ClockCycle floorTime = 0;
+
+    ClockCycle t = 0;
+    ClockCycle end = 0;
+
+    while (wStart < n) {
+        // Window [wStart, wEnd): a taken branch squashes the slots
+        // behind it (they hold wrong-path instructions that never
+        // issue), so the issuable window ends just after it.
+        std::size_t wEnd = std::min(wStart + org_.width, n);
+        for (std::size_t j = wStart; j < wEnd; ++j) {
+            if (squashes(ops[j])) {
+                wEnd = j + 1;
+                break;
+            }
+        }
+        std::fill(issued.begin(), issued.end(), false);
+
+        std::size_t remaining = wEnd - wStart;
+        while (remaining > 0) {
+            bus.advanceTo(t);
+            bool progress = false;
+            ClockCycle hint = kNever;   // earliest future issue event
+
+            for (std::size_t j = wStart; j < wEnd; ++j) {
+                if (issued[j - wStart])
+                    continue;
+                const DynOp &op = ops[j];
+                const unsigned latency = latencyOf(op.op, cfg_);
+
+                // Register and control constraints give a concrete
+                // earliest cycle; buffer-order hazards (against
+                // earlier *unissued* entries) are resolved only by a
+                // later cycle's scan.
+                const bool free_branch = predicted_free(op);
+                ClockCycle earliest = 0;
+                // A predicted-free branch does not wait for its
+                // condition to issue (it resolves in the background).
+                if (!free_branch && prodA[j] != kNoProd)
+                    earliest = std::max(earliest, completion[prodA[j]]);
+                if (prodB[j] != kNoProd)
+                    earliest = std::max(earliest, completion[prodB[j]]);
+                if (prevWriter[j] != kNoProd)
+                    earliest = std::max(earliest,
+                                        completion[prevWriter[j]]);
+                if (floorIdx < j)
+                    earliest = std::max(earliest, floorTime);
+
+                bool buffer_hazard = false;
+                for (std::size_t k = wStart; k < j && !buffer_hazard;
+                     ++k) {
+                    if (issued[k - wStart])
+                        continue;
+                    if (!org_.outOfOrder) {
+                        // Sequential issue: any unissued predecessor
+                        // blocks.
+                        buffer_hazard = true;
+                        break;
+                    }
+                    const DynOp &prev = ops[k];
+                    if (isBranch(prev.op) && !predicted_free(prev)) {
+                        buffer_hazard = true;   // no speculation
+                        break;
+                    }
+                    if (prev.dst != kNoReg) {
+                        if (!free_branch &&
+                            (prev.dst == op.srcA ||
+                             prev.dst == op.srcB)) {
+                            buffer_hazard = true;       // RAW in buffer
+                        }
+                        if (prev.dst == op.dst)
+                            buffer_hazard = true;       // WAW in buffer
+                    }
+                    if (org_.blockWar && op.dst != kNoReg &&
+                        (prev.srcA == op.dst || prev.srcB == op.dst)) {
+                        buffer_hazard = true;           // WAR in buffer
+                    }
+                }
+                if (buffer_hazard) {
+                    if (!org_.outOfOrder)
+                        break;      // nothing later may issue either
+                    continue;
+                }
+
+                if (earliest > t) {
+                    hint = std::min(hint, earliest);
+                    if (!org_.outOfOrder)
+                        break;
+                    continue;
+                }
+
+                // Structural: functional unit and result bus.
+                const unsigned unit = unsigned(j - wStart);
+                if (!pool.canAccept(op.op, t)) {
+                    hint = std::min(hint,
+                                    pool.earliestAccept(op.op, t));
+                    if (!org_.outOfOrder)
+                        break;
+                    continue;
+                }
+                if (producesResult(op.op) &&
+                    !bus.canReserve(unit, t + latency)) {
+                    hint = std::min(hint, t + 1);
+                    if (!org_.outOfOrder)
+                        break;
+                    continue;
+                }
+
+                // Issue instruction j at cycle t.
+                const ClockCycle ready = pool.accept(op.op, t);
+                if (producesResult(op.op)) {
+                    bus.reserve(unit, ready);
+                    end = std::max(end, ready);
+                }
+                completion[j] = ready;
+                if (isBranch(op.op)) {
+                    if (free_branch) {
+                        // One issue slot, no gating.
+                        end = std::max(end, t + 1);
+                    } else {
+                        floorIdx = j;
+                        floorTime = t + cfg_.branchTime;
+                        end = std::max(end, floorTime);
+                    }
+                } else {
+                    end = std::max(end, ready);
+                }
+                issued[j - wStart] = true;
+                --remaining;
+                progress = true;
+
+                if (!org_.outOfOrder && isBranch(op.op) && op.taken) {
+                    // Slots behind a taken branch were already cut
+                    // from the window by wEnd.
+                }
+            }
+
+            // Advance time: one cycle after any progress, otherwise
+            // jump to the next cycle at which anything can change.
+            if (progress || hint == kNever)
+                t += 1;
+            else
+                t = std::max(t + 1, hint);
+        }
+
+        // Refill: the next window's instructions can issue no
+        // earlier than the cycle after the last issue from this one
+        // (and no earlier than a pending branch floor, which the
+        // per-instruction check enforces).
+        wStart = wEnd;
+    }
+
+    result.cycles = end;
+    return result;
+}
+
+} // namespace mfusim

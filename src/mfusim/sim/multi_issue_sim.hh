@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Multiple issue units over an instruction buffer (Tables 3-6).
+ *
+ * The machine fetches a block of `width` consecutive instructions
+ * into an instruction buffer examined in parallel by `width` issue
+ * units.  The buffer is refilled only after every instruction in it
+ * has issued — except that a taken branch squashes the rest of the
+ * buffer and refills from the target once it resolves.
+ *
+ * Two issue disciplines (paper sections 5.1 and 5.2):
+ *
+ *  - sequential: "If any instruction cannot issue, succeeding
+ *    instructions cannot be issued even if their resources are
+ *    available."
+ *  - out-of-order: any instruction in the buffer may issue once it
+ *    has no RAW or WAW hazard with the (unissued) instructions that
+ *    precede it in the buffer and no hazard with in-flight
+ *    instructions.  No instruction may issue past an unissued
+ *    branch (the machine does not speculate).
+ *
+ * The execution resources are always the CRAY-like complement
+ * (segmented units, interleaved memory): "we restrict further
+ * experiments to machines with fully segmented functional units and
+ * an interleaved memory system."
+ *
+ * Result busses follow BusKind: issue unit i is the buffer slot i,
+ * and an instruction reserves its bus for its completion cycle at
+ * issue (N-Bus: slot's own bus; 1-Bus: the shared bus; X-Bar: any
+ * free bus).
+ */
+
+#ifndef MFUSIM_SIM_MULTI_ISSUE_SIM_HH
+#define MFUSIM_SIM_MULTI_ISSUE_SIM_HH
+
+#include "mfusim/core/branch_policy.hh"
+#include "mfusim/funits/fu_pool.hh"
+#include "mfusim/funits/result_bus.hh"
+#include "mfusim/sim/simulator.hh"
+
+namespace mfusim
+{
+
+/** Organization of the multiple-issue buffer machine. */
+struct MultiIssueConfig
+{
+    unsigned width = 2;             //!< issue units == buffer size
+    bool outOfOrder = false;        //!< section 5.2 vs 5.1
+    BusKind busKind = BusKind::kPerUnit;
+    /**
+     * Also block on WAR hazards against earlier unissued buffer
+     * entries.  The paper ignores WAR ("not important in a single
+     * processor situation"); real out-of-order issue with issue-time
+     * operand read would need this.  Ablation knob, default off.
+     */
+    bool blockWar = false;
+
+    /**
+     * Branch handling.  kBlocking is the paper's model (no
+     * speculation): instructions never issue past an unresolved
+     * branch, and a taken branch squashes the rest of the buffer.
+     * kBtfn/kOracle model an idealized predicted front end: a
+     * correctly predicted branch costs one issue slot, imposes no
+     * floor, and the buffer behind it holds the correct path; a
+     * mispredicted branch behaves like a blocking one (redirect
+     * after resolution).
+     */
+    BranchPolicy branchPolicy = BranchPolicy::kBlocking;
+
+    /** Copies of each functional unit (extension; paper: 1). */
+    unsigned fuCopies = 1;
+    /** Independent memory ports (extension; paper: 1). */
+    unsigned memPorts = 1;
+};
+
+/**
+ * The multiple-issue instruction-buffer machine.
+ */
+class MultiIssueSim : public Simulator
+{
+  public:
+    MultiIssueSim(const MultiIssueConfig &org, const MachineConfig &cfg);
+
+    SimResult run(const DynTrace &trace) override;
+    std::string name() const override;
+
+  private:
+    MultiIssueConfig org_;
+    MachineConfig cfg_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_SIM_MULTI_ISSUE_SIM_HH

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * RUU machine implementation.
+ */
+
+#include "mfusim/sim/ruu_sim.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace mfusim
+{
+
+namespace
+{
+
+constexpr ClockCycle kUnknown = std::numeric_limits<ClockCycle>::max();
+constexpr DynIndex kNoProducer = std::numeric_limits<DynIndex>::max();
+
+} // namespace
+
+RuuSim::RuuSim(const RuuConfig &org, const MachineConfig &cfg)
+    : org_(org), cfg_(cfg)
+{
+    assert(org_.width >= 1);
+    assert(org_.ruuSize >= org_.width &&
+           "each issue unit needs at least one RUU slot");
+}
+
+std::string
+RuuSim::name() const
+{
+    return "RUU(w=" + std::to_string(org_.width) +
+        ", size=" + std::to_string(org_.ruuSize) + ", " +
+        busKindName(org_.busKind) + ")";
+}
+
+SimResult
+RuuSim::run(const DynTrace &trace)
+{
+    SimResult result;
+    result.instructions = trace.size();
+    if (trace.empty())
+        return result;
+
+    const auto &ops = trace.ops();
+    const std::size_t n = ops.size();
+
+    // The RUU study is scalar-only, as in the paper.
+    for (const DynOp &guard_op : ops) {
+        if (isVector(guard_op.op)) {
+            throw std::invalid_argument(
+                "RuuSim: vector instructions are not supported "
+                "(the paper's RUU study is scalar-only; use "
+                "ScoreboardSim)");
+        }
+    }
+
+    // Slot banking: the restricted N-Bus organization gives each
+    // issue unit a private bank of slots and busses; 1-Bus and X-Bar
+    // share one pool of slots.
+    const bool banked = org_.busKind == BusKind::kPerUnit;
+    const unsigned num_banks = banked ? org_.width : 1;
+    std::vector<unsigned> bank_cap(num_banks);
+    for (unsigned b = 0; b < num_banks; ++b) {
+        bank_cap[b] = banked ?
+            org_.ruuSize / org_.width +
+                (b < org_.ruuSize % org_.width ? 1 : 0) :
+            org_.ruuSize;
+    }
+
+    // Per-cycle dispatch capacity (RUU -> functional units).
+    const unsigned dispatch_cap =
+        org_.busKind == BusKind::kSingle ? 1 : org_.width;
+    // Per-cycle commit capacity (RUU head -> register file).
+    const unsigned commit_cap = dispatch_cap;
+
+    struct Entry
+    {
+        DynIndex idx;
+        unsigned bank;
+        bool dispatched;
+        DynIndex prodA;     //!< producing op of srcA, or kNoProducer
+        DynIndex prodB;
+    };
+
+    std::deque<Entry> ruu;
+    std::vector<unsigned> bank_count(num_banks, 0);
+    std::vector<ClockCycle> result_time(n, kUnknown);
+    std::vector<DynIndex> last_writer(kNumRegs, kNoProducer);
+
+    FuPool pool({ FuDiscipline::kSegmented,
+                  MemDiscipline::kInterleaved, org_.fuCopies,
+                  org_.memPorts },
+                cfg_);
+    // FU -> RUU writeback busses.
+    ResultBusSet wb(org_.busKind, org_.width);
+
+    // True once the producing value of operand (producer id) is
+    // available at cycle t.
+    const auto operand_ready = [&](DynIndex prod, ClockCycle t) {
+        if (prod == kNoProducer)
+            return true;
+        const ClockCycle r = result_time[prod];
+        return r != kUnknown && r <= t;
+    };
+    // Future cycle at which the operand becomes available, if known.
+    const auto operand_hint = [&](DynIndex prod) -> ClockCycle {
+        if (prod == kNoProducer)
+            return kUnknown;
+        return result_time[prod];
+    };
+
+    std::size_t next_insert = 0;        // next trace op to issue
+    std::uint64_t insert_counter = 0;   // round-robin bank assignment
+    ClockCycle insert_blocked_until = 0;
+    ClockCycle t = 0;
+    ClockCycle end = 0;
+
+    while (next_insert < n || !ruu.empty()) {
+        bool progress = false;
+        ClockCycle hint = kUnknown;
+        wb.advanceTo(t);
+
+        // ---- commit: retire completed results from the head -------
+        unsigned committed = 0;
+        while (committed < commit_cap && !ruu.empty()) {
+            const Entry &head = ruu.front();
+            if (!head.dispatched)
+                break;
+            const ClockCycle r = result_time[head.idx];
+            if (r > t) {
+                hint = std::min(hint, r);
+                break;
+            }
+            bank_count[head.bank]--;
+            ruu.pop_front();
+            end = std::max(end, t);
+            ++committed;
+            progress = true;
+        }
+
+        // ---- dispatch: RUU -> functional units ---------------------
+        unsigned dispatched_total = 0;
+        std::vector<unsigned> dispatched_bank(num_banks, 0);
+        for (Entry &entry : ruu) {
+            if (dispatched_total >= dispatch_cap)
+                break;
+            if (entry.dispatched)
+                continue;
+            if (banked && dispatched_bank[entry.bank] >= 1)
+                continue;
+
+            const DynOp &op = ops[entry.idx];
+            if (!operand_ready(entry.prodA, t) ||
+                !operand_ready(entry.prodB, t)) {
+                const ClockCycle ha = operand_hint(entry.prodA);
+                const ClockCycle hb = operand_hint(entry.prodB);
+                ClockCycle ready_at = 0;
+                if (ha != kUnknown)
+                    ready_at = std::max(ready_at, ha);
+                if (hb != kUnknown)
+                    ready_at = std::max(ready_at, hb);
+                if (ready_at > t &&
+                    operand_hint(entry.prodA) != kUnknown &&
+                    operand_hint(entry.prodB) != kUnknown) {
+                    // Both producers scheduled: concrete wakeup time.
+                    hint = std::min(hint, ready_at);
+                }
+                continue;
+            }
+            const unsigned latency = latencyOf(op.op, cfg_);
+            if (!pool.canAccept(op.op, t)) {
+                hint = std::min(hint, pool.earliestAccept(op.op, t));
+                continue;
+            }
+            if (!wb.canReserve(entry.bank, t + latency)) {
+                hint = std::min(hint, t + 1);
+                continue;
+            }
+
+            const ClockCycle ready = pool.accept(op.op, t);
+            wb.reserve(entry.bank, ready);
+            result_time[entry.idx] = ready;
+            entry.dispatched = true;
+            end = std::max(end, ready);
+            ++dispatched_total;
+            dispatched_bank[entry.bank]++;
+            progress = true;
+        }
+
+        // ---- insert: issue units -> RUU ----------------------------
+        if (t < insert_blocked_until) {
+            hint = std::min(hint, insert_blocked_until);
+        } else {
+            unsigned inserted = 0;
+            while (inserted < org_.width && next_insert < n) {
+                const DynOp &op = ops[next_insert];
+
+                if (isBranch(op.op)) {
+                    const bool free_branch =
+                        org_.branchPolicy == BranchPolicy::kOracle ||
+                        (org_.branchPolicy == BranchPolicy::kBtfn &&
+                         btfnCorrect(op.backward, op.taken));
+                    if (free_branch) {
+                        // Correctly predicted: one issue slot, no
+                        // stall, and the front end keeps issuing.
+                        end = std::max(end, t + 1);
+                        ++next_insert;
+                        ++inserted;
+                        progress = true;
+                        continue;
+                    }
+                    // Blocking (or mispredicted): the branch holds
+                    // the issue stage until its condition operand
+                    // exists, then blocks issue for the branch
+                    // time.  It never occupies an RUU slot.
+                    const DynIndex prod = op.srcA == kNoReg ?
+                        kNoProducer : last_writer[op.srcA];
+                    if (!operand_ready(prod, t)) {
+                        const ClockCycle h = operand_hint(prod);
+                        if (h != kUnknown)
+                            hint = std::min(hint, h);
+                        break;
+                    }
+                    insert_blocked_until = t + cfg_.branchTime;
+                    end = std::max(end, insert_blocked_until);
+                    ++next_insert;
+                    progress = true;
+                    break;      // issue stops at a branch
+                }
+
+                const unsigned bank =
+                    banked ? unsigned(insert_counter % org_.width) : 0;
+                if (bank_count[bank] >= bank_cap[bank])
+                    break;      // RUU (bank) full: stall in order
+
+                Entry entry;
+                entry.idx = next_insert;
+                entry.bank = bank;
+                entry.dispatched = false;
+                entry.prodA = op.srcA == kNoReg ?
+                    kNoProducer : last_writer[op.srcA];
+                entry.prodB = op.srcB == kNoReg ?
+                    kNoProducer : last_writer[op.srcB];
+                ruu.push_back(entry);
+                bank_count[bank]++;
+                if (op.dst != kNoReg)
+                    last_writer[op.dst] = next_insert;
+                ++insert_counter;
+                ++next_insert;
+                ++inserted;
+                progress = true;
+            }
+        }
+
+        // ---- advance time ------------------------------------------
+        if (progress || hint == kUnknown) {
+            t += 1;
+        } else {
+            assert(hint > t && "stalled with a stale wakeup hint");
+            t = hint;
+        }
+    }
+
+    result.cycles = end;
+    return result;
+}
+
+} // namespace mfusim

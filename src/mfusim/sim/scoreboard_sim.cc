@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Single-issue scoreboard machine implementation.
+ */
+
+#include "mfusim/sim/scoreboard_sim.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "mfusim/funits/result_bus.hh"
+
+namespace mfusim
+{
+
+ScoreboardConfig
+ScoreboardConfig::serialMemory()
+{
+    return { FuDiscipline::kNonSegmented, MemDiscipline::kSerial, true };
+}
+
+ScoreboardConfig
+ScoreboardConfig::nonSegmented()
+{
+    return { FuDiscipline::kNonSegmented, MemDiscipline::kInterleaved,
+             true };
+}
+
+ScoreboardConfig
+ScoreboardConfig::crayLike()
+{
+    return { FuDiscipline::kSegmented, MemDiscipline::kInterleaved,
+             true };
+}
+
+std::string
+ScoreboardSim::name() const
+{
+    if (org_.memDiscipline == MemDiscipline::kSerial)
+        return "SerialMemory";
+    if (org_.fuDiscipline == FuDiscipline::kNonSegmented)
+        return "NonSegmented";
+    return "CRAY-like";
+}
+
+SimResult
+ScoreboardSim::run(const DynTrace &trace)
+{
+    SimResult result;
+    result.instructions = trace.size();
+    result.hasStalls = true;
+
+    std::array<ClockCycle, kNumRegs> regReady{};
+    // First-element availability of vector results (== regReady for
+    // scalar results); vector consumers read it when chaining.
+    std::array<ClockCycle, kNumRegs> chainReady{};
+    FuPool pool({ org_.fuDiscipline, org_.memDiscipline,
+                  org_.fuCopies, org_.memPorts },
+                cfg_);
+    ResultBusSet bus(BusKind::kSingle, 1);
+
+    ClockCycle issue_cursor = 0;    // earliest next issue slot
+    ClockCycle end = 0;
+
+    for (const DynOp &op : trace.ops()) {
+        const unsigned latency = latencyOf(op.op, cfg_);
+
+        if (isBranch(op.op)) {
+            const ClockCycle cond_ready =
+                op.srcA != kNoReg ? regReady[op.srcA] : 0;
+            const bool predicted_free =
+                org_.branchPolicy == BranchPolicy::kOracle ||
+                (org_.branchPolicy == BranchPolicy::kBtfn &&
+                 btfnCorrect(op.backward, op.taken));
+            if (predicted_free) {
+                // Correctly predicted: the branch spends one issue
+                // slot and never gates the stream.
+                const ClockCycle t = issue_cursor;
+                issue_cursor = t + 1;
+                end = std::max(end, t + 1);
+            } else {
+                // Blocking (and mispredicted-BTFN, which redirects
+                // once the outcome is known): wait for the
+                // condition, then hold the issue stage for the
+                // branch time.
+                const ClockCycle t =
+                    std::max(issue_cursor, cond_ready);
+                result.stalls.branch +=
+                    (t - issue_cursor) + (cfg_.branchTime - 1);
+                issue_cursor = t + cfg_.branchTime;
+                end = std::max(end, t + cfg_.branchTime);
+            }
+            continue;
+        }
+
+        const bool vector_op = isVector(op.op);
+        const unsigned occupancy = vectorOccupancy(op);
+
+        // Earliest cycle with all register hazards cleared,
+        // attributing waits to the binding hazard in check order.
+        // A chained vector consumer waits only for the first element
+        // of a vector source.
+        const bool chain = vector_op && org_.vectorChaining;
+        ClockCycle t = issue_cursor;
+        for (const RegId src : { op.srcA, op.srcB }) {
+            if (src == kNoReg)
+                continue;
+            const bool v_src = classOf(src) == RegClass::V;
+            t = std::max(t, chain && v_src ? chainReady[src]
+                                           : regReady[src]);
+        }
+        result.stalls.raw += t - issue_cursor;
+        ClockCycle mark = t;
+        if (op.dst != kNoReg)
+            t = std::max(t, regReady[op.dst]);      // WAW reservation
+        result.stalls.waw += t - mark;
+
+        // Structural hazards: functional unit, then result bus.
+        // Vector results stream over the vector register write
+        // paths, not the scalar result bus.
+        const bool needs_bus = org_.modelResultBus &&
+            producesResult(op.op) && !vector_op;
+        while (true) {
+            const ClockCycle at_fu = pool.earliestAccept(op.op, t);
+            result.stalls.structural += at_fu - t;
+            t = at_fu;
+            if (needs_bus) {
+                bus.advanceTo(t);
+                if (!bus.canReserve(0, t + latency)) {
+                    result.stalls.resultBus += 1;
+                    ++t;
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // Issue.
+        const ClockCycle ready = pool.accept(op.op, t, occupancy);
+        if (needs_bus)
+            bus.reserve(0, ready);
+        if (op.dst != kNoReg) {
+            regReady[op.dst] = ready;
+            // First element of a vector result streams out after
+            // one unit latency.
+            chainReady[op.dst] =
+                occupancy > 1 ? t + latency + 1 : ready;
+        }
+
+        issue_cursor = t + 1;
+        end = std::max(end, ready);
+    }
+
+    result.cycles = end;
+    return result;
+}
+
+} // namespace mfusim

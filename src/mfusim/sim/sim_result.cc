@@ -1,0 +1,19 @@
+/**
+ * @file
+ * SimResult helpers.
+ */
+
+#include "mfusim/sim/simulator.hh"
+
+namespace mfusim
+{
+
+double
+SimResult::issueRate() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return double(instructions) / double(cycles);
+}
+
+} // namespace mfusim

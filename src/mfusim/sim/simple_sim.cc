@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Simple Machine implementation.
+ */
+
+#include "mfusim/sim/simple_sim.hh"
+
+namespace mfusim
+{
+
+SimResult
+SimpleSim::run(const DynTrace &trace)
+{
+    SimResult result;
+    result.instructions = trace.size();
+
+    // Instruction i enters execution when instruction i-1 leaves it;
+    // the two-stage pipeline otherwise always has the next
+    // instruction decoded and waiting, so execution is back to back:
+    // total time is simply the sum of execution latencies (every
+    // latency is at least 1 cycle, so the issue stage never starves
+    // the execute stage).
+    ClockCycle end = 0;
+    for (const DynOp &op : trace.ops()) {
+        end += latencyOf(op.op, cfg_);
+        end += vectorOccupancy(op) - 1;     // one element per cycle
+    }
+    result.cycles = end;
+    return result;
+}
+
+} // namespace mfusim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The Simple Machine: a strictly serial two-stage pipeline.
+ *
+ * "In this Simple Machine, there are two distinct phases in
+ * processing an instruction: (i) an instruction fetch, decode and
+ * issue phase ... and (ii) an instruction execution phase.  At any
+ * time, at most one instruction can be in each phase of execution."
+ *
+ * An instruction enters the execution stage only when its predecessor
+ * has completely finished, so there is never any overlap among
+ * functional units and no hazard checking is needed.  This is the
+ * paper's lower bound on the achievable issue rate (Table 1, row
+ * "Simple").
+ */
+
+#ifndef MFUSIM_SIM_SIMPLE_SIM_HH
+#define MFUSIM_SIM_SIMPLE_SIM_HH
+
+#include "mfusim/sim/simulator.hh"
+
+namespace mfusim
+{
+
+/** The serial two-stage machine. */
+class SimpleSim : public Simulator
+{
+  public:
+    explicit SimpleSim(const MachineConfig &cfg) : cfg_(cfg) {}
+
+    SimResult run(const DynTrace &trace) override;
+    std::string name() const override { return "Simple"; }
+
+  private:
+    MachineConfig cfg_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_SIM_SIMPLE_SIM_HH

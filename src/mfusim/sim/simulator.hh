@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Common interface of all trace-driven timing simulators.
+ *
+ * Every machine organization in the paper is a Simulator: it consumes
+ * a DynTrace and reports how many clock cycles the trace would take,
+ * from which the paper's figure of merit — the instruction issue rate
+ * (instructions per clock cycle) — follows.
+ */
+
+#ifndef MFUSIM_SIM_SIMULATOR_HH
+#define MFUSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/core/trace.hh"
+
+namespace mfusim
+{
+
+/**
+ * Where issue cycles were lost, for simulators that can attribute
+ * them (currently the single-issue scoreboard family).  Each counter
+ * is the number of cycles the issue stage waited on that hazard as
+ * the *binding* constraint, attributed in hazard-check order
+ * (RAW, then WAW, then structural, then result bus).
+ */
+struct StallBreakdown
+{
+    std::uint64_t raw = 0;          //!< waiting for source operands
+    std::uint64_t waw = 0;          //!< destination register reserved
+    std::uint64_t structural = 0;   //!< functional unit / memory busy
+    std::uint64_t resultBus = 0;    //!< completion-slot conflicts
+    std::uint64_t branch = 0;       //!< condition waits + branch time
+
+    std::uint64_t
+    total() const
+    {
+        return raw + waw + structural + resultBus + branch;
+    }
+};
+
+/** Outcome of one simulation. */
+struct SimResult
+{
+    std::uint64_t instructions = 0; //!< dynamic instructions issued
+    ClockCycle cycles = 0;          //!< completion time of the trace
+
+    /** Valid only when hasStalls is set. */
+    StallBreakdown stalls;
+    bool hasStalls = false;
+
+    /** The paper's performance measure: instructions per cycle. */
+    double issueRate() const;
+};
+
+/**
+ * A trace-driven timing simulator for one machine organization.
+ */
+class Simulator
+{
+  public:
+    virtual ~Simulator() = default;
+
+    /** Simulate @p trace and report its timing. */
+    virtual SimResult run(const DynTrace &trace) = 0;
+
+    /** Human-readable machine description (without M/BR config). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_SIM_SIMULATOR_HH

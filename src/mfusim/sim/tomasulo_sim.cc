@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tomasulo machine implementation.
+ *
+ * The simulation is event driven (no cycle loop): instructions are
+ * processed in program order, and every timing constraint resolves
+ * to a max() over previously computed completion times plus
+ * first-free-slot searches in small reservation sets.
+ */
+
+#include "mfusim/sim/tomasulo_sim.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <set>
+#include <vector>
+
+namespace mfusim
+{
+
+TomasuloSim::TomasuloSim(const TomasuloConfig &org,
+                         const MachineConfig &cfg)
+    : org_(org), cfg_(cfg)
+{
+    assert(org_.stationsPerFu >= 1);
+    assert(org_.cdbCount >= 1);
+}
+
+std::string
+TomasuloSim::name() const
+{
+    return "Tomasulo(rs=" + std::to_string(org_.stationsPerFu) +
+        ", cdb=" + std::to_string(org_.cdbCount) + ")";
+}
+
+SimResult
+TomasuloSim::run(const DynTrace &trace)
+{
+    SimResult result;
+    result.instructions = trace.size();
+    if (trace.empty())
+        return result;
+
+    const auto &ops = trace.ops();
+    const std::size_t n = ops.size();
+
+    // Renaming: value completion time per architectural register
+    // (tags resolve to the last writer in program order; since we
+    // process in program order, a simple per-register completion
+    // time is exactly tag semantics).
+    std::array<ClockCycle, kNumRegs> value_ready{};
+
+    // Station occupancy per FU class: completion (broadcast) times
+    // of the live stations.
+    std::array<std::priority_queue<ClockCycle,
+                                   std::vector<ClockCycle>,
+                                   std::greater<ClockCycle>>,
+               kNumFuClasses>
+        stations;
+
+    // Per-FU pipeline accept slots and CDB slots (out-of-order
+    // arrivals -> reservation sets).
+    std::array<std::set<ClockCycle>, kNumFuClasses> fu_slots;
+    std::set<ClockCycle> mem_slots;
+    std::vector<std::set<ClockCycle>> cdb(org_.cdbCount);
+
+    ClockCycle issue_cursor = 0;
+    ClockCycle end = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const DynOp &op = ops[i];
+        const unsigned latency = latencyOf(op.op, cfg_);
+
+        if (isVector(op.op)) {
+            throw std::invalid_argument(
+                "TomasuloSim: vector instructions are not supported");
+        }
+
+        if (isBranch(op.op)) {
+            const ClockCycle cond_ready =
+                op.srcA != kNoReg ? value_ready[op.srcA] : 0;
+            const bool predicted_free =
+                org_.branchPolicy == BranchPolicy::kOracle ||
+                (org_.branchPolicy == BranchPolicy::kBtfn &&
+                 btfnCorrect(op.backward, op.taken));
+            if (predicted_free) {
+                const ClockCycle t = issue_cursor;
+                issue_cursor = t + 1;
+                end = std::max(end, t + 1);
+            } else {
+                const ClockCycle t =
+                    std::max(issue_cursor, cond_ready);
+                issue_cursor = t + cfg_.branchTime;
+                end = std::max(end, t + cfg_.branchTime);
+            }
+            continue;
+        }
+
+        const unsigned fu = unsigned(traitsOf(op.op).fu);
+        const bool is_transfer =
+            traitsOf(op.op).fu == FuClass::kTransfer;
+
+        // ---- issue: in order, blocks only on a full station pool.
+        ClockCycle t = issue_cursor;
+        if (!is_transfer) {
+            auto &pool = stations[fu];
+            // Free every station whose broadcast is already past.
+            while (!pool.empty() && pool.top() <= t)
+                pool.pop();
+            while (pool.size() >= org_.stationsPerFu) {
+                t = std::max(t, pool.top());
+                while (!pool.empty() && pool.top() <= t)
+                    pool.pop();
+            }
+        }
+
+        // ---- dispatch: operands by tag, then a pipeline slot.
+        ClockCycle dispatch = t + 1;    // station latch
+        if (op.srcA != kNoReg)
+            dispatch = std::max(dispatch, value_ready[op.srcA]);
+        if (op.srcB != kNoReg)
+            dispatch = std::max(dispatch, value_ready[op.srcB]);
+
+        ClockCycle completion;
+        if (is_transfer) {
+            completion = dispatch + latency;
+        } else {
+            // Claim an accept slot (one per unit per cycle) and a
+            // CDB slot at completion; retry if the CDB cycle is
+            // taken.
+            std::set<ClockCycle> &unit = isMemory(op.op) ?
+                mem_slots : fu_slots[fu];
+            while (true) {
+                ClockCycle probe = dispatch;
+                while (unit.count(probe) != 0)
+                    ++probe;
+                if (producesResult(op.op)) {
+                    bool got_cdb = false;
+                    for (auto &bus : cdb) {
+                        if (bus.count(probe + latency) == 0) {
+                            bus.insert(probe + latency);
+                            got_cdb = true;
+                            break;
+                        }
+                    }
+                    if (!got_cdb) {
+                        dispatch = probe + 1;
+                        continue;
+                    }
+                }
+                unit.insert(probe);
+                dispatch = probe;
+                break;
+            }
+            completion = dispatch + latency;
+            stations[fu].push(completion);
+        }
+
+        if (op.dst != kNoReg)
+            value_ready[op.dst] = completion;
+        issue_cursor = t + 1;
+        end = std::max(end, completion);
+    }
+
+    result.cycles = end;
+    return result;
+}
+
+} // namespace mfusim

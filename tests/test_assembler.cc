@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Macro-assembler tests: emission, labels, fixups, the divide idiom,
+ * and disassembly round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mfusim/codegen/assembler.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+TEST(Assembler, EmitsInOrder)
+{
+    Assembler as;
+    as.aconst(A1, 5);
+    as.aaddi(A1, A1, -1);
+    as.halt();
+    Program p = as.finish();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[0].op, Op::kAConst);
+    EXPECT_EQ(p[0].dst, A1);
+    EXPECT_EQ(p[0].imm, 5);
+    EXPECT_EQ(p[1].op, Op::kAAddI);
+    EXPECT_EQ(p[1].srcA, A1);
+    EXPECT_EQ(p[1].srcB, kNoReg);
+    EXPECT_EQ(p[1].imm, -1);
+    EXPECT_EQ(p[2].op, Op::kHalt);
+}
+
+TEST(Assembler, BackwardBranchTarget)
+{
+    Assembler as;
+    as.aconst(A0, 3);
+    const auto loop = as.here();            // index 1
+    as.aaddi(A0, A0, -1);
+    as.branz(loop);
+    as.halt();
+    Program p = as.finish();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[2].op, Op::kBrANZ);
+    EXPECT_EQ(p[2].target(), 1u);
+    EXPECT_EQ(p[2].srcA, A0);
+}
+
+TEST(Assembler, ForwardBranchTarget)
+{
+    Assembler as;
+    const auto skip = as.newLabel();
+    as.aconst(A0, 0);
+    as.braz(skip);
+    as.aconst(A1, 99);          // skipped when A0 == 0
+    as.bind(skip);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p[1].target(), 3u);
+}
+
+TEST(Assembler, UnboundLabelThrows)
+{
+    Assembler as;
+    const auto nowhere = as.newLabel();
+    as.jump(nowhere);
+    as.halt();
+    EXPECT_THROW(as.finish(), std::logic_error);
+}
+
+TEST(Assembler, SBranchesConditionOnS0)
+{
+    Assembler as;
+    const auto l = as.here();
+    as.brsnz(l);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p[0].op, Op::kBrSNZ);
+    EXPECT_EQ(p[0].srcA, S0);
+}
+
+TEST(Assembler, ABranchesConditionOnA0)
+{
+    Assembler as;
+    const auto l = as.here();
+    as.bram(l);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p[0].srcA, A0);
+}
+
+TEST(Assembler, JumpHasNoConditionRegister)
+{
+    Assembler as;
+    const auto l = as.here();
+    as.jump(l);
+    Program p = as.finish();
+    EXPECT_EQ(p[0].srcA, kNoReg);
+}
+
+TEST(Assembler, MemoryOperandEncoding)
+{
+    Assembler as;
+    as.loadS(S1, A2, 7);
+    as.storeS(A3, -4, S5);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p[0].op, Op::kLoadS);
+    EXPECT_EQ(p[0].dst, S1);
+    EXPECT_EQ(p[0].srcA, A2);
+    EXPECT_EQ(p[0].imm, 7);
+    EXPECT_EQ(p[1].op, Op::kStoreS);
+    EXPECT_EQ(p[1].dst, kNoReg);
+    EXPECT_EQ(p[1].srcA, A3);
+    EXPECT_EQ(p[1].srcB, S5);
+    EXPECT_EQ(p[1].imm, -4);
+}
+
+TEST(Assembler, FdivExpandsToCrayReciprocalSequence)
+{
+    Assembler as;
+    as.fdiv(S1, S2, S3, S4, S5);
+    as.halt();
+    Program p = as.finish();
+    // frecip, fmul, sconst(2.0), fsub, fmul, fmul.
+    ASSERT_EQ(p.size(), 7u);
+    EXPECT_EQ(p[0].op, Op::kFRecip);
+    EXPECT_EQ(p[1].op, Op::kFMul);
+    EXPECT_EQ(p[2].op, Op::kSConst);
+    EXPECT_EQ(p[3].op, Op::kFSub);
+    EXPECT_EQ(p[4].op, Op::kFMul);
+    EXPECT_EQ(p[5].op, Op::kFMul);
+    EXPECT_EQ(p[5].dst, S1);
+    EXPECT_EQ(p[5].srcA, S2);
+}
+
+TEST(Assembler, PositionTracksEmission)
+{
+    Assembler as;
+    EXPECT_EQ(as.position(), 0u);
+    as.aconst(A1, 1);
+    EXPECT_EQ(as.position(), 1u);
+    as.fadd(S1, S2, S3);
+    EXPECT_EQ(as.position(), 2u);
+}
+
+TEST(Assembler, HereBindsAtCurrentPosition)
+{
+    Assembler as;
+    as.aconst(A1, 1);
+    const auto l = as.here();
+    as.jump(l);
+    Program p = as.finish();
+    EXPECT_EQ(p[1].target(), 1u);
+}
+
+TEST(Assembler, DisassemblyMentionsOperands)
+{
+    Assembler as;
+    as.fadd(S1, S2, S3);
+    as.loadS(S4, A1, 10);
+    as.halt();
+    Program p = as.finish();
+    const std::string listing = p.disassemble();
+    EXPECT_NE(listing.find("fadd S1, S2, S3"), std::string::npos);
+    EXPECT_NE(listing.find("loads S4, 10(A1)"), std::string::npos);
+}
+
+TEST(Assembler, ShiftEncodesCount)
+{
+    Assembler as;
+    as.sshl(S1, S2, 5);
+    as.sshr(S3, S4, 63);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p[0].imm, 5);
+    EXPECT_EQ(p[1].imm, 63);
+}
+
+TEST(Assembler, SconstfStoresBitPattern)
+{
+    Assembler as;
+    as.sconstf(S1, 1.5);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p[0].imm, std::int64_t(0x3FF8000000000000ull));
+}
+
+TEST(Assembler, SaveRegisterTransfers)
+{
+    Assembler as;
+    as.tmovs(regT(5), S1);
+    as.smovt(S2, regT(5));
+    as.bmova(regB(9), A3);
+    as.amovb(A4, regB(9));
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p[0].dst, regT(5));
+    EXPECT_EQ(p[1].srcA, regT(5));
+    EXPECT_EQ(p[2].dst, regB(9));
+    EXPECT_EQ(p[3].srcA, regB(9));
+}
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Randomized-trace robustness tests.
+ *
+ * Seeded pseudo-random traces (arbitrary hazard mixes, branches at
+ * arbitrary positions, dense register reuse) are run through every
+ * simulator and the limit analyzers, checking the model invariants
+ * that must hold for *any* trace, not just compiled loop code:
+ *
+ *  - every simulator terminates and yields a positive finite rate;
+ *  - no machine beats the pure dataflow limit;
+ *  - WAW-blocking machines respect the serial limit;
+ *  - width-1 buffer issue == the CRAY-like scoreboard;
+ *  - organizational orderings (Simple lowest; N-Bus >= 1-Bus);
+ *  - serialization round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mfusim/core/trace_io.hh"
+#include "mfusim/dataflow/limits.hh"
+#include "mfusim/sim/cdc6600_sim.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+#include "mfusim/sim/tomasulo_sim.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+/** Small deterministic PRNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed | 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform in [0, bound). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    bool
+    chance(unsigned percent)
+    {
+        return below(100) < percent;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * A random but *well-formed* trace: operand classes respect the
+ * ISA, branches carry outcomes, and the stream is a plausible
+ * single path (no wrong-path ops).
+ */
+DynTrace
+randomTrace(std::uint64_t seed, std::size_t length)
+{
+    Rng rng(seed);
+    DynTrace trace("fuzz" + std::to_string(seed));
+
+    const auto rand_s = [&rng] { return regS(unsigned(rng.below(8))); };
+    const auto rand_a = [&rng] { return regA(unsigned(rng.below(8))); };
+
+    for (std::size_t i = 0; i < length; ++i) {
+        DynOp op;
+        const unsigned kind = unsigned(rng.below(100));
+        if (kind < 25) {                        // memory
+            if (rng.chance(70))
+                op = { Op::kLoadS, rand_s(), rand_a(), kNoReg, 0,
+                       false, false };
+            else
+                op = { Op::kStoreS, kNoReg, rand_a(), rand_s(), 0,
+                       false, false };
+        } else if (kind < 40) {                 // fp add path
+            op = { rng.chance(50) ? Op::kFAdd : Op::kFSub, rand_s(),
+                   rand_s(), rand_s(), 0, false, false };
+        } else if (kind < 50) {                 // fp multiply
+            op = { Op::kFMul, rand_s(), rand_s(), rand_s(), 0, false,
+                   false };
+        } else if (kind < 54) {                 // reciprocal
+            op = { Op::kFRecip, rand_s(), rand_s(), kNoReg, 0, false,
+                   false };
+        } else if (kind < 70) {                 // address arithmetic
+            op = { rng.chance(50) ? Op::kAAdd : Op::kASub, rand_a(),
+                   rand_a(), rand_a(), 0, false, false };
+        } else if (kind < 80) {                 // logical / shift
+            op = { rng.chance(50) ? Op::kSAnd : Op::kSXor, rand_s(),
+                   rand_s(), rand_s(), 0, false, false };
+        } else if (kind < 90) {                 // transfers
+            op = { rng.chance(50) ? Op::kSConst : Op::kSMovA,
+                   rand_s(),
+                   rng.chance(50) ? kNoReg : rand_a(), kNoReg, 0,
+                   false, false };
+            if (op.op == Op::kSConst)
+                op.srcA = kNoReg;
+        } else {                                // branch
+            op = { Op::kBrANZ, kNoReg, A0, kNoReg,
+                   StaticIndex(rng.below(64)), rng.chance(60),
+                   rng.chance(70) };
+        }
+        trace.append(op);
+    }
+    return trace;
+}
+
+class FuzzTrace : public ::testing::TestWithParam<int>
+{
+  protected:
+    DynTrace trace_ = randomTrace(0xabcd0000u + unsigned(GetParam()),
+                                  400 + 37 * unsigned(GetParam()));
+};
+
+TEST_P(FuzzTrace, AllSimulatorsTerminateWithSaneRates)
+{
+    for (const MachineConfig &cfg : standardConfigs()) {
+        SimpleSim simple(cfg);
+        ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+        Cdc6600Sim cdc({}, cfg);
+        TomasuloSim tom({ 3, 1, BranchPolicy::kBlocking }, cfg);
+        MultiIssueSim ooo({ 4, true, BusKind::kPerUnit, false }, cfg);
+        RuuSim ruu({ 2, 20, BusKind::kPerUnit }, cfg);
+
+        for (Simulator *sim :
+             std::initializer_list<Simulator *>{
+                 &simple, &cray, &cdc, &tom, &ooo, &ruu }) {
+            const SimResult r = sim->run(trace_);
+            EXPECT_EQ(r.instructions, trace_.size());
+            EXPECT_GT(r.cycles, 0u) << sim->name();
+            EXPECT_GT(r.issueRate(), 0.0) << sim->name();
+            EXPECT_LE(r.issueRate(), 4.0) << sim->name();
+        }
+    }
+}
+
+TEST_P(FuzzTrace, DataflowLimitDominatesEverything)
+{
+    const MachineConfig cfg = configM11BR5();
+    const double bound =
+        computeLimits(trace_, cfg, false).actualRate + 1e-9;
+
+    SimpleSim simple(cfg);
+    ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+    MultiIssueSim ooo({ 8, true, BusKind::kCrossbar, false }, cfg);
+    RuuSim ruu({ 4, 100, BusKind::kPerUnit }, cfg);
+
+    EXPECT_LE(simple.run(trace_).issueRate(), bound);
+    EXPECT_LE(cray.run(trace_).issueRate(), bound);
+    EXPECT_LE(ooo.run(trace_).issueRate(), bound);
+    EXPECT_LE(ruu.run(trace_).issueRate(), bound);
+}
+
+TEST_P(FuzzTrace, SerialLimitBoundsWawBlockingMachines)
+{
+    const MachineConfig cfg = configM11BR2();
+    const double bound =
+        computeLimits(trace_, cfg, true).actualRate + 1e-9;
+    ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+    MultiIssueSim ooo({ 8, true, BusKind::kPerUnit, false }, cfg);
+    EXPECT_LE(cray.run(trace_).issueRate(), bound);
+    EXPECT_LE(ooo.run(trace_).issueRate(), bound);
+}
+
+TEST_P(FuzzTrace, WidthOneEqualsScoreboard)
+{
+    for (const MachineConfig &cfg : standardConfigs()) {
+        MultiIssueSim multi({ 1, false, BusKind::kSingle, false },
+                            cfg);
+        ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+        EXPECT_EQ(multi.run(trace_).cycles, cray.run(trace_).cycles)
+            << cfg.name();
+    }
+}
+
+TEST_P(FuzzTrace, MachineOrdering)
+{
+    const MachineConfig cfg = configM5BR5();
+    SimpleSim simple(cfg);
+    ScoreboardSim serial(ScoreboardConfig::serialMemory(), cfg);
+    ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+    const double r_simple = simple.run(trace_).issueRate();
+    const double r_serial = serial.run(trace_).issueRate();
+    const double r_cray = cray.run(trace_).issueRate();
+    EXPECT_LE(r_simple, r_serial + 1e-12);
+    EXPECT_LE(r_serial, r_cray + 1e-12);
+}
+
+TEST_P(FuzzTrace, BusOrdering)
+{
+    const MachineConfig cfg = configM11BR5();
+    for (unsigned w : { 2u, 4u }) {
+        MultiIssueSim nbus({ w, true, BusKind::kPerUnit, false },
+                           cfg);
+        MultiIssueSim onebus({ w, true, BusKind::kSingle, false },
+                             cfg);
+        MultiIssueSim xbar({ w, true, BusKind::kCrossbar, false },
+                           cfg);
+        const double r_n = nbus.run(trace_).issueRate();
+        const double r_1 = onebus.run(trace_).issueRate();
+        const double r_x = xbar.run(trace_).issueRate();
+        EXPECT_GE(r_n, r_1 - 1e-12) << "w=" << w;
+        EXPECT_GE(r_x, r_n - 1e-12) << "w=" << w;
+    }
+}
+
+TEST_P(FuzzTrace, SerializationRoundTrips)
+{
+    std::stringstream buffer;
+    saveTrace(buffer, trace_);
+    const DynTrace loaded = loadTrace(buffer);
+    ASSERT_EQ(loaded.size(), trace_.size());
+    // Timing must be identical on the round-tripped trace.
+    ScoreboardSim cray(ScoreboardConfig::crayLike(), configM11BR5());
+    EXPECT_EQ(cray.run(trace_).cycles, cray.run(loaded).cycles);
+}
+
+TEST_P(FuzzTrace, RuuMonotoneInBuffering)
+{
+    const MachineConfig cfg = configM11BR5();
+    RuuSim small({ 2, 8, BusKind::kPerUnit }, cfg);
+    RuuSim large({ 2, 64, BusKind::kPerUnit }, cfg);
+    EXPECT_GE(large.run(trace_).issueRate(),
+              small.run(trace_).issueRate() * 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTrace, ::testing::Range(0, 25));
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Livermore loop validation: every assembly kernel must reproduce
+ * its C++ reference result, and trace composition must stay stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/codegen/livermore.hh"
+#include "mfusim/harness/trace_library.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+class LivermoreKernel : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LivermoreKernel, MatchesReferenceImplementation)
+{
+    const int id = GetParam();
+    const Kernel kernel = buildKernel(id);
+    const KernelRun run = runKernel(kernel);
+    EXPECT_GT(run.checkedCells, 0u);
+    EXPECT_EQ(run.mismatches, 0u)
+        << "loop " << id << " diverged from reference (max rel err "
+        << run.maxRelError << ")";
+    EXPECT_LT(run.maxRelError, 1e-9);
+}
+
+TEST_P(LivermoreKernel, TraceIsNonTrivial)
+{
+    const int id = GetParam();
+    const DynTrace &trace = TraceLibrary::instance().trace(id);
+    const TraceStats stats = trace.stats();
+    // Every kernel is a loop of at least dozens of iterations.
+    EXPECT_GT(stats.totalOps, 1000u) << "loop " << id;
+    EXPECT_GT(stats.branches, 30u) << "loop " << id;
+    // Loop-closing branches dominate: almost all branches taken.
+    EXPECT_GT(stats.takenBranches * 10, stats.branches * 8)
+        << "loop " << id;
+    // Livermore kernels are memory-intensive scientific code.
+    EXPECT_GT(stats.memoryFraction(), 0.15) << "loop " << id;
+    EXPECT_LT(stats.memoryFraction(), 0.70) << "loop " << id;
+}
+
+TEST_P(LivermoreKernel, TraceHasFloatingPointWork)
+{
+    const int id = GetParam();
+    const TraceStats stats =
+        TraceLibrary::instance().trace(id).stats();
+    const std::uint64_t fp =
+        stats.perFu[unsigned(FuClass::kFpAdd)] +
+        stats.perFu[unsigned(FuClass::kFpMul)] +
+        stats.perFu[unsigned(FuClass::kRecip)];
+    EXPECT_GT(fp, 100u) << "loop " << id;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLoops, LivermoreKernel,
+                         ::testing::Range(1, 15));
+
+TEST(Livermore, SpecsCoverAllFourteenLoops)
+{
+    const auto &specs = kernelSpecs();
+    ASSERT_EQ(specs.size(), 14u);
+    for (int i = 0; i < 14; ++i)
+        EXPECT_EQ(specs[std::size_t(i)].id, i + 1);
+}
+
+TEST(Livermore, PaperLoopClassification)
+{
+    // "the 5 scalar loops, loops 5, 6, 11, 13 and 14 and the 9
+    //  vectorizable loops, loops 1, 2, 3, 4, 7, 8, 9, 10 and 12"
+    EXPECT_EQ(scalarLoopIds(), (std::vector<int>{ 5, 6, 11, 13, 14 }));
+    EXPECT_EQ(vectorizableLoopIds(),
+              (std::vector<int>{ 1, 2, 3, 4, 7, 8, 9, 10, 12 }));
+    for (int id : scalarLoopIds())
+        EXPECT_FALSE(kernelSpecs()[std::size_t(id - 1)].vectorizable);
+    for (int id : vectorizableLoopIds())
+        EXPECT_TRUE(kernelSpecs()[std::size_t(id - 1)].vectorizable);
+}
+
+TEST(Livermore, PinnedTraceLengths)
+{
+    // Trace lengths are deterministic; a change here means the
+    // benchmark programs changed and all results shift.
+    const std::uint64_t expected[15] = {
+        0,          // unused
+        5607, 3939, 3206, 4843, 3996, 16887, 8200,
+        4938, 5010, 4227, 2798, 3203, 7687, 7439,
+    };
+    for (int id = 1; id <= 14; ++id) {
+        EXPECT_EQ(TraceLibrary::instance().trace(id).size(),
+                  expected[id])
+            << "loop " << id;
+    }
+}
+
+TEST(Livermore, InvalidIdsRejected)
+{
+    EXPECT_THROW(buildKernel(0), std::invalid_argument);
+    EXPECT_THROW(buildKernel(15), std::invalid_argument);
+    EXPECT_THROW(TraceLibrary::instance().trace(0),
+                 std::invalid_argument);
+    EXPECT_THROW(TraceLibrary::instance().trace(15),
+                 std::invalid_argument);
+}
+
+TEST(Livermore, TraceLibraryCachesInstances)
+{
+    const DynTrace &a = TraceLibrary::instance().trace(1);
+    const DynTrace &b = TraceLibrary::instance().trace(1);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Livermore, KernelValueIsDeterministicAndInRange)
+{
+    const double v1 = kernelValue(3, 42, 0.5, 1.5);
+    const double v2 = kernelValue(3, 42, 0.5, 1.5);
+    EXPECT_EQ(v1, v2);
+    for (int id = 1; id <= 14; ++id) {
+        for (std::uint64_t i = 0; i < 100; ++i) {
+            const double v = kernelValue(id, i, 0.5, 1.5);
+            EXPECT_GE(v, 0.5);
+            EXPECT_LT(v, 1.5);
+        }
+    }
+    // Different kernels see different data.
+    EXPECT_NE(kernelValue(1, 7, 0.0, 1.0), kernelValue(2, 7, 0.0, 1.0));
+}
+
+TEST(Livermore, ScalarLoopsHaveLongerDependenceChains)
+{
+    // The recurrence loops (5, 11) must be dominated by serial
+    // floating-point chains: check that their traces contain the
+    // carried dependence (same register both read and written by
+    // the floating op).
+    // In LL5 the fmul result (the new x[i]) must feed the next
+    // iteration's fsub with no intervening write to that register.
+    const DynTrace &t5 = TraceLibrary::instance().trace(5);
+    bool found_recurrence = false;
+    RegId pending = kNoReg;     // dst of the last fmul
+    for (const DynOp &op : t5.ops()) {
+        if (pending != kNoReg &&
+            (op.srcA == pending || op.srcB == pending) &&
+            op.op == Op::kFSub) {
+            found_recurrence = true;
+            break;
+        }
+        if (pending != kNoReg && op.dst == pending)
+            pending = kNoReg;   // overwritten: not a carried value
+        if (op.op == Op::kFMul)
+            pending = op.dst;
+    }
+    EXPECT_TRUE(found_recurrence);
+}
+
+TEST(Livermore, TakenBranchFollowedByTargetInTrace)
+{
+    // Trace continuity: after a taken backward branch the next trace
+    // entry must be the branch target's static instruction.
+    const DynTrace &trace = TraceLibrary::instance().trace(1);
+    const Kernel kernel = buildKernel(1);
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+        const DynOp &op = trace[i];
+        if (isBranch(op.op) && op.taken) {
+            const Instruction &inst = kernel.program[op.staticIdx];
+            EXPECT_EQ(trace[i + 1].staticIdx, inst.target());
+        }
+    }
+}
+
+} // namespace
+} // namespace mfusim

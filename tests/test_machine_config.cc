@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Machine configuration preset tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/core/machine_config.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+TEST(MachineConfig, Presets)
+{
+    EXPECT_EQ(configM11BR5().memLatency, 11u);
+    EXPECT_EQ(configM11BR5().branchTime, 5u);
+    EXPECT_EQ(configM11BR2().memLatency, 11u);
+    EXPECT_EQ(configM11BR2().branchTime, 2u);
+    EXPECT_EQ(configM5BR5().memLatency, 5u);
+    EXPECT_EQ(configM5BR5().branchTime, 5u);
+    EXPECT_EQ(configM5BR2().memLatency, 5u);
+    EXPECT_EQ(configM5BR2().branchTime, 2u);
+}
+
+TEST(MachineConfig, NamesUsePaperNotation)
+{
+    EXPECT_EQ(configM11BR5().name(), "M11BR5");
+    EXPECT_EQ(configM11BR2().name(), "M11BR2");
+    EXPECT_EQ(configM5BR5().name(), "M5BR5");
+    EXPECT_EQ(configM5BR2().name(), "M5BR2");
+}
+
+TEST(MachineConfig, StandardConfigsOrderMatchesPaperTables)
+{
+    const auto &configs = standardConfigs();
+    ASSERT_EQ(configs.size(), 4u);
+    EXPECT_EQ(configs[0], configM11BR5());
+    EXPECT_EQ(configs[1], configM11BR2());
+    EXPECT_EQ(configs[2], configM5BR5());
+    EXPECT_EQ(configs[3], configM5BR2());
+}
+
+TEST(MachineConfig, Equality)
+{
+    EXPECT_TRUE(configM11BR5() == configM11BR5());
+    EXPECT_FALSE(configM11BR5() == configM5BR5());
+    EXPECT_FALSE(configM11BR5() == configM11BR2());
+}
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Opcode trait table tests: functional-unit routing, latencies,
+ * parcel counts and classification predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/core/opcode.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+TEST(Opcode, Cray1Latencies)
+{
+    const MachineConfig cfg = configM11BR5();
+    EXPECT_EQ(latencyOf(Op::kAAdd, cfg), 2u);       // address add
+    EXPECT_EQ(latencyOf(Op::kAMul, cfg), 6u);       // address multiply
+    EXPECT_EQ(latencyOf(Op::kSAdd, cfg), 3u);       // scalar add
+    EXPECT_EQ(latencyOf(Op::kSAnd, cfg), 1u);       // scalar logical
+    EXPECT_EQ(latencyOf(Op::kSShL, cfg), 2u);       // scalar shift
+    EXPECT_EQ(latencyOf(Op::kFAdd, cfg), 6u);       // floating add
+    EXPECT_EQ(latencyOf(Op::kFMul, cfg), 7u);       // floating multiply
+    EXPECT_EQ(latencyOf(Op::kFRecip, cfg), 14u);    // reciprocal
+    EXPECT_EQ(latencyOf(Op::kSMovA, cfg), 1u);      // transfer path
+}
+
+TEST(Opcode, ConfigDependentLatencies)
+{
+    EXPECT_EQ(latencyOf(Op::kLoadS, configM11BR5()), 11u);
+    EXPECT_EQ(latencyOf(Op::kLoadS, configM5BR2()), 5u);
+    EXPECT_EQ(latencyOf(Op::kStoreS, configM11BR2()), 11u);
+    EXPECT_EQ(latencyOf(Op::kBrANZ, configM11BR5()), 5u);
+    EXPECT_EQ(latencyOf(Op::kBrANZ, configM11BR2()), 2u);
+    EXPECT_EQ(latencyOf(Op::kJump, configM5BR2()), 2u);
+}
+
+TEST(Opcode, FuRouting)
+{
+    EXPECT_EQ(traitsOf(Op::kAAdd).fu, FuClass::kAddrAdd);
+    EXPECT_EQ(traitsOf(Op::kAAddI).fu, FuClass::kAddrAdd);
+    EXPECT_EQ(traitsOf(Op::kASub).fu, FuClass::kAddrAdd);
+    EXPECT_EQ(traitsOf(Op::kAMul).fu, FuClass::kAddrMul);
+    EXPECT_EQ(traitsOf(Op::kFAdd).fu, FuClass::kFpAdd);
+    EXPECT_EQ(traitsOf(Op::kFSub).fu, FuClass::kFpAdd);
+    EXPECT_EQ(traitsOf(Op::kSFix).fu, FuClass::kFpAdd);
+    EXPECT_EQ(traitsOf(Op::kSFloat).fu, FuClass::kFpAdd);
+    EXPECT_EQ(traitsOf(Op::kFMul).fu, FuClass::kFpMul);
+    EXPECT_EQ(traitsOf(Op::kFRecip).fu, FuClass::kRecip);
+    EXPECT_EQ(traitsOf(Op::kLoadA).fu, FuClass::kMemory);
+    EXPECT_EQ(traitsOf(Op::kStoreS).fu, FuClass::kMemory);
+    EXPECT_EQ(traitsOf(Op::kBrAZ).fu, FuClass::kBranch);
+    EXPECT_EQ(traitsOf(Op::kSConst).fu, FuClass::kTransfer);
+}
+
+TEST(Opcode, ParcelCounts)
+{
+    // Register-register operations are 1 parcel.
+    EXPECT_EQ(traitsOf(Op::kAAdd).parcels, 1u);
+    EXPECT_EQ(traitsOf(Op::kFMul).parcels, 1u);
+    EXPECT_EQ(traitsOf(Op::kSMovT).parcels, 1u);
+    // Instructions carrying a 22-bit constant are 2 parcels.
+    EXPECT_EQ(traitsOf(Op::kLoadS).parcels, 2u);
+    EXPECT_EQ(traitsOf(Op::kStoreA).parcels, 2u);
+    EXPECT_EQ(traitsOf(Op::kAConst).parcels, 2u);
+    EXPECT_EQ(traitsOf(Op::kBrANZ).parcels, 2u);
+    EXPECT_EQ(traitsOf(Op::kJump).parcels, 2u);
+}
+
+TEST(Opcode, BranchPredicate)
+{
+    EXPECT_TRUE(isBranch(Op::kBrAZ));
+    EXPECT_TRUE(isBranch(Op::kBrSM));
+    EXPECT_TRUE(isBranch(Op::kJump));
+    EXPECT_FALSE(isBranch(Op::kHalt));
+    EXPECT_FALSE(isBranch(Op::kFAdd));
+    EXPECT_FALSE(isBranch(Op::kLoadS));
+}
+
+TEST(Opcode, MemoryPredicates)
+{
+    EXPECT_TRUE(isMemory(Op::kLoadA));
+    EXPECT_TRUE(isMemory(Op::kStoreS));
+    EXPECT_TRUE(isLoad(Op::kLoadS));
+    EXPECT_FALSE(isLoad(Op::kStoreS));
+    EXPECT_TRUE(isStore(Op::kStoreA));
+    EXPECT_FALSE(isStore(Op::kLoadA));
+    EXPECT_FALSE(isMemory(Op::kFAdd));
+}
+
+TEST(Opcode, ProducesResult)
+{
+    EXPECT_TRUE(producesResult(Op::kFAdd));
+    EXPECT_TRUE(producesResult(Op::kLoadS));
+    EXPECT_TRUE(producesResult(Op::kSConst));
+    EXPECT_FALSE(producesResult(Op::kStoreS));
+    EXPECT_FALSE(producesResult(Op::kBrANZ));
+    EXPECT_FALSE(producesResult(Op::kJump));
+    EXPECT_FALSE(producesResult(Op::kHalt));
+}
+
+TEST(Opcode, EveryOpHasTraits)
+{
+    for (unsigned i = 0; i < kNumOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        const OpTraits &traits = traitsOf(op);
+        EXPECT_NE(traits.mnemonic, nullptr);
+        EXPECT_GE(traits.parcels, 1u);
+        EXPECT_LE(traits.parcels, 2u);
+        // Config-dependent latency only for memory and branch ops.
+        if (traits.latency == 0) {
+            EXPECT_TRUE(traits.fu == FuClass::kMemory ||
+                        traits.fu == FuClass::kBranch)
+                << traits.mnemonic;
+        }
+        // latencyOf is always positive.
+        EXPECT_GE(latencyOf(op, configM5BR2()), 1u) << traits.mnemonic;
+    }
+}
+
+TEST(Opcode, MnemonicsUnique)
+{
+    for (unsigned i = 0; i < kNumOps; ++i) {
+        for (unsigned j = i + 1; j < kNumOps; ++j) {
+            EXPECT_STRNE(mnemonicOf(static_cast<Op>(i)),
+                         mnemonicOf(static_cast<Op>(j)));
+        }
+    }
+}
+
+TEST(Opcode, FuClassNames)
+{
+    EXPECT_STREQ(fuClassName(FuClass::kFpAdd), "FpAdd");
+    EXPECT_STREQ(fuClassName(FuClass::kMemory), "Memory");
+    EXPECT_STREQ(fuClassName(FuClass::kTransfer), "Transfer");
+}
+
+} // namespace
+} // namespace mfusim

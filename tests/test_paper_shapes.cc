@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Integration tests: the reproduction must exhibit the paper's
+ * qualitative findings (shape, orderings, crossovers) even though
+ * absolute issue rates differ (different compiler, same model).
+ *
+ * Each test here corresponds to a claim in the paper's prose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/core/stats.hh"
+#include "mfusim/dataflow/limits.hh"
+#include "mfusim/harness/experiment.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+double
+meanScoreboard(const ScoreboardConfig &org, LoopClass cls,
+               const MachineConfig &cfg)
+{
+    return meanIssueRate(
+        [&org](const MachineConfig &c) {
+            return std::unique_ptr<Simulator>(
+                new ScoreboardSim(org, c));
+        },
+        cls, cfg);
+}
+
+double
+meanRuu(const RuuConfig &org, LoopClass cls, const MachineConfig &cfg)
+{
+    return meanIssueRate(
+        [&org](const MachineConfig &c) {
+            return std::unique_ptr<Simulator>(new RuuSim(org, c));
+        },
+        cls, cfg);
+}
+
+double
+meanLimit(bool serial, LoopClass cls, const MachineConfig &cfg)
+{
+    std::vector<double> rates;
+    for (int id : loopsOf(cls)) {
+        rates.push_back(
+            computeLimits(TraceLibrary::instance().trace(id), cfg,
+                          serial)
+                .actualRate);
+    }
+    return harmonicMean(rates);
+}
+
+TEST(PaperShapes, InterleavingBeatsPipeliningForScalarCodeAtM11)
+{
+    // "a relatively large performance gain is made by interleaving
+    //  the memory alone than by pipelining the functional units"
+    const MachineConfig cfg = configM11BR5();
+    const double serial_mem = meanScoreboard(
+        ScoreboardConfig::serialMemory(), LoopClass::kScalar, cfg);
+    const double interleaved = meanScoreboard(
+        ScoreboardConfig::nonSegmented(), LoopClass::kScalar, cfg);
+    const double pipelined = meanScoreboard(
+        ScoreboardConfig::crayLike(), LoopClass::kScalar, cfg);
+    const double interleave_gain = interleaved - serial_mem;
+    const double pipeline_gain = pipelined - interleaved;
+    EXPECT_GT(interleave_gain, pipeline_gain);
+}
+
+TEST(PaperShapes, InterleavingMattersLessWithFastMemory)
+{
+    // "If the latency of the memory is smaller, the performance
+    //  improvement is not so significant."
+    const double gain_m11 =
+        meanScoreboard(ScoreboardConfig::nonSegmented(),
+                       LoopClass::kScalar, configM11BR5()) /
+        meanScoreboard(ScoreboardConfig::serialMemory(),
+                       LoopClass::kScalar, configM11BR5());
+    const double gain_m5 =
+        meanScoreboard(ScoreboardConfig::nonSegmented(),
+                       LoopClass::kScalar, configM5BR5()) /
+        meanScoreboard(ScoreboardConfig::serialMemory(),
+                       LoopClass::kScalar, configM5BR5());
+    EXPECT_GT(gain_m11, gain_m5);
+}
+
+TEST(PaperShapes, PipeliningFunctionalUnitsBarelyHelpsScalarCode)
+{
+    // "Pipelining the functional units, however, does not have a
+    //  significant impact on performance." (scalar, blocking issue)
+    for (const MachineConfig &cfg : standardConfigs()) {
+        const double nonseg = meanScoreboard(
+            ScoreboardConfig::nonSegmented(), LoopClass::kScalar,
+            cfg);
+        const double cray = meanScoreboard(
+            ScoreboardConfig::crayLike(), LoopClass::kScalar, cfg);
+        EXPECT_LT((cray - nonseg) / nonseg, 0.10) << cfg.name();
+    }
+}
+
+TEST(PaperShapes, PureDataflowLimitIndependentOfMemoryLatency)
+{
+    // Table 2: identical pseudo-dataflow limits for M11 and M5.
+    for (const LoopClass cls :
+         { LoopClass::kScalar, LoopClass::kVectorizable }) {
+        const double m11 = meanLimit(false, cls, configM11BR5());
+        const double m5 = meanLimit(false, cls, configM5BR5());
+        EXPECT_NEAR(m11, m5, 0.02 * m11);
+    }
+}
+
+TEST(PaperShapes, SerialLimitDependsOnMemoryLatency)
+{
+    // Table 2 "Serial": register reuse chains loads, so M5 > M11.
+    const double m11 =
+        meanLimit(true, LoopClass::kScalar, configM11BR5());
+    const double m5 =
+        meanLimit(true, LoopClass::kScalar, configM5BR5());
+    EXPECT_GT(m5, m11);
+}
+
+TEST(PaperShapes, VectorizableLoopsHaveHigherDataflowLimit)
+{
+    // "we expect the vectorizable loops to exhibit a reasonably high
+    //  degree of parallelism while we expect the scalar loops to
+    //  exhibit a comparatively low degree"
+    for (const MachineConfig &cfg : standardConfigs()) {
+        EXPECT_GT(meanLimit(false, LoopClass::kVectorizable, cfg),
+                  meanLimit(false, LoopClass::kScalar, cfg))
+            << cfg.name();
+    }
+}
+
+TEST(PaperShapes, LimitsShowHeadroomAboveOne)
+{
+    // The motivation for multiple issue: actual limits exceed 1
+    // instruction/cycle.
+    for (const MachineConfig &cfg : standardConfigs()) {
+        EXPECT_GT(meanLimit(false, LoopClass::kScalar, cfg), 1.0);
+        EXPECT_GT(meanLimit(false, LoopClass::kVectorizable, cfg),
+                  1.3);
+    }
+}
+
+TEST(PaperShapes, SerialLimitsMostlyBelowOne)
+{
+    // Table 2's punchline: without WAW buffering, an issue rate
+    // above 1 is (mostly) unreachable regardless of issue width.
+    EXPECT_LT(meanLimit(true, LoopClass::kScalar, configM11BR5()),
+              1.0);
+    EXPECT_LT(meanLimit(true, LoopClass::kVectorizable,
+                        configM11BR5()),
+              1.1);
+}
+
+TEST(PaperShapes, SequentialMultiIssueSaturatesBySmallWidth)
+{
+    // "having the capability of issuing up to 8 instructions per
+    //  cycle is almost equivalent to having the capability of
+    //  issuing 3 or 4"
+    const MachineConfig cfg = configM11BR5();
+    const auto rate = [&cfg](unsigned w) {
+        return meanIssueRate(
+            [w](const MachineConfig &c) {
+                return std::unique_ptr<Simulator>(new MultiIssueSim(
+                    { w, false, BusKind::kPerUnit, false }, c));
+            },
+            LoopClass::kScalar, cfg);
+    };
+    const double r4 = rate(4);
+    const double r8 = rate(8);
+    EXPECT_LT(r8 - r4, 0.03);
+}
+
+TEST(PaperShapes, OneBusIsNotABottleneckAtLowRates)
+{
+    // "restricting the size or use of result bus does not
+    //  significantly impact performance" (sequential issue)
+    const MachineConfig cfg = configM11BR5();
+    for (unsigned w : { 2u, 4u, 8u }) {
+        const auto mean = [&](BusKind bus) {
+            return meanIssueRate(
+                [w, bus](const MachineConfig &c) {
+                    return std::unique_ptr<Simulator>(
+                        new MultiIssueSim({ w, false, bus, false },
+                                          c));
+                },
+                LoopClass::kScalar, cfg);
+        };
+        EXPECT_LT(mean(BusKind::kPerUnit) - mean(BusKind::kSingle),
+                  0.02)
+            << "width " << w;
+    }
+}
+
+TEST(PaperShapes, XBarEssentiallyEqualsNBus)
+{
+    // "the results for the X-bar case are essentially the same as
+    //  those for the N-bus case"
+    const MachineConfig cfg = configM11BR5();
+    for (const LoopClass cls :
+         { LoopClass::kScalar, LoopClass::kVectorizable }) {
+        const auto mean = [&](BusKind bus) {
+            return meanIssueRate(
+                [bus](const MachineConfig &c) {
+                    return std::unique_ptr<Simulator>(
+                        new MultiIssueSim({ 4, false, bus, false },
+                                          c));
+                },
+                cls, cfg);
+        };
+        EXPECT_NEAR(mean(BusKind::kCrossbar), mean(BusKind::kPerUnit),
+                    0.01);
+    }
+}
+
+TEST(PaperShapes, DependencyResolutionIsTheBigSingleIssueWin)
+{
+    // "the biggest improvement from a simple CRAY-like organization
+    //  comes from using dependency resolution with a single issue
+    //  unit"
+    const MachineConfig cfg = configM11BR5();
+    const double cray = meanScoreboard(ScoreboardConfig::crayLike(),
+                                       LoopClass::kScalar, cfg);
+    const double ruu1 = meanRuu({ 1, 50, BusKind::kPerUnit },
+                                LoopClass::kScalar, cfg);
+    EXPECT_GT(ruu1, cray * 1.5);
+}
+
+TEST(PaperShapes, RuuVectorizableScalesPastOne)
+{
+    // Table 8: with enough issue units and RUU entries,
+    // vectorizable code sustains more than 1 instruction per cycle.
+    const double rate = meanRuu({ 4, 100, BusKind::kPerUnit },
+                                LoopClass::kVectorizable,
+                                configM5BR2());
+    EXPECT_GT(rate, 1.0);
+}
+
+TEST(PaperShapes, RuuOneBusCapsVectorizableScaling)
+{
+    // "When sufficient parallelism exists in the code, the use of a
+    //  single result bus can be a bottleneck."
+    const MachineConfig cfg = configM11BR2();
+    const double nbus = meanRuu({ 4, 100, BusKind::kPerUnit },
+                                LoopClass::kVectorizable, cfg);
+    const double onebus = meanRuu({ 4, 100, BusKind::kSingle },
+                                  LoopClass::kVectorizable, cfg);
+    EXPECT_GT(nbus, onebus + 0.1);
+}
+
+TEST(PaperShapes, RuuToleratesSlowMemoryWithMoreBuffering)
+{
+    // "an issuing scheme that uses dependency resolution can
+    //  tolerate slower memory by increasing the amount of buffer
+    //  storage available"
+    const MachineConfig cfg = configM11BR5();
+    const double small = meanRuu({ 2, 10, BusKind::kPerUnit },
+                                 LoopClass::kScalar, cfg);
+    const double large = meanRuu({ 2, 50, BusKind::kPerUnit },
+                                 LoopClass::kScalar, cfg);
+    EXPECT_GT(large, small * 1.15);
+}
+
+TEST(PaperShapes, ScalarRuuSaturatesByFourUnits)
+{
+    // "We present the results for up to 4 issue units since having
+    //  more than 4 issue units did not make a significant
+    //  difference." (scalar code)
+    const MachineConfig cfg = configM11BR5();
+    const double u4 = meanRuu({ 4, 50, BusKind::kPerUnit },
+                              LoopClass::kScalar, cfg);
+    const double u8 = meanRuu({ 8, 48, BusKind::kPerUnit },
+                              LoopClass::kScalar, cfg);
+    EXPECT_LT(u8 - u4, 0.06);
+}
+
+TEST(PaperShapes, SimpleMachineIsSmallFractionOfLimit)
+{
+    // Section 6: the serial machine reaches only a small fraction
+    // of the theoretical maximum, and vectorizable code an even
+    // smaller fraction of its (higher) limit.
+    const MachineConfig cfg = configM11BR5();
+    const double simple_scalar = meanIssueRate(
+        [](const MachineConfig &c) {
+            return std::unique_ptr<Simulator>(new SimpleSim(c));
+        },
+        LoopClass::kScalar, cfg);
+    const double limit_scalar =
+        meanLimit(false, LoopClass::kScalar, cfg);
+    EXPECT_LT(simple_scalar / limit_scalar, 0.35);
+
+    const double simple_vector = meanIssueRate(
+        [](const MachineConfig &c) {
+            return std::unique_ptr<Simulator>(new SimpleSim(c));
+        },
+        LoopClass::kVectorizable, cfg);
+    const double limit_vector =
+        meanLimit(false, LoopClass::kVectorizable, cfg);
+    EXPECT_LT(simple_vector / limit_vector,
+              simple_scalar / limit_scalar);
+}
+
+} // namespace
+} // namespace mfusim

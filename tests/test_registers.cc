@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Register file layout tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/core/registers.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+TEST(Registers, FlatLayoutIsContiguous)
+{
+    EXPECT_EQ(kABase, 0u);
+    EXPECT_EQ(kSBase, 8u);
+    EXPECT_EQ(kBBase, 16u);
+    EXPECT_EQ(kTBase, 80u);
+    EXPECT_EQ(kVBase, 144u);
+    EXPECT_EQ(kVlReg, 152u);
+    EXPECT_EQ(kNumRegs, 153u);
+}
+
+TEST(Registers, ClassOfEveryRegister)
+{
+    for (unsigned i = 0; i < kNumARegs; ++i)
+        EXPECT_EQ(classOf(regA(i)), RegClass::A);
+    for (unsigned i = 0; i < kNumSRegs; ++i)
+        EXPECT_EQ(classOf(regS(i)), RegClass::S);
+    for (unsigned i = 0; i < kNumBRegs; ++i)
+        EXPECT_EQ(classOf(regB(i)), RegClass::B);
+    for (unsigned i = 0; i < kNumTRegs; ++i)
+        EXPECT_EQ(classOf(regT(i)), RegClass::T);
+    for (unsigned i = 0; i < kNumVRegs; ++i)
+        EXPECT_EQ(classOf(regV(i)), RegClass::V);
+    EXPECT_EQ(classOf(kVlReg), RegClass::VL);
+}
+
+TEST(Registers, IndexOfRoundTrips)
+{
+    for (unsigned i = 0; i < kNumARegs; ++i)
+        EXPECT_EQ(indexOf(regA(i)), i);
+    for (unsigned i = 0; i < kNumSRegs; ++i)
+        EXPECT_EQ(indexOf(regS(i)), i);
+    for (unsigned i = 0; i < kNumBRegs; ++i)
+        EXPECT_EQ(indexOf(regB(i)), i);
+    for (unsigned i = 0; i < kNumTRegs; ++i)
+        EXPECT_EQ(indexOf(regT(i)), i);
+    for (unsigned i = 0; i < kNumVRegs; ++i)
+        EXPECT_EQ(indexOf(regV(i)), i);
+}
+
+TEST(Registers, NoOverlapBetweenFiles)
+{
+    // Every flat id maps back to exactly one (class, index) pair.
+    for (RegId r = 0; r < kNumRegs; ++r) {
+        switch (classOf(r)) {
+          case RegClass::A:
+            EXPECT_EQ(regA(indexOf(r)), r);
+            break;
+          case RegClass::S:
+            EXPECT_EQ(regS(indexOf(r)), r);
+            break;
+          case RegClass::B:
+            EXPECT_EQ(regB(indexOf(r)), r);
+            break;
+          case RegClass::T:
+            EXPECT_EQ(regT(indexOf(r)), r);
+            break;
+          case RegClass::V:
+            EXPECT_EQ(regV(indexOf(r)), r);
+            break;
+          case RegClass::VL:
+            EXPECT_EQ(kVlReg, r);
+            break;
+        }
+    }
+}
+
+TEST(Registers, Names)
+{
+    EXPECT_EQ(regName(A0), "A0");
+    EXPECT_EQ(regName(S7), "S7");
+    EXPECT_EQ(regName(regB(17)), "B17");
+    EXPECT_EQ(regName(regT(63)), "T63");
+    EXPECT_EQ(regName(regV(3)), "V3");
+    EXPECT_EQ(regName(kVlReg), "VL");
+    EXPECT_EQ(regName(kNoReg), "--");
+}
+
+TEST(Registers, Validity)
+{
+    EXPECT_TRUE(isValidReg(0));
+    EXPECT_TRUE(isValidReg(kNumRegs - 1));
+    EXPECT_FALSE(isValidReg(kNumRegs));
+    EXPECT_FALSE(isValidReg(kNoReg));
+}
+
+TEST(Registers, NamedConstantsMatchConstructors)
+{
+    EXPECT_EQ(A0, regA(0));
+    EXPECT_EQ(A7, regA(7));
+    EXPECT_EQ(S0, regS(0));
+    EXPECT_EQ(S7, regS(7));
+}
+
+} // namespace
+} // namespace mfusim

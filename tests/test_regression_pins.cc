@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Regression pins: headline numbers of the reproduction, pinned to
+ * three decimals.  Traces are deterministic, so any drift here means
+ * the model or the benchmark programs changed and EXPERIMENTS.md
+ * must be re-validated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/codegen/livermore.hh"
+#include "mfusim/core/stats.hh"
+#include "mfusim/dataflow/limits.hh"
+#include "mfusim/harness/experiment.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+constexpr double kTol = 5e-4;
+
+double
+meanScoreboard(const ScoreboardConfig &org, LoopClass cls,
+               const MachineConfig &cfg)
+{
+    return meanIssueRate(
+        [&org](const MachineConfig &c) {
+            return std::unique_ptr<Simulator>(
+                new ScoreboardSim(org, c));
+        },
+        cls, cfg);
+}
+
+TEST(RegressionPins, Table1CrayLike)
+{
+    // The "CRAY-like" row of Table 1 (measured values recorded in
+    // EXPERIMENTS.md).
+    EXPECT_NEAR(meanScoreboard(ScoreboardConfig::crayLike(),
+                               LoopClass::kScalar, configM11BR5()),
+                0.2624, kTol);
+    EXPECT_NEAR(meanScoreboard(ScoreboardConfig::crayLike(),
+                               LoopClass::kScalar, configM5BR2()),
+                0.37059, kTol);
+    EXPECT_NEAR(meanScoreboard(ScoreboardConfig::crayLike(),
+                               LoopClass::kVectorizable,
+                               configM11BR5()),
+                0.25261, kTol);
+}
+
+TEST(RegressionPins, Table1Simple)
+{
+    const double scalar = meanIssueRate(
+        [](const MachineConfig &c) {
+            return std::unique_ptr<Simulator>(new SimpleSim(c));
+        },
+        LoopClass::kScalar, configM11BR5());
+    EXPECT_NEAR(scalar, 0.16944, kTol);
+}
+
+TEST(RegressionPins, Table2ScalarActualLimit)
+{
+    std::vector<double> rates;
+    for (int id : scalarLoopIds()) {
+        rates.push_back(
+            computeLimits(TraceLibrary::instance().trace(id),
+                          configM11BR5())
+                .actualRate);
+    }
+    EXPECT_NEAR(harmonicMean(rates), 1.27532, 2e-3);
+}
+
+TEST(RegressionPins, Table2PseudoLimitMemoryIndependence)
+{
+    // The reproduction's analogue of the paper's 1.34 == 1.34: the
+    // limits agree to well under 1% (they print identically at the
+    // paper's two decimals); the residue is the handful of loops
+    // whose memory chains are not fully hidden.
+    std::vector<double> m11, m5;
+    for (int id : scalarLoopIds()) {
+        m11.push_back(
+            computeLimits(TraceLibrary::instance().trace(id),
+                          configM11BR5())
+                .pseudoRate);
+        m5.push_back(
+            computeLimits(TraceLibrary::instance().trace(id),
+                          configM5BR5())
+                .pseudoRate);
+    }
+    EXPECT_NEAR(harmonicMean(m11), harmonicMean(m5),
+                0.01 * harmonicMean(m11));
+}
+
+TEST(RegressionPins, Table7RuuScalar)
+{
+    const auto rate = [](unsigned w, unsigned size) {
+        return meanIssueRate(
+            [w, size](const MachineConfig &c) {
+                return std::unique_ptr<Simulator>(new RuuSim(
+                    { w, size, BusKind::kPerUnit }, c));
+            },
+            LoopClass::kScalar, configM11BR5());
+    };
+    EXPECT_NEAR(rate(1, 50), 0.56491, 2e-3);
+    EXPECT_NEAR(rate(4, 100), 0.86767, 2e-3);
+}
+
+TEST(RegressionPins, Table8RuuVector)
+{
+    const double rate = meanIssueRate(
+        [](const MachineConfig &c) {
+            return std::unique_ptr<Simulator>(new RuuSim(
+                { 4, 100, BusKind::kPerUnit }, c));
+        },
+        LoopClass::kVectorizable, configM11BR5());
+    EXPECT_NEAR(rate, 1.05286, 2e-3);
+}
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * RUU machine golden tests: renaming, RUU-size stalls, in-order
+ * commit, branch stalls, and bus-capacity limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "test_util.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+using test::dyn;
+using test::traceOf;
+
+ClockCycle
+cyclesOn(const RuuConfig &org, const MachineConfig &cfg,
+         const DynTrace &trace)
+{
+    RuuSim sim(org, cfg);
+    return sim.run(trace).cycles;
+}
+
+TEST(RuuSim, SingleOpPipeline)
+{
+    // Insert at 0, dispatch at 1, result at 2, commit at 2.
+    const DynTrace trace = traceOf({ dyn(Op::kSConst, S1) });
+    EXPECT_EQ(cyclesOn({ 1, 10, BusKind::kPerUnit }, configM11BR5(),
+                       trace),
+              2u);
+}
+
+TEST(RuuSim, RenamingRemovesWawStall)
+{
+    // Scoreboard blocks the sconst on the load's register
+    // reservation; the RUU renames S1 and never stalls it.
+    const DynTrace trace = traceOf({
+        dyn(Op::kLoadS, S1, A1),
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSMovS, S2, S1),
+    });
+    const MachineConfig cfg = configM11BR5();
+    ScoreboardSim cray(ScoreboardConfig::crayLike(), cfg);
+    // Scoreboard: sconst at 11, smovs at 12, done 13.
+    EXPECT_EQ(cray.run(trace).cycles, 13u);
+    // RUU (width 4, so all inserted at cycle 0): load dispatches 1
+    // (result 12); sconst dispatches 1 (result 2); smovs reads the
+    // renamed S1 instance (the sconst), dispatches 2 (result 3);
+    // commits wait for the load at the head: 12, then both at 12.
+    EXPECT_EQ(cyclesOn({ 4, 12, BusKind::kPerUnit }, cfg, trace), 12u);
+}
+
+TEST(RuuSim, RawStillHonored)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kLoadS, S1, A1),
+        dyn(Op::kFAdd, S2, S1, S1),
+    });
+    // Load inserted 0, dispatched 1, result 12; fadd dispatches 12,
+    // result 18; commits 12 and 18.
+    EXPECT_EQ(cyclesOn({ 4, 12, BusKind::kPerUnit }, configM11BR5(),
+                       trace),
+              18u);
+}
+
+TEST(RuuSim, TinyRuuSerializes)
+{
+    // One slot: insert/dispatch/commit must fully drain per op.
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSConst, S2),
+        dyn(Op::kSConst, S3),
+    });
+    // op0: insert 0, dispatch 1, result/commit 2; op1: insert 2,
+    // dispatch 3, commit 4; op2: insert 4 ... commit 6.
+    EXPECT_EQ(cyclesOn({ 1, 1, BusKind::kPerUnit }, configM11BR5(),
+                       trace),
+              6u);
+}
+
+TEST(RuuSim, BiggerRuuToleratesSlowMemory)
+{
+    // Repeated [load + filler] groups: with a small RUU the
+    // in-order head blocks on each load and the next load cannot
+    // even enter, serializing the memory latencies; a large RUU
+    // keeps many loads in flight.
+    DynTrace trace("loadwall");
+    for (int it = 0; it < 10; ++it) {
+        trace.append(dyn(Op::kLoadS, S1, A1));
+        for (int i = 0; i < 7; ++i)
+            trace.append(dyn(Op::kSConst, regS(2 + unsigned(i) % 6)));
+    }
+    const MachineConfig cfg = configM11BR5();
+    const ClockCycle small =
+        cyclesOn({ 4, 8, BusKind::kPerUnit }, cfg, trace);
+    const ClockCycle big =
+        cyclesOn({ 4, 40, BusKind::kPerUnit }, cfg, trace);
+    EXPECT_LT(big, small);
+}
+
+TEST(RuuSim, CommitIsInOrder)
+{
+    // The cheap op behind a slow load cannot retire before it; end
+    // time is governed by the load's commit.
+    const DynTrace trace = traceOf({
+        dyn(Op::kLoadS, S1, A1),
+        dyn(Op::kSConst, S2),
+    });
+    // Load result at 12; both commit at 12.
+    EXPECT_EQ(cyclesOn({ 2, 10, BusKind::kPerUnit }, configM11BR5(),
+                       trace),
+              12u);
+}
+
+TEST(RuuSim, BranchStallsIssueUntilConditionReady)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kLoadA, A0, A1),
+        dyn(Op::kBrANZ, kNoReg, A0, kNoReg, true),
+        dyn(Op::kSConst, S1),
+    });
+    // Load inserted 0, dispatched 1, A0 at 12.  Branch waits at the
+    // issue stage until 12, blocks until 17.  sconst inserted 17,
+    // dispatched 18, result 19, commit 19.
+    EXPECT_EQ(cyclesOn({ 4, 10, BusKind::kPerUnit }, configM11BR5(),
+                       trace),
+              19u);
+    // Fast branch: blocked until 14; sconst commits at 16.
+    EXPECT_EQ(cyclesOn({ 4, 10, BusKind::kPerUnit }, configM11BR2(),
+                       trace),
+              16u);
+}
+
+TEST(RuuSim, OneBusDispatchesOnePerCycle)
+{
+    // Four independent 1-cycle ops, width 4.
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSConst, S2),
+        dyn(Op::kSConst, S3),
+        dyn(Op::kSConst, S4),
+    });
+    // N-Bus: all inserted at 0, all dispatched at 1, results 2, all
+    // commit at 2.
+    EXPECT_EQ(cyclesOn({ 4, 8, BusKind::kPerUnit }, configM11BR5(),
+                       trace),
+              2u);
+    // 1-Bus: dispatches at 1,2,3,4 -> results 2,3,4,5; commits
+    // (1/cycle) at 2,3,4,5.
+    EXPECT_EQ(cyclesOn({ 4, 8, BusKind::kSingle }, configM11BR5(),
+                       trace),
+              5u);
+}
+
+TEST(RuuSim, StructuralFuConflictDelaysDispatch)
+{
+    // Two fadds, width 2 N-Bus: the segmented FP add unit accepts
+    // one per cycle, so the second dispatches a cycle later.
+    const DynTrace trace = traceOf({
+        dyn(Op::kFAdd, S1, S3, S4),
+        dyn(Op::kFAdd, S2, S5, S6),
+    });
+    // Dispatch 1 and 2; results 7 and 8; commits 7, 8.
+    EXPECT_EQ(cyclesOn({ 2, 8, BusKind::kPerUnit }, configM11BR5(),
+                       trace),
+              8u);
+}
+
+TEST(RuuSim, WidthLimitsInsertionRate)
+{
+    // Eight independent ops, plenty of RUU: width 1 inserts one per
+    // cycle; width 4 inserts four per cycle.
+    DynTrace trace("eight");
+    for (int i = 0; i < 8; ++i)
+        trace.append(dyn(Op::kSConst, regS(unsigned(i))));
+    const MachineConfig cfg = configM11BR5();
+    const ClockCycle w1 =
+        cyclesOn({ 1, 16, BusKind::kPerUnit }, cfg, trace);
+    const ClockCycle w4 =
+        cyclesOn({ 4, 16, BusKind::kPerUnit }, cfg, trace);
+    EXPECT_LT(w4, w1);
+}
+
+TEST(RuuSim, BypassMakesResultUsableSameCycleItExists)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSMovS, S2, S1),
+    });
+    // sconst: insert 0, dispatch 1, result 2.  smovs: insert 0,
+    // wakes the cycle the result exists (2), result 3; commits 2, 3.
+    EXPECT_EQ(cyclesOn({ 2, 8, BusKind::kPerUnit }, configM11BR5(),
+                       trace),
+              3u);
+}
+
+TEST(RuuSim, EmptyTrace)
+{
+    RuuSim sim({ 2, 10, BusKind::kPerUnit }, configM11BR5());
+    EXPECT_EQ(sim.run(traceOf({})).cycles, 0u);
+}
+
+TEST(RuuSim, Name)
+{
+    RuuSim sim({ 3, 30, BusKind::kSingle }, configM11BR5());
+    EXPECT_EQ(sim.name(), "RUU(w=3, size=30, 1-Bus)");
+}
+
+} // namespace
+} // namespace mfusim

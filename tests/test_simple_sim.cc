@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simple Machine golden-timing tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/sim/simple_sim.hh"
+#include "test_util.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+using test::dyn;
+using test::traceOf;
+
+TEST(SimpleSim, EmptyTrace)
+{
+    SimpleSim sim(configM11BR5());
+    const SimResult r = sim.run(traceOf({}));
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.issueRate(), 0.0);
+}
+
+TEST(SimpleSim, TimeIsSumOfLatencies)
+{
+    // sconst (1) + load (11) + fadd (6) = 18 cycles under M11.
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kLoadS, S2, A1),
+        dyn(Op::kFAdd, S3, S1, S2),
+    });
+    SimpleSim slow(configM11BR5());
+    EXPECT_EQ(slow.run(trace).cycles, 18u);
+    SimpleSim fast(configM5BR5());
+    EXPECT_EQ(fast.run(trace).cycles, 12u);
+}
+
+TEST(SimpleSim, NoOverlapEvenWhenIndependent)
+{
+    // Two independent loads still serialize completely.
+    const DynTrace trace = traceOf({
+        dyn(Op::kLoadS, S1, A1),
+        dyn(Op::kLoadS, S2, A2),
+    });
+    SimpleSim sim(configM11BR5());
+    EXPECT_EQ(sim.run(trace).cycles, 22u);
+}
+
+TEST(SimpleSim, BranchCostsBranchTime)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kBrANZ, kNoReg, A0, kNoReg, true),
+    });
+    SimpleSim slow(configM11BR5());
+    EXPECT_EQ(slow.run(trace).cycles, 5u);
+    SimpleSim fast(configM11BR2());
+    EXPECT_EQ(fast.run(trace).cycles, 2u);
+}
+
+TEST(SimpleSim, IssueRateComputation)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSConst, S2),
+    });
+    SimpleSim sim(configM11BR5());
+    const SimResult r = sim.run(trace);
+    EXPECT_EQ(r.instructions, 2u);
+    EXPECT_EQ(r.cycles, 2u);
+    EXPECT_DOUBLE_EQ(r.issueRate(), 1.0);
+}
+
+TEST(SimpleSim, Name)
+{
+    SimpleSim sim(configM11BR5());
+    EXPECT_EQ(sim.name(), "Simple");
+}
+
+} // namespace
+} // namespace mfusim

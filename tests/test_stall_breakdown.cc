@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Stall-attribution tests for the scoreboard machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "test_util.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+using test::dyn;
+using test::traceOf;
+
+SimResult
+runCray(const DynTrace &trace,
+        const MachineConfig &cfg = configM11BR5())
+{
+    ScoreboardSim sim(ScoreboardConfig::crayLike(), cfg);
+    return sim.run(trace);
+}
+
+TEST(StallBreakdown, NoHazardsNoStalls)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSConst, S2),
+        dyn(Op::kSConst, S3),
+    });
+    const SimResult r = runCray(trace);
+    ASSERT_TRUE(r.hasStalls);
+    EXPECT_EQ(r.stalls.total(), 0u);
+}
+
+TEST(StallBreakdown, RawWaitAttributed)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kLoadS, S1, A1),
+        dyn(Op::kFAdd, S2, S1, S1),
+    });
+    const SimResult r = runCray(trace);
+    // fadd waits cycles 1..10 on the load: 10 RAW stall cycles.
+    EXPECT_EQ(r.stalls.raw, 10u);
+    EXPECT_EQ(r.stalls.waw, 0u);
+    EXPECT_EQ(r.stalls.branch, 0u);
+}
+
+TEST(StallBreakdown, WawWaitAttributed)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kLoadS, S1, A1),
+        dyn(Op::kSConst, S1),
+    });
+    const SimResult r = runCray(trace);
+    EXPECT_EQ(r.stalls.waw, 10u);
+    EXPECT_EQ(r.stalls.raw, 0u);
+}
+
+TEST(StallBreakdown, StructuralWaitAttributed)
+{
+    // Serial memory: second load blocked on the memory unit.
+    const DynTrace trace = traceOf({
+        dyn(Op::kLoadS, S1, A1),
+        dyn(Op::kLoadS, S2, A2),
+    });
+    ScoreboardSim sim(ScoreboardConfig::serialMemory(),
+                      configM11BR5());
+    const SimResult r = sim.run(trace);
+    EXPECT_EQ(r.stalls.structural, 10u);
+}
+
+TEST(StallBreakdown, ResultBusConflictAttributed)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kFMul, S1, S4, S5),
+        dyn(Op::kFAdd, S2, S6, S7),     // would complete with fmul
+    });
+    const SimResult r = runCray(trace);
+    EXPECT_EQ(r.stalls.resultBus, 1u);
+}
+
+TEST(StallBreakdown, BranchTimeAttributed)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kAConst, A0),
+        dyn(Op::kBrANZ, kNoReg, A0, kNoReg, true),
+        dyn(Op::kAConst, A1),
+    });
+    const SimResult r = runCray(trace);
+    // Branch: no condition wait (A0 ready at its issue slot 1), 4
+    // dead issue slots from the 5-cycle branch time.
+    EXPECT_EQ(r.stalls.branch, 4u);
+
+    // Condition wait also charged to branch:
+    const DynTrace wait = traceOf({
+        dyn(Op::kLoadA, A0, A1),
+        dyn(Op::kBrAZ, kNoReg, A0, kNoReg, false),
+    });
+    const SimResult r2 = runCray(wait);
+    // Branch slot 1, condition at 11: 10 wait + 4 dead slots.
+    EXPECT_EQ(r2.stalls.branch, 14u);
+}
+
+TEST(StallBreakdown, AccountingConsistentOnBenchmarks)
+{
+    // busy + stalls explains (almost all of) the elapsed cycles:
+    // the residue is the final instructions' in-flight latency.
+    for (int id = 1; id <= 14; ++id) {
+        const SimResult r =
+            runCray(TraceLibrary::instance().trace(id));
+        const std::uint64_t accounted =
+            r.instructions + r.stalls.total();
+        EXPECT_LE(accounted, r.cycles) << "loop " << id;
+        EXPECT_GT(accounted, r.cycles - 30) << "loop " << id;
+    }
+}
+
+TEST(StallBreakdown, RawDominatesOnRecurrenceLoop)
+{
+    const SimResult r = runCray(TraceLibrary::instance().trace(5));
+    EXPECT_GT(r.stalls.raw, r.stalls.waw);
+    EXPECT_GT(r.stalls.raw, r.stalls.structural);
+    EXPECT_GT(r.stalls.raw, r.stalls.resultBus);
+}
+
+TEST(StallBreakdown, InterleavingRemovesStructuralStalls)
+{
+    const DynTrace &trace = TraceLibrary::instance().trace(1);
+    ScoreboardSim serial(ScoreboardConfig::serialMemory(),
+                         configM11BR5());
+    ScoreboardSim inter(ScoreboardConfig::nonSegmented(),
+                        configM11BR5());
+    EXPECT_GT(serial.run(trace).stalls.structural,
+              inter.run(trace).stalls.structural * 2);
+}
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Statistics helper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mfusim/core/stats.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+TEST(Stats, HarmonicMeanOfEqualRatesIsTheRate)
+{
+    const std::vector<double> rates = { 0.5, 0.5, 0.5 };
+    EXPECT_DOUBLE_EQ(harmonicMean(rates), 0.5);
+}
+
+TEST(Stats, HarmonicMeanKnownValue)
+{
+    // HM(1, 2) = 2 / (1 + 0.5) = 4/3.
+    const std::vector<double> rates = { 1.0, 2.0 };
+    EXPECT_DOUBLE_EQ(harmonicMean(rates), 4.0 / 3.0);
+}
+
+TEST(Stats, HarmonicMeanDominatedBySlowest)
+{
+    // The paper uses the harmonic mean precisely because a single
+    // slow loop should drag the class number down.
+    const std::vector<double> rates = { 0.1, 10.0, 10.0, 10.0 };
+    EXPECT_LT(harmonicMean(rates), 0.4);
+}
+
+TEST(Stats, HarmonicMeanNeverExceedsArithmetic)
+{
+    const std::vector<double> rates = { 0.3, 0.7, 1.4, 2.2, 0.9 };
+    EXPECT_LE(harmonicMean(rates), arithmeticMean(rates));
+    EXPECT_LE(harmonicMean(rates), geometricMean(rates));
+    EXPECT_LE(geometricMean(rates), arithmeticMean(rates));
+}
+
+TEST(Stats, EmptyInputsGiveZero)
+{
+    const std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(harmonicMean(empty), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean(empty), 0.0);
+    EXPECT_DOUBLE_EQ(geometricMean(empty), 0.0);
+}
+
+TEST(Stats, SingleElement)
+{
+    const std::vector<double> one = { 0.42 };
+    EXPECT_DOUBLE_EQ(harmonicMean(one), 0.42);
+    EXPECT_DOUBLE_EQ(arithmeticMean(one), 0.42);
+    EXPECT_NEAR(geometricMean(one), 0.42, 1e-12);
+}
+
+TEST(Stats, ArithmeticMeanKnownValue)
+{
+    const std::vector<double> values = { 1.0, 2.0, 3.0, 4.0 };
+    EXPECT_DOUBLE_EQ(arithmeticMean(values), 2.5);
+}
+
+TEST(Stats, GeometricMeanKnownValue)
+{
+    const std::vector<double> values = { 2.0, 8.0 };
+    EXPECT_NEAR(geometricMean(values), 4.0, 1e-12);
+}
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * ASCII table formatter tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mfusim/core/table.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+TEST(AsciiTable, NumFormatting)
+{
+    EXPECT_EQ(AsciiTable::num(0.4449), "0.44");
+    EXPECT_EQ(AsciiTable::num(0.445), "0.45");    // round half up-ish
+    EXPECT_EQ(AsciiTable::num(1.2, 1), "1.2");
+    EXPECT_EQ(AsciiTable::num(3.0, 0), "3");
+}
+
+TEST(AsciiTable, RendersHeaderAndRows)
+{
+    AsciiTable table;
+    table.setHeader({ "Machine", "Rate" });
+    table.addRow({ "Simple", "0.24" });
+    table.addRow({ "CRAY-like", "0.44" });
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("Machine"), std::string::npos);
+    EXPECT_NE(text.find("CRAY-like"), std::string::npos);
+    EXPECT_NE(text.find("0.44"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAligned)
+{
+    AsciiTable table;
+    table.setHeader({ "A", "B" });
+    table.addRow({ "xxxxxxxx", "1" });
+    table.addRow({ "y", "2" });
+
+    std::ostringstream os;
+    table.print(os);
+    // Column B starts at the same offset on both data lines.
+    std::istringstream in(os.str());
+    std::string header, rule, row1, row2;
+    std::getline(in, header);
+    std::getline(in, rule);
+    std::getline(in, row1);
+    std::getline(in, row2);
+    EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(AsciiTable, RuleSeparatesGroups)
+{
+    AsciiTable table;
+    table.setHeader({ "x" });
+    table.addRow({ "1" });
+    table.addRule();
+    table.addRow({ "2" });
+
+    std::ostringstream os;
+    table.print(os);
+    std::istringstream in(os.str());
+    std::string line;
+    int rules = 0;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.find_first_not_of('-') ==
+            std::string::npos) {
+            ++rules;
+        }
+    }
+    EXPECT_EQ(rules, 2);    // header underline + explicit rule
+}
+
+TEST(AsciiTable, ShortRowsPadded)
+{
+    AsciiTable table;
+    table.setHeader({ "a", "b", "c" });
+    table.addRow({ "only-one" });
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+} // namespace
+} // namespace mfusim

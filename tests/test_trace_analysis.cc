@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Trace analysis tests: dependence distances, basic blocks, width
+ * profiles on hand-built and benchmark traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mfusim/dataflow/limits.hh"
+#include "mfusim/dataflow/trace_analysis.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "test_util.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+using test::dyn;
+using test::traceOf;
+
+TEST(DependenceDistances, AdjacentChain)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSMovS, S2, S1),        // distance 1
+        dyn(Op::kSMovS, S3, S2),        // distance 1
+    });
+    const DependenceStats deps = dependenceDistances(trace);
+    EXPECT_EQ(deps.totalDeps, 2u);
+    EXPECT_EQ(deps.histogram[0], 2u);
+    EXPECT_DOUBLE_EQ(deps.adjacentFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(deps.meanDistance, 1.0);
+}
+
+TEST(DependenceDistances, FarDependence)
+{
+    DynTrace trace("far");
+    trace.append(dyn(Op::kSConst, S1));
+    for (int i = 0; i < 20; ++i)
+        trace.append(dyn(Op::kAConst, A1));
+    trace.append(dyn(Op::kSMovS, S2, S1));      // distance 21
+    const DependenceStats deps = dependenceDistances(trace);
+    EXPECT_EQ(deps.totalDeps, 1u);
+    EXPECT_EQ(deps.longer, 1u);
+    EXPECT_DOUBLE_EQ(deps.meanDistance, 21.0);
+}
+
+TEST(DependenceDistances, TwoSourcesCountSeparately)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSConst, S2),
+        dyn(Op::kFAdd, S3, S1, S2),     // distances 2 and 1
+    });
+    const DependenceStats deps = dependenceDistances(trace);
+    EXPECT_EQ(deps.totalDeps, 2u);
+    EXPECT_EQ(deps.histogram[0], 1u);
+    EXPECT_EQ(deps.histogram[1], 1u);
+    EXPECT_DOUBLE_EQ(deps.meanDistance, 1.5);
+}
+
+TEST(DependenceDistances, ArchitecturalValuesExcluded)
+{
+    // A source never written inside the trace contributes nothing.
+    const DynTrace trace = traceOf({
+        dyn(Op::kSMovS, S2, S1),
+    });
+    EXPECT_EQ(dependenceDistances(trace).totalDeps, 0u);
+}
+
+TEST(BasicBlocks, CountsRunsBetweenBranches)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSConst, S2),
+        dyn(Op::kBrANZ, kNoReg, A0, kNoReg, true),      // block of 3
+        dyn(Op::kSConst, S3),
+        dyn(Op::kBrANZ, kNoReg, A0, kNoReg, false),     // block of 2
+        dyn(Op::kSConst, S4),                           // tail block
+    });
+    const BasicBlockStats blocks = basicBlocks(trace);
+    EXPECT_EQ(blocks.blocks, 3u);
+    EXPECT_EQ(blocks.totalOps, 6u);
+    EXPECT_EQ(blocks.maxLength, 3u);
+    EXPECT_DOUBLE_EQ(blocks.meanLength(), 2.0);
+}
+
+TEST(WidthProfile, IndependentOpsAllStartAtOnce)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSConst, S2),
+        dyn(Op::kSConst, S3),
+    });
+    const WidthProfile profile =
+        widthProfile(trace, configM11BR5());
+    EXPECT_EQ(profile.peakWidth, 3u);
+    EXPECT_EQ(profile.levels, 1u);
+    EXPECT_DOUBLE_EQ(profile.meanWidth, 3.0);
+}
+
+TEST(WidthProfile, ChainIsNarrow)
+{
+    const DynTrace trace = traceOf({
+        dyn(Op::kSConst, S1),
+        dyn(Op::kSMovS, S2, S1),
+        dyn(Op::kSMovS, S3, S2),
+    });
+    const WidthProfile profile =
+        widthProfile(trace, configM11BR5());
+    EXPECT_EQ(profile.peakWidth, 1u);
+    EXPECT_EQ(profile.levels, 3u);
+    EXPECT_DOUBLE_EQ(profile.meanWidth, 1.0);
+}
+
+TEST(WidthProfile, MeanWidthMatchesPseudoDataflowRate)
+{
+    // meanWidth is by construction the pseudo-dataflow issue rate.
+    for (int id : { 1, 5, 7 }) {
+        const DynTrace &trace = TraceLibrary::instance().trace(id);
+        const MachineConfig cfg = configM11BR5();
+        const WidthProfile profile = widthProfile(trace, cfg);
+        const LimitResult limit = computeLimits(trace, cfg);
+        EXPECT_NEAR(profile.meanWidth, limit.pseudoRate, 1e-12)
+            << "loop " << id;
+    }
+}
+
+TEST(TraceAnalysis, ConsecutiveInstructionsAreRarelyIndependent)
+{
+    // The paper: "It is rare that 2 consecutive instructions are
+    // independent and can issue simultaneously without blocking."
+    // Every benchmark trace must show a substantial fraction of
+    // adjacent (distance-1) dependences and a short mean distance.
+    // (Note this measures expression-chain density, not loop-level
+    // parallelism: the wide vector loop LL7 has *more* adjacent
+    // dependences than the recurrence LL5 -- its iterations are
+    // independent but its long expressions are serial chains.
+    // Class parallelism shows up in the width profile instead.)
+    for (int id = 1; id <= 14; ++id) {
+        const DependenceStats deps =
+            dependenceDistances(TraceLibrary::instance().trace(id));
+        EXPECT_GT(deps.adjacentFraction(), 0.10) << "loop " << id;
+        // Most dependences are short-range (within 15 dynamic ops);
+        // the mean is skewed arbitrarily high by loop-invariant
+        // constants read thousands of ops after their single write,
+        // so assert on the bucketed fraction instead.
+        std::uint64_t within = 0;
+        for (std::uint64_t count : deps.histogram)
+            within += count;
+        EXPECT_GT(double(within), 0.5 * double(deps.totalDeps))
+            << "loop " << id;
+    }
+}
+
+TEST(TraceAnalysis, VectorLoopsAreWiderThanScalarLoops)
+{
+    const MachineConfig cfg = configM11BR5();
+    const WidthProfile wide =
+        widthProfile(TraceLibrary::instance().trace(7), cfg);
+    const WidthProfile narrow =
+        widthProfile(TraceLibrary::instance().trace(11), cfg);
+    EXPECT_GT(wide.meanWidth, narrow.meanWidth);
+    EXPECT_GT(wide.peakWidth, narrow.peakWidth);
+}
+
+TEST(TraceAnalysis, ReportMentionsKeyNumbers)
+{
+    const DynTrace &trace = TraceLibrary::instance().trace(1);
+    const std::string report =
+        analyzeTrace(trace, configM11BR5());
+    EXPECT_NE(report.find("LL1"), std::string::npos);
+    EXPECT_NE(report.find("mix:"), std::string::npos);
+    EXPECT_NE(report.find("branches:"), std::string::npos);
+    EXPECT_NE(report.find("dataflow width"), std::string::npos);
+}
+
+TEST(TraceAnalysis, EmptyTraceIsSafe)
+{
+    const DynTrace empty;
+    EXPECT_EQ(dependenceDistances(empty).totalDeps, 0u);
+    EXPECT_EQ(basicBlocks(empty).blocks, 0u);
+    EXPECT_EQ(widthProfile(empty, configM11BR5()).levels, 0u);
+    EXPECT_EQ(bufferDemand(empty, configM11BR5()).peakLiveValues, 0u);
+}
+
+TEST(BufferDemand, SerialChainNeedsOneBuffer)
+{
+    // Each value is consumed the moment it exists.
+    DynTrace trace("chain");
+    for (int i = 0; i < 50; ++i)
+        trace.append(dyn(Op::kFAdd, S1, S1, S2));
+    const BufferDemand demand =
+        bufferDemand(trace, configM11BR5());
+    EXPECT_EQ(demand.peakLiveValues, 1u);
+}
+
+TEST(BufferDemand, IndependentOpsAllLiveAtOnce)
+{
+    // n values produced at the same dataflow instant, none consumed.
+    DynTrace trace("indep");
+    for (int i = 0; i < 40; ++i)
+        trace.append(dyn(Op::kFAdd, regS(1 + unsigned(i) % 7), S0,
+                         S0));
+    const BufferDemand demand =
+        bufferDemand(trace, configM11BR5());
+    EXPECT_EQ(demand.peakLiveValues, 40u);
+}
+
+TEST(BufferDemand, PredictsRuuSaturationScale)
+{
+    // The paper's Table 7/8 RUU sizes saturate around 40-50 entries;
+    // the dataflow schedule's own buffering demand for the
+    // vectorizable loops sits in the same range.
+    const BufferDemand ll7 = bufferDemand(
+        TraceLibrary::instance().trace(7), configM11BR5());
+    EXPECT_GE(ll7.peakLiveValues, 15u);
+    EXPECT_LE(ll7.peakLiveValues, 120u);
+    // A recurrence loop needs far less buffering.
+    const BufferDemand ll11 = bufferDemand(
+        TraceLibrary::instance().trace(11), configM11BR5());
+    EXPECT_LT(ll11.peakLiveValues, ll7.peakLiveValues);
+}
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for mfusim tests: terse construction of hand-built
+ * dynamic traces for golden-timing tests.
+ */
+
+#ifndef MFUSIM_TESTS_TEST_UTIL_HH
+#define MFUSIM_TESTS_TEST_UTIL_HH
+
+#include <initializer_list>
+
+#include "mfusim/core/trace.hh"
+
+namespace mfusim
+{
+namespace test
+{
+
+/** Build a DynOp; branches default to taken = false. */
+inline DynOp
+dyn(Op op, RegId dst = kNoReg, RegId srcA = kNoReg, RegId srcB = kNoReg,
+    bool taken = false)
+{
+    DynOp d;
+    d.op = op;
+    d.dst = dst;
+    d.srcA = srcA;
+    d.srcB = srcB;
+    d.staticIdx = 0;
+    d.taken = taken;
+    return d;
+}
+
+/** Build a trace from a list of DynOps. */
+inline DynTrace
+traceOf(std::initializer_list<DynOp> ops, const char *name = "test")
+{
+    DynTrace trace(name);
+    for (const DynOp &op : ops)
+        trace.append(op);
+    return trace;
+}
+
+} // namespace test
+} // namespace mfusim
+
+#endif // MFUSIM_TESTS_TEST_UTIL_HH

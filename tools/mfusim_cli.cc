@@ -1,0 +1,309 @@
+/**
+ * @file
+ * mfusim command-line tool: inspect kernels, generate and save
+ * traces, analyze trace structure, and time traces on any machine
+ * organization without writing code.
+ *
+ * Usage:
+ *   mfusim list
+ *   mfusim disasm  <loop>
+ *   mfusim analyze <loop> [config]
+ *   mfusim limits  <loop> [config]
+ *   mfusim rate    <loop> <machine> [config]
+ *   mfusim save    <loop> <file>
+ *   mfusim replay  <file> <machine> [config]
+ *
+ * <loop>    1..14 (optionally "<id>x<factor>" for an unrolled
+ *           variant, e.g. "1x4", or "<id>v" for a vector-unit
+ *           compilation, e.g. "7v")
+ * <config>  M11BR5 (default) | M11BR2 | M5BR5 | M5BR2
+ * <machine> simple | serialmem | nonseg | cray |
+ *           seq:<w> | ooo:<w> | ruu:<w>:<size>
+ *           with optional ",1bus" / ",xbar" and ",btfn" / ",oracle"
+ *           suffixes, e.g. "ruu:4:50,1bus,oracle"
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mfusim/mfusim.hh"
+
+using namespace mfusim;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mfusim "
+                 "list | disasm <loop> | analyze <loop> [cfg] |\n"
+                 "       limits <loop> [cfg] | "
+                 "rate <loop> <machine> [cfg] |\n"
+                 "       save <loop> <file> | "
+                 "replay <file> <machine> [cfg]\n");
+    std::exit(2);
+}
+
+MachineConfig
+parseConfig(const std::string &name)
+{
+    for (const MachineConfig &cfg : standardConfigs()) {
+        if (cfg.name() == name)
+            return cfg;
+    }
+    std::fprintf(stderr, "unknown config '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+/**
+ * "5" -> canonical loop 5; "1x4" -> loop 1 unrolled by 4;
+ * "7v" -> loop 7 compiled for the vector unit.
+ */
+Kernel
+parseKernel(const std::string &spec)
+{
+    try {
+        if (!spec.empty() && spec.back() == 'v') {
+            return buildVectorizedKernel(
+                std::stoi(spec.substr(0, spec.size() - 1)));
+        }
+        const auto x = spec.find('x');
+        if (x == std::string::npos)
+            return buildKernel(std::stoi(spec));
+        return buildUnrolledKernel(std::stoi(spec.substr(0, x)),
+                                   std::stoi(spec.substr(x + 1)));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bad loop '%s': %s\n", spec.c_str(),
+                     e.what());
+        std::exit(2);
+    }
+}
+
+DynTrace
+traceFor(const std::string &spec)
+{
+    const Kernel kernel = parseKernel(spec);
+    KernelRun run = runKernel(kernel, "LL" + spec);
+    if (run.mismatches != 0) {
+        std::fprintf(stderr,
+                     "loop %s failed reference validation "
+                     "(%zu/%zu cells)\n",
+                     spec.c_str(), run.mismatches, run.checkedCells);
+        std::exit(1);
+    }
+    return std::move(run.trace);
+}
+
+std::unique_ptr<Simulator>
+parseMachine(const std::string &spec, const MachineConfig &cfg)
+{
+    // Split "name,opt,opt" on commas.
+    std::vector<std::string> parts;
+    std::stringstream in(spec);
+    std::string part;
+    while (std::getline(in, part, ','))
+        parts.push_back(part);
+    if (parts.empty())
+        usage();
+
+    BusKind bus = BusKind::kPerUnit;
+    BranchPolicy policy = BranchPolicy::kBlocking;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        if (parts[i] == "1bus")
+            bus = BusKind::kSingle;
+        else if (parts[i] == "xbar")
+            bus = BusKind::kCrossbar;
+        else if (parts[i] == "btfn")
+            policy = BranchPolicy::kBtfn;
+        else if (parts[i] == "oracle")
+            policy = BranchPolicy::kOracle;
+        else {
+            std::fprintf(stderr, "unknown machine option '%s'\n",
+                         parts[i].c_str());
+            std::exit(2);
+        }
+    }
+
+    // Split the machine name on colons: name[:w[:size]].
+    std::vector<std::string> fields;
+    std::stringstream name_in(parts[0]);
+    while (std::getline(name_in, part, ':'))
+        fields.push_back(part);
+
+    const auto arg = [&fields](std::size_t i) -> unsigned {
+        if (i >= fields.size()) {
+            std::fprintf(stderr, "machine spec needs more fields\n");
+            std::exit(2);
+        }
+        return unsigned(std::stoul(fields[i]));
+    };
+
+    if (fields[0] == "simple")
+        return std::make_unique<SimpleSim>(cfg);
+    if (fields[0] == "serialmem" || fields[0] == "nonseg" ||
+        fields[0] == "cray") {
+        ScoreboardConfig org =
+            fields[0] == "serialmem" ?
+                ScoreboardConfig::serialMemory() :
+                fields[0] == "nonseg" ?
+                    ScoreboardConfig::nonSegmented() :
+                    ScoreboardConfig::crayLike();
+        org.branchPolicy = policy;
+        return std::make_unique<ScoreboardSim>(org, cfg);
+    }
+    if (fields[0] == "seq" || fields[0] == "ooo") {
+        MultiIssueConfig org{ arg(1), fields[0] == "ooo", bus, false,
+                              policy };
+        return std::make_unique<MultiIssueSim>(org, cfg);
+    }
+    if (fields[0] == "ruu") {
+        RuuConfig org{ arg(1), arg(2), bus, policy };
+        return std::make_unique<RuuSim>(org, cfg);
+    }
+    std::fprintf(stderr, "unknown machine '%s'\n", parts[0].c_str());
+    std::exit(2);
+}
+
+int
+cmdList()
+{
+    AsciiTable table;
+    table.setHeader({ "Loop", "Name", "Class", "Ops", "Branches",
+                      "Mem%", "BTFN%" });
+    for (const KernelSpec &spec : kernelSpecs()) {
+        const DynTrace &trace =
+            TraceLibrary::instance().trace(spec.id);
+        const TraceStats stats = trace.stats();
+        table.addRow({
+            "LL" + std::to_string(spec.id),
+            spec.name,
+            spec.vectorizable ? "vector" : "scalar",
+            std::to_string(stats.totalOps),
+            std::to_string(stats.branches),
+            AsciiTable::num(stats.memoryFraction() * 100, 0),
+            AsciiTable::num(stats.btfnAccuracy() * 100, 0),
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdDisasm(const std::string &loop)
+{
+    const Kernel kernel = parseKernel(loop);
+    std::fputs(kernel.program.disassemble().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdAnalyze(const std::string &loop, const MachineConfig &cfg)
+{
+    const DynTrace trace = traceFor(loop);
+    std::fputs(analyzeTrace(trace, cfg).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdLimits(const std::string &loop, const MachineConfig &cfg)
+{
+    const DynTrace trace = traceFor(loop);
+    const LimitResult pure = computeLimits(trace, cfg, false);
+    const LimitResult serial = computeLimits(trace, cfg, true);
+    std::printf("loop %s, %s:\n", loop.c_str(), cfg.name().c_str());
+    std::printf("  pseudo-dataflow  %.3f (%llu cycles)\n",
+                pure.pseudoRate,
+                (unsigned long long)pure.pseudoCycles);
+    std::printf("  resource         %.3f (%llu cycles)\n",
+                pure.resourceRate,
+                (unsigned long long)pure.resourceCycles);
+    std::printf("  actual           %.3f\n", pure.actualRate);
+    std::printf("  serial (no WAW)  %.3f\n", serial.actualRate);
+    return 0;
+}
+
+int
+cmdRate(const std::string &loop, const std::string &machine,
+        const MachineConfig &cfg)
+{
+    const DynTrace trace = traceFor(loop);
+    auto sim = parseMachine(machine, cfg);
+    const SimResult result = sim->run(trace);
+    std::printf("%s on %s, %s: %.4f instr/cycle "
+                "(%llu instructions, %llu cycles)\n",
+                trace.name().c_str(), sim->name().c_str(),
+                cfg.name().c_str(), result.issueRate(),
+                (unsigned long long)result.instructions,
+                (unsigned long long)result.cycles);
+    return 0;
+}
+
+int
+cmdSave(const std::string &loop, const std::string &path)
+{
+    const DynTrace trace = traceFor(loop);
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+    saveTrace(out, trace);
+    std::printf("wrote %zu ops to %s\n", trace.size(), path.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const std::string &path, const std::string &machine,
+          const MachineConfig &cfg)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+    const DynTrace trace = loadTrace(in);
+    auto sim = parseMachine(machine, cfg);
+    const SimResult result = sim->run(trace);
+    std::printf("%s on %s, %s: %.4f instr/cycle\n",
+                trace.name().c_str(), sim->name().c_str(),
+                cfg.name().c_str(), result.issueRate());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    const auto cfg_arg = [&](int index) {
+        return index < argc ? parseConfig(argv[index])
+                            : configM11BR5();
+    };
+
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "disasm" && argc >= 3)
+        return cmdDisasm(argv[2]);
+    if (cmd == "analyze" && argc >= 3)
+        return cmdAnalyze(argv[2], cfg_arg(3));
+    if (cmd == "limits" && argc >= 3)
+        return cmdLimits(argv[2], cfg_arg(3));
+    if (cmd == "rate" && argc >= 4)
+        return cmdRate(argv[2], argv[3], cfg_arg(4));
+    if (cmd == "save" && argc >= 4)
+        return cmdSave(argv[2], argv[3]);
+    if (cmd == "replay" && argc >= 4)
+        return cmdReplay(argv[2], argv[3], cfg_arg(4));
+    usage();
+}
