@@ -15,6 +15,7 @@
 #include "bench_util.hh"
 #include "mfusim/harness/experiment.hh"
 #include "mfusim/harness/paper_data.hh"
+#include "mfusim/harness/sweep.hh"
 #include "mfusim/sim/multi_issue_sim.hh"
 
 namespace mfusim
@@ -27,37 +28,50 @@ runMultiIssueTable(const char *title, LoopClass cls, bool outOfOrder)
 {
     std::printf("%s\n(measured [paper])\n\n", title);
 
+    // The table is a flat grid of independent (stations, config,
+    // bus) cells: evaluate it on the worker pool, with every cell
+    // writing only its own slot, then render serially — the printed
+    // table is bit-identical to a serial run.
+    constexpr int kStations = 8;
+    constexpr int kConfigs = 4;
+    constexpr int kBusses = 2;
+    const auto &configs = standardConfigs();
+    std::vector<double> measured(kStations * kConfigs * kBusses);
+    runGrid(measured.size(), [&](std::size_t i) {
+        const unsigned stations = unsigned(i) / (kConfigs * kBusses) + 1;
+        const int cfg = int(i / kBusses) % kConfigs;
+        const BusKind bus = i % kBusses == 0 ? BusKind::kPerUnit
+                                             : BusKind::kSingle;
+        measured[i] = meanIssueRate(
+            [stations, bus, outOfOrder](const MachineConfig &c)
+                -> std::unique_ptr<Simulator> {
+                return std::make_unique<MultiIssueSim>(
+                    MultiIssueConfig{ stations, outOfOrder, bus,
+                                      false },
+                    c);
+            },
+            cls, configs[std::size_t(cfg)]);
+    });
+
     RatioTracker ratios;
     AsciiTable table;
     table.setHeader({ "Stations", "M11BR5 N-Bus", "M11BR5 1-Bus",
                       "M11BR2 N-Bus", "M11BR2 1-Bus", "M5BR5 N-Bus",
                       "M5BR5 1-Bus", "M5BR2 N-Bus", "M5BR2 1-Bus" });
 
-    for (unsigned stations = 1; stations <= 8; ++stations) {
+    std::size_t i = 0;
+    for (int stations = 1; stations <= kStations; ++stations) {
         std::vector<std::string> row = { std::to_string(stations) };
-        const auto &configs = standardConfigs();
-        for (int cfg = 0; cfg < 4; ++cfg) {
-            for (const BusKind bus :
-                 { BusKind::kPerUnit, BusKind::kSingle }) {
-                const double measured = meanIssueRate(
-                    [stations, bus,
-                     outOfOrder](const MachineConfig &c)
-                        -> std::unique_ptr<Simulator> {
-                        return std::make_unique<MultiIssueSim>(
-                            MultiIssueConfig{ stations, outOfOrder,
-                                              bus, false },
-                            c);
-                    },
-                    cls, configs[std::size_t(cfg)]);
-                const bool one_bus = bus == BusKind::kSingle;
+        for (int cfg = 0; cfg < kConfigs; ++cfg) {
+            for (int bus = 0; bus < kBusses; ++bus, ++i) {
+                const bool one_bus = bus == 1;
                 const double published =
                     outOfOrder
-                        ? paper::table5_6(cls, cfg, int(stations),
-                                          one_bus)
-                        : paper::table3_4(cls, cfg, int(stations),
+                        ? paper::table5_6(cls, cfg, stations, one_bus)
+                        : paper::table3_4(cls, cfg, stations,
                                           one_bus);
-                row.push_back(cell(measured, published));
-                ratios.add(measured, published);
+                row.push_back(cell(measured[i], published));
+                ratios.add(measured[i], published);
             }
         }
         table.addRow(std::move(row));

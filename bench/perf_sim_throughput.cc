@@ -4,11 +4,22 @@
  * (simulated instructions per wall-clock second).  Not a paper
  * table; this guards the simulators' own performance so the full
  * table sweeps stay fast.
+ *
+ * Each simulator is measured on two paths:
+ *
+ *  - BM_<sim>: the canonical sweep path — the trace is pre-decoded
+ *    once (TraceLibrary's decoded cache) and the timing loop runs on
+ *    the DecodedTrace arrays; this is what every table driver does.
+ *  - BM_<sim>DynTrace: the one-shot path — run(DynTrace) decodes per
+ *    call; what a caller pays when it times a trace exactly once.
+ *
+ * BM_DecodeTrace isolates the decode cost itself.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "mfusim/codegen/livermore.hh"
+#include "mfusim/core/decoded_trace.hh"
 #include "mfusim/dataflow/limits.hh"
 #include "mfusim/harness/trace_library.hh"
 #include "mfusim/sim/multi_issue_sim.hh"
@@ -28,10 +39,18 @@ bigTrace()
     return TraceLibrary::instance().trace(6);
 }
 
+const DecodedTrace &
+bigDecoded()
+{
+    return TraceLibrary::instance().decoded(6, configM11BR5());
+}
+
+// ---- canonical pre-decoded path ---------------------------------
+
 void
 BM_SimpleSim(benchmark::State &state)
 {
-    const DynTrace &trace = bigTrace();
+    const DecodedTrace &trace = bigDecoded();
     SimpleSim sim(configM11BR5());
     for (auto _ : state)
         benchmark::DoNotOptimize(sim.run(trace).cycles);
@@ -43,7 +62,7 @@ BENCHMARK(BM_SimpleSim);
 void
 BM_ScoreboardCrayLike(benchmark::State &state)
 {
-    const DynTrace &trace = bigTrace();
+    const DecodedTrace &trace = bigDecoded();
     for (auto _ : state) {
         ScoreboardSim sim(ScoreboardConfig::crayLike(),
                           configM11BR5());
@@ -57,7 +76,7 @@ BENCHMARK(BM_ScoreboardCrayLike);
 void
 BM_MultiIssue(benchmark::State &state)
 {
-    const DynTrace &trace = bigTrace();
+    const DecodedTrace &trace = bigDecoded();
     const unsigned width = unsigned(state.range(0));
     const bool ooo = state.range(1) != 0;
     for (auto _ : state) {
@@ -76,7 +95,7 @@ BENCHMARK(BM_MultiIssue)
 void
 BM_Ruu(benchmark::State &state)
 {
-    const DynTrace &trace = bigTrace();
+    const DecodedTrace &trace = bigDecoded();
     const unsigned width = unsigned(state.range(0));
     const unsigned size = unsigned(state.range(1));
     for (auto _ : state) {
@@ -92,6 +111,79 @@ BENCHMARK(BM_Ruu)->Args({ 1, 10 })->Args({ 4, 100 });
 void
 BM_DataflowLimits(benchmark::State &state)
 {
+    const DecodedTrace &trace = bigDecoded();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            computeLimits(trace).actualRate);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_DataflowLimits);
+
+// ---- one-shot run(DynTrace) path (decode per call) ---------------
+
+void
+BM_SimpleSimDynTrace(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    SimpleSim sim(configM11BR5());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_SimpleSimDynTrace);
+
+void
+BM_ScoreboardCrayLikeDynTrace(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    for (auto _ : state) {
+        ScoreboardSim sim(ScoreboardConfig::crayLike(),
+                          configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_ScoreboardCrayLikeDynTrace);
+
+void
+BM_MultiIssueDynTrace(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    const unsigned width = unsigned(state.range(0));
+    const bool ooo = state.range(1) != 0;
+    for (auto _ : state) {
+        MultiIssueSim sim({ width, ooo, BusKind::kPerUnit, false },
+                          configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_MultiIssueDynTrace)->Args({ 8, 1 });
+
+void
+BM_RuuDynTrace(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    const unsigned width = unsigned(state.range(0));
+    const unsigned size = unsigned(state.range(1));
+    for (auto _ : state) {
+        RuuSim sim({ width, size, BusKind::kPerUnit },
+                   configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_RuuDynTrace)->Args({ 4, 100 });
+
+void
+BM_DataflowLimitsDynTrace(benchmark::State &state)
+{
     const DynTrace &trace = bigTrace();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -100,7 +192,23 @@ BM_DataflowLimits(benchmark::State &state)
     state.SetItemsProcessed(std::int64_t(state.iterations()) *
                             std::int64_t(trace.size()));
 }
-BENCHMARK(BM_DataflowLimits);
+BENCHMARK(BM_DataflowLimitsDynTrace);
+
+// ---- decode and generation costs ---------------------------------
+
+void
+BM_DecodeTrace(benchmark::State &state)
+{
+    const DynTrace &trace = bigTrace();
+    const MachineConfig cfg = configM11BR5();
+    for (auto _ : state) {
+        const DecodedTrace decoded(trace, cfg);
+        benchmark::DoNotOptimize(decoded.size());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_DecodeTrace);
 
 void
 BM_TraceGeneration(benchmark::State &state)

@@ -15,6 +15,7 @@
 #include "bench_util.hh"
 #include "mfusim/harness/experiment.hh"
 #include "mfusim/harness/paper_data.hh"
+#include "mfusim/harness/sweep.hh"
 #include "mfusim/sim/ruu_sim.hh"
 
 namespace mfusim
@@ -27,15 +28,42 @@ runRuuTable(const char *title, LoopClass cls)
 {
     std::printf("%s\n(measured [paper])\n\n", title);
 
+    // Flat grid of independent (config, size, units, bus) cells,
+    // evaluated on the worker pool and rendered serially afterwards
+    // (index-ordered slots keep the output bit-identical to a
+    // serial run).
+    constexpr int kConfigs = 4;
+    constexpr int kSizes = 6;
+    constexpr int kUnits = 4;
+    constexpr int kBusses = 2;
+    const auto &configs = standardConfigs();
+    std::vector<double> measured(kConfigs * kSizes * kUnits * kBusses);
+    runGrid(measured.size(), [&](std::size_t i) {
+        const int cfg = int(i) / (kSizes * kUnits * kBusses);
+        const int size_idx = int(i / (kUnits * kBusses)) % kSizes;
+        const unsigned size =
+            unsigned(paper::ruuSizes()[std::size_t(size_idx)]);
+        const unsigned units = unsigned(i / kBusses) % kUnits + 1;
+        const BusKind bus = i % kBusses == 0 ? BusKind::kPerUnit
+                                             : BusKind::kSingle;
+        measured[i] = meanIssueRate(
+            [units, size, bus](const MachineConfig &c)
+                -> std::unique_ptr<Simulator> {
+                return std::make_unique<RuuSim>(
+                    RuuConfig{ units, size, bus }, c);
+            },
+            cls, configs[std::size_t(cfg)]);
+    });
+
     RatioTracker ratios;
     AsciiTable table;
     table.setHeader({ "Machine", "RUU", "1 N-Bus", "1 1-Bus",
                       "2 N-Bus", "2 1-Bus", "3 N-Bus", "3 1-Bus",
                       "4 N-Bus", "4 1-Bus" });
 
-    const auto &configs = standardConfigs();
-    for (int cfg = 0; cfg < 4; ++cfg) {
-        for (int size_idx = 0; size_idx < 6; ++size_idx) {
+    std::size_t i = 0;
+    for (int cfg = 0; cfg < kConfigs; ++cfg) {
+        for (int size_idx = 0; size_idx < kSizes; ++size_idx) {
             const unsigned size =
                 unsigned(paper::ruuSizes()[std::size_t(size_idx)]);
             std::vector<std::string> row = {
@@ -44,22 +72,12 @@ runRuuTable(const char *title, LoopClass cls)
                     : "",
                 std::to_string(size),
             };
-            for (unsigned units = 1; units <= 4; ++units) {
-                for (const BusKind bus :
-                     { BusKind::kPerUnit, BusKind::kSingle }) {
-                    const double measured = meanIssueRate(
-                        [units, size,
-                         bus](const MachineConfig &c)
-                            -> std::unique_ptr<Simulator> {
-                            return std::make_unique<RuuSim>(
-                                RuuConfig{ units, size, bus }, c);
-                        },
-                        cls, configs[std::size_t(cfg)]);
+            for (int units = 1; units <= kUnits; ++units) {
+                for (int bus = 0; bus < kBusses; ++bus, ++i) {
                     const double published = paper::table7_8(
-                        cls, cfg, size_idx, int(units),
-                        bus == BusKind::kSingle);
-                    row.push_back(cell(measured, published));
-                    ratios.add(measured, published);
+                        cls, cfg, size_idx, units, bus == 1);
+                    row.push_back(cell(measured[i], published));
+                    ratios.add(measured[i], published);
                 }
             }
             table.addRow(std::move(row));

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Pre-decoded dynamic traces: structure-of-arrays opcode traits.
+ *
+ * Every timing simulator walks its trace many times per experiment
+ * (cycle loops revisit unissued instructions), and every visit used
+ * to re-resolve the same static facts through traitsOf()/latencyOf():
+ * functional-unit class, effective latency under the machine
+ * configuration, vector occupancy, branch/store/result flags.  A
+ * DecodedTrace resolves all of that exactly once per (trace, machine
+ * configuration) pair and stores it in tightly packed parallel
+ * arrays, so the simulators' hot loops reduce to integer loads.
+ *
+ * The decode additionally precomputes the program-order dependence
+ * links (last earlier writer of each operand and of the destination)
+ * that MultiIssueSim and RuuSim previously rebuilt on every run, and
+ * the whole-trace composition statistics the dataflow resource limit
+ * needs.
+ *
+ * Contract: decode once, run many.  A DecodedTrace is immutable
+ * after construction and therefore safe to share across concurrent
+ * simulator runs (see TraceLibrary::decoded() for the process-wide
+ * cache).  Simulators verify that the decoded configuration matches
+ * their own, because the stored latencies embed memLatency and
+ * branchTime.
+ */
+
+#ifndef MFUSIM_CORE_DECODED_TRACE_HH
+#define MFUSIM_CORE_DECODED_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/core/opcode.hh"
+#include "mfusim/core/trace.hh"
+#include "mfusim/core/types.hh"
+
+namespace mfusim
+{
+
+/**
+ * One dynamic trace with all per-op static properties resolved for
+ * one machine configuration, in parallel arrays indexed by trace
+ * position.
+ */
+class DecodedTrace
+{
+  public:
+    /** No earlier writer of the operand (or unused operand slot). */
+    static constexpr std::uint32_t kNoProducer = 0xffffffffu;
+
+    // Per-op property bits returned by flags().
+    static constexpr std::uint8_t kIsBranch = 1u << 0;
+    static constexpr std::uint8_t kIsVector = 1u << 1;
+    static constexpr std::uint8_t kIsMemory = 1u << 2;
+    static constexpr std::uint8_t kIsTransfer = 1u << 3;
+    static constexpr std::uint8_t kProducesResult = 1u << 4;
+    static constexpr std::uint8_t kTaken = 1u << 5;
+    static constexpr std::uint8_t kBtfnCorrect = 1u << 6;
+
+    /** Decode @p trace under @p cfg (one pass over the ops). */
+    DecodedTrace(const DynTrace &trace, const MachineConfig &cfg);
+
+    const std::string &name() const { return name_; }
+    const MachineConfig &config() const { return cfg_; }
+
+    std::size_t size() const { return op_.size(); }
+    bool empty() const { return op_.empty(); }
+
+    /** True if any op is a vector-unit instruction. */
+    bool hasVector() const { return hasVector_; }
+
+    /** Composition statistics (same values as DynTrace::stats()). */
+    const TraceStats &stats() const { return stats_; }
+
+    // ---- per-op decoded fields -----------------------------------
+
+    Op op(std::size_t i) const { return op_[i]; }
+    FuClass fu(std::size_t i) const { return FuClass(fu_[i]); }
+
+    /** Effective latency: latencyOf(op, config()). */
+    unsigned latency(std::size_t i) const { return latency_[i]; }
+
+    /** vectorOccupancy(): unit-holding cycles (1 for scalar ops). */
+    unsigned occupancy(std::size_t i) const { return occupancy_[i]; }
+
+    std::uint8_t flags(std::size_t i) const { return flags_[i]; }
+    bool isBranch(std::size_t i) const { return flags_[i] & kIsBranch; }
+    bool isVector(std::size_t i) const { return flags_[i] & kIsVector; }
+    bool isMemory(std::size_t i) const { return flags_[i] & kIsMemory; }
+    bool
+    isTransfer(std::size_t i) const
+    {
+        return flags_[i] & kIsTransfer;
+    }
+    bool
+    producesResult(std::size_t i) const
+    {
+        return flags_[i] & kProducesResult;
+    }
+    bool taken(std::size_t i) const { return flags_[i] & kTaken; }
+    /** The static BTFN predictor gets this branch right. */
+    bool
+    btfnCorrect(std::size_t i) const
+    {
+        return flags_[i] & kBtfnCorrect;
+    }
+
+    RegId dst(std::size_t i) const { return dst_[i]; }
+    RegId srcA(std::size_t i) const { return srcA_[i]; }
+    RegId srcB(std::size_t i) const { return srcB_[i]; }
+
+    // ---- program-order dependence links --------------------------
+
+    /** Index of the last earlier writer of srcA, or kNoProducer. */
+    std::uint32_t prodA(std::size_t i) const { return prodA_[i]; }
+    /** Index of the last earlier writer of srcB, or kNoProducer. */
+    std::uint32_t prodB(std::size_t i) const { return prodB_[i]; }
+    /** Index of the last earlier writer of dst, or kNoProducer. */
+    std::uint32_t
+    prevWriter(std::size_t i) const
+    {
+        return prevWriter_[i];
+    }
+
+  private:
+    std::string name_;
+    MachineConfig cfg_;
+    TraceStats stats_;
+    bool hasVector_ = false;
+
+    std::vector<Op> op_;
+    std::vector<std::uint8_t> fu_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<std::uint16_t> latency_;
+    std::vector<std::uint16_t> occupancy_;
+    std::vector<RegId> dst_;
+    std::vector<RegId> srcA_;
+    std::vector<RegId> srcB_;
+    std::vector<std::uint32_t> prodA_;
+    std::vector<std::uint32_t> prodB_;
+    std::vector<std::uint32_t> prevWriter_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_DECODED_TRACE_HH

@@ -15,6 +15,15 @@ LimitResult
 computeLimits(const DynTrace &trace, const MachineConfig &cfg,
               bool serialWaw, unsigned fuCopies, unsigned memPorts)
 {
+    return computeLimits(DecodedTrace(trace, cfg), serialWaw,
+                         fuCopies, memPorts);
+}
+
+LimitResult
+computeLimits(const DecodedTrace &trace, bool serialWaw,
+              unsigned fuCopies, unsigned memPorts)
+{
+    const MachineConfig &cfg = trace.config();
     LimitResult result;
     if (trace.empty())
         return result;
@@ -30,45 +39,49 @@ computeLimits(const DynTrace &trace, const MachineConfig &cfg,
     ClockCycle ctrl_ready = 0;      // resolve time of last branch
     ClockCycle critical = 0;
 
-    for (const DynOp &op : trace.ops()) {
-        const unsigned latency = latencyOf(op.op, cfg);
-        const unsigned elements = vectorOccupancy(op);
+    const std::size_t n_ops = trace.size();
+    for (std::size_t i = 0; i < n_ops; ++i) {
+        const unsigned latency = trace.latency(i);
+        const unsigned elements = trace.occupancy(i);
+        const RegId srcA = trace.srcA(i);
+        const RegId srcB = trace.srcB(i);
+        const RegId dst = trace.dst(i);
 
         ClockCycle start = ctrl_ready;
-        if (op.srcA != kNoReg)
-            start = std::max(start, value_ready[op.srcA]);
-        if (op.srcB != kNoReg)
-            start = std::max(start, value_ready[op.srcB]);
+        if (srcA != kNoReg)
+            start = std::max(start, value_ready[srcA]);
+        if (srcB != kNoReg)
+            start = std::max(start, value_ready[srcB]);
 
         // Pure dataflow is elementwise for vector ops: the first
         // result element exists after one unit latency (perfect
         // chaining), the op completes after streaming all elements.
         ClockCycle done = start + latency + (elements - 1);
-        if (serialWaw && op.dst != kNoReg) {
+        if (serialWaw && dst != kNoReg) {
             // No buffering: must finish no earlier than the previous
             // writer of the same register.
-            done = std::max(done, last_done[op.dst]);
+            done = std::max(done, last_done[dst]);
         }
 
-        if (isBranch(op.op)) {
+        if (trace.isBranch(i)) {
             // Later instructions (the next loop iteration) are gated
             // on this branch resolving.
             ctrl_ready = start + cfg.branchTime;
             critical = std::max(critical, ctrl_ready);
         } else {
-            if (op.dst != kNoReg) {
+            if (dst != kNoReg) {
                 // A chained vector consumer sees the first element
                 // one latency after the producer starts.
-                value_ready[op.dst] = elements > 1 ?
+                value_ready[dst] = elements > 1 ?
                     start + latency + 1 : done;
-                last_done[op.dst] = done;
+                last_done[dst] = done;
             }
             critical = std::max(critical, done);
         }
     }
 
     // ---- resource limit: busiest functional unit ------------------
-    const TraceStats stats = trace.stats();
+    const TraceStats &stats = trace.stats();
     ClockCycle resource = 0;
     for (unsigned fu = 0; fu < kNumFuClasses; ++fu) {
         const auto fu_class = static_cast<FuClass>(fu);

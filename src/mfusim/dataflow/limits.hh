@@ -29,6 +29,7 @@
 #ifndef MFUSIM_DATAFLOW_LIMITS_HH
 #define MFUSIM_DATAFLOW_LIMITS_HH
 
+#include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/machine_config.hh"
 #include "mfusim/core/trace.hh"
 
@@ -58,6 +59,17 @@ struct LimitResult
  */
 LimitResult computeLimits(const DynTrace &trace,
                           const MachineConfig &cfg,
+                          bool serialWaw = false,
+                          unsigned fuCopies = 1,
+                          unsigned memPorts = 1);
+
+/**
+ * Compute the limits of a pre-decoded trace (under the configuration
+ * it was decoded for).  The hot path for sweeps: per-op latencies,
+ * occupancies and the trace statistics come straight out of the
+ * decoded arrays, with no trait lookups.
+ */
+LimitResult computeLimits(const DecodedTrace &trace,
                           bool serialWaw = false,
                           unsigned fuCopies = 1,
                           unsigned memPorts = 1);

@@ -1,6 +1,7 @@
 /**
  * @file
- * Functional unit pool implementation.
+ * Functional unit pool implementation: the Op-keyed convenience
+ * overloads, delegating to the inline FuClass fast paths.
  */
 
 #include "mfusim/funits/fu_pool.hh"
@@ -23,80 +24,22 @@ FuPool::FuPool(const FuPoolConfig &poolCfg,
 }
 
 bool
-FuPool::usesPool(Op op)
-{
-    const FuClass fu = traitsOf(op).fu;
-    return fu != FuClass::kTransfer && fu != FuClass::kBranch;
-}
-
-const FunctionalUnit &
-FuPool::bestUnit(Op op) const
-{
-    const auto base =
-        std::size_t(traitsOf(op).fu) * fuCopies_;
-    std::size_t best = base;
-    for (std::size_t i = base + 1; i < base + fuCopies_; ++i) {
-        if (units_[i].nextFree() < units_[best].nextFree())
-            best = i;
-    }
-    return units_[best];
-}
-
-FunctionalUnit &
-FuPool::bestUnit(Op op)
-{
-    return const_cast<FunctionalUnit &>(
-        const_cast<const FuPool *>(this)->bestUnit(op));
-}
-
-const MemoryPort &
-FuPool::bestPort() const
-{
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < memory_.size(); ++i) {
-        if (memory_[i].nextFree() < memory_[best].nextFree())
-            best = i;
-    }
-    return memory_[best];
-}
-
-MemoryPort &
-FuPool::bestPort()
-{
-    return const_cast<MemoryPort &>(
-        const_cast<const FuPool *>(this)->bestPort());
-}
-
-bool
 FuPool::canAccept(Op op, ClockCycle when) const
 {
-    if (!usesPool(op))
-        return true;
-    if (isMemory(op))
-        return bestPort().canAccept(when);
-    return bestUnit(op).canAccept(when);
+    return canAccept(traitsOf(op).fu, when);
 }
 
 ClockCycle
 FuPool::earliestAccept(Op op, ClockCycle when) const
 {
-    if (!usesPool(op))
-        return when;
-    const ClockCycle free = isMemory(op) ? bestPort().nextFree()
-                                         : bestUnit(op).nextFree();
-    return free > when ? free : when;
+    return earliestAccept(traitsOf(op).fu, when);
 }
 
 ClockCycle
 FuPool::accept(Op op, ClockCycle when, unsigned occupancy)
 {
-    const unsigned latency = latencyOf(op, machineCfg_);
-    if (!usesPool(op))
-        return when + latency + occupancy - 1;
-    if (isMemory(op))
-        return bestPort().accept(when, occupancy);
-    bestUnit(op).accept(when, latency, occupancy);
-    return when + latency + occupancy - 1;
+    return accept(traitsOf(op).fu, when, latencyOf(op, machineCfg_),
+                  occupancy);
 }
 
 void

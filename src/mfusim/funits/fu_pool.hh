@@ -45,6 +45,11 @@ struct FuPoolConfig
 
 /**
  * Accept-availability of every execution resource of the machine.
+ *
+ * The FuClass overloads are the pre-decoded fast path: callers that
+ * already resolved an op's unit class and latency (DecodedTrace)
+ * skip the traitsOf()/latencyOf() lookups entirely.  The Op
+ * overloads delegate to them.
  */
 class FuPool
 {
@@ -65,17 +70,92 @@ class FuPool
      */
     ClockCycle accept(Op op, ClockCycle when, unsigned occupancy = 1);
 
+    /** Fast path of canAccept(Op): unit class already resolved. */
+    bool
+    canAccept(FuClass fu, ClockCycle when) const
+    {
+        if (!usesPool(fu))
+            return true;
+        if (fu == FuClass::kMemory)
+            return bestPort().canAccept(when);
+        return bestUnit(fu).canAccept(when);
+    }
+
+    /** Fast path of earliestAccept(Op). */
+    ClockCycle
+    earliestAccept(FuClass fu, ClockCycle when) const
+    {
+        if (!usesPool(fu))
+            return when;
+        const ClockCycle free = fu == FuClass::kMemory
+                                    ? bestPort().nextFree()
+                                    : bestUnit(fu).nextFree();
+        return free > when ? free : when;
+    }
+
+    /**
+     * Fast path of accept(Op): @p latency must equal
+     * latencyOf(op, machineCfg) of the accepted op.
+     */
+    ClockCycle
+    accept(FuClass fu, ClockCycle when, unsigned latency,
+           unsigned occupancy = 1)
+    {
+        if (!usesPool(fu))
+            return when + latency + occupancy - 1;
+        if (fu == FuClass::kMemory)
+            return bestPort().accept(when, occupancy);
+        bestUnit(fu).accept(when, latency, occupancy);
+        return when + latency + occupancy - 1;
+    }
+
     void reset();
 
   private:
-    /** True if @p op contends for a pool resource at all. */
-    static bool usesPool(Op op);
+    /** True if ops of @p fu contend for a pool resource at all. */
+    static bool
+    usesPool(FuClass fu)
+    {
+        return fu != FuClass::kTransfer && fu != FuClass::kBranch;
+    }
 
-    /** The copy of @p op's unit class that frees up first. */
-    const FunctionalUnit &bestUnit(Op op) const;
-    FunctionalUnit &bestUnit(Op op);
-    const MemoryPort &bestPort() const;
-    MemoryPort &bestPort();
+    /** The copy of the class's unit that frees up first. */
+    const FunctionalUnit &
+    bestUnit(FuClass fu) const
+    {
+        const auto base = std::size_t(fu) * fuCopies_;
+        std::size_t best = base;
+        for (std::size_t i = base + 1; i < base + fuCopies_; ++i) {
+            if (units_[i].nextFree() < units_[best].nextFree())
+                best = i;
+        }
+        return units_[best];
+    }
+
+    FunctionalUnit &
+    bestUnit(FuClass fu)
+    {
+        return const_cast<FunctionalUnit &>(
+            const_cast<const FuPool *>(this)->bestUnit(fu));
+    }
+
+    const MemoryPort &
+    bestPort() const
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < memory_.size(); ++i) {
+            if (memory_[i].nextFree() < memory_[best].nextFree())
+                best = i;
+        }
+        return memory_[best];
+    }
+
+    MemoryPort &
+    bestPort()
+    {
+        return const_cast<MemoryPort &>(
+            const_cast<const FuPool *>(this)->bestPort());
+    }
 
     MachineConfig machineCfg_;
     // units_[class * fuCopies + copy]

@@ -7,6 +7,7 @@
 
 #include "mfusim/codegen/livermore.hh"
 #include "mfusim/core/stats.hh"
+#include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
 
 namespace mfusim
@@ -29,14 +30,10 @@ std::vector<double>
 perLoopRates(const SimFactory &factory, const std::vector<int> &loops,
              const MachineConfig &cfg)
 {
-    std::vector<double> rates;
-    rates.reserve(loops.size());
-    for (int loop : loops) {
-        const DynTrace &trace = TraceLibrary::instance().trace(loop);
-        auto sim = factory(cfg);
-        rates.push_back(sim->run(trace).issueRate());
-    }
-    return rates;
+    // The parallel runner with the library's decoded cache is also
+    // the best serial path (decode once per (loop, cfg), reuse
+    // across every organization swept over it).
+    return parallelPerLoopRates(factory, loops, cfg);
 }
 
 double

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parallel sweep runner implementation.
+ */
+
+#include "mfusim/harness/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "mfusim/harness/trace_library.hh"
+
+namespace mfusim
+{
+
+namespace
+{
+
+std::atomic<unsigned> g_jobs_override{ 0 };
+
+// True on threads that are themselves runGrid workers: a body that
+// calls back into runGrid (a table driver invoking a parallel
+// helper) runs the nested grid inline instead of spawning a second
+// pool.
+thread_local bool t_in_worker = false;
+
+unsigned
+jobsFromEnvironment()
+{
+    if (const char *env = std::getenv("MFUSIM_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return unsigned(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+unsigned
+defaultSweepJobs()
+{
+    const unsigned jobs = g_jobs_override.load();
+    return jobs > 0 ? jobs : jobsFromEnvironment();
+}
+
+void
+setDefaultSweepJobs(unsigned jobs)
+{
+    g_jobs_override.store(jobs);
+}
+
+void
+runGrid(std::size_t cells,
+        const std::function<void(std::size_t)> &body, unsigned jobs)
+{
+    if (cells == 0)
+        return;
+    if (jobs == 0)
+        jobs = defaultSweepJobs();
+    if (jobs > cells)
+        jobs = unsigned(cells);
+
+    if (jobs <= 1 || t_in_worker) {
+        for (std::size_t i = 0; i < cells; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{ 0 };
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    const auto work = [&] {
+        t_in_worker = true;
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cells)
+                break;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                // Drain the remaining cells so all workers stop
+                // promptly; the first error is what the caller sees.
+                next.store(cells);
+                break;
+            }
+        }
+        t_in_worker = false;
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs - 1);
+    for (unsigned w = 1; w < jobs; ++w)
+        pool.emplace_back(work);
+    work();     // the calling thread is worker 0
+    for (std::thread &thread : pool)
+        thread.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::vector<double>
+parallelPerLoopRates(const SimFactory &factory,
+                     const std::vector<int> &loops,
+                     const MachineConfig &cfg, unsigned jobs)
+{
+    std::vector<double> rates(loops.size());
+    runGrid(loops.size(), [&](std::size_t i) {
+        const DecodedTrace &trace =
+            TraceLibrary::instance().decoded(loops[i], cfg);
+        auto sim = factory(cfg);
+        rates[i] = sim->run(trace).issueRate();
+    }, jobs);
+    return rates;
+}
+
+} // namespace mfusim

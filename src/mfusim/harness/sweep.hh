@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic parallel sweep runner.
+ *
+ * Every paper table is a grid of independent cells: (simulator
+ * organization) x (machine configuration) x (loop).  Each cell is a
+ * pure function of its inputs, so the grid can be evaluated by a
+ * worker pool in any order — provided the *output* is assembled in
+ * index order, the printed tables are bit-identical to a serial run.
+ *
+ * runGrid() is that primitive: it runs `body(i)` for every cell
+ * index i on a pool of threads, with each body writing its result
+ * into its own pre-sized slot.  Determinism is by construction: no
+ * cell reads another cell's output, and the caller prints the slots
+ * serially afterwards.
+ *
+ * The worker count defaults to the MFUSIM_JOBS environment variable,
+ * falling back to the hardware concurrency; `mfusim --jobs N` and
+ * tests override it per process with setDefaultSweepJobs().
+ */
+
+#ifndef MFUSIM_HARNESS_SWEEP_HH
+#define MFUSIM_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "mfusim/harness/experiment.hh"
+
+namespace mfusim
+{
+
+/**
+ * The worker count runGrid() uses when none is given: the last
+ * setDefaultSweepJobs() value, else the MFUSIM_JOBS environment
+ * variable, else std::thread::hardware_concurrency() (at least 1).
+ */
+unsigned defaultSweepJobs();
+
+/** Override the process-wide default worker count (0 = reset). */
+void setDefaultSweepJobs(unsigned jobs);
+
+/**
+ * Evaluate @p body(i) for every i in [0, cells) on a pool of
+ * @p jobs worker threads (0 = defaultSweepJobs()).
+ *
+ * Work is handed out by an atomic counter, so the *execution* order
+ * is nondeterministic; callers must make each body write only to its
+ * own index's result slot, which makes the *results* deterministic.
+ * With one job (or one cell, or when called from inside a runGrid
+ * worker) the bodies run inline on the calling thread.
+ *
+ * The first exception thrown by any body is rethrown on the calling
+ * thread once all workers have stopped.
+ */
+void runGrid(std::size_t cells,
+             const std::function<void(std::size_t)> &body,
+             unsigned jobs = 0);
+
+/**
+ * Parallel perLoopRates(): one grid cell per loop, each timing the
+ * library's cached pre-decoded trace of (loop, cfg) on a fresh
+ * simulator from @p factory.  Results are in @p loops order,
+ * bit-identical to the serial loop.
+ */
+std::vector<double> parallelPerLoopRates(const SimFactory &factory,
+                                         const std::vector<int> &loops,
+                                         const MachineConfig &cfg,
+                                         unsigned jobs = 0);
+
+} // namespace mfusim
+
+#endif // MFUSIM_HARNESS_SWEEP_HH

@@ -12,6 +12,20 @@
 namespace mfusim
 {
 
+namespace
+{
+
+void
+checkLoopId(int loopId)
+{
+    if (loopId < 1 || loopId > 14) {
+        throw std::invalid_argument(
+            "TraceLibrary: loop id must be 1..14");
+    }
+}
+
+} // namespace
+
 TraceLibrary &
 TraceLibrary::instance()
 {
@@ -22,14 +36,36 @@ TraceLibrary::instance()
 const DynTrace &
 TraceLibrary::trace(int loopId)
 {
-    if (loopId < 1 || loopId > 14) {
-        throw std::invalid_argument(
-            "TraceLibrary: loop id must be 1..14");
-    }
+    checkLoopId(loopId);
     auto &slot = traces_[std::size_t(loopId)];
-    if (!slot)
+    // call_once rather than double-checked locking: concurrent first
+    // uses of the same loop build it exactly once, and a build that
+    // throws (validation failure) leaves the flag unset so the next
+    // caller retries and sees the same exception.
+    std::call_once(traceOnce_[std::size_t(loopId)], [&] {
         slot = std::make_unique<DynTrace>(traceKernel(loopId));
+    });
     return *slot;
+}
+
+const DecodedTrace &
+TraceLibrary::decoded(int loopId, const MachineConfig &cfg)
+{
+    checkLoopId(loopId);
+    const DecodedKey key{ loopId, cfg.memLatency, cfg.branchTime };
+    {
+        std::lock_guard<std::mutex> lock(decodedMutex_);
+        auto it = decoded_.find(key);
+        if (it != decoded_.end())
+            return *it->second;
+    }
+    // Build outside the lock (decoding may itself trigger a trace
+    // build, and other (loop, cfg) pairs should not serialize behind
+    // it); a racing duplicate build loses and is discarded.
+    auto built = std::make_unique<DecodedTrace>(trace(loopId), cfg);
+    std::lock_guard<std::mutex> lock(decodedMutex_);
+    auto [it, inserted] = decoded_.emplace(key, std::move(built));
+    return *it->second;
 }
 
 } // namespace mfusim

@@ -5,15 +5,25 @@
  * Trace generation (assemble + interpret + validate) costs far more
  * than a timing simulation, and every experiment sweeps the same 14
  * traces over dozens of machine configurations, so traces are built
- * once per process and shared.
+ * once per process and shared.  The same goes one level down: a
+ * DecodedTrace of a (loop, machine configuration) pair is built once
+ * and reused by every simulator timing that pair.
+ *
+ * Both caches are thread safe, so parallel sweep workers (sweep.hh)
+ * can share the library without external locking.
  */
 
 #ifndef MFUSIM_HARNESS_TRACE_LIBRARY_HH
 #define MFUSIM_HARNESS_TRACE_LIBRARY_HH
 
 #include <array>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 
+#include "mfusim/core/decoded_trace.hh"
+#include "mfusim/core/machine_config.hh"
 #include "mfusim/core/trace.hh"
 
 namespace mfusim
@@ -31,13 +41,28 @@ class TraceLibrary
     /**
      * The validated dynamic trace of Livermore loop @p loopId
      * (1..14).  Built (and checked against the C++ reference
-     * kernels) on first use; throws if validation fails.
+     * kernels) on first use; throws if validation fails.  Safe to
+     * call from multiple threads: exactly one builds the trace,
+     * the rest wait.
      */
     const DynTrace &trace(int loopId);
 
+    /**
+     * The pre-decoded trace of loop @p loopId under @p cfg.  Decoded
+     * on first use per (loop, configuration) pair and cached for the
+     * life of the process; thread safe.
+     */
+    const DecodedTrace &decoded(int loopId, const MachineConfig &cfg);
+
   private:
     TraceLibrary() = default;
+
     std::array<std::unique_ptr<DynTrace>, 15> traces_;
+    std::array<std::once_flag, 15> traceOnce_;
+
+    using DecodedKey = std::tuple<int, unsigned, unsigned>;
+    std::mutex decodedMutex_;
+    std::map<DecodedKey, std::unique_ptr<DecodedTrace>> decoded_;
 };
 
 } // namespace mfusim

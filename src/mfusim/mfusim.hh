@@ -21,6 +21,7 @@
 #include "mfusim/codegen/livermore.hh"
 #include "mfusim/codegen/reference_kernels.hh"
 #include "mfusim/codegen/synthetic.hh"
+#include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/instruction.hh"
 #include "mfusim/core/branch_policy.hh"
 #include "mfusim/core/machine_config.hh"
@@ -39,6 +40,7 @@
 #include "mfusim/funits/result_bus.hh"
 #include "mfusim/harness/experiment.hh"
 #include "mfusim/harness/paper_data.hh"
+#include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
 #include "mfusim/sim/cdc6600_sim.hh"
 #include "mfusim/sim/multi_issue_sim.hh"

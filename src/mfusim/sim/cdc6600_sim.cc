@@ -17,10 +17,16 @@ namespace mfusim
 {
 
 SimResult
-Cdc6600Sim::run(const DynTrace &trace)
+Cdc6600Sim::run(const DecodedTrace &trace)
 {
+    checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
+
+    if (trace.hasVector()) {
+        throw std::invalid_argument(
+            "Cdc6600Sim: vector instructions are not supported");
+    }
 
     // Completion time of the current value of each register.
     std::array<ClockCycle, kNumRegs> regReady{};
@@ -38,21 +44,20 @@ Cdc6600Sim::run(const DynTrace &trace)
     ClockCycle issue_cursor = 0;
     ClockCycle end = 0;
 
-    for (const DynOp &op : trace.ops()) {
-        const unsigned latency = latencyOf(op.op, cfg_);
+    const std::size_t n = trace.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned latency = trace.latency(i);
+        const RegId srcA = trace.srcA(i);
+        const RegId srcB = trace.srcB(i);
+        const RegId dst = trace.dst(i);
 
-        if (isVector(op.op)) {
-            throw std::invalid_argument(
-                "Cdc6600Sim: vector instructions are not supported");
-        }
-
-        if (isBranch(op.op)) {
+        if (trace.isBranch(i)) {
             const ClockCycle cond_ready =
-                op.srcA != kNoReg ? regReady[op.srcA] : 0;
+                srcA != kNoReg ? regReady[srcA] : 0;
             const bool predicted_free =
                 org_.branchPolicy == BranchPolicy::kOracle ||
                 (org_.branchPolicy == BranchPolicy::kBtfn &&
-                 btfnCorrect(op.backward, op.taken));
+                 trace.btfnCorrect(i));
             if (predicted_free) {
                 const ClockCycle t = issue_cursor;
                 issue_cursor = t + 1;
@@ -69,28 +74,30 @@ Cdc6600Sim::run(const DynTrace &trace)
             continue;
         }
 
-        const unsigned fu = unsigned(traitsOf(op.op).fu);
+        const FuClass fu_class = trace.fu(i);
+        const unsigned fu = unsigned(fu_class);
+        const bool is_transfer = trace.isTransfer(i);
 
         // Issue: blocks on WAW and on an occupied waiting station,
         // but NOT on RAW.
         ClockCycle t = issue_cursor;
-        if (op.dst != kNoReg)
-            t = std::max(t, regReady[op.dst]);          // WAW
-        if (traitsOf(op.op).fu != FuClass::kTransfer)
+        if (dst != kNoReg)
+            t = std::max(t, regReady[dst]);             // WAW
+        if (!is_transfer)
             t = std::max(t, stationFree[fu]);           // station busy
 
         // Dispatch: the parked instruction enters its (segmented)
         // unit once its operands exist and the unit can accept.
         ClockCycle dispatch = t;
-        if (op.srcA != kNoReg)
-            dispatch = std::max(dispatch, regReady[op.srcA]);
-        if (op.srcB != kNoReg)
-            dispatch = std::max(dispatch, regReady[op.srcB]);
+        if (srcA != kNoReg)
+            dispatch = std::max(dispatch, regReady[srcA]);
+        if (srcB != kNoReg)
+            dispatch = std::max(dispatch, regReady[srcB]);
 
         const bool needs_bus =
-            org_.modelResultBus && producesResult(op.op);
+            org_.modelResultBus && trace.producesResult(i);
         while (true) {
-            dispatch = pool.earliestAccept(op.op, dispatch);
+            dispatch = pool.earliestAccept(fu_class, dispatch);
             if (needs_bus &&
                 bus_reserved.count(dispatch + latency) != 0) {
                 ++dispatch;
@@ -99,12 +106,13 @@ Cdc6600Sim::run(const DynTrace &trace)
             break;
         }
 
-        const ClockCycle ready = pool.accept(op.op, dispatch);
+        const ClockCycle ready = pool.accept(fu_class, dispatch,
+                                             latency);
         if (needs_bus)
             bus_reserved.insert(ready);
-        if (op.dst != kNoReg)
-            regReady[op.dst] = ready;
-        if (traitsOf(op.op).fu != FuClass::kTransfer)
+        if (dst != kNoReg)
+            regReady[dst] = ready;
+        if (!is_transfer)
             stationFree[fu] = dispatch + 1;
 
         issue_cursor = t + 1;

@@ -51,8 +51,10 @@ class Cdc6600Sim : public Simulator
         : org_(org), cfg_(cfg)
     {}
 
-    SimResult run(const DynTrace &trace) override;
+    using Simulator::run;
+    SimResult run(const DecodedTrace &trace) override;
     std::string name() const override { return "CDC6600-issue"; }
+    const MachineConfig &config() const override { return cfg_; }
 
   private:
     Cdc6600Config org_;

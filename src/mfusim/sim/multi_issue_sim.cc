@@ -40,73 +40,56 @@ MultiIssueSim::name() const
 }
 
 SimResult
-MultiIssueSim::run(const DynTrace &trace)
+MultiIssueSim::run(const DecodedTrace &trace)
 {
+    checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
     if (trace.empty())
         return result;
 
-    const auto &ops = trace.ops();
-    const std::size_t n = ops.size();
+    const std::size_t n = trace.size();
 
     // The multiple-issue study is scalar-only, as in the paper.
-    for (const DynOp &guard_op : trace.ops()) {
-        if (isVector(guard_op.op)) {
-            throw std::invalid_argument(
-                "MultiIssueSim: vector instructions are not "
-                "supported (the paper's multiple-issue study is "
-                "scalar-only; use ScoreboardSim)");
-        }
+    if (trace.hasVector()) {
+        throw std::invalid_argument(
+            "MultiIssueSim: vector instructions are not "
+            "supported (the paper's multiple-issue study is "
+            "scalar-only; use ScoreboardSim)");
     }
 
     // A branch is "predicted free" when the (extension) branch
     // policy resolves it without gating the stream: oracle always,
     // BTFN when the static prediction matches the outcome.
-    const auto predicted_free = [this](const DynOp &op) {
-        if (!isBranch(op.op))
+    const auto predicted_free = [this, &trace](std::size_t j) {
+        if (!trace.isBranch(j))
             return false;
         if (org_.branchPolicy == BranchPolicy::kOracle)
             return true;
         return org_.branchPolicy == BranchPolicy::kBtfn &&
-            btfnCorrect(op.backward, op.taken);
+            trace.btfnCorrect(j);
     };
     // A branch squashes the buffer slots behind it when the machine
     // must refetch: a taken branch under the blocking policy, or any
     // mispredicted branch under BTFN.
-    const auto squashes = [this, &predicted_free](const DynOp &op) {
-        if (!isBranch(op.op) || predicted_free(op))
+    const auto squashes = [this, &trace,
+                           &predicted_free](std::size_t j) {
+        if (!trace.isBranch(j) || predicted_free(j))
             return false;
-        return op.taken ||
+        return trace.taken(j) ||
             org_.branchPolicy == BranchPolicy::kBtfn;
     };
 
-    // Program-order dependence links.  With out-of-order issue a
-    // younger instruction may write a register before an older
-    // reader has issued; the older reader must wait on its *true*
-    // (program-order) producer, not on whatever wrote the register
-    // most recently.  (The paper ignores WAR hazards, so the younger
-    // write neither blocks nor creates a dependence.)  prodA/prodB
-    // point at the last earlier writer of each source; prevWriter at
-    // the last earlier writer of the destination (the CRAY WAW
-    // register reservation).
-    constexpr std::size_t kNoProd = std::numeric_limits<std::size_t>::max();
-    std::vector<std::size_t> prodA(n, kNoProd), prodB(n, kNoProd);
-    std::vector<std::size_t> prevWriter(n, kNoProd);
-    {
-        std::array<std::size_t, kNumRegs> lastWriter;
-        lastWriter.fill(kNoProd);
-        for (std::size_t j = 0; j < n; ++j) {
-            if (ops[j].srcA != kNoReg)
-                prodA[j] = lastWriter[ops[j].srcA];
-            if (ops[j].srcB != kNoReg)
-                prodB[j] = lastWriter[ops[j].srcB];
-            if (ops[j].dst != kNoReg) {
-                prevWriter[j] = lastWriter[ops[j].dst];
-                lastWriter[ops[j].dst] = j;
-            }
-        }
-    }
+    // Program-order dependence links, precomputed at decode time.
+    // With out-of-order issue a younger instruction may write a
+    // register before an older reader has issued; the older reader
+    // must wait on its *true* (program-order) producer, not on
+    // whatever wrote the register most recently.  (The paper ignores
+    // WAR hazards, so the younger write neither blocks nor creates a
+    // dependence.)  prodA/prodB point at the last earlier writer of
+    // each source; prevWriter at the last earlier writer of the
+    // destination (the CRAY WAW register reservation).
+    constexpr std::uint32_t kNoProd = DecodedTrace::kNoProducer;
     // Completion (result-available) time of each issued instruction.
     std::vector<ClockCycle> completion(n, 0);
     FuPool pool({ FuDiscipline::kSegmented,
@@ -117,6 +100,17 @@ MultiIssueSim::run(const DynTrace &trace)
 
     std::size_t wStart = 0;             // first instruction in buffer
     std::vector<bool> issued(org_.width, false);
+    // Static buffer-order hazards of the current window, as
+    // bitmasks: bit k of conflict[j] is set when window entry k
+    // (k < j) blocks entry j while k is unissued.  Whether a pair
+    // conflicts depends only on the instructions (registers, branch
+    // prediction), not on timing, so the masks are computed once per
+    // window and each pass's hazard scan collapses to one AND
+    // against the unissued mask.  Windows wider than 64 fall back to
+    // the per-pair scan.
+    const bool use_masks = org_.width <= 64;
+    std::vector<std::uint64_t> conflict(use_masks ? org_.width : 0);
+    std::uint64_t unissued_mask = 0;
 
     // Issue floor imposed by the most recently issued branch: no
     // instruction that follows it in program order may issue before
@@ -133,71 +127,102 @@ MultiIssueSim::run(const DynTrace &trace)
         // issue), so the issuable window ends just after it.
         std::size_t wEnd = std::min(wStart + org_.width, n);
         for (std::size_t j = wStart; j < wEnd; ++j) {
-            if (squashes(ops[j])) {
+            if (squashes(j)) {
                 wEnd = j + 1;
                 break;
             }
         }
         std::fill(issued.begin(), issued.end(), false);
 
-        std::size_t remaining = wEnd - wStart;
+        const std::size_t wlen = wEnd - wStart;
+        if (use_masks) {
+            unissued_mask = wlen >= 64 ? ~std::uint64_t(0)
+                                       : (std::uint64_t(1) << wlen) - 1;
+            for (std::size_t j = wStart; j < wEnd; ++j) {
+                const std::size_t s = j - wStart;
+                if (!org_.outOfOrder) {
+                    // Sequential issue: every unissued predecessor
+                    // blocks.
+                    conflict[s] = (std::uint64_t(1) << s) - 1;
+                    continue;
+                }
+                std::uint64_t mask = 0;
+                const bool free_branch = predicted_free(j);
+                const RegId op_dst = trace.dst(j);
+                const RegId op_srcA = trace.srcA(j);
+                const RegId op_srcB = trace.srcB(j);
+                for (std::size_t k = wStart; k < j; ++k) {
+                    bool blocks = false;
+                    if (trace.isBranch(k) && !predicted_free(k))
+                        blocks = true;          // no speculation
+                    const RegId prev_dst = trace.dst(k);
+                    if (prev_dst != kNoReg) {
+                        if (!free_branch &&
+                            (prev_dst == op_srcA ||
+                             prev_dst == op_srcB)) {
+                            blocks = true;      // RAW in buffer
+                        }
+                        if (prev_dst == op_dst)
+                            blocks = true;      // WAW in buffer
+                    }
+                    if (org_.blockWar && op_dst != kNoReg &&
+                        (trace.srcA(k) == op_dst ||
+                         trace.srcB(k) == op_dst)) {
+                        blocks = true;          // WAR in buffer
+                    }
+                    if (blocks)
+                        mask |= std::uint64_t(1) << (k - wStart);
+                }
+                conflict[s] = mask;
+            }
+        }
+
+        std::size_t remaining = wlen;
         while (remaining > 0) {
             bus.advanceTo(t);
             bool progress = false;
             ClockCycle hint = kNever;   // earliest future issue event
 
             for (std::size_t j = wStart; j < wEnd; ++j) {
-                if (issued[j - wStart])
-                    continue;
-                const DynOp &op = ops[j];
-                const unsigned latency = latencyOf(op.op, cfg_);
-
-                // Register and control constraints give a concrete
-                // earliest cycle; buffer-order hazards (against
-                // earlier *unissued* entries) are resolved only by a
-                // later cycle's scan.
-                const bool free_branch = predicted_free(op);
-                ClockCycle earliest = 0;
-                // A predicted-free branch does not wait for its
-                // condition to issue (it resolves in the background).
-                if (!free_branch && prodA[j] != kNoProd)
-                    earliest = std::max(earliest, completion[prodA[j]]);
-                if (prodB[j] != kNoProd)
-                    earliest = std::max(earliest, completion[prodB[j]]);
-                if (prevWriter[j] != kNoProd)
-                    earliest = std::max(earliest,
-                                        completion[prevWriter[j]]);
-                if (floorIdx < j)
-                    earliest = std::max(earliest, floorTime);
-
-                bool buffer_hazard = false;
-                for (std::size_t k = wStart; k < j && !buffer_hazard;
-                     ++k) {
-                    if (issued[k - wStart])
+                const std::size_t s = j - wStart;
+                bool buffer_hazard;
+                if (use_masks) {
+                    if (!(unissued_mask >> s & 1))
+                        continue;       // already issued
+                    buffer_hazard = (unissued_mask & conflict[s]) != 0;
+                } else {
+                    if (issued[s])
                         continue;
-                    if (!org_.outOfOrder) {
-                        // Sequential issue: any unissued predecessor
-                        // blocks.
-                        buffer_hazard = true;
-                        break;
-                    }
-                    const DynOp &prev = ops[k];
-                    if (isBranch(prev.op) && !predicted_free(prev)) {
-                        buffer_hazard = true;   // no speculation
-                        break;
-                    }
-                    if (prev.dst != kNoReg) {
-                        if (!free_branch &&
-                            (prev.dst == op.srcA ||
-                             prev.dst == op.srcB)) {
-                            buffer_hazard = true;       // RAW in buffer
+                    buffer_hazard = false;
+                    for (std::size_t k = wStart;
+                         k < j && !buffer_hazard; ++k) {
+                        if (issued[k - wStart])
+                            continue;
+                        if (!org_.outOfOrder) {
+                            // Sequential issue: any unissued
+                            // predecessor blocks.
+                            buffer_hazard = true;
+                            break;
                         }
-                        if (prev.dst == op.dst)
-                            buffer_hazard = true;       // WAW in buffer
-                    }
-                    if (org_.blockWar && op.dst != kNoReg &&
-                        (prev.srcA == op.dst || prev.srcB == op.dst)) {
-                        buffer_hazard = true;           // WAR in buffer
+                        if (trace.isBranch(k) && !predicted_free(k)) {
+                            buffer_hazard = true;   // no speculation
+                            break;
+                        }
+                        const RegId prev_dst = trace.dst(k);
+                        if (prev_dst != kNoReg) {
+                            if (!predicted_free(j) &&
+                                (prev_dst == trace.srcA(j) ||
+                                 prev_dst == trace.srcB(j))) {
+                                buffer_hazard = true;   // RAW in buffer
+                            }
+                            if (prev_dst == trace.dst(j))
+                                buffer_hazard = true;   // WAW in buffer
+                        }
+                        if (org_.blockWar && trace.dst(j) != kNoReg &&
+                            (trace.srcA(k) == trace.dst(j) ||
+                             trace.srcB(k) == trace.dst(j))) {
+                            buffer_hazard = true;       // WAR in buffer
+                        }
                     }
                 }
                 if (buffer_hazard) {
@@ -205,6 +230,27 @@ MultiIssueSim::run(const DynTrace &trace)
                         break;      // nothing later may issue either
                     continue;
                 }
+
+                // Register and control constraints give a concrete
+                // earliest cycle; buffer-order hazards (against
+                // earlier *unissued* entries) are resolved only by a
+                // later cycle's scan.
+                const unsigned latency = trace.latency(j);
+                const bool free_branch = predicted_free(j);
+                ClockCycle earliest = 0;
+                // A predicted-free branch does not wait for its
+                // condition to issue (it resolves in the background).
+                if (!free_branch && trace.prodA(j) != kNoProd)
+                    earliest = std::max(earliest,
+                                        completion[trace.prodA(j)]);
+                if (trace.prodB(j) != kNoProd)
+                    earliest = std::max(earliest,
+                                        completion[trace.prodB(j)]);
+                if (trace.prevWriter(j) != kNoProd)
+                    earliest = std::max(earliest,
+                                        completion[trace.prevWriter(j)]);
+                if (floorIdx < j)
+                    earliest = std::max(earliest, floorTime);
 
                 if (earliest > t) {
                     hint = std::min(hint, earliest);
@@ -214,16 +260,17 @@ MultiIssueSim::run(const DynTrace &trace)
                 }
 
                 // Structural: functional unit and result bus.
-                const unsigned unit = unsigned(j - wStart);
-                if (!pool.canAccept(op.op, t)) {
+                const unsigned unit = unsigned(s);
+                const FuClass op_fu = trace.fu(j);
+                if (!pool.canAccept(op_fu, t)) {
                     hint = std::min(hint,
-                                    pool.earliestAccept(op.op, t));
+                                    pool.earliestAccept(op_fu, t));
                     if (!org_.outOfOrder)
                         break;
                     continue;
                 }
-                if (producesResult(op.op) &&
-                    !bus.canReserve(unit, t + latency)) {
+                const bool produces = trace.producesResult(j);
+                if (produces && !bus.canReserve(unit, t + latency)) {
                     hint = std::min(hint, t + 1);
                     if (!org_.outOfOrder)
                         break;
@@ -231,13 +278,14 @@ MultiIssueSim::run(const DynTrace &trace)
                 }
 
                 // Issue instruction j at cycle t.
-                const ClockCycle ready = pool.accept(op.op, t);
-                if (producesResult(op.op)) {
+                const ClockCycle ready =
+                    pool.accept(op_fu, t, latency);
+                if (produces) {
                     bus.reserve(unit, ready);
                     end = std::max(end, ready);
                 }
                 completion[j] = ready;
-                if (isBranch(op.op)) {
+                if (trace.isBranch(j)) {
                     if (free_branch) {
                         // One issue slot, no gating.
                         end = std::max(end, t + 1);
@@ -249,14 +297,10 @@ MultiIssueSim::run(const DynTrace &trace)
                 } else {
                     end = std::max(end, ready);
                 }
-                issued[j - wStart] = true;
+                issued[s] = true;
+                unissued_mask &= ~(std::uint64_t(1) << s);
                 --remaining;
                 progress = true;
-
-                if (!org_.outOfOrder && isBranch(op.op) && op.taken) {
-                    // Slots behind a taken branch were already cut
-                    // from the window by wEnd.
-                }
             }
 
             // Advance time: one cycle after any progress, otherwise

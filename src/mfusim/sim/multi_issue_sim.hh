@@ -81,8 +81,10 @@ class MultiIssueSim : public Simulator
   public:
     MultiIssueSim(const MultiIssueConfig &org, const MachineConfig &cfg);
 
-    SimResult run(const DynTrace &trace) override;
+    using Simulator::run;
+    SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
+    const MachineConfig &config() const override { return cfg_; }
 
   private:
     MultiIssueConfig org_;

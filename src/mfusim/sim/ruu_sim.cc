@@ -8,7 +8,6 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <deque>
 #include <limits>
 #include <vector>
 
@@ -19,7 +18,7 @@ namespace
 {
 
 constexpr ClockCycle kUnknown = std::numeric_limits<ClockCycle>::max();
-constexpr DynIndex kNoProducer = std::numeric_limits<DynIndex>::max();
+constexpr std::uint32_t kNoProducer = DecodedTrace::kNoProducer;
 
 } // namespace
 
@@ -40,24 +39,22 @@ RuuSim::name() const
 }
 
 SimResult
-RuuSim::run(const DynTrace &trace)
+RuuSim::run(const DecodedTrace &trace)
 {
+    checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
     if (trace.empty())
         return result;
 
-    const auto &ops = trace.ops();
-    const std::size_t n = ops.size();
+    const std::size_t n = trace.size();
 
     // The RUU study is scalar-only, as in the paper.
-    for (const DynOp &guard_op : ops) {
-        if (isVector(guard_op.op)) {
-            throw std::invalid_argument(
-                "RuuSim: vector instructions are not supported "
-                "(the paper's RUU study is scalar-only; use "
-                "ScoreboardSim)");
-        }
+    if (trace.hasVector()) {
+        throw std::invalid_argument(
+            "RuuSim: vector instructions are not supported "
+            "(the paper's RUU study is scalar-only; use "
+            "ScoreboardSim)");
     }
 
     // Slot banking: the restricted N-Bus organization gives each
@@ -81,17 +78,20 @@ RuuSim::run(const DynTrace &trace)
 
     struct Entry
     {
-        DynIndex idx;
+        std::uint32_t idx;
         unsigned bank;
         bool dispatched;
-        DynIndex prodA;     //!< producing op of srcA, or kNoProducer
-        DynIndex prodB;
     };
 
-    std::deque<Entry> ruu;
+    // The RUU holds a sliding program-order window [ruu_head,
+    // ruu.size()) of at most ruuSize live entries; committed entries
+    // are left behind the head rather than erased (cheaper than a
+    // deque, identical iteration order).
+    std::vector<Entry> ruu;
+    ruu.reserve(n);
+    std::size_t ruu_head = 0;
     std::vector<unsigned> bank_count(num_banks, 0);
     std::vector<ClockCycle> result_time(n, kUnknown);
-    std::vector<DynIndex> last_writer(kNumRegs, kNoProducer);
 
     FuPool pool({ FuDiscipline::kSegmented,
                   MemDiscipline::kInterleaved, org_.fuCopies,
@@ -102,14 +102,14 @@ RuuSim::run(const DynTrace &trace)
 
     // True once the producing value of operand (producer id) is
     // available at cycle t.
-    const auto operand_ready = [&](DynIndex prod, ClockCycle t) {
+    const auto operand_ready = [&](std::uint32_t prod, ClockCycle t) {
         if (prod == kNoProducer)
             return true;
         const ClockCycle r = result_time[prod];
         return r != kUnknown && r <= t;
     };
     // Future cycle at which the operand becomes available, if known.
-    const auto operand_hint = [&](DynIndex prod) -> ClockCycle {
+    const auto operand_hint = [&](std::uint32_t prod) -> ClockCycle {
         if (prod == kNoProducer)
             return kUnknown;
         return result_time[prod];
@@ -121,15 +121,15 @@ RuuSim::run(const DynTrace &trace)
     ClockCycle t = 0;
     ClockCycle end = 0;
 
-    while (next_insert < n || !ruu.empty()) {
+    while (next_insert < n || ruu_head < ruu.size()) {
         bool progress = false;
         ClockCycle hint = kUnknown;
         wb.advanceTo(t);
 
         // ---- commit: retire completed results from the head -------
         unsigned committed = 0;
-        while (committed < commit_cap && !ruu.empty()) {
-            const Entry &head = ruu.front();
+        while (committed < commit_cap && ruu_head < ruu.size()) {
+            const Entry &head = ruu[ruu_head];
             if (!head.dispatched)
                 break;
             const ClockCycle r = result_time[head.idx];
@@ -138,7 +138,7 @@ RuuSim::run(const DynTrace &trace)
                 break;
             }
             bank_count[head.bank]--;
-            ruu.pop_front();
+            ++ruu_head;
             end = std::max(end, t);
             ++committed;
             progress = true;
@@ -147,7 +147,8 @@ RuuSim::run(const DynTrace &trace)
         // ---- dispatch: RUU -> functional units ---------------------
         unsigned dispatched_total = 0;
         std::vector<unsigned> dispatched_bank(num_banks, 0);
-        for (Entry &entry : ruu) {
+        for (std::size_t e = ruu_head; e < ruu.size(); ++e) {
+            Entry &entry = ruu[e];
             if (dispatched_total >= dispatch_cap)
                 break;
             if (entry.dispatched)
@@ -155,27 +156,29 @@ RuuSim::run(const DynTrace &trace)
             if (banked && dispatched_bank[entry.bank] >= 1)
                 continue;
 
-            const DynOp &op = ops[entry.idx];
-            if (!operand_ready(entry.prodA, t) ||
-                !operand_ready(entry.prodB, t)) {
-                const ClockCycle ha = operand_hint(entry.prodA);
-                const ClockCycle hb = operand_hint(entry.prodB);
+            const std::uint32_t idx = entry.idx;
+            const std::uint32_t prodA = trace.prodA(idx);
+            const std::uint32_t prodB = trace.prodB(idx);
+            if (!operand_ready(prodA, t) ||
+                !operand_ready(prodB, t)) {
+                const ClockCycle ha = operand_hint(prodA);
+                const ClockCycle hb = operand_hint(prodB);
                 ClockCycle ready_at = 0;
                 if (ha != kUnknown)
                     ready_at = std::max(ready_at, ha);
                 if (hb != kUnknown)
                     ready_at = std::max(ready_at, hb);
-                if (ready_at > t &&
-                    operand_hint(entry.prodA) != kUnknown &&
-                    operand_hint(entry.prodB) != kUnknown) {
+                if (ready_at > t && ha != kUnknown &&
+                    hb != kUnknown) {
                     // Both producers scheduled: concrete wakeup time.
                     hint = std::min(hint, ready_at);
                 }
                 continue;
             }
-            const unsigned latency = latencyOf(op.op, cfg_);
-            if (!pool.canAccept(op.op, t)) {
-                hint = std::min(hint, pool.earliestAccept(op.op, t));
+            const unsigned latency = trace.latency(idx);
+            const FuClass fu = trace.fu(idx);
+            if (!pool.canAccept(fu, t)) {
+                hint = std::min(hint, pool.earliestAccept(fu, t));
                 continue;
             }
             if (!wb.canReserve(entry.bank, t + latency)) {
@@ -183,9 +186,9 @@ RuuSim::run(const DynTrace &trace)
                 continue;
             }
 
-            const ClockCycle ready = pool.accept(op.op, t);
+            const ClockCycle ready = pool.accept(fu, t, latency);
             wb.reserve(entry.bank, ready);
-            result_time[entry.idx] = ready;
+            result_time[idx] = ready;
             entry.dispatched = true;
             end = std::max(end, ready);
             ++dispatched_total;
@@ -199,13 +202,11 @@ RuuSim::run(const DynTrace &trace)
         } else {
             unsigned inserted = 0;
             while (inserted < org_.width && next_insert < n) {
-                const DynOp &op = ops[next_insert];
-
-                if (isBranch(op.op)) {
+                if (trace.isBranch(next_insert)) {
                     const bool free_branch =
                         org_.branchPolicy == BranchPolicy::kOracle ||
                         (org_.branchPolicy == BranchPolicy::kBtfn &&
-                         btfnCorrect(op.backward, op.taken));
+                         trace.btfnCorrect(next_insert));
                     if (free_branch) {
                         // Correctly predicted: one issue slot, no
                         // stall, and the front end keeps issuing.
@@ -219,8 +220,8 @@ RuuSim::run(const DynTrace &trace)
                     // the issue stage until its condition operand
                     // exists, then blocks issue for the branch
                     // time.  It never occupies an RUU slot.
-                    const DynIndex prod = op.srcA == kNoReg ?
-                        kNoProducer : last_writer[op.srcA];
+                    const std::uint32_t prod =
+                        trace.prodA(next_insert);
                     if (!operand_ready(prod, t)) {
                         const ClockCycle h = operand_hint(prod);
                         if (h != kUnknown)
@@ -239,18 +240,9 @@ RuuSim::run(const DynTrace &trace)
                 if (bank_count[bank] >= bank_cap[bank])
                     break;      // RUU (bank) full: stall in order
 
-                Entry entry;
-                entry.idx = next_insert;
-                entry.bank = bank;
-                entry.dispatched = false;
-                entry.prodA = op.srcA == kNoReg ?
-                    kNoProducer : last_writer[op.srcA];
-                entry.prodB = op.srcB == kNoReg ?
-                    kNoProducer : last_writer[op.srcB];
-                ruu.push_back(entry);
+                ruu.push_back(Entry{ std::uint32_t(next_insert), bank,
+                                     false });
                 bank_count[bank]++;
-                if (op.dst != kNoReg)
-                    last_writer[op.dst] = next_insert;
                 ++insert_counter;
                 ++next_insert;
                 ++inserted;

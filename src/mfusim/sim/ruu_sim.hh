@@ -72,8 +72,10 @@ class RuuSim : public Simulator
   public:
     RuuSim(const RuuConfig &org, const MachineConfig &cfg);
 
-    SimResult run(const DynTrace &trace) override;
+    using Simulator::run;
+    SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
+    const MachineConfig &config() const override { return cfg_; }
 
   private:
     RuuConfig org_;

@@ -44,8 +44,9 @@ ScoreboardSim::name() const
 }
 
 SimResult
-ScoreboardSim::run(const DynTrace &trace)
+ScoreboardSim::run(const DecodedTrace &trace)
 {
+    checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
     result.hasStalls = true;
@@ -62,16 +63,20 @@ ScoreboardSim::run(const DynTrace &trace)
     ClockCycle issue_cursor = 0;    // earliest next issue slot
     ClockCycle end = 0;
 
-    for (const DynOp &op : trace.ops()) {
-        const unsigned latency = latencyOf(op.op, cfg_);
+    const std::size_t n = trace.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned latency = trace.latency(i);
+        const RegId srcA = trace.srcA(i);
+        const RegId srcB = trace.srcB(i);
+        const RegId dst = trace.dst(i);
 
-        if (isBranch(op.op)) {
+        if (trace.isBranch(i)) {
             const ClockCycle cond_ready =
-                op.srcA != kNoReg ? regReady[op.srcA] : 0;
+                srcA != kNoReg ? regReady[srcA] : 0;
             const bool predicted_free =
                 org_.branchPolicy == BranchPolicy::kOracle ||
                 (org_.branchPolicy == BranchPolicy::kBtfn &&
-                 btfnCorrect(op.backward, op.taken));
+                 trace.btfnCorrect(i));
             if (predicted_free) {
                 // Correctly predicted: the branch spends one issue
                 // slot and never gates the stream.
@@ -93,8 +98,9 @@ ScoreboardSim::run(const DynTrace &trace)
             continue;
         }
 
-        const bool vector_op = isVector(op.op);
-        const unsigned occupancy = vectorOccupancy(op);
+        const bool vector_op = trace.isVector(i);
+        const unsigned occupancy = trace.occupancy(i);
+        const FuClass fu = trace.fu(i);
 
         // Earliest cycle with all register hazards cleared,
         // attributing waits to the binding hazard in check order.
@@ -102,7 +108,7 @@ ScoreboardSim::run(const DynTrace &trace)
         // of a vector source.
         const bool chain = vector_op && org_.vectorChaining;
         ClockCycle t = issue_cursor;
-        for (const RegId src : { op.srcA, op.srcB }) {
+        for (const RegId src : { srcA, srcB }) {
             if (src == kNoReg)
                 continue;
             const bool v_src = classOf(src) == RegClass::V;
@@ -111,17 +117,17 @@ ScoreboardSim::run(const DynTrace &trace)
         }
         result.stalls.raw += t - issue_cursor;
         ClockCycle mark = t;
-        if (op.dst != kNoReg)
-            t = std::max(t, regReady[op.dst]);      // WAW reservation
+        if (dst != kNoReg)
+            t = std::max(t, regReady[dst]);         // WAW reservation
         result.stalls.waw += t - mark;
 
         // Structural hazards: functional unit, then result bus.
         // Vector results stream over the vector register write
         // paths, not the scalar result bus.
         const bool needs_bus = org_.modelResultBus &&
-            producesResult(op.op) && !vector_op;
+            trace.producesResult(i) && !vector_op;
         while (true) {
-            const ClockCycle at_fu = pool.earliestAccept(op.op, t);
+            const ClockCycle at_fu = pool.earliestAccept(fu, t);
             result.stalls.structural += at_fu - t;
             t = at_fu;
             if (needs_bus) {
@@ -136,14 +142,14 @@ ScoreboardSim::run(const DynTrace &trace)
         }
 
         // Issue.
-        const ClockCycle ready = pool.accept(op.op, t, occupancy);
+        const ClockCycle ready = pool.accept(fu, t, latency, occupancy);
         if (needs_bus)
             bus.reserve(0, ready);
-        if (op.dst != kNoReg) {
-            regReady[op.dst] = ready;
+        if (dst != kNoReg) {
+            regReady[dst] = ready;
             // First element of a vector result streams out after
             // one unit latency.
-            chainReady[op.dst] =
+            chainReady[dst] =
                 occupancy > 1 ? t + latency + 1 : ready;
         }
 

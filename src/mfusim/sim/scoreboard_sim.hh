@@ -85,8 +85,10 @@ class ScoreboardSim : public Simulator
         : org_(org), cfg_(cfg)
     {}
 
-    SimResult run(const DynTrace &trace) override;
+    using Simulator::run;
+    SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
+    const MachineConfig &config() const override { return cfg_; }
 
   private:
     ScoreboardConfig org_;

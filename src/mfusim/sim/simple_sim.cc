@@ -9,8 +9,9 @@ namespace mfusim
 {
 
 SimResult
-SimpleSim::run(const DynTrace &trace)
+SimpleSim::run(const DecodedTrace &trace)
 {
+    checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
 
@@ -21,9 +22,10 @@ SimpleSim::run(const DynTrace &trace)
     // latency is at least 1 cycle, so the issue stage never starves
     // the execute stage).
     ClockCycle end = 0;
-    for (const DynOp &op : trace.ops()) {
-        end += latencyOf(op.op, cfg_);
-        end += vectorOccupancy(op) - 1;     // one element per cycle
+    const std::size_t n = trace.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        end += trace.latency(i);
+        end += trace.occupancy(i) - 1;      // one element per cycle
     }
     result.cycles = end;
     return result;

@@ -28,8 +28,10 @@ class SimpleSim : public Simulator
   public:
     explicit SimpleSim(const MachineConfig &cfg) : cfg_(cfg) {}
 
-    SimResult run(const DynTrace &trace) override;
+    using Simulator::run;
+    SimResult run(const DecodedTrace &trace) override;
     std::string name() const override { return "Simple"; }
+    const MachineConfig &config() const override { return cfg_; }
 
   private:
     MachineConfig cfg_;

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Simulator base: the decode-and-delegate convenience path.
+ */
+
+#include "mfusim/sim/simulator.hh"
+
+#include <stdexcept>
+
+namespace mfusim
+{
+
+SimResult
+Simulator::run(const DynTrace &trace)
+{
+    return run(DecodedTrace(trace, config()));
+}
+
+/**
+ * Shared guard: a DecodedTrace bakes the machine configuration into
+ * its stored latencies, so running it on a simulator configured
+ * differently would silently produce wrong timings.
+ */
+void
+checkDecodedConfig(const DecodedTrace &trace, const MachineConfig &cfg)
+{
+    if (!(trace.config() == cfg)) {
+        throw std::invalid_argument(
+            "simulator configured for " + cfg.name() +
+            " cannot run a trace decoded for " +
+            trace.config().name());
+    }
+}
+
+} // namespace mfusim

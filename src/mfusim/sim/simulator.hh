@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/machine_config.hh"
 #include "mfusim/core/trace.hh"
 
@@ -58,18 +59,45 @@ struct SimResult
 
 /**
  * A trace-driven timing simulator for one machine organization.
+ *
+ * The hot path is run(const DecodedTrace &): every simulator's cycle
+ * loop consumes the pre-decoded parallel arrays instead of looking
+ * opcode traits up per op per visit.  run(const DynTrace &) is a
+ * convenience that decodes under the simulator's own configuration
+ * and delegates; sweeps should pass a cached DecodedTrace (see
+ * TraceLibrary::decoded()) so the decode cost is paid once per
+ * (trace, configuration), not once per run.
  */
 class Simulator
 {
   public:
     virtual ~Simulator() = default;
 
-    /** Simulate @p trace and report its timing. */
-    virtual SimResult run(const DynTrace &trace) = 0;
+    /** Decode @p trace under config() and simulate it. */
+    SimResult run(const DynTrace &trace);
+
+    /**
+     * Simulate a pre-decoded trace.  @p trace must have been decoded
+     * under config() (the stored latencies embed the memory and
+     * branch times); simulators throw std::invalid_argument on a
+     * mismatch.
+     */
+    virtual SimResult run(const DecodedTrace &trace) = 0;
 
     /** Human-readable machine description (without M/BR config). */
     virtual std::string name() const = 0;
+
+    /** The machine parameters this simulator times traces under. */
+    virtual const MachineConfig &config() const = 0;
 };
+
+/**
+ * Throw std::invalid_argument unless @p trace was decoded under
+ * @p cfg.  Every simulator calls this at the top of its decoded-trace
+ * run; the check is once per run, not per op.
+ */
+void checkDecodedConfig(const DecodedTrace &trace,
+                        const MachineConfig &cfg);
 
 } // namespace mfusim
 

@@ -38,15 +38,20 @@ TomasuloSim::name() const
 }
 
 SimResult
-TomasuloSim::run(const DynTrace &trace)
+TomasuloSim::run(const DecodedTrace &trace)
 {
+    checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
     if (trace.empty())
         return result;
 
-    const auto &ops = trace.ops();
-    const std::size_t n = ops.size();
+    const std::size_t n = trace.size();
+
+    if (trace.hasVector()) {
+        throw std::invalid_argument(
+            "TomasuloSim: vector instructions are not supported");
+    }
 
     // Renaming: value completion time per architectural register
     // (tags resolve to the last writer in program order; since we
@@ -72,21 +77,18 @@ TomasuloSim::run(const DynTrace &trace)
     ClockCycle end = 0;
 
     for (std::size_t i = 0; i < n; ++i) {
-        const DynOp &op = ops[i];
-        const unsigned latency = latencyOf(op.op, cfg_);
+        const unsigned latency = trace.latency(i);
+        const RegId srcA = trace.srcA(i);
+        const RegId srcB = trace.srcB(i);
+        const RegId dst = trace.dst(i);
 
-        if (isVector(op.op)) {
-            throw std::invalid_argument(
-                "TomasuloSim: vector instructions are not supported");
-        }
-
-        if (isBranch(op.op)) {
+        if (trace.isBranch(i)) {
             const ClockCycle cond_ready =
-                op.srcA != kNoReg ? value_ready[op.srcA] : 0;
+                srcA != kNoReg ? value_ready[srcA] : 0;
             const bool predicted_free =
                 org_.branchPolicy == BranchPolicy::kOracle ||
                 (org_.branchPolicy == BranchPolicy::kBtfn &&
-                 btfnCorrect(op.backward, op.taken));
+                 trace.btfnCorrect(i));
             if (predicted_free) {
                 const ClockCycle t = issue_cursor;
                 issue_cursor = t + 1;
@@ -100,9 +102,8 @@ TomasuloSim::run(const DynTrace &trace)
             continue;
         }
 
-        const unsigned fu = unsigned(traitsOf(op.op).fu);
-        const bool is_transfer =
-            traitsOf(op.op).fu == FuClass::kTransfer;
+        const unsigned fu = unsigned(trace.fu(i));
+        const bool is_transfer = trace.isTransfer(i);
 
         // ---- issue: in order, blocks only on a full station pool.
         ClockCycle t = issue_cursor;
@@ -120,10 +121,10 @@ TomasuloSim::run(const DynTrace &trace)
 
         // ---- dispatch: operands by tag, then a pipeline slot.
         ClockCycle dispatch = t + 1;    // station latch
-        if (op.srcA != kNoReg)
-            dispatch = std::max(dispatch, value_ready[op.srcA]);
-        if (op.srcB != kNoReg)
-            dispatch = std::max(dispatch, value_ready[op.srcB]);
+        if (srcA != kNoReg)
+            dispatch = std::max(dispatch, value_ready[srcA]);
+        if (srcB != kNoReg)
+            dispatch = std::max(dispatch, value_ready[srcB]);
 
         ClockCycle completion;
         if (is_transfer) {
@@ -132,13 +133,14 @@ TomasuloSim::run(const DynTrace &trace)
             // Claim an accept slot (one per unit per cycle) and a
             // CDB slot at completion; retry if the CDB cycle is
             // taken.
-            std::set<ClockCycle> &unit = isMemory(op.op) ?
+            std::set<ClockCycle> &unit = trace.isMemory(i) ?
                 mem_slots : fu_slots[fu];
+            const bool produces = trace.producesResult(i);
             while (true) {
                 ClockCycle probe = dispatch;
                 while (unit.count(probe) != 0)
                     ++probe;
-                if (producesResult(op.op)) {
+                if (produces) {
                     bool got_cdb = false;
                     for (auto &bus : cdb) {
                         if (bus.count(probe + latency) == 0) {
@@ -160,8 +162,8 @@ TomasuloSim::run(const DynTrace &trace)
             stations[fu].push(completion);
         }
 
-        if (op.dst != kNoReg)
-            value_ready[op.dst] = completion;
+        if (dst != kNoReg)
+            value_ready[dst] = completion;
         issue_cursor = t + 1;
         end = std::max(end, completion);
     }

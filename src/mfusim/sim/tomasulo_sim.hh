@@ -55,8 +55,10 @@ class TomasuloSim : public Simulator
   public:
     TomasuloSim(const TomasuloConfig &org, const MachineConfig &cfg);
 
-    SimResult run(const DynTrace &trace) override;
+    using Simulator::run;
+    SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
+    const MachineConfig &config() const override { return cfg_; }
 
   private:
     TomasuloConfig org_;

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * DecodedTrace: every decoded field must equal the trait lookup it
+ * caches, for every op of every Livermore trace under all four
+ * machine configurations, and running a simulator on the decoded
+ * form must give exactly the run(DynTrace) result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+#include "mfusim/core/decoded_trace.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+class DecodedTraceAllLoops
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    int loopId() const { return std::get<0>(GetParam()); }
+
+    const MachineConfig &
+    config() const
+    {
+        return standardConfigs()[std::size_t(std::get<1>(GetParam()))];
+    }
+};
+
+TEST_P(DecodedTraceAllLoops, FieldsMatchTraitLookups)
+{
+    const DynTrace &trace = TraceLibrary::instance().trace(loopId());
+    const MachineConfig &cfg = config();
+    const DecodedTrace decoded(trace, cfg);
+
+    ASSERT_EQ(decoded.size(), trace.size());
+    EXPECT_EQ(decoded.name(), trace.name());
+    EXPECT_TRUE(decoded.config() == cfg);
+
+    std::array<std::uint32_t, kNumRegs> last_writer;
+    last_writer.fill(DecodedTrace::kNoProducer);
+
+    bool any_vector = false;
+    const auto &ops = trace.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const DynOp &op = ops[i];
+        ASSERT_EQ(decoded.op(i), op.op) << "op " << i;
+        EXPECT_EQ(decoded.fu(i), traitsOf(op.op).fu) << "op " << i;
+        EXPECT_EQ(decoded.latency(i), latencyOf(op.op, cfg))
+            << "op " << i;
+        EXPECT_EQ(decoded.occupancy(i), vectorOccupancy(op))
+            << "op " << i;
+        EXPECT_EQ(decoded.isBranch(i), isBranch(op.op)) << "op " << i;
+        EXPECT_EQ(decoded.isVector(i), isVector(op.op)) << "op " << i;
+        EXPECT_EQ(decoded.isMemory(i),
+                  traitsOf(op.op).fu == FuClass::kMemory)
+            << "op " << i;
+        EXPECT_EQ(decoded.isTransfer(i),
+                  traitsOf(op.op).fu == FuClass::kTransfer)
+            << "op " << i;
+        EXPECT_EQ(decoded.producesResult(i), producesResult(op.op))
+            << "op " << i;
+        EXPECT_EQ(decoded.taken(i), op.taken) << "op " << i;
+        EXPECT_EQ(decoded.btfnCorrect(i),
+                  btfnCorrect(op.backward, op.taken))
+            << "op " << i;
+        EXPECT_EQ(decoded.dst(i), op.dst) << "op " << i;
+        EXPECT_EQ(decoded.srcA(i), op.srcA) << "op " << i;
+        EXPECT_EQ(decoded.srcB(i), op.srcB) << "op " << i;
+
+        // Dependence links against an independent recomputation.
+        const std::uint32_t expectA = op.srcA == kNoReg
+            ? DecodedTrace::kNoProducer : last_writer[op.srcA];
+        const std::uint32_t expectB = op.srcB == kNoReg
+            ? DecodedTrace::kNoProducer : last_writer[op.srcB];
+        const std::uint32_t expectW = op.dst == kNoReg
+            ? DecodedTrace::kNoProducer : last_writer[op.dst];
+        EXPECT_EQ(decoded.prodA(i), expectA) << "op " << i;
+        EXPECT_EQ(decoded.prodB(i), expectB) << "op " << i;
+        EXPECT_EQ(decoded.prevWriter(i), expectW) << "op " << i;
+        if (op.dst != kNoReg)
+            last_writer[op.dst] = std::uint32_t(i);
+
+        any_vector = any_vector || isVector(op.op);
+    }
+    EXPECT_EQ(decoded.hasVector(), any_vector);
+}
+
+TEST_P(DecodedTraceAllLoops, StatsMatchDynTrace)
+{
+    const DynTrace &trace = TraceLibrary::instance().trace(loopId());
+    const DecodedTrace decoded(trace, config());
+
+    const TraceStats expect = trace.stats();
+    const TraceStats &got = decoded.stats();
+    EXPECT_EQ(got.totalOps, expect.totalOps);
+    EXPECT_EQ(got.parcels, expect.parcels);
+    EXPECT_EQ(got.branches, expect.branches);
+    EXPECT_EQ(got.takenBranches, expect.takenBranches);
+    EXPECT_EQ(got.btfnCorrectBranches, expect.btfnCorrectBranches);
+    EXPECT_EQ(got.loads, expect.loads);
+    EXPECT_EQ(got.stores, expect.stores);
+    EXPECT_EQ(got.vectorOps, expect.vectorOps);
+    EXPECT_EQ(got.vectorElements, expect.vectorElements);
+    for (unsigned fu = 0; fu < kNumFuClasses; ++fu) {
+        EXPECT_EQ(got.perFu[fu], expect.perFu[fu]) << "fu " << fu;
+        EXPECT_EQ(got.vectorOpsPerFu[fu], expect.vectorOpsPerFu[fu])
+            << "fu " << fu;
+        EXPECT_EQ(got.vectorElementsPerFu[fu],
+                  expect.vectorElementsPerFu[fu])
+            << "fu " << fu;
+    }
+}
+
+TEST_P(DecodedTraceAllLoops, SimulatorsMatchDynTracePath)
+{
+    // run(DynTrace) decodes internally, so both paths must agree
+    // cycle for cycle.
+    const DynTrace &trace = TraceLibrary::instance().trace(loopId());
+    const MachineConfig &cfg = config();
+    const DecodedTrace decoded(trace, cfg);
+
+    {
+        ScoreboardSim sim(ScoreboardConfig::crayLike(), cfg);
+        EXPECT_EQ(sim.run(trace).cycles, sim.run(decoded).cycles);
+    }
+    {
+        MultiIssueSim sim({ 4, true, BusKind::kPerUnit, false }, cfg);
+        EXPECT_EQ(sim.run(trace).cycles, sim.run(decoded).cycles);
+    }
+    {
+        RuuSim sim({ 2, 20, BusKind::kPerUnit }, cfg);
+        EXPECT_EQ(sim.run(trace).cycles, sim.run(decoded).cycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLoopsAllConfigs, DecodedTraceAllLoops,
+    ::testing::Combine(::testing::Range(1, 15),
+                       ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &info) {
+        return "LL" + std::to_string(std::get<0>(info.param)) + "_" +
+            standardConfigs()[std::size_t(std::get<1>(info.param))]
+                .name();
+    });
+
+TEST(DecodedTrace, ConfigMismatchThrows)
+{
+    const DynTrace &trace = TraceLibrary::instance().trace(1);
+    const DecodedTrace decoded(trace, configM11BR5());
+    SimpleSim sim(configM5BR2());
+    EXPECT_THROW(sim.run(decoded), std::invalid_argument);
+}
+
+TEST(DecodedTrace, LibraryCacheReturnsSameObject)
+{
+    const DecodedTrace &a =
+        TraceLibrary::instance().decoded(3, configM11BR5());
+    const DecodedTrace &b =
+        TraceLibrary::instance().decoded(3, configM11BR5());
+    EXPECT_EQ(&a, &b);
+    const DecodedTrace &c =
+        TraceLibrary::instance().decoded(3, configM5BR2());
+    EXPECT_NE(&a, &c);
+}
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Parallel sweep runner: runGrid must visit every cell exactly once
+ * and propagate errors, and the parallel per-loop rates must be
+ * bit-identical to the serial computation for the paper's table
+ * cells (determinism by construction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "mfusim/harness/sweep.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+TEST(RunGrid, VisitsEveryCellOnce)
+{
+    for (const unsigned jobs : { 1u, 2u, 4u, 32u }) {
+        const std::size_t cells = 100;
+        std::vector<std::atomic<int>> visits(cells);
+        runGrid(cells, [&](std::size_t i) { visits[i]++; }, jobs);
+        for (std::size_t i = 0; i < cells; ++i)
+            EXPECT_EQ(visits[i].load(), 1)
+                << "cell " << i << " with " << jobs << " jobs";
+    }
+}
+
+TEST(RunGrid, EmptyGridIsANoop)
+{
+    bool ran = false;
+    runGrid(0, [&](std::size_t) { ran = true; }, 4);
+    EXPECT_FALSE(ran);
+}
+
+TEST(RunGrid, PropagatesBodyException)
+{
+    EXPECT_THROW(
+        runGrid(16, [](std::size_t i) {
+            if (i == 7)
+                throw std::runtime_error("cell 7 failed");
+        }, 4),
+        std::runtime_error);
+}
+
+TEST(RunGrid, NestedCallsRunInline)
+{
+    // A grid body may itself call runGrid (table drivers call
+    // parallel helpers); the nested grid must run inline on the
+    // worker rather than spawning a second pool.
+    std::vector<std::atomic<int>> visits(64);
+    runGrid(8, [&](std::size_t outer) {
+        runGrid(8, [&](std::size_t inner) {
+            visits[outer * 8 + inner]++;
+        }, 8);
+    }, 4);
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "cell " << i;
+}
+
+TEST(RunGrid, DefaultJobsOverride)
+{
+    setDefaultSweepJobs(3);
+    EXPECT_EQ(defaultSweepJobs(), 3u);
+    setDefaultSweepJobs(0);
+    EXPECT_GE(defaultSweepJobs(), 1u);
+}
+
+/** Serial reference: fresh simulator per loop, DynTrace path. */
+std::vector<double>
+serialRates(const SimFactory &factory, const std::vector<int> &loops,
+            const MachineConfig &cfg)
+{
+    std::vector<double> rates;
+    for (int loop : loops) {
+        auto sim = factory(cfg);
+        rates.push_back(
+            sim->run(TraceLibrary::instance().trace(loop))
+                .issueRate());
+    }
+    return rates;
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<LoopClass>
+{};
+
+TEST_P(ParallelDeterminism, Table1CrayLikeCellsBitIdentical)
+{
+    const SimFactory factory = [](const MachineConfig &c)
+        -> std::unique_ptr<Simulator> {
+        return std::make_unique<ScoreboardSim>(
+            ScoreboardConfig::crayLike(), c);
+    };
+    const std::vector<int> &loops = loopsOf(GetParam());
+    for (const MachineConfig &cfg : standardConfigs()) {
+        const std::vector<double> serial =
+            serialRates(factory, loops, cfg);
+        for (const unsigned jobs : { 1u, 2u, 4u }) {
+            const std::vector<double> parallel =
+                parallelPerLoopRates(factory, loops, cfg, jobs);
+            ASSERT_EQ(parallel.size(), serial.size());
+            for (std::size_t i = 0; i < serial.size(); ++i)
+                EXPECT_EQ(parallel[i], serial[i])
+                    << cfg.name() << " loop " << loops[i] << " with "
+                    << jobs << " jobs";
+        }
+    }
+}
+
+TEST_P(ParallelDeterminism, Table7RuuCellsBitIdentical)
+{
+    const SimFactory factory = [](const MachineConfig &c)
+        -> std::unique_ptr<Simulator> {
+        return std::make_unique<RuuSim>(
+            RuuConfig{ 2, 20, BusKind::kPerUnit }, c);
+    };
+    const std::vector<int> &loops = loopsOf(GetParam());
+    const MachineConfig cfg = configM11BR5();
+    const std::vector<double> serial =
+        serialRates(factory, loops, cfg);
+    const std::vector<double> parallel =
+        parallelPerLoopRates(factory, loops, cfg, 4);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(parallel[i], serial[i]) << "loop " << loops[i];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothClasses, ParallelDeterminism,
+    ::testing::Values(LoopClass::kScalar, LoopClass::kVectorizable),
+    [](const ::testing::TestParamInfo<LoopClass> &info) {
+        return loopClassName(info.param);
+    });
+
+} // namespace
+} // namespace mfusim

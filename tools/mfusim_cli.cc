@@ -5,6 +5,8 @@
  * organization without writing code.
  *
  * Usage:
+ *   mfusim [--jobs N] <command> ...
+ *
  *   mfusim list
  *   mfusim disasm  <loop>
  *   mfusim analyze <loop> [config]
@@ -13,9 +15,12 @@
  *   mfusim save    <loop> <file>
  *   mfusim replay  <file> <machine> [config]
  *
+ * --jobs N  worker threads for sweeps (also: MFUSIM_JOBS env var);
+ *           used by "rate all"
  * <loop>    1..14 (optionally "<id>x<factor>" for an unrolled
  *           variant, e.g. "1x4", or "<id>v" for a vector-unit
- *           compilation, e.g. "7v")
+ *           compilation, e.g. "7v"), or "all" (rate only): every
+ *           library loop, timed on the sweep worker pool
  * <config>  M11BR5 (default) | M11BR2 | M5BR5 | M5BR2
  * <machine> simple | serialmem | nonseg | cray |
  *           seq:<w> | ooo:<w> | ruu:<w>:<size>
@@ -43,10 +48,10 @@ namespace
 usage()
 {
     std::fprintf(stderr,
-                 "usage: mfusim "
+                 "usage: mfusim [--jobs N] "
                  "list | disasm <loop> | analyze <loop> [cfg] |\n"
                  "       limits <loop> [cfg] | "
-                 "rate <loop> <machine> [cfg] |\n"
+                 "rate <loop>|all <machine> [cfg] |\n"
                  "       save <loop> <file> | "
                  "replay <file> <machine> [cfg]\n");
     std::exit(2);
@@ -231,9 +236,45 @@ cmdLimits(const std::string &loop, const MachineConfig &cfg)
 }
 
 int
+cmdRateAll(const std::string &machine, const MachineConfig &cfg)
+{
+    // One grid cell per library loop, timed on the sweep worker
+    // pool (mfusim --jobs N / MFUSIM_JOBS).
+    const SimFactory factory = [&machine](const MachineConfig &c) {
+        return parseMachine(machine, c);
+    };
+    std::vector<int> loops;
+    for (const KernelSpec &spec : kernelSpecs())
+        loops.push_back(spec.id);
+    const std::vector<double> rates =
+        parallelPerLoopRates(factory, loops, cfg);
+
+    const std::string sim_name = parseMachine(machine, cfg)->name();
+    std::printf("%s, %s (%u jobs):\n", sim_name.c_str(),
+                cfg.name().c_str(), defaultSweepJobs());
+    AsciiTable table;
+    table.setHeader({ "Loop", "Class", "Rate" });
+    std::vector<double> scalar_rates, vector_rates;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        const bool vec = kernelSpecs()[i].vectorizable;
+        (vec ? vector_rates : scalar_rates).push_back(rates[i]);
+        table.addRow({ "LL" + std::to_string(loops[i]),
+                       vec ? "vector" : "scalar",
+                       AsciiTable::num(rates[i], 4) });
+    }
+    table.print(std::cout);
+    std::printf("harmonic mean: scalar %.4f, vectorizable %.4f\n",
+                harmonicMean(scalar_rates),
+                harmonicMean(vector_rates));
+    return 0;
+}
+
+int
 cmdRate(const std::string &loop, const std::string &machine,
         const MachineConfig &cfg)
 {
+    if (loop == "all")
+        return cmdRateAll(machine, cfg);
     const DynTrace trace = traceFor(loop);
     auto sim = parseMachine(machine, cfg);
     const SimResult result = sim->run(trace);
@@ -283,6 +324,39 @@ cmdReplay(const std::string &path, const std::string &machine,
 int
 main(int argc, char **argv)
 {
+    // Strip the global --jobs option before command dispatch.
+    const auto parse_jobs = [](const std::string &value) {
+        try {
+            std::size_t used = 0;
+            const unsigned long jobs = std::stoul(value, &used);
+            if (used != value.size())
+                throw std::invalid_argument(value);
+            setDefaultSweepJobs(unsigned(jobs));
+        } catch (const std::exception &) {
+            std::fprintf(stderr, "--jobs expects a number, got '%s'\n",
+                         value.c_str());
+            std::exit(2);
+        }
+    };
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            if (i + 1 >= argc)
+                usage();
+            parse_jobs(argv[++i]);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            parse_jobs(arg.substr(7));
+        } else {
+            args.push_back(arg);
+        }
+    }
+    argc = int(args.size()) + 1;
+    std::vector<char *> argv_vec{ argv[0] };
+    for (std::string &arg : args)
+        argv_vec.push_back(arg.data());
+    argv = argv_vec.data();
+
     if (argc < 2)
         usage();
     const std::string cmd = argv[1];

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Run the simulator-throughput microbenchmarks and record a JSON
+# snapshot (BENCH_<date>.json in the repo root) for before/after
+# comparisons of simulator-performance work.
+#
+# Usage: tools/run_bench.sh [build-dir] [extra benchmark args...]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bench="$build_dir/bench/perf_sim_throughput"
+if [ ! -x "$bench" ]; then
+    echo "error: $bench not built (cmake -B build -S . && cmake --build build)" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_$(date +%Y%m%d).json"
+"$bench" --benchmark_min_time=0.2 --benchmark_format=json "$@" > "$out"
+echo "wrote $out"
+
+# Quick human-readable summary of items/s per benchmark.
+python3 - "$out" <<'EOF'
+import json, sys
+for b in json.load(open(sys.argv[1]))["benchmarks"]:
+    ips = b.get("items_per_second")
+    if ips is not None:
+        print(f"  {b['name']:35s} {ips / 1e6:10.2f} M items/s")
+EOF
