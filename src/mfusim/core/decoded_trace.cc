@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "mfusim/core/branch_policy.hh"
+#include "mfusim/core/error.hh"
 #include "mfusim/core/registers.hh"
 
 namespace mfusim
@@ -19,9 +20,15 @@ DecodedTrace::DecodedTrace(const DynTrace &trace,
                            const MachineConfig &cfg)
     : name_(trace.name()), cfg_(cfg)
 {
+    cfg_.validate();
     const auto &ops = trace.ops();
     const std::size_t n = ops.size();
-    assert(n < kNoProducer && "trace too long for 32-bit links");
+    if (n >= kNoProducer) {
+        throw TraceError(
+            "trace \"" + name_ + "\" has " + std::to_string(n) +
+            " ops, too long for 32-bit producer links (max " +
+            std::to_string(kNoProducer - 1) + ")");
+    }
 
     op_.reserve(n);
     fu_.reserve(n);

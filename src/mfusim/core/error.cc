@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Structured error hierarchy: aggregate message formatting.
+ */
+
+#include "mfusim/core/error.hh"
+
+namespace mfusim
+{
+
+std::string
+SweepError::format(const std::vector<Failure> &failures,
+                   std::size_t cells)
+{
+    std::string text = "sweep: " + std::to_string(failures.size()) +
+        " of " + std::to_string(cells) + " cells failed";
+    for (const Failure &failure : failures) {
+        text += "\n  cell " + std::to_string(failure.cell) + ": " +
+            failure.message;
+    }
+    return text;
+}
+
+} // namespace mfusim

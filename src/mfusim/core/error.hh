@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Structured error hierarchy of the simulator.
+ *
+ * Every failure mfusim can diagnose is one of a small set of typed
+ * errors rooted at mfusim::Error, which derives from
+ * std::runtime_error so generic catch sites (and pre-existing tests)
+ * keep working.  Each class carries a distinct process exit code so
+ * scripted sweeps can tell a malformed trace from a simulator
+ * invariant violation without parsing messages:
+ *
+ *   | class       | exit | meaning                                  |
+ *   |-------------|------|------------------------------------------|
+ *   | Error       |  1   | generic mfusim failure                   |
+ *   | ConfigError |  3   | invalid machine / organization config    |
+ *   | TraceError  |  4   | malformed or unloadable trace            |
+ *   | SimError    |  5   | simulator failure (livelock watchdog,    |
+ *   |             |      | unsupported trace for the organization)  |
+ *   | AuditError  |  6   | SimAudit legality-invariant violation    |
+ *   | SweepError  |  7   | one or more sweep grid cells failed      |
+ *
+ * (Exit code 2 is reserved for CLI usage errors, 0 for success.)
+ */
+
+#ifndef MFUSIM_CORE_ERROR_HH
+#define MFUSIM_CORE_ERROR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mfusim
+{
+
+/** Root of all typed mfusim failures. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what)
+    {}
+
+    /** Process exit code the CLI maps this error class to. */
+    virtual int exitCode() const { return 1; }
+};
+
+/** An invalid MachineConfig or organization configuration. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : Error("config: " + what)
+    {}
+
+    int exitCode() const override { return 3; }
+};
+
+/** A malformed, truncated or otherwise unloadable trace. */
+class TraceError : public Error
+{
+  public:
+    explicit TraceError(const std::string &what)
+        : Error("trace_io: " + what)
+    {}
+
+    int exitCode() const override { return 4; }
+};
+
+/**
+ * A simulator could not make forward progress or was asked to run a
+ * trace its organization does not support (e.g. vector ops on the
+ * scalar-only multiple-issue machines).
+ */
+class SimError : public Error
+{
+  public:
+    explicit SimError(const std::string &what) : Error(what) {}
+
+    int exitCode() const override { return 5; }
+};
+
+/**
+ * A SimAudit legality invariant failed: the simulator produced a
+ * schedule that violates its own organization's issue rules.  Carries
+ * the violated check, the cycle, and the offending op so the message
+ * is a self-contained machine-state dump.
+ */
+class AuditError : public Error
+{
+  public:
+    AuditError(const std::string &check, std::uint64_t cycle,
+               std::uint64_t op, const std::string &detail)
+        : Error("audit: " + check + " violated at cycle " +
+                std::to_string(cycle) + " by op #" +
+                std::to_string(op) + ": " + detail),
+          check_(check), cycle_(cycle), op_(op)
+    {}
+
+    const std::string &check() const { return check_; }
+    std::uint64_t cycle() const { return cycle_; }
+    std::uint64_t opIndex() const { return op_; }
+
+    int exitCode() const override { return 6; }
+
+  private:
+    std::string check_;
+    std::uint64_t cycle_;
+    std::uint64_t op_;
+};
+
+/**
+ * One or more cells of a parallel sweep grid failed.  Unlike a plain
+ * rethrow of the first worker exception, a SweepError aggregates
+ * every failure with its cell coordinate, so a 500-cell overnight
+ * sweep reports all bad cells at once.
+ */
+class SweepError : public Error
+{
+  public:
+    struct Failure
+    {
+        std::size_t cell;       //!< grid index handed to the body
+        std::string message;    //!< what() of the cell's exception
+    };
+
+    SweepError(std::vector<Failure> failures, std::size_t cells)
+        : Error(format(failures, cells)), failures_(std::move(failures))
+    {}
+
+    const std::vector<Failure> &failures() const { return failures_; }
+
+    int exitCode() const override { return 7; }
+
+  private:
+    static std::string format(const std::vector<Failure> &failures,
+                              std::size_t cells);
+
+    std::vector<Failure> failures_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_ERROR_HH

@@ -5,6 +5,8 @@
 
 #include "mfusim/core/machine_config.hh"
 
+#include "mfusim/core/error.hh"
+
 namespace mfusim
 {
 
@@ -13,6 +15,24 @@ MachineConfig::name() const
 {
     return "M" + std::to_string(memLatency) +
         "BR" + std::to_string(branchTime);
+}
+
+void
+MachineConfig::validate() const
+{
+    constexpr unsigned kMax = 4096;
+    if (memLatency < 1 || memLatency > kMax) {
+        throw ConfigError(
+            "MachineConfig: memLatency " +
+            std::to_string(memLatency) + " outside [1, " +
+            std::to_string(kMax) + "]");
+    }
+    if (branchTime < 1 || branchTime > kMax) {
+        throw ConfigError(
+            "MachineConfig: branchTime " +
+            std::to_string(branchTime) + " outside [1, " +
+            std::to_string(kMax) + "]");
+    }
 }
 
 MachineConfig

@@ -53,6 +53,15 @@ struct MachineConfig
     /** Short name in the paper's notation, e.g. "M11BR5". */
     std::string name() const;
 
+    /**
+     * Reject a nonsensical parameterization: both latencies must be
+     * in [1, 4096] (zero breaks every completion formula; the upper
+     * bound catches garbage from unchecked arithmetic or parsing).
+     *
+     * @throws ConfigError naming the offending field and value.
+     */
+    void validate() const;
+
     bool
     operator==(const MachineConfig &other) const
     {

@@ -1,17 +1,25 @@
 /**
  * @file
  * Trace serialization implementation.
+ *
+ * loadTrace() treats its input as hostile: every numeric field is
+ * parsed with explicit range checks (never bare std::stoul, whose
+ * exceptions would escape untyped and whose silent wraparound on
+ * out-of-range values would corrupt the trace), the header op count
+ * is bounded before any allocation, and every failure path throws
+ * TraceError.
  */
 
 #include "mfusim/core/trace_io.hh"
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
+#include "mfusim/core/error.hh"
 #include "mfusim/core/registers.hh"
 
 namespace mfusim
@@ -20,10 +28,41 @@ namespace mfusim
 namespace
 {
 
+/**
+ * Refuse header op counts above this before reserving memory: a
+ * corrupted count must not turn into a multi-gigabyte allocation.
+ * The real Livermore traces are ~10^3..10^5 ops.
+ */
+constexpr std::uint64_t kMaxTraceOps = std::uint64_t(1) << 28;
+
 std::string
 fmtReg(RegId r)
 {
     return regName(r);
+}
+
+/** Strict all-digits decimal parse; throws TraceError on anything
+ *  else (including overflow past @p max). */
+std::uint64_t
+parseCount(const std::string &text, std::uint64_t max,
+           const char *what)
+{
+    if (text.empty())
+        throw TraceError(std::string("empty ") + what);
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9') {
+            throw TraceError(std::string("bad ") + what + " '" +
+                             text + "'");
+        }
+        value = value * 10 + std::uint64_t(c - '0');
+        if (value > max) {
+            throw TraceError(std::string(what) + " " + text +
+                             " exceeds the maximum of " +
+                             std::to_string(max));
+        }
+    }
+    return value;
 }
 
 RegId
@@ -34,9 +73,9 @@ parseReg(const std::string &text)
     if (text == "VL")
         return kVlReg;
     if (text.size() < 2)
-        throw std::runtime_error("trace_io: bad register '" + text +
-                                 "'");
-    const unsigned index = unsigned(std::stoul(text.substr(1)));
+        throw TraceError("bad register '" + text + "'");
+    const unsigned index = unsigned(
+        parseCount(text.substr(1), kNumRegs, "register index"));
     switch (text[0]) {
       case 'A':
         if (index < kNumARegs)
@@ -61,7 +100,7 @@ parseReg(const std::string &text)
       default:
         break;
     }
-    throw std::runtime_error("trace_io: bad register '" + text + "'");
+    throw TraceError("bad register '" + text + "'");
 }
 
 Op
@@ -76,10 +115,8 @@ parseOp(const std::string &mnemonic)
         return map;
     }();
     const auto it = table.find(mnemonic);
-    if (it == table.end()) {
-        throw std::runtime_error("trace_io: unknown mnemonic '" +
-                                 mnemonic + "'");
-    }
+    if (it == table.end())
+        throw TraceError("unknown mnemonic '" + mnemonic + "'");
     return it->second;
 }
 
@@ -110,45 +147,69 @@ loadTrace(std::istream &is)
 {
     std::string line;
     if (!std::getline(is, line) || line != "mfusim-trace v1")
-        throw std::runtime_error("trace_io: bad header");
+        throw TraceError("bad header");
 
     if (!std::getline(is, line) || line.rfind("name ", 0) != 0)
-        throw std::runtime_error("trace_io: missing name line");
+        throw TraceError("missing name line");
     DynTrace trace(line.substr(5));
 
     if (!std::getline(is, line) || line.rfind("ops ", 0) != 0)
-        throw std::runtime_error("trace_io: missing ops line");
-    const std::uint64_t expected = std::stoull(line.substr(4));
+        throw TraceError("missing ops line");
+    const std::uint64_t expected =
+        parseCount(line.substr(4), kMaxTraceOps, "op count");
     trace.reserve(expected);
 
     while (std::getline(is, line)) {
         if (line.empty())
             continue;
+        if (trace.size() == expected) {
+            throw TraceError(
+                "more ops than the header's count of " +
+                std::to_string(expected) + " (first excess line: '" +
+                line + "')");
+        }
         std::istringstream fields(line);
-        std::string mnemonic, dst, src_a, src_b, taken, backward;
-        StaticIndex static_idx = 0;
-        unsigned vl = 0;
+        std::string mnemonic, dst, src_a, src_b, static_idx, taken,
+            backward;
         if (!(fields >> mnemonic >> dst >> src_a >> src_b >>
               static_idx >> taken >> backward)) {
-            throw std::runtime_error("trace_io: malformed line '" +
-                                     line + "'");
+            throw TraceError("malformed line '" + line + "'");
         }
-        fields >> vl;   // optional (absent in pre-vector files)
+        std::string vl_field;
+        fields >> vl_field;     // optional (absent pre-vector)
         DynOp op;
         op.op = parseOp(mnemonic);
         op.dst = parseReg(dst);
         op.srcA = parseReg(src_a);
         op.srcB = parseReg(src_b);
-        op.staticIdx = static_idx;
+        op.staticIdx = StaticIndex(parseCount(
+            static_idx, std::uint32_t(-1), "static index"));
+        if (isBranch(op.op)) {
+            if ((taken != "T" && taken != "N") ||
+                (backward != "B" && backward != "F")) {
+                throw TraceError(
+                    "branch op needs T|N and B|F outcome fields,"
+                    " got '" + taken + " " + backward + "' in '" +
+                    line + "'");
+            }
+        } else if (taken != "-" || backward != "-") {
+            throw TraceError(
+                "non-branch op must use '- -' outcome fields,"
+                " got '" + taken + " " + backward + "' in '" + line +
+                "'");
+        }
         op.taken = taken == "T";
         op.backward = backward == "B";
-        op.vl = std::uint8_t(vl);
+        op.vl = vl_field.empty()
+                    ? std::uint8_t(0)
+                    : std::uint8_t(
+                          parseCount(vl_field, 255, "vector length"));
         trace.append(op);
     }
 
     if (trace.size() != expected) {
-        throw std::runtime_error(
-            "trace_io: op count mismatch (header says " +
+        throw TraceError(
+            "op count mismatch (header says " +
             std::to_string(expected) + ", file has " +
             std::to_string(trace.size()) + ")");
     }

@@ -34,8 +34,14 @@ void saveTrace(std::ostream &os, const DynTrace &trace);
 /**
  * Parse a trace from @p is.
  *
- * @throws std::runtime_error on malformed input (bad header, unknown
- *         mnemonic or register, op-count mismatch).
+ * The input is treated as untrusted: numeric fields are parsed with
+ * explicit range checks, the header op count is capped before any
+ * allocation, and branch-outcome fields are validated strictly
+ * (T|N and B|F on branches, "- -" elsewhere).
+ *
+ * @throws TraceError (a std::runtime_error) on any malformed input —
+ *         bad header, unknown mnemonic or register, out-of-range
+ *         numeric field, oversized or mismatched op count.
  */
 DynTrace loadTrace(std::istream &is);
 

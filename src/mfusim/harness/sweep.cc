@@ -5,13 +5,17 @@
 
 #include "mfusim/harness/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "mfusim/core/error.hh"
 #include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/audit.hh"
+#include "mfusim/sim/simulator.hh"
 
 namespace mfusim
 {
@@ -54,9 +58,27 @@ setDefaultSweepJobs(unsigned jobs)
     g_jobs_override.store(jobs);
 }
 
+namespace
+{
+
+std::string
+describeCurrentException()
+{
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
+} // namespace
+
 void
 runGrid(std::size_t cells,
-        const std::function<void(std::size_t)> &body, unsigned jobs)
+        const std::function<void(std::size_t)> &body, unsigned jobs,
+        GridFailurePolicy policy)
 {
     if (cells == 0)
         return;
@@ -65,15 +87,27 @@ runGrid(std::size_t cells,
     if (jobs > cells)
         jobs = unsigned(cells);
 
+    std::vector<SweepError::Failure> failures;
+    std::mutex failures_mutex;
+
     if (jobs <= 1 || t_in_worker) {
-        for (std::size_t i = 0; i < cells; ++i)
-            body(i);
+        for (std::size_t i = 0; i < cells; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                failures.push_back(
+                    SweepError::Failure{ i,
+                                         describeCurrentException() });
+                if (policy == GridFailurePolicy::kStopOnFailure)
+                    break;
+            }
+        }
+        if (!failures.empty())
+            throw SweepError(std::move(failures), cells);
         return;
     }
 
     std::atomic<std::size_t> next{ 0 };
-    std::exception_ptr error;
-    std::mutex error_mutex;
 
     const auto work = [&] {
         t_in_worker = true;
@@ -84,13 +118,15 @@ runGrid(std::size_t cells,
             try {
                 body(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!error)
-                    error = std::current_exception();
-                // Drain the remaining cells so all workers stop
-                // promptly; the first error is what the caller sees.
-                next.store(cells);
-                break;
+                const std::string what = describeCurrentException();
+                std::lock_guard<std::mutex> lock(failures_mutex);
+                failures.push_back(SweepError::Failure{ i, what });
+                if (policy == GridFailurePolicy::kStopOnFailure) {
+                    // Drain the remaining cells so all workers stop
+                    // promptly.
+                    next.store(cells);
+                    break;
+                }
             }
         }
         t_in_worker = false;
@@ -104,8 +140,16 @@ runGrid(std::size_t cells,
     for (std::thread &thread : pool)
         thread.join();
 
-    if (error)
-        std::rethrow_exception(error);
+    if (!failures.empty()) {
+        // Workers finish in nondeterministic order; sort so the
+        // report (and tests) are stable.
+        std::sort(failures.begin(), failures.end(),
+                  [](const SweepError::Failure &a,
+                     const SweepError::Failure &b) {
+                      return a.cell < b.cell;
+                  });
+        throw SweepError(std::move(failures), cells);
+    }
 }
 
 std::vector<double>
@@ -114,12 +158,28 @@ parallelPerLoopRates(const SimFactory &factory,
                      const MachineConfig &cfg, unsigned jobs)
 {
     std::vector<double> rates(loops.size());
-    runGrid(loops.size(), [&](std::size_t i) {
-        const DecodedTrace &trace =
-            TraceLibrary::instance().decoded(loops[i], cfg);
-        auto sim = factory(cfg);
-        rates[i] = sim->run(trace).issueRate();
-    }, jobs);
+    const bool audit = auditRequested();
+    try {
+        runGrid(loops.size(), [&](std::size_t i) {
+            const DecodedTrace &trace =
+                TraceLibrary::instance().decoded(loops[i], cfg);
+            auto sim = factory(cfg);
+            rates[i] = audit ? runAudited(*sim, trace).issueRate()
+                             : sim->run(trace).issueRate();
+        }, jobs, GridFailurePolicy::kContinue);
+    } catch (const SweepError &e) {
+        // Re-key the cell indices as loop ids so the report reads in
+        // the caller's terms.
+        std::vector<SweepError::Failure> failures;
+        failures.reserve(e.failures().size());
+        for (const SweepError::Failure &f : e.failures()) {
+            failures.push_back(SweepError::Failure{
+                f.cell,
+                "loop " + std::to_string(loops[f.cell]) + " (" +
+                    cfg.name() + "): " + f.message });
+        }
+        throw SweepError(std::move(failures), loops.size());
+    }
     return rates;
 }
 

@@ -41,6 +41,19 @@ unsigned defaultSweepJobs();
 /** Override the process-wide default worker count (0 = reset). */
 void setDefaultSweepJobs(unsigned jobs);
 
+/** What runGrid() does with the cells left after a body throws. */
+enum class GridFailurePolicy
+{
+    /**
+     * Keep evaluating every remaining cell; all failures are
+     * aggregated.  The default: an overnight 500-cell sweep reports
+     * every bad cell, not just whichever one a worker hit first.
+     */
+    kContinue,
+    /** Drain the remaining cells as soon as any body throws. */
+    kStopOnFailure,
+};
+
 /**
  * Evaluate @p body(i) for every i in [0, cells) on a pool of
  * @p jobs worker threads (0 = defaultSweepJobs()).
@@ -51,18 +64,33 @@ void setDefaultSweepJobs(unsigned jobs);
  * With one job (or one cell, or when called from inside a runGrid
  * worker) the bodies run inline on the calling thread.
  *
- * The first exception thrown by any body is rethrown on the calling
- * thread once all workers have stopped.
+ * Failure handling: exceptions thrown by bodies are collected — every
+ * one of them under GridFailurePolicy::kContinue, the ones already
+ * caught when the grid drains under kStopOnFailure — and rethrown on
+ * the calling thread as one SweepError listing each failed cell index
+ * with its message, sorted by cell.
+ *
+ * @throws SweepError (a std::runtime_error) if any body threw.
  */
 void runGrid(std::size_t cells,
              const std::function<void(std::size_t)> &body,
-             unsigned jobs = 0);
+             unsigned jobs = 0,
+             GridFailurePolicy policy = GridFailurePolicy::kContinue);
 
 /**
  * Parallel perLoopRates(): one grid cell per loop, each timing the
  * library's cached pre-decoded trace of (loop, cfg) on a fresh
  * simulator from @p factory.  Results are in @p loops order,
  * bit-identical to the serial loop.
+ *
+ * When auditRequested() is set (MFUSIM_AUDIT=1 or --audit), every
+ * cell runs under a SimAudit legality check via runAudited(); rates
+ * are unchanged, but an invariant violation fails the cell with an
+ * AuditError.
+ *
+ * @throws SweepError naming each failed loop as
+ *         "loop <id> (<config>): <message>"; all cells are always
+ *         attempted.
  */
 std::vector<double> parallelPerLoopRates(const SimFactory &factory,
                                          const std::vector<int> &loops,

@@ -22,6 +22,7 @@
 #include "mfusim/codegen/reference_kernels.hh"
 #include "mfusim/codegen/synthetic.hh"
 #include "mfusim/core/decoded_trace.hh"
+#include "mfusim/core/error.hh"
 #include "mfusim/core/instruction.hh"
 #include "mfusim/core/branch_policy.hh"
 #include "mfusim/core/machine_config.hh"
@@ -42,6 +43,7 @@
 #include "mfusim/harness/paper_data.hh"
 #include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/audit.hh"
 #include "mfusim/sim/cdc6600_sim.hh"
 #include "mfusim/sim/multi_issue_sim.hh"
 #include "mfusim/sim/ruu_sim.hh"

@@ -1,0 +1,611 @@
+/**
+ * @file
+ * SimAudit reference checker implementation.
+ *
+ * The Auditor deliberately re-derives hazards and resource intervals
+ * from the decoded trace instead of reusing FuPool / ResultBusSet:
+ * an independent implementation is what makes the audit a check
+ * rather than a tautology.
+ */
+
+#include "mfusim/sim/audit.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "mfusim/core/opcode.hh"
+#include "mfusim/core/registers.hh"
+
+namespace mfusim
+{
+
+Auditor::Auditor(const DecodedTrace &trace, const AuditRules &rules,
+                 std::string label)
+    : trace_(trace), rules_(rules), label_(std::move(label)),
+      issue_(trace.size(), kNoCycle),
+      dispatch_(trace.size(), kNoCycle),
+      complete_(trace.size(), kNoCycle),
+      insert_(trace.size(), kNoCycle),
+      commit_(trace.size(), kNoCycle),
+      completeUnit_(trace.size(), -1),
+      dispatchUnit_(trace.size(), -1),
+      insertUnit_(trace.size(), -1)
+{}
+
+void
+Auditor::fail(const std::string &check, ClockCycle cycle,
+              std::uint64_t op, const std::string &detail) const
+{
+    const std::string tagged =
+        label_.empty() ? check : label_ + ": " + check;
+    throw AuditError(tagged, cycle, op,
+                     detail + " [" + describeOp(op) + "]");
+}
+
+std::string
+Auditor::describeOp(std::uint64_t i) const
+{
+    if (i >= trace_.size())
+        return "op #" + std::to_string(i) + " (out of trace)";
+    std::string text = mnemonicOf(trace_.op(i));
+    text += " " + regName(trace_.dst(i));
+    text += "," + regName(trace_.srcA(i));
+    text += "," + regName(trace_.srcB(i));
+    text += " fu=";
+    text += fuClassName(trace_.fu(i));
+    text += " lat=" + std::to_string(trace_.latency(i));
+    text += " occ=" + std::to_string(trace_.occupancy(i));
+    const auto stamp = [](const char *tag, ClockCycle c) {
+        return c == kNoCycle ? std::string()
+                             : " " + std::string(tag) +
+                                   std::to_string(c);
+    };
+    text += stamp("issue@", issue_[i]);
+    text += stamp("insert@", insert_[i]);
+    text += stamp("dispatch@", dispatch_[i]);
+    text += stamp("complete@", complete_[i]);
+    text += stamp("commit@", commit_[i]);
+    return text;
+}
+
+bool
+Auditor::predictedFree(std::uint64_t i) const
+{
+    if (!trace_.isBranch(i))
+        return false;
+    if (rules_.branchPolicy == BranchPolicy::kOracle)
+        return true;
+    return rules_.branchPolicy == BranchPolicy::kBtfn &&
+        trace_.btfnCorrect(i);
+}
+
+ClockCycle
+Auditor::availableAt(std::uint64_t i, RegId src,
+                     std::uint32_t prod) const
+{
+    const ClockCycle done = complete_[prod];
+    // Chaining: a vector consumer of a vector source may start once
+    // the producer's first element exists, one latency after its
+    // dispatch: complete - occupancy + 2.
+    if (rules_.vectorChaining && trace_.isVector(i) &&
+        src != kNoReg && classOf(src) == RegClass::V &&
+        trace_.occupancy(prod) > 1) {
+        return done - trace_.occupancy(prod) + 2;
+    }
+    return done;
+}
+
+ClockCycle
+Auditor::front(std::uint64_t i) const
+{
+    return rules_.frontPhase == AuditPhase::kInsert ? insert_[i]
+                                                    : issue_[i];
+}
+
+ClockCycle
+Auditor::exec(std::uint64_t i) const
+{
+    return rules_.execPhase == AuditPhase::kDispatch ? dispatch_[i]
+                                                     : issue_[i];
+}
+
+void
+Auditor::onEvent(const AuditEvent &event)
+{
+    if (event.op >= trace_.size()) {
+        throw AuditError(label_.empty() ? "event-range"
+                                        : label_ + ": event-range",
+                         event.cycle, event.op,
+                         "event references an op outside the trace (" +
+                             std::to_string(trace_.size()) + " ops)");
+    }
+    std::vector<ClockCycle> *slot = nullptr;
+    switch (event.phase) {
+      case AuditPhase::kIssue:
+        slot = &issue_;
+        break;
+      case AuditPhase::kDispatch:
+        slot = &dispatch_;
+        dispatchUnit_[event.op] = event.unit;
+        break;
+      case AuditPhase::kComplete:
+        slot = &complete_;
+        completeUnit_[event.op] = event.unit;
+        break;
+      case AuditPhase::kInsert:
+        slot = &insert_;
+        insertUnit_[event.op] = event.unit;
+        break;
+      case AuditPhase::kCommit:
+        slot = &commit_;
+        break;
+    }
+    if ((*slot)[event.op] != kNoCycle) {
+        fail("duplicate-event", event.cycle, event.op,
+             "op already has an event of this phase at cycle " +
+                 std::to_string((*slot)[event.op]));
+    }
+    (*slot)[event.op] = event.cycle;
+    ++eventCount_;
+}
+
+void
+Auditor::finish()
+{
+    checkCompleteness();
+    checkFrontOrder();
+    checkRaw();
+    checkWawAndCompletion();
+    checkBusses();
+    checkFuOccupancy();
+    checkWindows();
+    checkDispatchCommit();
+}
+
+void
+Auditor::checkCompleteness()
+{
+    const std::size_t n = trace_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (front(i) == kNoCycle)
+            fail("missing-event", 0, i, "op was never issued");
+        if (trace_.isBranch(i))
+            continue;       // branches may produce no completion
+        if (complete_[i] == kNoCycle)
+            fail("missing-event", 0, i, "op never completed");
+        if (rules_.execPhase == AuditPhase::kDispatch &&
+            dispatch_[i] == kNoCycle) {
+            fail("missing-event", 0, i, "op was never dispatched");
+        }
+        if (rules_.windowCapacity > 0 &&
+            (insert_[i] == kNoCycle || commit_[i] == kNoCycle)) {
+            fail("missing-event", 0, i,
+                 "op never passed through the RUU window");
+        }
+    }
+}
+
+void
+Auditor::checkFrontOrder()
+{
+    const std::size_t n = trace_.size();
+    ClockCycle prev = 0;
+    bool have_prev = false;
+    ClockCycle floor = 0;
+    std::uint64_t floor_branch = 0;
+    std::map<ClockCycle, unsigned> per_cycle;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const ClockCycle f = front(i);
+        if (rules_.inOrderFront && have_prev) {
+            const bool bad = rules_.strictSingleFront ? f <= prev
+                                                      : f < prev;
+            if (bad) {
+                fail("in-order-issue", f, i,
+                     "issues at cycle " + std::to_string(f) +
+                         ", not after its program-order predecessor"
+                         " (cycle " +
+                         std::to_string(prev) + ")");
+            }
+        }
+        if (rules_.frontWidth > 0 &&
+            ++per_cycle[f] > rules_.frontWidth) {
+            fail("issue-width", f, i,
+                 "more than " + std::to_string(rules_.frontWidth) +
+                     " ops issued in one cycle");
+        }
+        if (rules_.serialExecution && i > 0 &&
+            complete_[i - 1] != kNoCycle && f < complete_[i - 1]) {
+            fail("serial-overlap", f, i,
+                 "enters execution before op #" +
+                     std::to_string(i - 1) + " leaves (cycle " +
+                     std::to_string(complete_[i - 1]) + ")");
+        }
+        if (rules_.checkBranchFloor && f < floor) {
+            fail("branch-floor", f, i,
+                 "issues under the floor (cycle " +
+                     std::to_string(floor) +
+                     ") imposed by blocking branch #" +
+                     std::to_string(floor_branch));
+        }
+        if (trace_.isBranch(i) && !predictedFree(i)) {
+            if (rules_.rawAt != AuditRules::RawAt::kNone) {
+                const std::uint32_t prod = trace_.prodA(i);
+                if (prod != DecodedTrace::kNoProducer &&
+                    complete_[prod] != kNoCycle &&
+                    f < complete_[prod]) {
+                    fail("branch-condition-raw", f, i,
+                         "blocking branch issues before its condition"
+                         " exists (producer: " +
+                             describeOp(prod) + ")");
+                }
+            }
+            const ClockCycle resolve =
+                f + trace_.config().branchTime;
+            if (resolve > floor) {
+                floor = resolve;
+                floor_branch = i;
+            }
+        }
+        prev = f;
+        have_prev = true;
+    }
+}
+
+void
+Auditor::checkRaw()
+{
+    if (rules_.rawAt == AuditRules::RawAt::kNone)
+        return;
+    const std::size_t n = trace_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (trace_.isBranch(i))
+            continue;       // condition reads checked at the front
+        const ClockCycle e = exec(i);
+        const std::array<std::pair<RegId, std::uint32_t>, 2> sources{
+            { { trace_.srcA(i), trace_.prodA(i) },
+              { trace_.srcB(i), trace_.prodB(i) } }
+        };
+        for (const auto &[src, prod] : sources) {
+            if (prod == DecodedTrace::kNoProducer)
+                continue;
+            if (complete_[prod] == kNoCycle)
+                continue;   // producer legality caught elsewhere
+            const ClockCycle avail = availableAt(i, src, prod);
+            if (e < avail) {
+                fail("raw-hazard", e, i,
+                     "reads " + regName(src) + " at cycle " +
+                         std::to_string(e) +
+                         " but its value only exists at cycle " +
+                         std::to_string(avail) + " (producer: " +
+                         describeOp(prod) + ")");
+            }
+        }
+    }
+}
+
+void
+Auditor::checkWawAndCompletion()
+{
+    const std::size_t n = trace_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (trace_.isBranch(i))
+            continue;
+        if (rules_.completionConsistent) {
+            const ClockCycle e = exec(i);
+            const ClockCycle expect = e + trace_.latency(i) +
+                trace_.occupancy(i) - 1;
+            if (complete_[i] != expect) {
+                fail("completion-latency", complete_[i], i,
+                     "completes at cycle " +
+                         std::to_string(complete_[i]) +
+                         " instead of exec + latency + occupancy - 1"
+                         " = " +
+                         std::to_string(expect));
+            }
+        }
+        if (rules_.wawOrdered) {
+            const std::uint32_t p = trace_.prevWriter(i);
+            if (p != DecodedTrace::kNoProducer &&
+                complete_[p] != kNoCycle &&
+                complete_[i] < complete_[p]) {
+                fail("waw-order", complete_[i], i,
+                     "writes " + regName(trace_.dst(i)) +
+                         " before the program-order earlier writer"
+                         " (op: " +
+                         describeOp(p) + ")");
+            }
+        }
+    }
+}
+
+void
+Auditor::checkBusses()
+{
+    if (rules_.busCount == 0)
+        return;
+    const std::size_t n = trace_.size();
+    // (bus, cycle) -> first op holding the slot.
+    std::map<std::pair<std::int32_t, ClockCycle>, std::uint64_t>
+        per_unit;
+    // cycle -> (count, first op) for the counted kinds.
+    std::map<ClockCycle, std::pair<unsigned, std::uint64_t>> per_cycle;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const ClockCycle c = complete_[i];
+        const std::int32_t unit = completeUnit_[i];
+        if (c == kNoCycle || unit < 0)
+            continue;       // result uses no bus (vector / no result)
+        if (rules_.busKind == BusKind::kPerUnit) {
+            if (unsigned(unit) >= rules_.busCount) {
+                fail("result-bus-range", c, i,
+                     "uses bus " + std::to_string(unit) +
+                         " of a " + std::to_string(rules_.busCount) +
+                         "-bus machine");
+            }
+            const auto [it, fresh] =
+                per_unit.emplace(std::make_pair(unit, c), i);
+            if (!fresh) {
+                fail("result-bus-conflict", c, i,
+                     "bus " + std::to_string(unit) +
+                         " already carries a result this cycle"
+                         " (op: " +
+                         describeOp(it->second) + ")");
+            }
+        } else {
+            auto &slot = per_cycle[c];
+            if (slot.first == 0)
+                slot.second = i;
+            if (++slot.first > rules_.busCount) {
+                fail("result-bus-conflict", c, i,
+                     std::to_string(slot.first) +
+                         " results in one cycle on " +
+                         std::to_string(rules_.busCount) +
+                         " bus(ses) (first op: " +
+                         describeOp(slot.second) + ")");
+            }
+        }
+    }
+}
+
+void
+Auditor::checkFuOccupancy()
+{
+    if (!rules_.checkFuCaps)
+        return;
+    struct Interval
+    {
+        ClockCycle start, end;
+        std::uint64_t op;
+    };
+    std::array<std::vector<Interval>, kNumFuClasses> per_class;
+
+    const std::size_t n = trace_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (trace_.isBranch(i) || trace_.isTransfer(i))
+            continue;       // no pool resource
+        const FuClass fu = trace_.fu(i);
+        const ClockCycle e = exec(i);
+        if (e == kNoCycle)
+            continue;
+        const unsigned latency = trace_.latency(i);
+        const unsigned occupancy = trace_.occupancy(i);
+        unsigned busy;
+        if (fu == FuClass::kMemory) {
+            busy = rules_.memDiscipline == MemDiscipline::kSerial
+                       ? latency + occupancy - 1
+                       : occupancy;
+        } else {
+            busy = rules_.fuDiscipline == FuDiscipline::kSegmented
+                       ? occupancy
+                       : std::max(latency, occupancy);
+        }
+        per_class[unsigned(fu)].push_back({ e, e + busy, i });
+    }
+
+    for (unsigned fu = 0; fu < kNumFuClasses; ++fu) {
+        auto &intervals = per_class[fu];
+        if (intervals.empty())
+            continue;
+        const unsigned cap = FuClass(fu) == FuClass::kMemory
+                                 ? rules_.memPorts
+                                 : rules_.fuCopies;
+        std::sort(intervals.begin(), intervals.end(),
+                  [](const Interval &a, const Interval &b) {
+                      return a.start < b.start;
+                  });
+        std::priority_queue<ClockCycle, std::vector<ClockCycle>,
+                            std::greater<ClockCycle>>
+            busy_until;
+        for (const Interval &iv : intervals) {
+            while (!busy_until.empty() &&
+                   busy_until.top() <= iv.start) {
+                busy_until.pop();
+            }
+            if (busy_until.size() >= cap) {
+                fail("fu-occupancy", iv.start, iv.op,
+                     std::string(fuClassName(FuClass(fu))) +
+                         " already has " + std::to_string(cap) +
+                         " busy unit(s) at cycle " +
+                         std::to_string(iv.start));
+            }
+            busy_until.push(iv.end);
+        }
+    }
+}
+
+void
+Auditor::checkWindows()
+{
+    struct Interval
+    {
+        ClockCycle start, end;
+        std::uint64_t op;
+    };
+    const std::size_t n = trace_.size();
+
+    const auto sweep = [this](std::vector<Interval> &intervals,
+                              unsigned cap, const char *check,
+                              const std::string &what) {
+        std::sort(intervals.begin(), intervals.end(),
+                  [](const Interval &a, const Interval &b) {
+                      return a.start < b.start;
+                  });
+        std::priority_queue<ClockCycle, std::vector<ClockCycle>,
+                            std::greater<ClockCycle>>
+            live;
+        for (const Interval &iv : intervals) {
+            while (!live.empty() && live.top() <= iv.start)
+                live.pop();
+            if (live.size() >= cap) {
+                fail(check, iv.start, iv.op,
+                     what + " already holds " + std::to_string(cap) +
+                         " op(s) at cycle " +
+                         std::to_string(iv.start));
+            }
+            live.push(iv.end);
+        }
+    };
+
+    if (rules_.windowCapacity > 0) {
+        std::vector<Interval> window;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (trace_.isBranch(i))
+                continue;   // branches never occupy the RUU
+            if (insert_[i] == kNoCycle || commit_[i] == kNoCycle)
+                continue;
+            window.push_back({ insert_[i], commit_[i], i });
+        }
+        sweep(window, rules_.windowCapacity, "ruu-capacity",
+              "the RUU (" + std::to_string(rules_.windowCapacity) +
+                  " entries)");
+    }
+
+    if (rules_.stationsPerFu > 0 || rules_.waitingStations) {
+        std::array<std::vector<Interval>, kNumFuClasses> stations;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (trace_.isBranch(i) || trace_.isTransfer(i))
+                continue;
+            if (rules_.waitingStations) {
+                // CDC 6600: the single station is held from issue
+                // until the cycle after dispatch.
+                if (issue_[i] == kNoCycle || dispatch_[i] == kNoCycle)
+                    continue;
+                stations[unsigned(trace_.fu(i))].push_back(
+                    { issue_[i], dispatch_[i] + 1, i });
+            } else {
+                // Tomasulo: a station is held from issue until the
+                // result broadcast.
+                if (issue_[i] == kNoCycle || complete_[i] == kNoCycle)
+                    continue;
+                stations[unsigned(trace_.fu(i))].push_back(
+                    { issue_[i], complete_[i], i });
+            }
+        }
+        const unsigned cap =
+            rules_.waitingStations ? 1 : rules_.stationsPerFu;
+        for (unsigned fu = 0; fu < kNumFuClasses; ++fu) {
+            if (stations[fu].empty())
+                continue;
+            sweep(stations[fu], cap,
+                  rules_.waitingStations ? "waiting-station"
+                                         : "reservation-stations",
+                  std::string(fuClassName(FuClass(fu))) +
+                      "'s station pool");
+        }
+    }
+}
+
+void
+Auditor::checkDispatchCommit()
+{
+    const std::size_t n = trace_.size();
+    if (rules_.dispatchWidth > 0 || rules_.bankedDispatch) {
+        std::map<ClockCycle, unsigned> per_cycle;
+        std::map<std::pair<std::int32_t, ClockCycle>, std::uint64_t>
+            per_bank;
+        for (std::size_t i = 0; i < n; ++i) {
+            const ClockCycle d = dispatch_[i];
+            if (d == kNoCycle)
+                continue;
+            if (rules_.dispatchWidth > 0 &&
+                ++per_cycle[d] > rules_.dispatchWidth) {
+                fail("dispatch-width", d, i,
+                     "more than " +
+                         std::to_string(rules_.dispatchWidth) +
+                         " dispatches in one cycle");
+            }
+            if (rules_.bankedDispatch) {
+                const auto [it, fresh] = per_bank.emplace(
+                    std::make_pair(dispatchUnit_[i], d), i);
+                if (!fresh) {
+                    fail("dispatch-bank", d, i,
+                         "bank " +
+                             std::to_string(dispatchUnit_[i]) +
+                             " already dispatched this cycle (op: " +
+                             describeOp(it->second) + ")");
+                }
+            }
+        }
+    }
+    if (rules_.commitWidth > 0 || rules_.inOrderCommit) {
+        std::map<ClockCycle, unsigned> per_cycle;
+        ClockCycle prev = 0;
+        bool have_prev = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const ClockCycle c = commit_[i];
+            if (c == kNoCycle)
+                continue;
+            if (rules_.commitWidth > 0 &&
+                ++per_cycle[c] > rules_.commitWidth) {
+                fail("commit-width", c, i,
+                     "more than " +
+                         std::to_string(rules_.commitWidth) +
+                         " commits in one cycle");
+            }
+            if (rules_.inOrderCommit && have_prev && c < prev) {
+                fail("in-order-commit", c, i,
+                     "retires before its program-order predecessor"
+                     " (cycle " +
+                         std::to_string(prev) + ")");
+            }
+            prev = c;
+            have_prev = true;
+        }
+    }
+}
+
+namespace
+{
+
+// -1 = not yet decided (consult the environment once).
+std::atomic<int> g_audit_requested{ -1 };
+
+} // namespace
+
+bool
+auditRequested()
+{
+    const int cached = g_audit_requested.load();
+    if (cached >= 0)
+        return cached != 0;
+    const char *env = std::getenv("MFUSIM_AUDIT");
+    const bool on = env != nullptr && *env != '\0' &&
+        std::string(env) != "0";
+    g_audit_requested.store(on ? 1 : 0);
+    return on;
+}
+
+void
+setAuditRequested(bool enabled)
+{
+    g_audit_requested.store(enabled ? 1 : 0);
+}
+
+} // namespace mfusim

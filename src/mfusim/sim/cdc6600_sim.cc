@@ -9,8 +9,8 @@
 #include <array>
 
 #include <set>
-#include <stdexcept>
 
+#include "mfusim/core/error.hh"
 #include "mfusim/funits/fu_pool.hh"
 
 namespace mfusim
@@ -24,7 +24,7 @@ Cdc6600Sim::run(const DecodedTrace &trace)
     result.instructions = trace.size();
 
     if (trace.hasVector()) {
-        throw std::invalid_argument(
+        throw SimError(
             "Cdc6600Sim: vector instructions are not supported");
     }
 
@@ -60,6 +60,7 @@ Cdc6600Sim::run(const DecodedTrace &trace)
                  trace.btfnCorrect(i));
             if (predicted_free) {
                 const ClockCycle t = issue_cursor;
+                emitAudit(AuditPhase::kIssue, t, i);
                 issue_cursor = t + 1;
                 end = std::max(end, t + 1);
             } else {
@@ -68,6 +69,7 @@ Cdc6600Sim::run(const DecodedTrace &trace)
                 // for the condition, then block for the branch time.
                 const ClockCycle t =
                     std::max(issue_cursor, cond_ready);
+                emitAudit(AuditPhase::kIssue, t, i);
                 issue_cursor = t + cfg_.branchTime;
                 end = std::max(end, t + cfg_.branchTime);
             }
@@ -96,10 +98,18 @@ Cdc6600Sim::run(const DecodedTrace &trace)
 
         const bool needs_bus =
             org_.modelResultBus && trace.producesResult(i);
+        ClockCycle retries = 0;
         while (true) {
             dispatch = pool.earliestAccept(fu_class, dispatch);
             if (needs_bus &&
                 bus_reserved.count(dispatch + latency) != 0) {
+                if (++retries > kDefaultWatchdogCycles) {
+                    throw SimError(
+                        "Cdc6600Sim: no free result-bus slot after " +
+                        std::to_string(retries) + " cycles for op #" +
+                        std::to_string(i) + " dispatching at cycle " +
+                        std::to_string(dispatch));
+                }
                 ++dispatch;
                 continue;
             }
@@ -108,6 +118,9 @@ Cdc6600Sim::run(const DecodedTrace &trace)
 
         const ClockCycle ready = pool.accept(fu_class, dispatch,
                                              latency);
+        emitAudit(AuditPhase::kIssue, t, i);
+        emitAudit(AuditPhase::kDispatch, dispatch, i);
+        emitAudit(AuditPhase::kComplete, ready, i, needs_bus ? 0 : -1);
         if (needs_bus)
             bus_reserved.insert(ready);
         if (dst != kNoReg)
@@ -121,6 +134,25 @@ Cdc6600Sim::run(const DecodedTrace &trace)
 
     result.cycles = end;
     return result;
+}
+
+AuditRules
+Cdc6600Sim::auditRules() const
+{
+    AuditRules rules;
+    rules.rawAt = AuditRules::RawAt::kDispatch;
+    rules.execPhase = AuditPhase::kDispatch;
+    rules.inOrderFront = true;
+    rules.strictSingleFront = true;
+    rules.checkBranchFloor = true;
+    rules.wawOrdered = true;
+    rules.completionConsistent = true;
+    rules.branchPolicy = org_.branchPolicy;
+    rules.busCount = org_.modelResultBus ? 1 : 0;
+    rules.busKind = BusKind::kSingle;
+    rules.checkFuCaps = true;
+    rules.waitingStations = true;
+    return rules;
 }
 
 } // namespace mfusim

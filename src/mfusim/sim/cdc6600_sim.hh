@@ -55,6 +55,7 @@ class Cdc6600Sim : public Simulator
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override { return "CDC6600-issue"; }
     const MachineConfig &config() const override { return cfg_; }
+    AuditRules auditRules() const override;
 
   private:
     Cdc6600Config org_;

@@ -7,10 +7,10 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
-#include <stdexcept>
 #include <limits>
 #include <vector>
+
+#include "mfusim/core/error.hh"
 
 namespace mfusim
 {
@@ -26,7 +26,12 @@ MultiIssueSim::MultiIssueSim(const MultiIssueConfig &org,
                              const MachineConfig &cfg)
     : org_(org), cfg_(cfg)
 {
-    assert(org_.width >= 1);
+    if (org_.width < 1)
+        throw ConfigError("MultiIssueSim: width must be >= 1");
+    if (org_.fuCopies < 1)
+        throw ConfigError("MultiIssueSim: fuCopies must be >= 1");
+    if (org_.memPorts < 1)
+        throw ConfigError("MultiIssueSim: memPorts must be >= 1");
 }
 
 std::string
@@ -42,6 +47,13 @@ MultiIssueSim::name() const
 SimResult
 MultiIssueSim::run(const DecodedTrace &trace)
 {
+    return auditSink() ? runImpl<true>(trace) : runImpl<false>(trace);
+}
+
+template <bool kAudit>
+SimResult
+MultiIssueSim::runImpl(const DecodedTrace &trace)
+{
     checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
@@ -52,7 +64,7 @@ MultiIssueSim::run(const DecodedTrace &trace)
 
     // The multiple-issue study is scalar-only, as in the paper.
     if (trace.hasVector()) {
-        throw std::invalid_argument(
+        throw SimError(
             "MultiIssueSim: vector instructions are not "
             "supported (the paper's multiple-issue study is "
             "scalar-only; use ScoreboardSim)");
@@ -98,7 +110,6 @@ MultiIssueSim::run(const DecodedTrace &trace)
                 cfg_);
     ResultBusSet bus(org_.busKind, org_.width);
 
-    std::size_t wStart = 0;             // first instruction in buffer
     std::vector<bool> issued(org_.width, false);
     // Static buffer-order hazards of the current window, as
     // bitmasks: bit k of conflict[j] is set when window entry k
@@ -120,7 +131,76 @@ MultiIssueSim::run(const DecodedTrace &trace)
 
     ClockCycle t = 0;
     ClockCycle end = 0;
+    // No-forward-progress watchdog: cycle of the most recent issue.
+    const ClockCycle watchdog = org_.watchdogCycles > 0
+                                    ? org_.watchdogCycles
+                                    : kDefaultWatchdogCycles;
+    ClockCycle last_event = 0;
+    // Diagnose and abort a tripped watchdog: name the oldest
+    // unissued op and the hazard that blocks it.  Kept out of line
+    // so the string building does not bloat the issue loop it
+    // guards; the hot window bounds come in as arguments so their
+    // addresses never escape into the closure.
+    const auto throw_watchdog =
+        [&](ClockCycle next, std::size_t wStart, std::size_t wEnd)
+            __attribute__((noinline, cold)) {
+        std::size_t oldest = wEnd;
+        for (std::size_t j = wStart; j < wEnd; ++j) {
+            if (!issued[j - wStart]) {
+                oldest = j;
+                break;
+            }
+        }
+        std::string why = "unknown hazard";
+        if (oldest < wEnd) {
+            const std::size_t j = oldest;
+            ClockCycle earliest = 0;
+            std::uint32_t blocker = kNoProd;
+            for (const std::uint32_t prod :
+                 { trace.prodA(j), trace.prodB(j),
+                   trace.prevWriter(j) }) {
+                if (prod != kNoProd && completion[prod] > earliest) {
+                    earliest = completion[prod];
+                    blocker = prod;
+                }
+            }
+            if (floorIdx < j && floorTime > earliest) {
+                why = "the branch floor of op #" +
+                    std::to_string(floorIdx) + " (cycle " +
+                    std::to_string(floorTime) + ")";
+            } else if (earliest > t && blocker != kNoProd) {
+                why = "the result of op #" +
+                    std::to_string(blocker) + " (" +
+                    mnemonicOf(trace.op(blocker)) +
+                    ", completes at cycle " +
+                    std::to_string(completion[blocker]) + ")";
+            } else if (!pool.canAccept(trace.fu(j), t)) {
+                why = std::string("the ") +
+                    fuClassName(trace.fu(j)) +
+                    " unit (accepts at cycle " +
+                    std::to_string(pool.earliestAccept(
+                        trace.fu(j), t)) +
+                    ")";
+            } else {
+                why = "a result-bus slot at cycle " +
+                    std::to_string(t + trace.latency(j));
+            }
+        }
+        throw SimError(
+            "MultiIssueSim: no issue for " +
+            std::to_string(next - last_event) +
+            " cycles (watchdog " + std::to_string(watchdog) +
+            "; cycles " + std::to_string(last_event) + ".." +
+            std::to_string(next) + "): oldest unissued op #" +
+            std::to_string(oldest) +
+            (oldest < wEnd
+                 ? std::string(" (") +
+                       mnemonicOf(trace.op(oldest)) +
+                       ") is waiting for " + why
+                 : std::string(" is outside the window")));
+    };
 
+    std::size_t wStart = 0;             // first instruction in buffer
     while (wStart < n) {
         // Window [wStart, wEnd): a taken branch squashes the slots
         // behind it (they hold wrong-path instructions that never
@@ -280,6 +360,14 @@ MultiIssueSim::run(const DecodedTrace &trace)
                 // Issue instruction j at cycle t.
                 const ClockCycle ready =
                     pool.accept(op_fu, t, latency);
+                if constexpr (kAudit) {
+                    emitAudit(AuditPhase::kIssue, t, j,
+                              std::int32_t(unit));
+                    if (!trace.isBranch(j)) {
+                        emitAudit(AuditPhase::kComplete, ready, j,
+                                  produces ? std::int32_t(unit) : -1);
+                    }
+                }
                 if (produces) {
                     bus.reserve(unit, ready);
                     end = std::max(end, ready);
@@ -305,10 +393,16 @@ MultiIssueSim::run(const DecodedTrace &trace)
 
             // Advance time: one cycle after any progress, otherwise
             // jump to the next cycle at which anything can change.
-            if (progress || hint == kNever)
+            if (progress) {
+                last_event = t;
                 t += 1;
-            else
-                t = std::max(t + 1, hint);
+                continue;
+            }
+            const ClockCycle next =
+                hint == kNever ? t + 1 : std::max(t + 1, hint);
+            if (next - last_event > watchdog)
+                throw_watchdog(next, wStart, wEnd);
+            t = next;
         }
 
         // Refill: the next window's instructions can issue no
@@ -320,6 +414,26 @@ MultiIssueSim::run(const DecodedTrace &trace)
 
     result.cycles = end;
     return result;
+}
+
+AuditRules
+MultiIssueSim::auditRules() const
+{
+    AuditRules rules;
+    rules.rawAt = AuditRules::RawAt::kIssue;
+    rules.inOrderFront = !org_.outOfOrder;
+    rules.frontWidth = org_.width;
+    rules.checkBranchFloor = true;
+    rules.wawOrdered = true;
+    rules.completionConsistent = true;
+    rules.branchPolicy = org_.branchPolicy;
+    rules.busCount =
+        org_.busKind == BusKind::kSingle ? 1 : org_.width;
+    rules.busKind = org_.busKind;
+    rules.checkFuCaps = true;
+    rules.fuCopies = org_.fuCopies;
+    rules.memPorts = org_.memPorts;
+    return rules;
 }
 
 } // namespace mfusim

@@ -71,6 +71,13 @@ struct MultiIssueConfig
     unsigned fuCopies = 1;
     /** Independent memory ports (extension; paper: 1). */
     unsigned memPorts = 1;
+
+    /**
+     * Livelock watchdog threshold: cycles without any issue event
+     * (while instructions remain) before the run aborts with a
+     * diagnostic SimError.  0 = kDefaultWatchdogCycles.
+     */
+    ClockCycle watchdogCycles = 0;
 };
 
 /**
@@ -79,14 +86,23 @@ struct MultiIssueConfig
 class MultiIssueSim : public Simulator
 {
   public:
+    /** @throws ConfigError on a zero width / unit / port count. */
     MultiIssueSim(const MultiIssueConfig &org, const MachineConfig &cfg);
 
     using Simulator::run;
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
     const MachineConfig &config() const override { return cfg_; }
+    AuditRules auditRules() const override;
 
   private:
+    /**
+     * run() body, compiled once with audit emission and once without
+     * so the audit-off issue loop carries no per-event branches.
+     */
+    template <bool kAudit>
+    SimResult runImpl(const DecodedTrace &trace);
+
     MultiIssueConfig org_;
     MachineConfig cfg_;
 };

@@ -6,10 +6,10 @@
 #include "mfusim/sim/ruu_sim.hh"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
 #include <limits>
 #include <vector>
+
+#include "mfusim/core/error.hh"
 
 namespace mfusim
 {
@@ -25,9 +25,18 @@ constexpr std::uint32_t kNoProducer = DecodedTrace::kNoProducer;
 RuuSim::RuuSim(const RuuConfig &org, const MachineConfig &cfg)
     : org_(org), cfg_(cfg)
 {
-    assert(org_.width >= 1);
-    assert(org_.ruuSize >= org_.width &&
-           "each issue unit needs at least one RUU slot");
+    if (org_.width < 1)
+        throw ConfigError("RuuSim: width must be >= 1");
+    if (org_.ruuSize < org_.width) {
+        throw ConfigError(
+            "RuuSim: each issue unit needs at least one RUU slot"
+            " (ruuSize " + std::to_string(org_.ruuSize) +
+            " < width " + std::to_string(org_.width) + ")");
+    }
+    if (org_.fuCopies < 1)
+        throw ConfigError("RuuSim: fuCopies must be >= 1");
+    if (org_.memPorts < 1)
+        throw ConfigError("RuuSim: memPorts must be >= 1");
 }
 
 std::string
@@ -41,6 +50,13 @@ RuuSim::name() const
 SimResult
 RuuSim::run(const DecodedTrace &trace)
 {
+    return auditSink() ? runImpl<true>(trace) : runImpl<false>(trace);
+}
+
+template <bool kAudit>
+SimResult
+RuuSim::runImpl(const DecodedTrace &trace)
+{
     checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
@@ -51,7 +67,7 @@ RuuSim::run(const DecodedTrace &trace)
 
     // The RUU study is scalar-only, as in the paper.
     if (trace.hasVector()) {
-        throw std::invalid_argument(
+        throw SimError(
             "RuuSim: vector instructions are not supported "
             "(the paper's RUU study is scalar-only; use "
             "ScoreboardSim)");
@@ -120,6 +136,79 @@ RuuSim::run(const DecodedTrace &trace)
     ClockCycle insert_blocked_until = 0;
     ClockCycle t = 0;
     ClockCycle end = 0;
+    // No-forward-progress watchdog: cycle of the most recent event.
+    const ClockCycle watchdog = org_.watchdogCycles > 0
+                                    ? org_.watchdogCycles
+                                    : kDefaultWatchdogCycles;
+    ClockCycle last_event = 0;
+    // Diagnose and abort a tripped watchdog: name the oldest stuck
+    // work and the resource or result it is waiting for.  Kept
+    // out of line so the string building does not bloat the
+    // scheduling loop it guards.
+    const auto throw_watchdog =
+        [&](ClockCycle next) __attribute__((noinline, cold)) {
+        std::string why;
+        if (ruu_head < ruu.size()) {
+            const Entry &head = ruu[ruu_head];
+            const std::uint32_t idx = head.idx;
+            why = "RUU head op #" + std::to_string(idx) +
+                " (" + mnemonicOf(trace.op(idx)) + ")";
+            if (!head.dispatched) {
+                const std::uint32_t prodA = trace.prodA(idx);
+                const std::uint32_t prodB = trace.prodB(idx);
+                if (!operand_ready(prodA, t)) {
+                    why += " is undispatched, waiting for the"
+                        " result of op #" + std::to_string(prodA);
+                    const ClockCycle h = operand_hint(prodA);
+                    if (h != kUnknown)
+                        why += " (due at cycle " +
+                            std::to_string(h) + ")";
+                    else
+                        why += " (not yet scheduled)";
+                } else if (!operand_ready(prodB, t)) {
+                    why += " is undispatched, waiting for the"
+                        " result of op #" + std::to_string(prodB);
+                    const ClockCycle h = operand_hint(prodB);
+                    if (h != kUnknown)
+                        why += " (due at cycle " +
+                            std::to_string(h) + ")";
+                    else
+                        why += " (not yet scheduled)";
+                } else if (!pool.canAccept(trace.fu(idx), t)) {
+                    why += " is undispatched, waiting for a "
+                        + std::string(fuClassName(trace.fu(idx))) +
+                        " unit (free at cycle " +
+                        std::to_string(pool.earliestAccept(
+                            trace.fu(idx), t)) + ")";
+                } else {
+                    why += " is undispatched, waiting for a"
+                        " free writeback-bus slot on bank " +
+                        std::to_string(head.bank);
+                }
+            } else {
+                why += " is dispatched, waiting for its"
+                    " result at cycle " +
+                    std::to_string(result_time[idx]);
+            }
+        } else if (t < insert_blocked_until) {
+            why = "issue is blocked by a branch until cycle " +
+                std::to_string(insert_blocked_until);
+        } else if (next_insert < n && trace.isBranch(next_insert)) {
+            why = "branch op #" + std::to_string(next_insert) +
+                " is waiting for its condition (result of op #" +
+                std::to_string(trace.prodA(next_insert)) + ")";
+        } else {
+            why = "op #" + std::to_string(next_insert) +
+                " cannot be inserted (RUU bank full with no"
+                " retiring entries)";
+        }
+        throw SimError(
+            "RuuSim: no forward progress for " +
+            std::to_string(next - last_event) +
+            " cycles (watchdog " + std::to_string(watchdog) +
+            "; cycles " + std::to_string(last_event) + ".." +
+            std::to_string(next) + "): " + why);
+    };
 
     while (next_insert < n || ruu_head < ruu.size()) {
         bool progress = false;
@@ -137,6 +226,8 @@ RuuSim::run(const DecodedTrace &trace)
                 hint = std::min(hint, r);
                 break;
             }
+            if constexpr (kAudit)
+                emitAudit(AuditPhase::kCommit, t, head.idx);
             bank_count[head.bank]--;
             ++ruu_head;
             end = std::max(end, t);
@@ -187,6 +278,12 @@ RuuSim::run(const DecodedTrace &trace)
             }
 
             const ClockCycle ready = pool.accept(fu, t, latency);
+            if constexpr (kAudit) {
+                emitAudit(AuditPhase::kDispatch, t, idx,
+                          std::int32_t(entry.bank));
+                emitAudit(AuditPhase::kComplete, ready, idx,
+                          std::int32_t(entry.bank));
+            }
             wb.reserve(entry.bank, ready);
             result_time[idx] = ready;
             entry.dispatched = true;
@@ -210,6 +307,9 @@ RuuSim::run(const DecodedTrace &trace)
                     if (free_branch) {
                         // Correctly predicted: one issue slot, no
                         // stall, and the front end keeps issuing.
+                        if constexpr (kAudit)
+                            emitAudit(AuditPhase::kInsert, t,
+                                      next_insert);
                         end = std::max(end, t + 1);
                         ++next_insert;
                         ++inserted;
@@ -228,6 +328,9 @@ RuuSim::run(const DecodedTrace &trace)
                             hint = std::min(hint, h);
                         break;
                     }
+                    if constexpr (kAudit)
+                        emitAudit(AuditPhase::kInsert, t,
+                                  next_insert);
                     insert_blocked_until = t + cfg_.branchTime;
                     end = std::max(end, insert_blocked_until);
                     ++next_insert;
@@ -240,6 +343,9 @@ RuuSim::run(const DecodedTrace &trace)
                 if (bank_count[bank] >= bank_cap[bank])
                     break;      // RUU (bank) full: stall in order
 
+                if constexpr (kAudit)
+                    emitAudit(AuditPhase::kInsert, t, next_insert,
+                              std::int32_t(bank));
                 ruu.push_back(Entry{ std::uint32_t(next_insert), bank,
                                      false });
                 bank_count[bank]++;
@@ -251,16 +357,47 @@ RuuSim::run(const DecodedTrace &trace)
         }
 
         // ---- advance time ------------------------------------------
-        if (progress || hint == kUnknown) {
+        if (progress) {
+            last_event = t;
             t += 1;
         } else {
-            assert(hint > t && "stalled with a stale wakeup hint");
-            t = hint;
+            const ClockCycle next =
+                (hint == kUnknown || hint <= t) ? t + 1 : hint;
+            if (next - last_event > watchdog)
+                throw_watchdog(next);
+            t = next;
         }
     }
 
     result.cycles = end;
     return result;
+}
+
+AuditRules
+RuuSim::auditRules() const
+{
+    AuditRules rules;
+    rules.rawAt = AuditRules::RawAt::kDispatch;
+    rules.frontPhase = AuditPhase::kInsert;
+    rules.execPhase = AuditPhase::kDispatch;
+    rules.inOrderFront = true;
+    rules.frontWidth = org_.width;
+    rules.checkBranchFloor = true;
+    rules.completionConsistent = true;
+    rules.branchPolicy = org_.branchPolicy;
+    rules.busCount =
+        org_.busKind == BusKind::kSingle ? 1 : org_.width;
+    rules.busKind = org_.busKind;
+    rules.checkFuCaps = true;
+    rules.fuCopies = org_.fuCopies;
+    rules.memPorts = org_.memPorts;
+    rules.windowCapacity = org_.ruuSize;
+    rules.dispatchWidth =
+        org_.busKind == BusKind::kSingle ? 1 : org_.width;
+    rules.bankedDispatch = org_.busKind == BusKind::kPerUnit;
+    rules.commitWidth = rules.dispatchWidth;
+    rules.inOrderCommit = true;
+    return rules;
 }
 
 } // namespace mfusim

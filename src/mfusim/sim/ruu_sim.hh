@@ -62,6 +62,14 @@ struct RuuConfig
     unsigned fuCopies = 1;
     /** Independent memory ports (extension; paper: 1). */
     unsigned memPorts = 1;
+
+    /**
+     * Livelock watchdog threshold: cycles without any
+     * insert/dispatch/commit event (while work remains) before the
+     * run aborts with a diagnostic SimError.  0 =
+     * kDefaultWatchdogCycles.
+     */
+    ClockCycle watchdogCycles = 0;
 };
 
 /**
@@ -70,14 +78,23 @@ struct RuuConfig
 class RuuSim : public Simulator
 {
   public:
+    /** @throws ConfigError on a zero or inconsistent size/width. */
     RuuSim(const RuuConfig &org, const MachineConfig &cfg);
 
     using Simulator::run;
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
     const MachineConfig &config() const override { return cfg_; }
+    AuditRules auditRules() const override;
 
   private:
+    /**
+     * run() body, compiled once with audit emission and once without
+     * so the audit-off scheduling loop carries no per-event branches.
+     */
+    template <bool kAudit>
+    SimResult runImpl(const DecodedTrace &trace);
+
     RuuConfig org_;
     MachineConfig cfg_;
 };

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <array>
 
+#include "mfusim/core/error.hh"
 #include "mfusim/funits/result_bus.hh"
 
 namespace mfusim
@@ -31,6 +32,16 @@ ScoreboardConfig::crayLike()
 {
     return { FuDiscipline::kSegmented, MemDiscipline::kInterleaved,
              true };
+}
+
+ScoreboardSim::ScoreboardSim(const ScoreboardConfig &org,
+                             const MachineConfig &cfg)
+    : org_(org), cfg_(cfg)
+{
+    if (org_.fuCopies < 1)
+        throw ConfigError("ScoreboardSim: fuCopies must be >= 1");
+    if (org_.memPorts < 1)
+        throw ConfigError("ScoreboardSim: memPorts must be >= 1");
 }
 
 std::string
@@ -81,6 +92,7 @@ ScoreboardSim::run(const DecodedTrace &trace)
                 // Correctly predicted: the branch spends one issue
                 // slot and never gates the stream.
                 const ClockCycle t = issue_cursor;
+                emitAudit(AuditPhase::kIssue, t, i);
                 issue_cursor = t + 1;
                 end = std::max(end, t + 1);
             } else {
@@ -90,6 +102,7 @@ ScoreboardSim::run(const DecodedTrace &trace)
                 // branch time.
                 const ClockCycle t =
                     std::max(issue_cursor, cond_ready);
+                emitAudit(AuditPhase::kIssue, t, i);
                 result.stalls.branch +=
                     (t - issue_cursor) + (cfg_.branchTime - 1);
                 issue_cursor = t + cfg_.branchTime;
@@ -126,6 +139,7 @@ ScoreboardSim::run(const DecodedTrace &trace)
         // paths, not the scalar result bus.
         const bool needs_bus = org_.modelResultBus &&
             trace.producesResult(i) && !vector_op;
+        ClockCycle retries = 0;
         while (true) {
             const ClockCycle at_fu = pool.earliestAccept(fu, t);
             result.stalls.structural += at_fu - t;
@@ -133,6 +147,14 @@ ScoreboardSim::run(const DecodedTrace &trace)
             if (needs_bus) {
                 bus.advanceTo(t);
                 if (!bus.canReserve(0, t + latency)) {
+                    if (++retries > kDefaultWatchdogCycles) {
+                        throw SimError(
+                            "ScoreboardSim: no free result-bus slot"
+                            " after " +
+                            std::to_string(retries) +
+                            " cycles for op #" + std::to_string(i) +
+                            " at cycle " + std::to_string(t));
+                    }
                     result.stalls.resultBus += 1;
                     ++t;
                     continue;
@@ -143,6 +165,8 @@ ScoreboardSim::run(const DecodedTrace &trace)
 
         // Issue.
         const ClockCycle ready = pool.accept(fu, t, latency, occupancy);
+        emitAudit(AuditPhase::kIssue, t, i);
+        emitAudit(AuditPhase::kComplete, ready, i, needs_bus ? 0 : -1);
         if (needs_bus)
             bus.reserve(0, ready);
         if (dst != kNoReg) {
@@ -159,6 +183,28 @@ ScoreboardSim::run(const DecodedTrace &trace)
 
     result.cycles = end;
     return result;
+}
+
+AuditRules
+ScoreboardSim::auditRules() const
+{
+    AuditRules rules;
+    rules.rawAt = AuditRules::RawAt::kIssue;
+    rules.inOrderFront = true;
+    rules.strictSingleFront = true;
+    rules.checkBranchFloor = true;
+    rules.wawOrdered = true;
+    rules.completionConsistent = true;
+    rules.vectorChaining = org_.vectorChaining;
+    rules.branchPolicy = org_.branchPolicy;
+    rules.busCount = org_.modelResultBus ? 1 : 0;
+    rules.busKind = BusKind::kSingle;
+    rules.checkFuCaps = true;
+    rules.fuDiscipline = org_.fuDiscipline;
+    rules.memDiscipline = org_.memDiscipline;
+    rules.fuCopies = org_.fuCopies;
+    rules.memPorts = org_.memPorts;
+    return rules;
 }
 
 } // namespace mfusim

@@ -81,14 +81,15 @@ struct ScoreboardConfig
 class ScoreboardSim : public Simulator
 {
   public:
-    ScoreboardSim(const ScoreboardConfig &org, const MachineConfig &cfg)
-        : org_(org), cfg_(cfg)
-    {}
+    /** @throws ConfigError on zero unit or port counts. */
+    ScoreboardSim(const ScoreboardConfig &org,
+                  const MachineConfig &cfg);
 
     using Simulator::run;
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
     const MachineConfig &config() const override { return cfg_; }
+    AuditRules auditRules() const override;
 
   private:
     ScoreboardConfig org_;

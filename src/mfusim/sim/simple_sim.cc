@@ -11,6 +11,13 @@ namespace mfusim
 SimResult
 SimpleSim::run(const DecodedTrace &trace)
 {
+    return auditSink() ? runImpl<true>(trace) : runImpl<false>(trace);
+}
+
+template <bool kAudit>
+SimResult
+SimpleSim::runImpl(const DecodedTrace &trace) const
+{
     checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
@@ -24,11 +31,29 @@ SimpleSim::run(const DecodedTrace &trace)
     ClockCycle end = 0;
     const std::size_t n = trace.size();
     for (std::size_t i = 0; i < n; ++i) {
+        if constexpr (kAudit)
+            emitAudit(AuditPhase::kIssue, end, i);
         end += trace.latency(i);
         end += trace.occupancy(i) - 1;      // one element per cycle
+        if constexpr (kAudit)
+            emitAudit(AuditPhase::kComplete, end, i);
     }
     result.cycles = end;
     return result;
+}
+
+AuditRules
+SimpleSim::auditRules() const
+{
+    AuditRules rules;
+    rules.rawAt = AuditRules::RawAt::kIssue;
+    rules.inOrderFront = true;
+    rules.strictSingleFront = true;
+    rules.serialExecution = true;
+    rules.checkBranchFloor = true;
+    rules.wawOrdered = true;
+    rules.completionConsistent = true;
+    return rules;
 }
 
 } // namespace mfusim

@@ -32,8 +32,16 @@ class SimpleSim : public Simulator
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override { return "Simple"; }
     const MachineConfig &config() const override { return cfg_; }
+    AuditRules auditRules() const override;
 
   private:
+    /**
+     * run() body, compiled once with audit emission and once without
+     * so the audit-off loop stays a pure latency sum (it vectorizes).
+     */
+    template <bool kAudit>
+    SimResult runImpl(const DecodedTrace &trace) const;
+
     MachineConfig cfg_;
 };
 

@@ -5,7 +5,7 @@
 
 #include "mfusim/sim/simulator.hh"
 
-#include <stdexcept>
+#include "mfusim/core/error.hh"
 
 namespace mfusim
 {
@@ -14,6 +14,23 @@ SimResult
 Simulator::run(const DynTrace &trace)
 {
     return run(DecodedTrace(trace, config()));
+}
+
+SimResult
+runAudited(Simulator &sim, const DecodedTrace &trace)
+{
+    Auditor auditor(trace, sim.auditRules(), sim.name());
+    sim.attachAudit(&auditor);
+    SimResult result;
+    try {
+        result = sim.run(trace);
+    } catch (...) {
+        sim.attachAudit(nullptr);
+        throw;
+    }
+    sim.attachAudit(nullptr);
+    auditor.finish();
+    return result;
 }
 
 /**
@@ -25,7 +42,7 @@ void
 checkDecodedConfig(const DecodedTrace &trace, const MachineConfig &cfg)
 {
     if (!(trace.config() == cfg)) {
-        throw std::invalid_argument(
+        throw ConfigError(
             "simulator configured for " + cfg.name() +
             " cannot run a trace decoded for " +
             trace.config().name());

@@ -17,9 +17,21 @@
 #include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/machine_config.hh"
 #include "mfusim/core/trace.hh"
+#include "mfusim/sim/audit.hh"
 
 namespace mfusim
 {
+
+/**
+ * Default livelock threshold of the no-forward-progress watchdog:
+ * if a cycle-driven simulator advances this many cycles without a
+ * single issue/dispatch/complete event while work remains, it throws
+ * a diagnostic SimError instead of spinning forever.  Legal stalls
+ * are bounded by a few tens of cycles (longest latency + branch
+ * time), so the default is far above any reachable gap; tests use
+ * tiny values to provoke the watchdog deterministically.
+ */
+constexpr ClockCycle kDefaultWatchdogCycles = 1000000;
 
 /**
  * Where issue cycles were lost, for simulators that can attribute
@@ -79,8 +91,7 @@ class Simulator
     /**
      * Simulate a pre-decoded trace.  @p trace must have been decoded
      * under config() (the stored latencies embed the memory and
-     * branch times); simulators throw std::invalid_argument on a
-     * mismatch.
+     * branch times); simulators throw ConfigError on a mismatch.
      */
     virtual SimResult run(const DecodedTrace &trace) = 0;
 
@@ -89,12 +100,50 @@ class Simulator
 
     /** The machine parameters this simulator times traces under. */
     virtual const MachineConfig &config() const = 0;
+
+    /**
+     * Attach (nullptr: detach) a SimAudit event sink.  With a sink
+     * attached, run() emits one AuditEvent per pipeline event; with
+     * none, emission is a single predicted-not-taken branch per
+     * event.  The caller owns the sink and must keep it alive across
+     * the run (see runAudited() for the packaged form).
+     */
+    void attachAudit(AuditSink *sink) { audit_ = sink; }
+    AuditSink *auditSink() const { return audit_; }
+
+    /**
+     * The legality invariants an Auditor should enforce for this
+     * organization (see AuditRules).  The base implementation models
+     * nothing; every concrete simulator overrides it.
+     */
+    virtual AuditRules auditRules() const { return AuditRules{}; }
+
+  protected:
+    /** Emit one audit event if a sink is attached. */
+    void
+    emitAudit(AuditPhase phase, ClockCycle cycle, std::uint64_t op,
+              std::int32_t unit = -1) const
+    {
+        if (audit_)
+            audit_->onEvent(AuditEvent{ cycle, op, unit, phase });
+    }
+
+  private:
+    AuditSink *audit_ = nullptr;
 };
 
 /**
- * Throw std::invalid_argument unless @p trace was decoded under
- * @p cfg.  Every simulator calls this at the top of its decoded-trace
- * run; the check is once per run, not per op.
+ * Run @p trace on @p sim with a fresh Auditor attached, verify the
+ * full schedule against sim.auditRules(), and return the result.
+ * Issue rates are bit-identical to a plain run(); a legality
+ * violation raises AuditError.
+ */
+SimResult runAudited(Simulator &sim, const DecodedTrace &trace);
+
+/**
+ * Throw ConfigError unless @p trace was decoded under @p cfg.  Every
+ * simulator calls this at the top of its decoded-trace run; the
+ * check is once per run, not per op.
  */
 void checkDecodedConfig(const DecodedTrace &trace,
                         const MachineConfig &cfg);

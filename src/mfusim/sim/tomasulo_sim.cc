@@ -12,12 +12,12 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <limits>
 #include <queue>
-#include <stdexcept>
 #include <set>
 #include <vector>
+
+#include "mfusim/core/error.hh"
 
 namespace mfusim
 {
@@ -26,8 +26,10 @@ TomasuloSim::TomasuloSim(const TomasuloConfig &org,
                          const MachineConfig &cfg)
     : org_(org), cfg_(cfg)
 {
-    assert(org_.stationsPerFu >= 1);
-    assert(org_.cdbCount >= 1);
+    if (org_.stationsPerFu < 1)
+        throw ConfigError("TomasuloSim: stationsPerFu must be >= 1");
+    if (org_.cdbCount < 1)
+        throw ConfigError("TomasuloSim: cdbCount must be >= 1");
 }
 
 std::string
@@ -49,7 +51,7 @@ TomasuloSim::run(const DecodedTrace &trace)
     const std::size_t n = trace.size();
 
     if (trace.hasVector()) {
-        throw std::invalid_argument(
+        throw SimError(
             "TomasuloSim: vector instructions are not supported");
     }
 
@@ -91,11 +93,13 @@ TomasuloSim::run(const DecodedTrace &trace)
                  trace.btfnCorrect(i));
             if (predicted_free) {
                 const ClockCycle t = issue_cursor;
+                emitAudit(AuditPhase::kIssue, t, i);
                 issue_cursor = t + 1;
                 end = std::max(end, t + 1);
             } else {
                 const ClockCycle t =
                     std::max(issue_cursor, cond_ready);
+                emitAudit(AuditPhase::kIssue, t, i);
                 issue_cursor = t + cfg_.branchTime;
                 end = std::max(end, t + cfg_.branchTime);
             }
@@ -127,6 +131,7 @@ TomasuloSim::run(const DecodedTrace &trace)
             dispatch = std::max(dispatch, value_ready[srcB]);
 
         ClockCycle completion;
+        std::int32_t claimed_cdb = -1;
         if (is_transfer) {
             completion = dispatch + latency;
         } else {
@@ -136,20 +141,32 @@ TomasuloSim::run(const DecodedTrace &trace)
             std::set<ClockCycle> &unit = trace.isMemory(i) ?
                 mem_slots : fu_slots[fu];
             const bool produces = trace.producesResult(i);
+            ClockCycle retries = 0;
             while (true) {
                 ClockCycle probe = dispatch;
                 while (unit.count(probe) != 0)
                     ++probe;
                 if (produces) {
                     bool got_cdb = false;
-                    for (auto &bus : cdb) {
-                        if (bus.count(probe + latency) == 0) {
-                            bus.insert(probe + latency);
+                    for (std::size_t b = 0; b < cdb.size(); ++b) {
+                        if (cdb[b].count(probe + latency) == 0) {
+                            cdb[b].insert(probe + latency);
+                            claimed_cdb = std::int32_t(b);
                             got_cdb = true;
                             break;
                         }
                     }
                     if (!got_cdb) {
+                        if (++retries > kDefaultWatchdogCycles) {
+                            throw SimError(
+                                "TomasuloSim: no free CDB slot"
+                                " after " +
+                                std::to_string(retries) +
+                                " cycles for op #" +
+                                std::to_string(i) +
+                                " dispatching at cycle " +
+                                std::to_string(probe));
+                        }
                         dispatch = probe + 1;
                         continue;
                     }
@@ -162,6 +179,9 @@ TomasuloSim::run(const DecodedTrace &trace)
             stations[fu].push(completion);
         }
 
+        emitAudit(AuditPhase::kIssue, t, i);
+        emitAudit(AuditPhase::kDispatch, dispatch, i);
+        emitAudit(AuditPhase::kComplete, completion, i, claimed_cdb);
         if (dst != kNoReg)
             value_ready[dst] = completion;
         issue_cursor = t + 1;
@@ -170,6 +190,25 @@ TomasuloSim::run(const DecodedTrace &trace)
 
     result.cycles = end;
     return result;
+}
+
+AuditRules
+TomasuloSim::auditRules() const
+{
+    AuditRules rules;
+    rules.rawAt = AuditRules::RawAt::kDispatch;
+    rules.execPhase = AuditPhase::kDispatch;
+    rules.inOrderFront = true;
+    rules.strictSingleFront = true;
+    rules.checkBranchFloor = true;
+    // Renaming by tag: WAW never serializes completion.
+    rules.completionConsistent = true;
+    rules.branchPolicy = org_.branchPolicy;
+    rules.busCount = org_.cdbCount;
+    rules.busKind = BusKind::kPerUnit;
+    rules.checkFuCaps = true;
+    rules.stationsPerFu = org_.stationsPerFu;
+    return rules;
 }
 
 } // namespace mfusim

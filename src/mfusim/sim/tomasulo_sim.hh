@@ -59,6 +59,7 @@ class TomasuloSim : public Simulator
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
     const MachineConfig &config() const override { return cfg_; }
+    AuditRules auditRules() const override;
 
   private:
     TomasuloConfig org_;

@@ -158,7 +158,7 @@ TEST(DecodedTrace, ConfigMismatchThrows)
     const DynTrace &trace = TraceLibrary::instance().trace(1);
     const DecodedTrace decoded(trace, configM11BR5());
     SimpleSim sim(configM5BR2());
-    EXPECT_THROW(sim.run(decoded), std::invalid_argument);
+    EXPECT_THROW(sim.run(decoded), ConfigError);
 }
 
 TEST(DecodedTrace, LibraryCacheReturnsSameObject)

@@ -18,7 +18,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "mfusim/core/error.hh"
 #include "mfusim/core/trace_io.hh"
 #include "mfusim/dataflow/limits.hh"
 #include "mfusim/sim/cdc6600_sim.hh"
@@ -241,6 +243,97 @@ TEST_P(FuzzTrace, RuuMonotoneInBuffering)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTrace, ::testing::Range(0, 25));
+
+// ---- corrupted-input corpus --------------------------------------------
+//
+// loadTrace() must never crash, hang, or throw anything but
+// TraceError, whatever bytes it is fed.  Each helper returns true if
+// the input parsed (some corruptions are benign), false if it threw
+// TraceError; anything else propagates and fails the test.
+
+bool
+loadSurvives(const std::string &text)
+{
+    std::istringstream in(text);
+    try {
+        loadTrace(in);
+        return true;
+    } catch (const TraceError &) {
+        return false;
+    }
+}
+
+TEST(CorruptTraces, TruncationsAlwaysRejectOrParse)
+{
+    std::stringstream buffer;
+    saveTrace(buffer, randomTrace(0xfeed, 120));
+    const std::string whole = buffer.str();
+    for (std::size_t len = 0; len < whole.size();
+         len += 1 + len / 8) {
+        loadSurvives(whole.substr(0, len));
+    }
+    // A clean truncation at a line boundary is an op-count mismatch.
+    const std::size_t cut = whole.find('\n', whole.size() / 2);
+    ASSERT_NE(cut, std::string::npos);
+    EXPECT_FALSE(loadSurvives(whole.substr(0, cut + 1)));
+}
+
+TEST(CorruptTraces, ByteFlipsNeverEscapeTraceError)
+{
+    std::stringstream buffer;
+    saveTrace(buffer, randomTrace(0xbeef, 80));
+    const std::string whole = buffer.str();
+    Rng rng(0x51ab);
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string mutated = whole;
+        const std::size_t pos = rng.below(mutated.size());
+        switch (rng.below(3)) {
+          case 0:
+            mutated[pos] = char(rng.below(256));
+            break;
+          case 1:
+            mutated[pos] ^= char(1u << rng.below(7));
+            break;
+          default:
+            mutated.erase(pos, 1 + rng.below(9));
+            break;
+        }
+        loadSurvives(mutated);
+    }
+}
+
+TEST(CorruptTraces, HugeOpCountsRejectedBeforeAllocation)
+{
+    // A corrupted header count must throw, not reserve gigabytes.
+    const std::string body = "mfusim-trace v1\nname x\nops ";
+    EXPECT_FALSE(loadSurvives(body + "999999999999\n"));
+    EXPECT_FALSE(loadSurvives(body + "18446744073709551615\n"));
+    EXPECT_FALSE(loadSurvives(body + "99999999999999999999999999\n"));
+    EXPECT_FALSE(loadSurvives(body + "-3\n"));
+    EXPECT_FALSE(loadSurvives(body + "12abc\n"));
+}
+
+TEST(CorruptTraces, StrictFieldValidation)
+{
+    const std::string header = "mfusim-trace v1\nname x\nops 1\n";
+    // Non-branch ops must carry "- -" outcome fields.
+    EXPECT_FALSE(
+        loadSurvives(header + "fadd S1 S2 S3 0 T F 0\n"));
+    // Branches must carry T|N and B|F.
+    EXPECT_FALSE(
+        loadSurvives(header + "branz -- A0 -- 0 - - 0\n"));
+    // Vector length is 8-bit.
+    EXPECT_FALSE(
+        loadSurvives(header + "fadd S1 S2 S3 0 - - 300\n"));
+    // Register indices are bounded.
+    EXPECT_FALSE(
+        loadSurvives(header + "fadd S99 S2 S3 0 - - 0\n"));
+    // Extra ops beyond the header count are rejected.
+    EXPECT_FALSE(loadSurvives(header + "fadd S1 S2 S3 0 - - 0\n" +
+                              "fadd S1 S2 S3 0 - - 0\n"));
+    // The well-formed version parses.
+    EXPECT_TRUE(loadSurvives(header + "fadd S1 S2 S3 0 - - 0\n"));
+}
 
 } // namespace
 } // namespace mfusim

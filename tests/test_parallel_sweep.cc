@@ -11,8 +11,10 @@
 #include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "mfusim/core/error.hh"
 #include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
 #include "mfusim/sim/ruu_sim.hh"
@@ -51,6 +53,108 @@ TEST(RunGrid, PropagatesBodyException)
                 throw std::runtime_error("cell 7 failed");
         }, 4),
         std::runtime_error);
+}
+
+TEST(RunGrid, AggregatesAllFailures)
+{
+    // Two independently failing cells must BOTH appear in the
+    // SweepError (not just whichever a worker hit first), and the
+    // healthy cells must still all run.
+    for (const unsigned jobs : { 1u, 4u }) {
+        std::vector<std::atomic<int>> visits(16);
+        try {
+            runGrid(16, [&](std::size_t i) {
+                visits[i]++;
+                if (i == 3)
+                    throw std::runtime_error("cell three broke");
+                if (i == 11)
+                    throw std::runtime_error("cell eleven broke");
+            }, jobs);
+            FAIL() << "no SweepError with " << jobs << " jobs";
+        } catch (const SweepError &e) {
+            ASSERT_EQ(e.failures().size(), 2u) << e.what();
+            EXPECT_EQ(e.failures()[0].cell, 3u);
+            EXPECT_EQ(e.failures()[1].cell, 11u);
+            EXPECT_NE(e.failures()[0].message.find("three"),
+                      std::string::npos);
+            EXPECT_NE(e.failures()[1].message.find("eleven"),
+                      std::string::npos);
+            const std::string what = e.what();
+            EXPECT_NE(what.find("cell 3"), std::string::npos) << what;
+            EXPECT_NE(what.find("cell 11"), std::string::npos)
+                << what;
+        }
+        for (std::size_t i = 0; i < visits.size(); ++i)
+            EXPECT_EQ(visits[i].load(), 1)
+                << "cell " << i << " with " << jobs << " jobs";
+    }
+}
+
+TEST(RunGrid, StopOnFailurePolicyDrainsEarly)
+{
+    // Serial grid, stop-on-failure: nothing past the failing cell
+    // runs, and the one failure is still reported as a SweepError.
+    std::vector<int> visits(8, 0);
+    try {
+        runGrid(8, [&](std::size_t i) {
+            visits[i]++;
+            if (i == 2)
+                throw std::runtime_error("boom");
+        }, 1, GridFailurePolicy::kStopOnFailure);
+        FAIL() << "no SweepError";
+    } catch (const SweepError &e) {
+        ASSERT_EQ(e.failures().size(), 1u);
+        EXPECT_EQ(e.failures()[0].cell, 2u);
+    }
+    EXPECT_EQ(visits[2], 1);
+    for (std::size_t i = 3; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i], 0) << "cell " << i;
+}
+
+TEST(ParallelPerLoopRates, FailuresNameTheLoop)
+{
+    // A simulator that rejects the trace of loops 2 and 5: the sweep
+    // must attempt every loop and report both failures keyed by loop
+    // id, not by opaque cell index.
+    class PickySim : public Simulator
+    {
+      public:
+        explicit PickySim(const MachineConfig &cfg) : cfg_(cfg) {}
+
+        using Simulator::run;
+        SimResult
+        run(const DecodedTrace &trace) override
+        {
+            if (trace.name() == "LL2" || trace.name() == "LL5")
+                throw SimError("unsupported trace " + trace.name());
+            SimResult r;
+            r.instructions = trace.size();
+            r.cycles = ClockCycle(trace.size());
+            return r;
+        }
+        std::string name() const override { return "Picky"; }
+        const MachineConfig &config() const override { return cfg_; }
+
+      private:
+        MachineConfig cfg_;
+    };
+
+    const SimFactory factory = [](const MachineConfig &c)
+        -> std::unique_ptr<Simulator> {
+        return std::make_unique<PickySim>(c);
+    };
+    const std::vector<int> loops{ 1, 2, 3, 4, 5 };
+    try {
+        parallelPerLoopRates(factory, loops, configM11BR5(), 2);
+        FAIL() << "no SweepError";
+    } catch (const SweepError &e) {
+        ASSERT_EQ(e.failures().size(), 2u) << e.what();
+        const std::string what = e.what();
+        EXPECT_NE(what.find("loop 2 (M11BR5)"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("loop 5 (M11BR5)"), std::string::npos)
+            << what;
+    }
 }
 
 TEST(RunGrid, NestedCallsRunInline)

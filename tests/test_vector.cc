@@ -250,9 +250,9 @@ TEST(VectorGuards, MultiIssueRejectsVectorTraces)
     });
     MultiIssueSim multi({ 4, true, BusKind::kPerUnit, false },
                         configM11BR5());
-    EXPECT_THROW(multi.run(trace), std::invalid_argument);
+    EXPECT_THROW(multi.run(trace), SimError);
     RuuSim ruu({ 2, 20, BusKind::kPerUnit }, configM11BR5());
-    EXPECT_THROW(ruu.run(trace), std::invalid_argument);
+    EXPECT_THROW(ruu.run(trace), SimError);
 }
 
 } // namespace

@@ -5,7 +5,7 @@
  * organization without writing code.
  *
  * Usage:
- *   mfusim [--jobs N] <command> ...
+ *   mfusim [--jobs N] [--audit] <command> ...
  *
  *   mfusim list
  *   mfusim disasm  <loop>
@@ -17,6 +17,13 @@
  *
  * --jobs N  worker threads for sweeps (also: MFUSIM_JOBS env var);
  *           used by "rate all"
+ * --audit   run every simulation under the SimAudit legality checker
+ *           (also: MFUSIM_AUDIT=1 env var); a violated invariant
+ *           aborts with exit code 6
+ *
+ * Exit codes: 0 success, 1 generic failure, 2 usage, 3 bad config,
+ * 4 bad trace, 5 simulator failure (livelock watchdog / unsupported
+ * trace), 6 audit violation, 7 sweep cell failure(s).
  * <loop>    1..14 (optionally "<id>x<factor>" for an unrolled
  *           variant, e.g. "1x4", or "<id>v" for a vector-unit
  *           compilation, e.g. "7v"), or "all" (rate only): every
@@ -48,7 +55,7 @@ namespace
 usage()
 {
     std::fprintf(stderr,
-                 "usage: mfusim [--jobs N] "
+                 "usage: mfusim [--jobs N] [--audit] "
                  "list | disasm <loop> | analyze <loop> [cfg] |\n"
                  "       limits <loop> [cfg] | "
                  "rate <loop>|all <machine> [cfg] |\n"
@@ -277,13 +284,20 @@ cmdRate(const std::string &loop, const std::string &machine,
         return cmdRateAll(machine, cfg);
     const DynTrace trace = traceFor(loop);
     auto sim = parseMachine(machine, cfg);
-    const SimResult result = sim->run(trace);
+    SimResult result;
+    if (auditRequested()) {
+        const DecodedTrace decoded(trace, cfg);
+        result = runAudited(*sim, decoded);
+    } else {
+        result = sim->run(trace);
+    }
     std::printf("%s on %s, %s: %.4f instr/cycle "
-                "(%llu instructions, %llu cycles)\n",
+                "(%llu instructions, %llu cycles)%s\n",
                 trace.name().c_str(), sim->name().c_str(),
                 cfg.name().c_str(), result.issueRate(),
                 (unsigned long long)result.instructions,
-                (unsigned long long)result.cycles);
+                (unsigned long long)result.cycles,
+                auditRequested() ? " [audited]" : "");
     return 0;
 }
 
@@ -312,10 +326,17 @@ cmdReplay(const std::string &path, const std::string &machine,
     }
     const DynTrace trace = loadTrace(in);
     auto sim = parseMachine(machine, cfg);
-    const SimResult result = sim->run(trace);
-    std::printf("%s on %s, %s: %.4f instr/cycle\n",
+    SimResult result;
+    if (auditRequested()) {
+        const DecodedTrace decoded(trace, cfg);
+        result = runAudited(*sim, decoded);
+    } else {
+        result = sim->run(trace);
+    }
+    std::printf("%s on %s, %s: %.4f instr/cycle%s\n",
                 trace.name().c_str(), sim->name().c_str(),
-                cfg.name().c_str(), result.issueRate());
+                cfg.name().c_str(), result.issueRate(),
+                auditRequested() ? " [audited]" : "");
     return 0;
 }
 
@@ -347,6 +368,8 @@ main(int argc, char **argv)
             parse_jobs(argv[++i]);
         } else if (arg.rfind("--jobs=", 0) == 0) {
             parse_jobs(arg.substr(7));
+        } else if (arg == "--audit") {
+            setAuditRequested(true);
         } else {
             args.push_back(arg);
         }
@@ -365,19 +388,29 @@ main(int argc, char **argv)
                             : configM11BR5();
     };
 
-    if (cmd == "list")
-        return cmdList();
-    if (cmd == "disasm" && argc >= 3)
-        return cmdDisasm(argv[2]);
-    if (cmd == "analyze" && argc >= 3)
-        return cmdAnalyze(argv[2], cfg_arg(3));
-    if (cmd == "limits" && argc >= 3)
-        return cmdLimits(argv[2], cfg_arg(3));
-    if (cmd == "rate" && argc >= 4)
-        return cmdRate(argv[2], argv[3], cfg_arg(4));
-    if (cmd == "save" && argc >= 4)
-        return cmdSave(argv[2], argv[3]);
-    if (cmd == "replay" && argc >= 4)
-        return cmdReplay(argv[2], argv[3], cfg_arg(4));
+    // Typed mfusim errors map to distinct exit codes (see the file
+    // comment); anything else is a generic failure (1).
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "disasm" && argc >= 3)
+            return cmdDisasm(argv[2]);
+        if (cmd == "analyze" && argc >= 3)
+            return cmdAnalyze(argv[2], cfg_arg(3));
+        if (cmd == "limits" && argc >= 3)
+            return cmdLimits(argv[2], cfg_arg(3));
+        if (cmd == "rate" && argc >= 4)
+            return cmdRate(argv[2], argv[3], cfg_arg(4));
+        if (cmd == "save" && argc >= 4)
+            return cmdSave(argv[2], argv[3]);
+        if (cmd == "replay" && argc >= 4)
+            return cmdReplay(argv[2], argv[3], cfg_arg(4));
+    } catch (const Error &e) {
+        std::fprintf(stderr, "mfusim: %s\n", e.what());
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "mfusim: %s\n", e.what());
+        return 1;
+    }
     usage();
 }
