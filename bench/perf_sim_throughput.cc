@@ -26,6 +26,7 @@
 #include "mfusim/sim/ruu_sim.hh"
 #include "mfusim/sim/scoreboard_sim.hh"
 #include "mfusim/sim/simple_sim.hh"
+#include "mfusim/sim/steady_state.hh"
 
 namespace
 {
@@ -193,6 +194,85 @@ BM_DataflowLimitsDynTrace(benchmark::State &state)
                             std::int64_t(trace.size()));
 }
 BENCHMARK(BM_DataflowLimitsDynTrace);
+
+// ---- steady-state fast path --------------------------------------
+//
+// The same (simulator, loop) measured with the steady-state
+// extrapolation on and off; the on/off items_per_second ratio is the
+// fast path's speedup.  Results are bit-identical either way (see
+// sim/steady_state.hh), so these runs guard speed only.  Loops 6, 7
+// and 13 are the three longest traces.
+
+void
+BM_ScoreboardSteady(benchmark::State &state)
+{
+    const int loop = int(state.range(0));
+    const DecodedTrace &trace =
+        TraceLibrary::instance().decoded(loop, configM11BR5());
+    setSteadyStateEnabled(state.range(1) != 0);
+    for (auto _ : state) {
+        ScoreboardSim sim(ScoreboardConfig::crayLike(),
+                          configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    setSteadyStateEnabled(true);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_ScoreboardSteady)
+    ->Args({ 6, 0 })
+    ->Args({ 6, 1 })
+    ->Args({ 7, 0 })
+    ->Args({ 7, 1 })
+    ->Args({ 13, 0 })
+    ->Args({ 13, 1 });
+
+void
+BM_MultiIssueSteady(benchmark::State &state)
+{
+    const int loop = int(state.range(0));
+    const DecodedTrace &trace =
+        TraceLibrary::instance().decoded(loop, configM11BR5());
+    setSteadyStateEnabled(state.range(1) != 0);
+    for (auto _ : state) {
+        MultiIssueSim sim({ 8, true, BusKind::kPerUnit, false },
+                          configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    setSteadyStateEnabled(true);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_MultiIssueSteady)
+    ->Args({ 6, 0 })
+    ->Args({ 6, 1 })
+    ->Args({ 7, 0 })
+    ->Args({ 7, 1 })
+    ->Args({ 13, 0 })
+    ->Args({ 13, 1 });
+
+void
+BM_RuuSteady(benchmark::State &state)
+{
+    const int loop = int(state.range(0));
+    const DecodedTrace &trace =
+        TraceLibrary::instance().decoded(loop, configM11BR5());
+    setSteadyStateEnabled(state.range(1) != 0);
+    for (auto _ : state) {
+        RuuSim sim({ 4, 100, BusKind::kPerUnit }, configM11BR5());
+        benchmark::DoNotOptimize(sim.run(trace).cycles);
+    }
+    setSteadyStateEnabled(true);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(trace.size()));
+}
+BENCHMARK(BM_RuuSteady)
+    ->Args({ 6, 0 })
+    ->Args({ 6, 1 })
+    ->Args({ 7, 0 })
+    ->Args({ 7, 1 })
+    ->Args({ 13, 0 })
+    ->Args({ 13, 1 });
 
 // ---- decode and generation costs ---------------------------------
 

@@ -114,4 +114,19 @@ DecodedTrace::DecodedTrace(const DynTrace &trace,
     }
 }
 
+const std::vector<RegId> &
+DecodedTrace::writtenRegs() const
+{
+    std::call_once(writtenOnce_, [&] {
+        std::array<bool, kNumRegs> seen{};
+        for (const RegId dst : dst_) {
+            if (dst != kNoReg && !seen[dst]) {
+                seen[dst] = true;
+                written_.push_back(dst);
+            }
+        }
+    });
+    return written_;
+}
+
 } // namespace mfusim

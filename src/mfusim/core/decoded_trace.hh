@@ -29,6 +29,8 @@
 #define MFUSIM_CORE_DECODED_TRACE_HH
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,8 @@
 
 namespace mfusim
 {
+
+struct TracePeriodicity;
 
 /**
  * One dynamic trace with all per-op static properties resolved for
@@ -74,6 +78,22 @@ class DecodedTrace
 
     /** Composition statistics (same values as DynTrace::stats()). */
     const TraceStats &stats() const { return stats_; }
+
+    /**
+     * Periodic-structure analysis of this trace (see
+     * dataflow/period_detector.hh), computed lazily on first use and
+     * cached for the life of the trace.  Thread safe; the steady-
+     * state fast path of every simulator starts here.
+     */
+    const TracePeriodicity &periodicity() const;
+
+    /**
+     * The distinct destination registers this trace ever writes, in
+     * first-write order.  Computed lazily and cached: the steady-
+     * state fast path scans this list at every iteration boundary
+     * instead of all kNumRegs (or all ops) per run.  Thread safe.
+     */
+    const std::vector<RegId> &writtenRegs() const;
 
     // ---- per-op decoded fields -----------------------------------
 
@@ -142,6 +162,17 @@ class DecodedTrace
     std::vector<std::uint32_t> prodA_;
     std::vector<std::uint32_t> prodB_;
     std::vector<std::uint32_t> prevWriter_;
+
+    // Lazy periodicity cache (built in period_detector.cc, where
+    // TracePeriodicity is complete; shared_ptr type-erases the
+    // deleter so this header needs only the forward declaration).
+    // once_flag makes the trace non-copyable, which matches the
+    // decode-once-share-everywhere contract.
+    mutable std::once_flag periodicityOnce_;
+    mutable std::shared_ptr<const TracePeriodicity> periodicity_;
+
+    mutable std::once_flag writtenOnce_;
+    mutable std::vector<RegId> written_;
 };
 
 } // namespace mfusim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Periodic-structure detection implementation.
+ */
+
+#include "mfusim/dataflow/period_detector.hh"
+
+#include <algorithm>
+
+namespace mfusim
+{
+
+namespace
+{
+
+constexpr std::uint32_t kNoProd = DecodedTrace::kNoProducer;
+
+/** Segments shorter than this many periods are not worth reporting:
+ *  the steady-state tracker needs two matching boundary pairs before
+ *  it extrapolates, so nothing could ever be skipped. */
+constexpr std::size_t kMinPeriods = 4;
+
+/** Static per-op signature equality (everything but the links). */
+bool
+sigEqual(const DecodedTrace &t, std::size_t a, std::size_t b)
+{
+    return t.op(a) == t.op(b) && t.fu(a) == t.fu(b) &&
+        t.flags(a) == t.flags(b) && t.latency(a) == t.latency(b) &&
+        t.occupancy(a) == t.occupancy(b) && t.dst(a) == t.dst(b) &&
+        t.srcA(a) == t.srcA(b) && t.srcB(a) == t.srcB(b);
+}
+
+/**
+ * Are the links of op @p i and its image one period earlier
+ * compatible with exact periodicity?  Either both absent, or the
+ * later one is the earlier one shifted by a period, or both name the
+ * same fixed producer before the segment (loop-invariant operand).
+ */
+bool
+linkOk(std::uint32_t cur, std::uint32_t prev, std::size_t period,
+       std::size_t segBase)
+{
+    if (cur == kNoProd || prev == kNoProd)
+        return cur == prev;
+    if (cur == std::uint64_t(prev) + period)
+        return true;
+    return cur == prev && cur < segBase;
+}
+
+/** Ops [start, start+period) repeat ops [start-period, start). */
+bool
+periodMatches(const DecodedTrace &t, std::size_t start,
+              std::size_t period, std::size_t segBase)
+{
+    for (std::size_t i = start; i < start + period; ++i) {
+        if (!sigEqual(t, i, i - period))
+            return false;
+        if (!linkOk(t.prodA(i), t.prodA(i - period), period, segBase))
+            return false;
+        if (!linkOk(t.prodB(i), t.prodB(i - period), period, segBase))
+            return false;
+        if (!linkOk(t.prevWriter(i), t.prevWriter(i - period), period,
+                    segBase)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TracePeriodicity
+detectPeriods(const DecodedTrace &trace)
+{
+    TracePeriodicity out;
+    const std::size_t n = trace.size();
+
+    // Anchor candidates: positions of taken branches (back-edges).
+    std::vector<std::size_t> anchors;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (trace.isBranch(i) && trace.taken(i))
+            anchors.push_back(i);
+    }
+
+    std::size_t m = 0;
+    while (m + 1 < anchors.size()) {
+        const std::size_t period = anchors[m + 1] - anchors[m];
+        const std::size_t segBase = anchors[m] + 1;
+        // Periods run (anchor, next anchor]; the first candidate
+        // period is ops [segBase, segBase + period).  Extend while
+        // the branch spacing holds and each new period repeats the
+        // previous one exactly.
+        std::size_t count = 1;
+        while (m + count + 1 < anchors.size() &&
+               anchors[m + count + 1] - anchors[m + count] == period &&
+               periodMatches(trace, segBase + count * period, period,
+                             segBase)) {
+            ++count;
+        }
+        if (count < kMinPeriods) {
+            ++m;
+            continue;
+        }
+
+        TraceSegment seg;
+        seg.base = segBase;
+        seg.period = period;
+        seg.count = count;
+        seg.lookback = period;
+        // Harvest the dependence horizon, the fixed pre-segment
+        // producers and the insert count from the last period: by
+        // link compatibility, a link that still reaches before the
+        // segment there is fixed in every period, and in-segment
+        // link distances there are the steady-state distances.
+        for (std::size_t i = segBase + (count - 1) * period;
+             i < segBase + count * period; ++i) {
+            if (!trace.isBranch(i))
+                ++seg.inserts;
+            for (const std::uint32_t link :
+                 { trace.prodA(i), trace.prodB(i),
+                   trace.prevWriter(i) }) {
+                if (link == kNoProd)
+                    continue;
+                if (link < segBase)
+                    seg.ancients.push_back(link);
+                else
+                    seg.lookback = std::max(seg.lookback, i - link);
+            }
+        }
+        std::sort(seg.ancients.begin(), seg.ancients.end());
+        seg.ancients.erase(std::unique(seg.ancients.begin(),
+                                       seg.ancients.end()),
+                           seg.ancients.end());
+        out.coveredOps += seg.period * seg.count;
+        out.segments.push_back(std::move(seg));
+        // Resume after this segment's last anchor.
+        m += count;
+    }
+    return out;
+}
+
+const TracePeriodicity &
+DecodedTrace::periodicity() const
+{
+    // call_once so concurrent simulators analyzing the same shared
+    // trace race safely; the analysis itself is deterministic.
+    std::call_once(periodicityOnce_, [&] {
+        periodicity_ =
+            std::make_shared<const TracePeriodicity>(
+                detectPeriods(*this));
+    });
+    return *periodicity_;
+}
+
+} // namespace mfusim

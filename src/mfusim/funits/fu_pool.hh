@@ -13,6 +13,7 @@
 #define MFUSIM_FUNITS_FU_POOL_HH
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "mfusim/core/machine_config.hh"
@@ -110,6 +111,39 @@ class FuPool
     }
 
     void reset();
+
+    /**
+     * Shift every unit's and port's timeline forward by @p delta
+     * cycles (steady-state extrapolation).
+     */
+    void
+    shiftTime(ClockCycle delta)
+    {
+        for (FunctionalUnit &unit : units_)
+            unit.shiftTime(delta);
+        for (MemoryPort &port : memory_)
+            port.shiftTime(delta);
+    }
+
+    /**
+     * Append the pool's live state, rebased to @p base, to @p out:
+     * one value per unit and port, max(nextFree, base) - base.  The
+     * clamp is exact for state matching — a unit free at or before
+     * @p base accepts any later request, however long it has idled.
+     */
+    void
+    appendSignature(ClockCycle base,
+                    std::vector<std::uint64_t> &out) const
+    {
+        for (const FunctionalUnit &unit : units_) {
+            const ClockCycle free = unit.nextFree();
+            out.push_back(free > base ? free - base : 0);
+        }
+        for (const MemoryPort &port : memory_) {
+            const ClockCycle free = port.nextFree();
+            out.push_back(free > base ? free - base : 0);
+        }
+    }
 
   private:
     /** True if ops of @p fu contend for a pool resource at all. */

@@ -66,6 +66,13 @@ class FunctionalUnit
     /** Forget all reservations (start a new simulation). */
     void reset() { nextFree_ = 0; }
 
+    /**
+     * Shift the timeline forward by @p delta cycles (steady-state
+     * extrapolation): behavior relative to the equally shifted
+     * simulation clock is unchanged.
+     */
+    void shiftTime(ClockCycle delta) { nextFree_ += delta; }
+
   private:
     FuDiscipline discipline_;
     ClockCycle nextFree_ = 0;

@@ -60,6 +60,9 @@ class MemoryPort
 
     void reset() { nextFree_ = 0; }
 
+    /** Shift the timeline forward (steady-state extrapolation). */
+    void shiftTime(ClockCycle delta) { nextFree_ += delta; }
+
   private:
     MemDiscipline discipline_;
     unsigned latency_;

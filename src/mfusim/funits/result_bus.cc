@@ -5,6 +5,8 @@
 
 #include "mfusim/funits/result_bus.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace mfusim
@@ -53,6 +55,59 @@ CycleReservations::reset()
 {
     base_ = 0;
     bits_ = 0;
+}
+
+ClockCycle
+CycleReservations::nextFreeSlot(ClockCycle from) const
+{
+    if (from < base_)
+        return from;                    // forgotten past: free
+    if (from >= base_ + 64)
+        return from;                    // beyond the window: free
+    // countr_one finds the run of reserved cycles starting at
+    // `from`; the window's high bits are zero past base_ + 64, so
+    // the scan always terminates inside it.
+    const std::uint64_t occupied = bits_ >> (from - base_);
+    return from + std::countr_one(occupied);
+}
+
+ClockCycle
+ResultBusSet::earliestReserve(unsigned unit,
+                              ClockCycle completion) const
+{
+    switch (kind_) {
+      case BusKind::kSingle:
+        return busses_[0].nextFreeSlot(completion);
+      case BusKind::kPerUnit:
+        assert(unit < busses_.size());
+        return busses_[unit].nextFreeSlot(completion);
+      default:  // crossbar: first cycle at which any bus is free
+        {
+            ClockCycle best = busses_[0].nextFreeSlot(completion);
+            for (std::size_t b = 1; b < busses_.size(); ++b) {
+                best = std::min(best,
+                                busses_[b].nextFreeSlot(completion));
+            }
+            return best;
+        }
+    }
+}
+
+void
+ResultBusSet::shiftTime(ClockCycle delta)
+{
+    for (CycleReservations &bus : busses_)
+        bus.shiftTime(delta);
+}
+
+void
+ResultBusSet::appendSignature(ClockCycle base,
+                              std::vector<std::uint64_t> &out)
+{
+    for (CycleReservations &bus : busses_) {
+        bus.advanceTo(base);
+        out.push_back(bus.bits());
+    }
 }
 
 const char *

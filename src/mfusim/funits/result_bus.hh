@@ -48,6 +48,20 @@ class CycleReservations
     /** Slide the window so cycles before @p now can be forgotten. */
     void advanceTo(ClockCycle now);
 
+    /**
+     * Earliest unreserved cycle >= @p from.  Exact: reservations are
+     * never cancelled, so between state changes this is the first
+     * cycle at which tryReserve(@p from-or-later) can succeed.
+     */
+    ClockCycle nextFreeSlot(ClockCycle from) const;
+
+    /** Shift the whole window forward (steady-state extrapolation). */
+    void shiftTime(ClockCycle delta) { base_ += delta; }
+
+    /** Raw occupancy bits relative to base() (state signatures). */
+    std::uint64_t bits() const { return bits_; }
+    ClockCycle base() const { return base_; }
+
     void reset();
 
   private:
@@ -85,8 +99,28 @@ class ResultBusSet
     /** Commit the reservation; canReserve() must hold. */
     void reserve(unsigned unit, ClockCycle completion);
 
+    /**
+     * Earliest cycle >= @p completion at which unit @p unit could
+     * deliver a result (the exact next-event time of a bus-conflict
+     * stall: nothing changes before it while no new reservations are
+     * made).
+     */
+    ClockCycle earliestReserve(unsigned unit,
+                               ClockCycle completion) const;
+
     /** Slide all bus windows forward to @p now. */
     void advanceTo(ClockCycle now);
+
+    /** Shift all windows forward (steady-state extrapolation). */
+    void shiftTime(ClockCycle delta);
+
+    /**
+     * Append the busses' live state to @p out, rebased to @p base:
+     * slides the windows to @p base (reservations strictly before it
+     * can never conflict again) and records each occupancy word.
+     */
+    void appendSignature(ClockCycle base,
+                         std::vector<std::uint64_t> &out);
 
     void reset();
 

@@ -52,19 +52,22 @@ const DecodedTrace &
 TraceLibrary::decoded(int loopId, const MachineConfig &cfg)
 {
     checkLoopId(loopId);
-    const DecodedKey key{ loopId, cfg.memLatency, cfg.branchTime };
+    DecodedShard &shard = decodedShards_[std::size_t(loopId)];
+    const std::uint64_t key =
+        (std::uint64_t(cfg.memLatency) << 32) | cfg.branchTime;
     {
-        std::lock_guard<std::mutex> lock(decodedMutex_);
-        auto it = decoded_.find(key);
-        if (it != decoded_.end())
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.cache.find(key);
+        if (it != shard.cache.end())
             return *it->second;
     }
     // Build outside the lock (decoding may itself trigger a trace
-    // build, and other (loop, cfg) pairs should not serialize behind
-    // it); a racing duplicate build loses and is discarded.
+    // build, and other configurations of the same loop should not
+    // serialize behind it); a racing duplicate build loses and is
+    // discarded.
     auto built = std::make_unique<DecodedTrace>(trace(loopId), cfg);
-    std::lock_guard<std::mutex> lock(decodedMutex_);
-    auto [it, inserted] = decoded_.emplace(key, std::move(built));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.cache.emplace(key, std::move(built));
     return *it->second;
 }
 

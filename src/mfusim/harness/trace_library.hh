@@ -17,10 +17,10 @@
 #define MFUSIM_HARNESS_TRACE_LIBRARY_HH
 
 #include <array>
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <mutex>
-#include <tuple>
+#include <unordered_map>
 
 #include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/machine_config.hh"
@@ -60,9 +60,20 @@ class TraceLibrary
     std::array<std::unique_ptr<DynTrace>, 15> traces_;
     std::array<std::once_flag, 15> traceOnce_;
 
-    using DecodedKey = std::tuple<int, unsigned, unsigned>;
-    std::mutex decodedMutex_;
-    std::map<DecodedKey, std::unique_ptr<DecodedTrace>> decoded_;
+    // The decoded cache is sharded per loop: parallel sweep workers
+    // overwhelmingly ask for different loops at once (the sweep
+    // runner fans out one loop per task), so one mutex per loop
+    // removes the single global lock from the sweep hot path.  The
+    // per-shard key folds the configuration fields that decoding
+    // depends on into one integer.
+    struct DecodedShard
+    {
+        std::mutex mutex;
+        std::unordered_map<std::uint64_t,
+                           std::unique_ptr<DecodedTrace>>
+            cache;
+    };
+    std::array<DecodedShard, 15> decodedShards_;
 };
 
 } // namespace mfusim

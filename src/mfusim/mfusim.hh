@@ -50,6 +50,7 @@
 #include "mfusim/sim/scoreboard_sim.hh"
 #include "mfusim/sim/simple_sim.hh"
 #include "mfusim/sim/simulator.hh"
+#include "mfusim/sim/steady_state.hh"
 #include "mfusim/sim/tomasulo_sim.hh"
 
 #endif // MFUSIM_MFUSIM_HH

@@ -12,6 +12,7 @@
 
 #include "mfusim/core/error.hh"
 #include "mfusim/funits/fu_pool.hh"
+#include "mfusim/sim/steady_state.hh"
 
 namespace mfusim
 {
@@ -45,7 +46,59 @@ Cdc6600Sim::run(const DecodedTrace &trace)
     ClockCycle end = 0;
 
     const std::size_t n = trace.size();
+
+    // Steady-state fast path (see sim/steady_state.hh; off under
+    // audit).  Boundary state: live register ready times, waiting
+    // stations, the pool, and the outstanding bus reservations, all
+    // rebased to the issue cursor.
+    const bool steady = steadyStateEnabled() && auditSink() == nullptr;
+    SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
+                               n);
+    std::size_t boundary = tracker.nextBoundary();
+    const std::vector<RegId> &written = trace.writtenRegs();
+
     for (std::size_t i = 0; i < n; ++i) {
+        if (i == boundary) {
+            if (tracker.beginObserve(i)) {
+                const ClockCycle base = issue_cursor;
+                // Reservations at or before the cursor can never
+                // conflict again (future probes are later): prune,
+                // which also bounds the set's growth.
+                bus_reserved.erase(bus_reserved.begin(),
+                                   bus_reserved.upper_bound(base));
+                auto &sig = tracker.sigBuffer();
+                for (const RegId r : written) {
+                    if (regReady[r] > base) {
+                        sig.push_back(r);
+                        sig.push_back(regReady[r] - base);
+                    }
+                }
+                sig.push_back(sig.size());  // section delimiter
+                for (const ClockCycle free : stationFree)
+                    sig.push_back(free > base ? free - base : 0);
+                pool.appendSignature(base, sig);
+                for (const ClockCycle slot : bus_reserved)
+                    sig.push_back(slot - base);
+                sig.push_back(end - base);  // end >= cursor: exact
+                if (const auto skip =
+                        tracker.finishObserve(base, nullptr, 0)) {
+                    i += skip->ops;
+                    issue_cursor += skip->delta;
+                    end += skip->delta;
+                    for (ClockCycle &r : regReady)
+                        r += skip->delta;
+                    for (ClockCycle &s : stationFree)
+                        s += skip->delta;
+                    pool.shiftTime(skip->delta);
+                    std::set<ClockCycle> shifted;
+                    for (const ClockCycle slot : bus_reserved)
+                        shifted.insert(shifted.end(),
+                                       slot + skip->delta);
+                    bus_reserved.swap(shifted);
+                }
+            }
+            boundary = tracker.nextBoundary();
+        }
         const unsigned latency = trace.latency(i);
         const RegId srcA = trace.srcA(i);
         const RegId srcB = trace.srcB(i);
@@ -98,20 +151,23 @@ Cdc6600Sim::run(const DecodedTrace &trace)
 
         const bool needs_bus =
             org_.modelResultBus && trace.producesResult(i);
-        ClockCycle retries = 0;
         while (true) {
             dispatch = pool.earliestAccept(fu_class, dispatch);
-            if (needs_bus &&
-                bus_reserved.count(dispatch + latency) != 0) {
-                if (++retries > kDefaultWatchdogCycles) {
-                    throw SimError(
-                        "Cdc6600Sim: no free result-bus slot after " +
-                        std::to_string(retries) + " cycles for op #" +
-                        std::to_string(i) + " dispatching at cycle " +
-                        std::to_string(dispatch));
+            if (needs_bus) {
+                // Walk the ordered reservations to the first free
+                // completion cycle (exact next-event skip: nothing
+                // is ever removed from the set, so the scan finds
+                // the same cycle one-by-one probing would).
+                ClockCycle slot = dispatch + latency;
+                auto it = bus_reserved.lower_bound(slot);
+                while (it != bus_reserved.end() && *it == slot) {
+                    ++slot;
+                    ++it;
                 }
-                ++dispatch;
-                continue;
+                if (slot != dispatch + latency) {
+                    dispatch = slot - latency;
+                    continue;   // recheck the unit at the later cycle
+                }
             }
             break;
         }
@@ -133,6 +189,7 @@ Cdc6600Sim::run(const DecodedTrace &trace)
     }
 
     result.cycles = end;
+    result.steadyOpsSkipped = tracker.opsSkipped();
     return result;
 }
 

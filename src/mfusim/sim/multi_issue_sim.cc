@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mfusim/core/error.hh"
+#include "mfusim/sim/steady_state.hh"
 
 namespace mfusim
 {
@@ -200,8 +201,83 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                  : std::string(" is outside the window")));
     };
 
+    // Steady-state fast path (see sim/steady_state.hh; audit runs
+    // use the plain path).  Boundaries are checked at window refill;
+    // under a predicting branch policy the window strides past them,
+    // which the tracker handles by folding the cursor-boundary
+    // offset into the signature.  Boundary state: the watchdog gap,
+    // the branch floor, the completion times the segment can still
+    // read (its link-lookback window plus fixed pre-segment
+    // producers), the pool and bus timelines, and the end watermark.
+    const bool steady = !kAudit && steadyStateEnabled();
+    SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
+                               n);
+    std::size_t boundary = tracker.nextBoundary();
+
     std::size_t wStart = 0;             // first instruction in buffer
     while (wStart < n) {
+        if (wStart >= boundary) {
+            if (tracker.beginObserve(wStart)) {
+                const TraceSegment &seg = tracker.segment();
+                const std::size_t lw = seg.lookback;
+                if (wStart < lw) {
+                    // Not enough simulated history to snapshot the
+                    // lookback window.
+                    tracker.cancelObserve();
+                } else {
+                    const ClockCycle base = t;
+                    auto &sig = tracker.sigBuffer();
+                    sig.push_back(t - last_event);  // watchdog: exact
+                    sig.push_back(
+                        floorIdx != std::numeric_limits<
+                                        std::size_t>::max() &&
+                                floorTime > base
+                            ? floorTime - base
+                            : 0);
+                    for (std::size_t q = wStart - lw; q < wStart; ++q)
+                        sig.push_back(completion[q] > base
+                                          ? completion[q] - base
+                                          : 0);
+                    // A live pre-segment completion can never match
+                    // across boundaries (it is a fixed cycle while
+                    // the clock advances), so a match certifies all
+                    // of these are stale — no shift needed.
+                    for (const std::uint32_t a : seg.ancients)
+                        sig.push_back(completion[a] > base
+                                          ? completion[a] - base
+                                          : 0);
+                    pool.appendSignature(base, sig);
+                    bus.appendSignature(base, sig);
+                    sig.push_back(end - base);  // end >= t at refill
+                    if (const auto skip =
+                            tracker.finishObserve(base, nullptr, 0)) {
+                        const std::size_t oldW = wStart;
+                        wStart += skip->ops;
+                        t += skip->delta;
+                        end += skip->delta;
+                        last_event += skip->delta;
+                        if (floorIdx != std::numeric_limits<
+                                            std::size_t>::max())
+                            floorTime += skip->delta;
+                        pool.shiftTime(skip->delta);
+                        bus.shiftTime(skip->delta);
+                        // Refill the lookback window behind the
+                        // landing cursor with the state shift: the
+                        // source op has the same cursor-relative
+                        // phase and was simulated exactly.
+                        for (std::size_t q = wStart - lw; q < wStart;
+                             ++q) {
+                            if (q < oldW)
+                                continue;       // simulated exactly
+                            completion[q] =
+                                completion[q - skip->ops] +
+                                skip->delta;
+                        }
+                    }
+                }
+            }
+            boundary = tracker.nextBoundary();
+        }
         // Window [wStart, wEnd): a taken branch squashes the slots
         // behind it (they hold wrong-path instructions that never
         // issue), so the issuable window ends just after it.
@@ -351,7 +427,16 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                 }
                 const bool produces = trace.producesResult(j);
                 if (produces && !bus.canReserve(unit, t + latency)) {
-                    hint = std::min(hint, t + 1);
+                    // Exact next event: every completion cycle up to
+                    // the first free slot is taken on every eligible
+                    // bus, and a no-progress pass adds no
+                    // reservations, so the op cannot issue any
+                    // earlier (the old conservative hint was t + 1,
+                    // which rescanned the window every cycle).
+                    hint = std::min(
+                        hint,
+                        bus.earliestReserve(unit, t + latency) -
+                            latency);
                     if (!org_.outOfOrder)
                         break;
                     continue;
@@ -413,6 +498,7 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
     }
 
     result.cycles = end;
+    result.steadyOpsSkipped = tracker.opsSkipped();
     return result;
 }
 

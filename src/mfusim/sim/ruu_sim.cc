@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mfusim/core/error.hh"
+#include "mfusim/sim/steady_state.hh"
 
 namespace mfusim
 {
@@ -210,7 +211,121 @@ RuuSim::runImpl(const DecodedTrace &trace)
             std::to_string(next) + "): " + why);
     };
 
+    // Steady-state fast path (see sim/steady_state.hh; audit runs
+    // use the plain path).  Boundary state: the watchdog gap, the
+    // branch block, the end watermark, the round-robin bank phase,
+    // the live RUU entries (index relative to the insert cursor),
+    // and the result times the segment can still read — producers of
+    // both future inserts (link lookback) and of the live entries.
+    const bool steady = !kAudit && steadyStateEnabled();
+    SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
+                               n);
+    std::size_t boundary = tracker.nextBoundary();
+
     while (next_insert < n || ruu_head < ruu.size()) {
+        if (next_insert >= boundary && boundary < n) {
+            if (tracker.beginObserve(next_insert)) {
+                const TraceSegment &seg = tracker.segment();
+                // Oldest op index any future check can read: live
+                // entries reach back `span` ops, and every in-segment
+                // dependence link reaches back at most seg.lookback
+                // further.  The span is itself part of the signature
+                // (the entry list encodes it), so matching states
+                // agree on the window length.
+                const std::size_t span =
+                    ruu_head < ruu.size()
+                        ? next_insert - ruu[ruu_head].idx
+                        : 0;
+                const std::size_t lw = seg.lookback + span;
+                if (next_insert < lw) {
+                    tracker.cancelObserve();
+                } else {
+                    const ClockCycle base = t;
+                    auto &sig = tracker.sigBuffer();
+                    sig.push_back(t - last_event);  // watchdog: exact
+                    sig.push_back(insert_blocked_until > base
+                                      ? insert_blocked_until - base
+                                      : 0);
+                    // `end` can trail `t` (inserts do not move it),
+                    // so encode the exact signed difference.
+                    sig.push_back(
+                        std::uint64_t(end) - std::uint64_t(base));
+                    if (banked)
+                        sig.push_back(insert_counter % org_.width);
+                    for (std::size_t e = ruu_head; e < ruu.size();
+                         ++e) {
+                        const Entry &entry = ruu[e];
+                        sig.push_back(next_insert - entry.idx);
+                        sig.push_back(entry.bank);
+                        sig.push_back(entry.dispatched ? 1 : 0);
+                        if (entry.dispatched) {
+                            const ClockCycle r =
+                                result_time[entry.idx];
+                            sig.push_back(r > base ? r - base : 0);
+                        }
+                    }
+                    sig.push_back(sig.size());  // section delimiter
+                    for (std::size_t q = next_insert - lw;
+                         q < next_insert; ++q) {
+                        const ClockCycle r = result_time[q];
+                        sig.push_back(
+                            r == kUnknown
+                                ? std::uint64_t(kUnknown)
+                                : (r > base ? r - base : 0));
+                    }
+                    // Live pre-segment results can never match
+                    // across boundaries (fixed cycle, advancing
+                    // clock): a match certifies these are stale.
+                    for (const std::uint32_t a : seg.ancients) {
+                        const ClockCycle r = result_time[a];
+                        sig.push_back(
+                            r == kUnknown
+                                ? std::uint64_t(kUnknown)
+                                : (r > base ? r - base : 0));
+                    }
+                    pool.appendSignature(base, sig);
+                    wb.appendSignature(base, sig);
+                    if (const auto skip =
+                            tracker.finishObserve(base, nullptr, 0)) {
+                        const std::size_t oldW = next_insert;
+                        next_insert += skip->ops;
+                        t += skip->delta;
+                        end += skip->delta;
+                        last_event += skip->delta;
+                        insert_blocked_until += skip->delta;
+                        insert_counter +=
+                            (skip->ops / seg.period) * seg.inserts;
+                        for (std::size_t e = ruu_head;
+                             e < ruu.size(); ++e)
+                            ruu[e].idx += std::uint32_t(skip->ops);
+                        pool.shiftTime(skip->delta);
+                        wb.shiftTime(skip->delta);
+                        // Refill the result-time window behind the
+                        // landing cursor with the state shift: slot
+                        // q takes the state the slot with the same
+                        // cursor-relative position held at the
+                        // observation (kUnknown — an undispatched
+                        // entry or a branch — stays kUnknown).  When
+                        // the skip is shorter than the window the
+                        // ranges overlap (a long-lived entry ages
+                        // across the skip), so shift out of a
+                        // snapshot of the source window.
+                        const std::vector<ClockCycle> src(
+                            result_time.begin() + (oldW - lw),
+                            result_time.begin() + oldW);
+                        for (std::size_t q = next_insert - lw;
+                             q < next_insert; ++q) {
+                            const ClockCycle s =
+                                src[q - skip->ops - (oldW - lw)];
+                            result_time[q] = s == kUnknown
+                                                 ? kUnknown
+                                                 : s + skip->delta;
+                        }
+                    }
+                }
+            }
+            boundary = tracker.nextBoundary();
+        }
         bool progress = false;
         ClockCycle hint = kUnknown;
         wb.advanceTo(t);
@@ -273,7 +388,15 @@ RuuSim::runImpl(const DecodedTrace &trace)
                 continue;
             }
             if (!wb.canReserve(entry.bank, t + latency)) {
-                hint = std::min(hint, t + 1);
+                // Exact next event: every completion cycle up to the
+                // first free slot is taken, and a no-progress pass
+                // adds no reservations, so this entry cannot
+                // dispatch earlier (the old conservative hint was
+                // t + 1, which rescanned the RUU every cycle).
+                hint = std::min(hint,
+                                wb.earliestReserve(entry.bank,
+                                                   t + latency) -
+                                    latency);
                 continue;
             }
 
@@ -370,6 +493,7 @@ RuuSim::runImpl(const DecodedTrace &trace)
     }
 
     result.cycles = end;
+    result.steadyOpsSkipped = tracker.opsSkipped();
     return result;
 }
 

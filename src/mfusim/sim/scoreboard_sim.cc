@@ -10,6 +10,7 @@
 
 #include "mfusim/core/error.hh"
 #include "mfusim/funits/result_bus.hh"
+#include "mfusim/sim/steady_state.hh"
 
 namespace mfusim
 {
@@ -75,7 +76,75 @@ ScoreboardSim::run(const DecodedTrace &trace)
     ClockCycle end = 0;
 
     const std::size_t n = trace.size();
+
+    // Steady-state fast path (off under audit: the event stream
+    // must be complete).  The machine's timing state at an iteration
+    // boundary is the live part of the register ready times, the
+    // pool and bus timelines and the end watermark, all rebased to
+    // the issue cursor; once it repeats across boundaries, the
+    // remaining iterations shift by a constant delta.
+    const bool steady = steadyStateEnabled() && auditSink() == nullptr;
+    SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
+                               n);
+    std::size_t boundary = tracker.nextBoundary();
+    // Only registers the trace writes can ever hold a live ready
+    // time, so signatures scan this cached list instead of all
+    // kNumRegs (or all ops) per run.
+    const std::vector<RegId> &written = trace.writtenRegs();
+    const bool has_vector = trace.hasVector();
+
     for (std::size_t i = 0; i < n; ++i) {
+        if (i == boundary) {
+            if (tracker.beginObserve(i)) {
+                const ClockCycle base = issue_cursor;
+                auto &sig = tracker.sigBuffer();
+                for (const RegId r : written) {
+                    if (regReady[r] > base) {
+                        sig.push_back(r);
+                        sig.push_back(regReady[r] - base);
+                    }
+                }
+                sig.push_back(sig.size());  // section delimiter
+                if (has_vector) {
+                    for (const RegId r : written) {
+                        if (chainReady[r] > base) {
+                            sig.push_back(r);
+                            sig.push_back(chainReady[r] - base);
+                        }
+                    }
+                    sig.push_back(sig.size());
+                }
+                pool.appendSignature(base, sig);
+                bus.appendSignature(base, sig);
+                sig.push_back(end - base);  // end >= cursor: exact
+                const std::uint64_t counters[5] = {
+                    result.stalls.raw, result.stalls.waw,
+                    result.stalls.structural,
+                    result.stalls.resultBus, result.stalls.branch
+                };
+                if (const auto skip =
+                        tracker.finishObserve(base, counters, 5)) {
+                    i += skip->ops;
+                    issue_cursor += skip->delta;
+                    end += skip->delta;
+                    // Live times shift with the clock; stale times
+                    // (<= base) stay stale relative to the shifted
+                    // cursor, so the blanket shift is exact.
+                    for (ClockCycle &r : regReady)
+                        r += skip->delta;
+                    for (ClockCycle &r : chainReady)
+                        r += skip->delta;
+                    pool.shiftTime(skip->delta);
+                    bus.shiftTime(skip->delta);
+                    result.stalls.raw += skip->counters[0];
+                    result.stalls.waw += skip->counters[1];
+                    result.stalls.structural += skip->counters[2];
+                    result.stalls.resultBus += skip->counters[3];
+                    result.stalls.branch += skip->counters[4];
+                }
+            }
+            boundary = tracker.nextBoundary();
+        }
         const unsigned latency = trace.latency(i);
         const RegId srcA = trace.srcA(i);
         const RegId srcB = trace.srcB(i);
@@ -139,25 +208,24 @@ ScoreboardSim::run(const DecodedTrace &trace)
         // paths, not the scalar result bus.
         const bool needs_bus = org_.modelResultBus &&
             trace.producesResult(i) && !vector_op;
-        ClockCycle retries = 0;
         while (true) {
             const ClockCycle at_fu = pool.earliestAccept(fu, t);
             result.stalls.structural += at_fu - t;
             t = at_fu;
             if (needs_bus) {
                 bus.advanceTo(t);
-                if (!bus.canReserve(0, t + latency)) {
-                    if (++retries > kDefaultWatchdogCycles) {
-                        throw SimError(
-                            "ScoreboardSim: no free result-bus slot"
-                            " after " +
-                            std::to_string(retries) +
-                            " cycles for op #" + std::to_string(i) +
-                            " at cycle " + std::to_string(t));
-                    }
-                    result.stalls.resultBus += 1;
-                    ++t;
-                    continue;
+                // Jump straight to the first free completion slot:
+                // no new reservations can appear while this op
+                // waits, so the next-event scan is exact, and every
+                // skipped cycle is a result-bus stall exactly as if
+                // stepped one by one.  (The 64-cycle bus window
+                // always has a free slot, so this terminates.)
+                const ClockCycle slot =
+                    bus.earliestReserve(0, t + latency);
+                if (slot != t + latency) {
+                    result.stalls.resultBus += slot - (t + latency);
+                    t = slot - latency;
+                    continue;   // recheck the unit at the later cycle
                 }
             }
             break;
@@ -182,6 +250,7 @@ ScoreboardSim::run(const DecodedTrace &trace)
     }
 
     result.cycles = end;
+    result.steadyOpsSkipped = tracker.opsSkipped();
     return result;
 }
 

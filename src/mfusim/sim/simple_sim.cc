@@ -5,6 +5,8 @@
 
 #include "mfusim/sim/simple_sim.hh"
 
+#include "mfusim/sim/steady_state.hh"
+
 namespace mfusim
 {
 
@@ -30,7 +32,29 @@ SimpleSim::runImpl(const DecodedTrace &trace) const
     // the execute stage).
     ClockCycle end = 0;
     const std::size_t n = trace.size();
+
+    // Steady state: the machine's whole timing state is `end`, so
+    // every boundary of a periodic segment matches trivially and the
+    // per-period cycle delta (the body's latency sum) extrapolates
+    // after two confirmed periods.  Audit runs take the plain path
+    // so the event stream stays complete.
+    const bool steady = !kAudit && steadyStateEnabled();
+    SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
+                               n);
+    std::size_t boundary = tracker.nextBoundary();
+
     for (std::size_t i = 0; i < n; ++i) {
+        if (i == boundary) {
+            if (tracker.beginObserve(i)) {
+                tracker.sigBuffer();    // no live state beyond `end`
+                if (const auto skip =
+                        tracker.finishObserve(end, nullptr, 0)) {
+                    i += skip->ops;
+                    end += skip->delta;
+                }
+            }
+            boundary = tracker.nextBoundary();
+        }
         if constexpr (kAudit)
             emitAudit(AuditPhase::kIssue, end, i);
         end += trace.latency(i);
@@ -39,6 +63,7 @@ SimpleSim::runImpl(const DecodedTrace &trace) const
             emitAudit(AuditPhase::kComplete, end, i);
     }
     result.cycles = end;
+    result.steadyOpsSkipped = tracker.opsSkipped();
     return result;
 }
 

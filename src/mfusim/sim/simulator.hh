@@ -65,6 +65,15 @@ struct SimResult
     StallBreakdown stalls;
     bool hasStalls = false;
 
+    /**
+     * Instructions closed by steady-state extrapolation instead of
+     * cycle-accurate simulation (see sim/steady_state.hh).  Purely
+     * diagnostic: cycles/stalls are bit-identical either way.  Zero
+     * when the fast path is disabled, never converged, or the trace
+     * has no periodic structure.
+     */
+    std::uint64_t steadyOpsSkipped = 0;
+
     /** The paper's performance measure: instructions per cycle. */
     double issueRate() const;
 };

@@ -13,11 +13,11 @@
 #include <algorithm>
 #include <array>
 #include <limits>
-#include <queue>
 #include <set>
 #include <vector>
 
 #include "mfusim/core/error.hh"
+#include "mfusim/sim/steady_state.hh"
 
 namespace mfusim
 {
@@ -62,12 +62,9 @@ TomasuloSim::run(const DecodedTrace &trace)
     std::array<ClockCycle, kNumRegs> value_ready{};
 
     // Station occupancy per FU class: completion (broadcast) times
-    // of the live stations.
-    std::array<std::priority_queue<ClockCycle,
-                                   std::vector<ClockCycle>,
-                                   std::greater<ClockCycle>>,
-               kNumFuClasses>
-        stations;
+    // of the live stations.  A multiset (not a priority queue) so
+    // the steady-state snapshot can enumerate and shift it.
+    std::array<std::multiset<ClockCycle>, kNumFuClasses> stations;
 
     // Per-FU pipeline accept slots and CDB slots (out-of-order
     // arrivals -> reservation sets).
@@ -75,10 +72,96 @@ TomasuloSim::run(const DecodedTrace &trace)
     std::set<ClockCycle> mem_slots;
     std::vector<std::set<ClockCycle>> cdb(org_.cdbCount);
 
+    // First cycle at or after @p from with no reservation in @p s.
+    // A no-progress scan adds nothing to the set, so the walk finds
+    // exactly the cycle one-by-one probing would.
+    const auto nextFree = [](const std::set<ClockCycle> &s,
+                             ClockCycle from) {
+        auto it = s.lower_bound(from);
+        while (it != s.end() && *it == from) {
+            ++from;
+            ++it;
+        }
+        return from;
+    };
+
     ClockCycle issue_cursor = 0;
     ClockCycle end = 0;
 
+    // Steady-state fast path (off under audit).  Boundary state:
+    // live register values, station broadcast times, and the accept /
+    // CDB reservation sets pruned to the future, rebased to the
+    // issue cursor.
+    const bool steady = steadyStateEnabled() && auditSink() == nullptr;
+    SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
+                               n);
+    std::size_t boundary = tracker.nextBoundary();
+    const std::vector<RegId> &written = trace.writtenRegs();
+
+    // Reservations at or before @p base can never be probed again
+    // (future probes start after the issue cursor): drop them.
+    const auto prune = [](auto &s, ClockCycle base) {
+        s.erase(s.begin(), s.upper_bound(base));
+    };
+    const auto appendSet = [](const auto &s, ClockCycle base,
+                              std::vector<std::uint64_t> &sig) {
+        sig.push_back(s.size());
+        for (const ClockCycle v : s)
+            sig.push_back(v - base);
+    };
+
     for (std::size_t i = 0; i < n; ++i) {
+        if (i == boundary) {
+            if (tracker.beginObserve(i)) {
+                const ClockCycle base = issue_cursor;
+                auto &sig = tracker.sigBuffer();
+                for (const RegId r : written) {
+                    if (value_ready[r] > base) {
+                        sig.push_back(r);
+                        sig.push_back(value_ready[r] - base);
+                    }
+                }
+                sig.push_back(sig.size());  // section delimiter
+                for (auto &pool : stations) {
+                    prune(pool, base);      // past broadcasts are
+                    appendSet(pool, base, sig); // popped lazily anyway
+                }
+                for (auto &unit : fu_slots) {
+                    prune(unit, base);
+                    appendSet(unit, base, sig);
+                }
+                prune(mem_slots, base);
+                appendSet(mem_slots, base, sig);
+                for (auto &bus : cdb) {
+                    prune(bus, base);
+                    appendSet(bus, base, sig);
+                }
+                sig.push_back(end - base);  // end >= cursor: exact
+                if (const auto skip =
+                        tracker.finishObserve(base, nullptr, 0)) {
+                    i += skip->ops;
+                    issue_cursor += skip->delta;
+                    end += skip->delta;
+                    for (ClockCycle &r : value_ready)
+                        r += skip->delta;
+                    const auto shiftSet = [&](auto &s) {
+                        std::decay_t<decltype(s)> shifted;
+                        for (const ClockCycle v : s)
+                            shifted.insert(shifted.end(),
+                                           v + skip->delta);
+                        s.swap(shifted);
+                    };
+                    for (auto &pool : stations)
+                        shiftSet(pool);
+                    for (auto &unit : fu_slots)
+                        shiftSet(unit);
+                    shiftSet(mem_slots);
+                    for (auto &bus : cdb)
+                        shiftSet(bus);
+                }
+            }
+            boundary = tracker.nextBoundary();
+        }
         const unsigned latency = trace.latency(i);
         const RegId srcA = trace.srcA(i);
         const RegId srcB = trace.srcB(i);
@@ -114,12 +197,12 @@ TomasuloSim::run(const DecodedTrace &trace)
         if (!is_transfer) {
             auto &pool = stations[fu];
             // Free every station whose broadcast is already past.
-            while (!pool.empty() && pool.top() <= t)
-                pool.pop();
+            while (!pool.empty() && *pool.begin() <= t)
+                pool.erase(pool.begin());
             while (pool.size() >= org_.stationsPerFu) {
-                t = std::max(t, pool.top());
-                while (!pool.empty() && pool.top() <= t)
-                    pool.pop();
+                t = std::max(t, *pool.begin());
+                while (!pool.empty() && *pool.begin() <= t)
+                    pool.erase(pool.begin());
             }
         }
 
@@ -136,38 +219,32 @@ TomasuloSim::run(const DecodedTrace &trace)
             completion = dispatch + latency;
         } else {
             // Claim an accept slot (one per unit per cycle) and a
-            // CDB slot at completion; retry if the CDB cycle is
-            // taken.
+            // CDB slot at completion.  On a CDB conflict, jump to
+            // the earliest free CDB slot across the buses: every
+            // cycle before it has all buses taken, so the jump lands
+            // exactly where one-by-one retrying would.
             std::set<ClockCycle> &unit = trace.isMemory(i) ?
                 mem_slots : fu_slots[fu];
             const bool produces = trace.producesResult(i);
-            ClockCycle retries = 0;
             while (true) {
-                ClockCycle probe = dispatch;
-                while (unit.count(probe) != 0)
-                    ++probe;
+                const ClockCycle probe = nextFree(unit, dispatch);
                 if (produces) {
                     bool got_cdb = false;
+                    ClockCycle earliest =
+                        std::numeric_limits<ClockCycle>::max();
                     for (std::size_t b = 0; b < cdb.size(); ++b) {
-                        if (cdb[b].count(probe + latency) == 0) {
-                            cdb[b].insert(probe + latency);
+                        const ClockCycle slot =
+                            nextFree(cdb[b], probe + latency);
+                        if (slot == probe + latency) {
+                            cdb[b].insert(slot);
                             claimed_cdb = std::int32_t(b);
                             got_cdb = true;
                             break;
                         }
+                        earliest = std::min(earliest, slot);
                     }
                     if (!got_cdb) {
-                        if (++retries > kDefaultWatchdogCycles) {
-                            throw SimError(
-                                "TomasuloSim: no free CDB slot"
-                                " after " +
-                                std::to_string(retries) +
-                                " cycles for op #" +
-                                std::to_string(i) +
-                                " dispatching at cycle " +
-                                std::to_string(probe));
-                        }
-                        dispatch = probe + 1;
+                        dispatch = earliest - latency;
                         continue;
                     }
                 }
@@ -176,7 +253,7 @@ TomasuloSim::run(const DecodedTrace &trace)
                 break;
             }
             completion = dispatch + latency;
-            stations[fu].push(completion);
+            stations[fu].insert(completion);
         }
 
         emitAudit(AuditPhase::kIssue, t, i);
@@ -189,6 +266,7 @@ TomasuloSim::run(const DecodedTrace &trace)
     }
 
     result.cycles = end;
+    result.steadyOpsSkipped = tracker.opsSkipped();
     return result;
 }
 

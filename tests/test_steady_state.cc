@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Steady-state fast path coverage (sim/steady_state.hh).
+ *
+ *  - Every simulator produces bit-identical results (instructions,
+ *    cycles, full stall breakdown) with the fast path on and off, on
+ *    every library loop and machine config.
+ *  - The audited path matches too (auditing bypasses the fast path,
+ *    so its event stream stays complete).
+ *  - Crafted aperiodic and too-short traces never extrapolate.
+ *  - The long loops actually exercise the fast path (skip > 0).
+ *  - PeriodDetector finds the right segment shape on a hand-built
+ *    periodic trace and stays silent on aperiodic ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mfusim/core/decoded_trace.hh"
+#include "mfusim/dataflow/period_detector.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/audit.hh"
+#include "mfusim/sim/cdc6600_sim.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+#include "mfusim/sim/simulator.hh"
+#include "mfusim/sim/steady_state.hh"
+#include "mfusim/sim/tomasulo_sim.hh"
+#include "test_util.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+using test::dyn;
+using test::traceOf;
+
+/** Scoped on/off switch that restores the previous setting. */
+class SteadyGuard
+{
+  public:
+    explicit SteadyGuard(bool on) : prev_(steadyStateEnabled())
+    {
+        setSteadyStateEnabled(on);
+    }
+    ~SteadyGuard() { setSteadyStateEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/** One instance of each organization at representative settings. */
+std::vector<std::unique_ptr<Simulator>>
+allSims(const MachineConfig &cfg)
+{
+    std::vector<std::unique_ptr<Simulator>> sims;
+    sims.push_back(std::make_unique<SimpleSim>(cfg));
+    sims.push_back(std::make_unique<ScoreboardSim>(
+        ScoreboardConfig::crayLike(), cfg));
+    sims.push_back(
+        std::make_unique<Cdc6600Sim>(Cdc6600Config{}, cfg));
+    sims.push_back(std::make_unique<TomasuloSim>(
+        TomasuloConfig{ 3, 1, BranchPolicy::kBlocking }, cfg));
+    sims.push_back(std::make_unique<MultiIssueSim>(
+        MultiIssueConfig{ 4, true, BusKind::kPerUnit, false }, cfg));
+    sims.push_back(std::make_unique<RuuSim>(
+        RuuConfig{ 2, 20, BusKind::kPerUnit }, cfg));
+    return sims;
+}
+
+void
+expectSameResult(const SimResult &fast, const SimResult &plain,
+                 const std::string &what)
+{
+    EXPECT_EQ(fast.instructions, plain.instructions) << what;
+    EXPECT_EQ(fast.cycles, plain.cycles) << what;
+    ASSERT_EQ(fast.hasStalls, plain.hasStalls) << what;
+    if (plain.hasStalls) {
+        EXPECT_EQ(fast.stalls.raw, plain.stalls.raw) << what;
+        EXPECT_EQ(fast.stalls.waw, plain.stalls.waw) << what;
+        EXPECT_EQ(fast.stalls.structural, plain.stalls.structural)
+            << what;
+        EXPECT_EQ(fast.stalls.resultBus, plain.stalls.resultBus)
+            << what;
+        EXPECT_EQ(fast.stalls.branch, plain.stalls.branch) << what;
+    }
+}
+
+// ---- bit identity: all sims x all loops x all configs -----------------
+
+class SteadyBitIdentity
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(SteadyBitIdentity, FastPathMatchesPlainPath)
+{
+    const int loop = std::get<0>(GetParam());
+    const MachineConfig cfg =
+        standardConfigs()[std::size_t(std::get<1>(GetParam()))];
+    const DecodedTrace &trace =
+        TraceLibrary::instance().decoded(loop, cfg);
+
+    auto fastSims = allSims(cfg);
+    auto plainSims = allSims(cfg);
+    for (std::size_t s = 0; s < fastSims.size(); ++s) {
+        SimResult plain;
+        {
+            SteadyGuard off(false);
+            plain = plainSims[s]->run(trace);
+            EXPECT_EQ(plain.steadyOpsSkipped, 0u)
+                << plainSims[s]->name();
+        }
+        SimResult fast;
+        {
+            SteadyGuard on(true);
+            fast = fastSims[s]->run(trace);
+        }
+        expectSameResult(fast, plain, fastSims[s]->name());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLoopsAllConfigs, SteadyBitIdentity,
+    ::testing::Combine(::testing::Range(1, 15),
+                       ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &info) {
+        return "LL" + std::to_string(std::get<0>(info.param)) + "_" +
+            standardConfigs()[std::size_t(std::get<1>(info.param))]
+                .name();
+    });
+
+// ---- audit path stays complete and identical --------------------------
+
+TEST(SteadyState, AuditedRunMatchesPlainRun)
+{
+    // Auditing bypasses the fast path (the audit event stream must
+    // cover every op), so an audited run with the fast path enabled
+    // must still match a plain unaudited baseline.
+    SteadyGuard on(true);
+    const MachineConfig cfg = configM11BR5();
+    for (const int loop : { 6, 7, 13 }) {
+        const DecodedTrace &trace =
+            TraceLibrary::instance().decoded(loop, cfg);
+        auto baseSims = allSims(cfg);
+        auto auditSims = allSims(cfg);
+        for (std::size_t s = 0; s < baseSims.size(); ++s) {
+            const SimResult base = baseSims[s]->run(trace);
+            SimResult audited;
+            ASSERT_NO_THROW(
+                audited = runAudited(*auditSims[s], trace))
+                << baseSims[s]->name() << " LL" << loop;
+            EXPECT_EQ(audited.cycles, base.cycles)
+                << baseSims[s]->name() << " LL" << loop;
+            EXPECT_EQ(audited.instructions, base.instructions)
+                << baseSims[s]->name() << " LL" << loop;
+            EXPECT_EQ(audited.steadyOpsSkipped, 0u)
+                << baseSims[s]->name() << " LL" << loop;
+        }
+    }
+}
+
+// ---- the long loops actually take the fast path -----------------------
+
+TEST(SteadyState, LongLoopsSkipOps)
+{
+    SteadyGuard on(true);
+    const MachineConfig cfg = configM11BR5();
+    for (const int loop : { 6, 7, 13 }) {
+        const DecodedTrace &trace =
+            TraceLibrary::instance().decoded(loop, cfg);
+        for (auto &sim : allSims(cfg)) {
+            const SimResult r = sim->run(trace);
+            EXPECT_GT(r.steadyOpsSkipped, 0u)
+                << sim->name() << " LL" << loop;
+            EXPECT_LT(r.steadyOpsSkipped, r.instructions)
+                << sim->name() << " LL" << loop;
+        }
+    }
+}
+
+TEST(SteadyState, DisabledSwitchReportsZeroSkips)
+{
+    SteadyGuard off(false);
+    const DecodedTrace &trace =
+        TraceLibrary::instance().decoded(7, configM11BR5());
+    for (auto &sim : allSims(configM11BR5()))
+        EXPECT_EQ(sim->run(trace).steadyOpsSkipped, 0u)
+            << sim->name();
+}
+
+// ---- crafted traces: aperiodic and short never extrapolate ------------
+
+/** n iterations of a 3-op loop body behind a 2-op preamble:
+ *  load S2, fadd S3 = S1 + S2, taken back-edge branch. */
+DynTrace
+periodicTrace(std::size_t iterations)
+{
+    DynTrace trace("periodic");
+    trace.append(dyn(Op::kSConst, S1));
+    trace.append(dyn(Op::kAConst, A1));
+    for (std::size_t i = 0; i < iterations; ++i) {
+        trace.append(dyn(Op::kLoadS, S2, A1));
+        trace.append(dyn(Op::kFAdd, S3, S1, S2));
+        trace.append(dyn(Op::kBrANZ, kNoReg, A0, kNoReg, true));
+    }
+    return trace;
+}
+
+/** Runs of fadds with strictly growing lengths between taken
+ *  branches: no two inter-branch spans match, so no period exists. */
+DynTrace
+aperiodicTrace()
+{
+    DynTrace trace("aperiodic");
+    trace.append(dyn(Op::kSConst, S1));
+    trace.append(dyn(Op::kSConst, S2));
+    for (std::size_t run = 1; run <= 10; ++run) {
+        for (std::size_t i = 0; i < run; ++i)
+            trace.append(dyn(Op::kFAdd, S3, S1, S2));
+        trace.append(dyn(Op::kBrANZ, kNoReg, A0, kNoReg, true));
+    }
+    return trace;
+}
+
+TEST(SteadyState, AperiodicTraceNeverSkips)
+{
+    SteadyGuard on(true);
+    const DynTrace trace = aperiodicTrace();
+    for (const MachineConfig &cfg : standardConfigs()) {
+        const DecodedTrace decoded(trace, cfg);
+        EXPECT_TRUE(detectPeriods(decoded).segments.empty())
+            << cfg.name();
+        for (auto &sim : allSims(cfg))
+            EXPECT_EQ(sim->run(decoded).steadyOpsSkipped, 0u)
+                << sim->name() << " " << cfg.name();
+    }
+}
+
+TEST(SteadyState, ShortTraceNeverSkips)
+{
+    // Three periods is below the detector's four-period minimum:
+    // nothing could be skipped before the tracker confirms.
+    SteadyGuard on(true);
+    const DynTrace trace = periodicTrace(3);
+    const MachineConfig cfg = configM11BR5();
+    const DecodedTrace decoded(trace, cfg);
+    EXPECT_TRUE(detectPeriods(decoded).segments.empty());
+    for (auto &sim : allSims(cfg))
+        EXPECT_EQ(sim->run(decoded).steadyOpsSkipped, 0u)
+            << sim->name();
+}
+
+TEST(SteadyState, CraftedPeriodicTraceIsBitIdentical)
+{
+    const DynTrace trace = periodicTrace(200);
+    for (const MachineConfig &cfg : standardConfigs()) {
+        const DecodedTrace decoded(trace, cfg);
+        auto fastSims = allSims(cfg);
+        auto plainSims = allSims(cfg);
+        for (std::size_t s = 0; s < fastSims.size(); ++s) {
+            SimResult plain;
+            {
+                SteadyGuard off(false);
+                plain = plainSims[s]->run(decoded);
+            }
+            SimResult fast;
+            {
+                SteadyGuard on(true);
+                fast = fastSims[s]->run(decoded);
+            }
+            expectSameResult(fast, plain,
+                             fastSims[s]->name() + std::string(" ") +
+                                 cfg.name());
+        }
+    }
+}
+
+// ---- period detector unit coverage ------------------------------------
+
+TEST(PeriodDetector, FindsHandBuiltLoop)
+{
+    const DynTrace trace = periodicTrace(10);
+    const DecodedTrace decoded(trace, configM11BR5());
+    const TracePeriodicity periods = detectPeriods(decoded);
+    ASSERT_EQ(periods.segments.size(), 1u);
+    const TraceSegment &seg = periods.segments.front();
+    EXPECT_EQ(seg.period, 3u);
+    EXPECT_GE(seg.count, 8u);
+    EXPECT_LE(seg.end(), decoded.size());
+    EXPECT_GE(seg.lookback, seg.period);
+    EXPECT_EQ(seg.inserts, 2u); // load + fadd; the branch is not one
+    // The preamble constants feed every period (loop-invariant S1
+    // and the A1 address), so they are the segment's ancients.
+    ASSERT_FALSE(seg.ancients.empty());
+    for (const std::uint32_t a : seg.ancients)
+        EXPECT_LT(a, seg.base);
+}
+
+TEST(PeriodDetector, CoversMostOfLivermoreLoops)
+{
+    // The long library loops are overwhelmingly periodic; the
+    // detector should cover the bulk of their ops.
+    for (const int loop : { 6, 7, 13 }) {
+        const DecodedTrace &trace =
+            TraceLibrary::instance().decoded(loop, configM11BR5());
+        const TracePeriodicity periods = detectPeriods(trace);
+        ASSERT_FALSE(periods.segments.empty()) << "LL" << loop;
+        EXPECT_GT(periods.coveredOps, trace.size() / 2)
+            << "LL" << loop;
+        std::size_t prevEnd = 0;
+        for (const TraceSegment &seg : periods.segments) {
+            EXPECT_GE(seg.base, prevEnd) << "LL" << loop;
+            EXPECT_GE(seg.count, 4u) << "LL" << loop;
+            prevEnd = seg.end();
+        }
+        EXPECT_LE(prevEnd, trace.size()) << "LL" << loop;
+    }
+}
+
+} // namespace
+} // namespace mfusim

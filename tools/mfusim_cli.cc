@@ -5,7 +5,7 @@
  * organization without writing code.
  *
  * Usage:
- *   mfusim [--jobs N] [--audit] <command> ...
+ *   mfusim [--jobs N] [--audit] [--no-steady-state] <command> ...
  *
  *   mfusim list
  *   mfusim disasm  <loop>
@@ -20,6 +20,10 @@
  * --audit   run every simulation under the SimAudit legality checker
  *           (also: MFUSIM_AUDIT=1 env var); a violated invariant
  *           aborts with exit code 6
+ * --no-steady-state
+ *           disable the steady-state extrapolation fast path (also:
+ *           MFUSIM_NO_STEADY_STATE=1 env var); results are identical
+ *           either way — this is a debugging escape hatch
  *
  * Exit codes: 0 success, 1 generic failure, 2 usage, 3 bad config,
  * 4 bad trace, 5 simulator failure (livelock watchdog / unsupported
@@ -56,6 +60,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mfusim [--jobs N] [--audit] "
+                 "[--no-steady-state]\n"
+                 "       "
                  "list | disasm <loop> | analyze <loop> [cfg] |\n"
                  "       limits <loop> [cfg] | "
                  "rate <loop>|all <machine> [cfg] |\n"
@@ -370,6 +376,8 @@ main(int argc, char **argv)
             parse_jobs(arg.substr(7));
         } else if (arg == "--audit") {
             setAuditRequested(true);
+        } else if (arg == "--no-steady-state") {
+            setSteadyStateEnabled(false);
         } else {
             args.push_back(arg);
         }

@@ -3,6 +3,11 @@
 # snapshot (BENCH_<date>.json in the repo root) for before/after
 # comparisons of simulator-performance work.
 #
+# Refuses to record from a non-Release build: debug-build numbers
+# are not comparable and have polluted snapshots before.  Set
+# MFUSIM_BENCH_ALLOW_DEBUG=1 to record one anyway (it is still
+# labeled with its build type).
+#
 # Usage: tools/run_bench.sh [build-dir] [extra benchmark args...]
 set -eu
 
@@ -16,15 +21,47 @@ if [ ! -x "$bench" ]; then
     exit 1
 fi
 
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "$build_dir/CMakeCache.txt" 2>/dev/null || true)
+[ -n "$build_type" ] || build_type=unset
+case "$build_type" in
+Release | RelWithDebInfo) ;;
+*)
+    if [ "${MFUSIM_BENCH_ALLOW_DEBUG:-0}" != "1" ]; then
+        echo "error: $build_dir has CMAKE_BUILD_TYPE='$build_type';" \
+            "benchmark snapshots must come from a Release build" >&2
+        echo "  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release" >&2
+        echo "  cmake --build build-release --target perf_sim_throughput" >&2
+        echo "  tools/run_bench.sh build-release" >&2
+        echo "(or set MFUSIM_BENCH_ALLOW_DEBUG=1 to record anyway)" >&2
+        exit 1
+    fi
+    echo "warning: recording from a '$build_type' build;" \
+        "numbers are not comparable to Release snapshots" >&2
+    ;;
+esac
+
+git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null ||
+    echo unknown)
+
 out="$repo_root/BENCH_$(date +%Y%m%d).json"
 "$bench" --benchmark_min_time=0.2 --benchmark_format=json "$@" > "$out"
-echo "wrote $out"
 
-# Quick human-readable summary of items/s per benchmark.
-python3 - "$out" <<'EOF'
+# Stamp provenance into the snapshot's context block, then print a
+# quick human-readable items/s summary.
+python3 - "$out" "$build_type" "$git_sha" <<'EOF'
 import json, sys
-for b in json.load(open(sys.argv[1]))["benchmarks"]:
+path, build_type, git_sha = sys.argv[1:4]
+with open(path) as f:
+    data = json.load(f)
+data["context"]["build_type"] = build_type
+data["context"]["git_sha"] = git_sha
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+for b in data["benchmarks"]:
     ips = b.get("items_per_second")
     if ips is not None:
-        print(f"  {b['name']:35s} {ips / 1e6:10.2f} M items/s")
+        print(f"  {b['name']:45s} {ips / 1e6:10.2f} M items/s")
 EOF
+echo "wrote $out ($build_type, $git_sha)"
