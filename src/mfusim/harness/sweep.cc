@@ -14,6 +14,8 @@
 
 #include "mfusim/core/error.hh"
 #include "mfusim/harness/trace_library.hh"
+#include "mfusim/obs/pipe_trace.hh"
+#include "mfusim/obs/run_metrics.hh"
 #include "mfusim/sim/audit.hh"
 #include "mfusim/sim/simulator.hh"
 
@@ -181,6 +183,49 @@ parallelPerLoopRates(const SimFactory &factory,
         throw SweepError(std::move(failures), loops.size());
     }
     return rates;
+}
+
+SweepMetrics
+parallelPerLoopMetrics(const SimFactory &factory,
+                       const std::vector<int> &loops,
+                       const MachineConfig &cfg, unsigned jobs)
+{
+    SweepMetrics out;
+    out.rates.resize(loops.size());
+    std::vector<MetricsRegistry> cells(loops.size());
+    try {
+        runGrid(loops.size(), [&](std::size_t i) {
+            const DecodedTrace &trace =
+                TraceLibrary::instance().decoded(loops[i], cfg);
+            auto sim = factory(cfg);
+            PipeTraceRecorder recorder;
+            sim->attachAudit(&recorder);
+            const SimResult result = sim->run(trace);
+            sim->attachAudit(nullptr);
+            out.rates[i] = result.issueRate();
+            populateRunMetrics(cells[i], trace, recorder, result,
+                               *sim);
+            cells[i]
+                .gauge("rate.LL" + std::to_string(loops[i]))
+                .set(result.issueRate());
+        }, jobs, GridFailurePolicy::kContinue);
+    } catch (const SweepError &e) {
+        std::vector<SweepError::Failure> failures;
+        failures.reserve(e.failures().size());
+        for (const SweepError::Failure &f : e.failures()) {
+            failures.push_back(SweepError::Failure{
+                f.cell,
+                "loop " + std::to_string(loops[f.cell]) + " (" +
+                    cfg.name() + "): " + f.message });
+        }
+        throw SweepError(std::move(failures), loops.size());
+    }
+    // Serial index-order merge: deterministic regardless of the
+    // worker schedule.
+    out.metrics.setLabel("config", cfg.name());
+    for (MetricsRegistry &cell : cells)
+        out.metrics.merge(cell);
+    return out;
 }
 
 } // namespace mfusim

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mfusim/harness/experiment.hh"
+#include "mfusim/obs/metrics.hh"
 
 namespace mfusim
 {
@@ -96,6 +97,32 @@ std::vector<double> parallelPerLoopRates(const SimFactory &factory,
                                          const std::vector<int> &loops,
                                          const MachineConfig &cfg,
                                          unsigned jobs = 0);
+
+/** Result of an instrumented sweep: rates plus merged metrics. */
+struct SweepMetrics
+{
+    /** Issue rate per loop, in @p loops order. */
+    std::vector<double> rates;
+    /**
+     * All per-cell registries merged in loop order: counters and
+     * histograms aggregate across the sweep, per-loop rates appear
+     * as "rate.LL<id>" gauges.  Deterministic for a given loop list
+     * regardless of the worker count.
+     */
+    MetricsRegistry metrics;
+};
+
+/**
+ * parallelPerLoopRates() with full observability: every cell runs
+ * with a PipeTraceRecorder attached (which disables the steady-state
+ * fast path, so cell metrics are cycle-exact) and populates its own
+ * MetricsRegistry via populateRunMetrics(); the per-cell registries
+ * are merged serially in @p loops order.
+ */
+SweepMetrics parallelPerLoopMetrics(const SimFactory &factory,
+                                    const std::vector<int> &loops,
+                                    const MachineConfig &cfg,
+                                    unsigned jobs = 0);
 
 } // namespace mfusim
 

@@ -43,6 +43,10 @@
 #include "mfusim/harness/paper_data.hh"
 #include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
+#include "mfusim/obs/metrics.hh"
+#include "mfusim/obs/obs_sink.hh"
+#include "mfusim/obs/pipe_trace.hh"
+#include "mfusim/obs/run_metrics.hh"
 #include "mfusim/sim/audit.hh"
 #include "mfusim/sim/cdc6600_sim.hh"
 #include "mfusim/sim/multi_issue_sim.hh"

@@ -1,0 +1,439 @@
+/**
+ * @file
+ * MetricsRegistry implementation: storage, merging, JSON/CSV export.
+ */
+
+#include "mfusim/obs/metrics.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "mfusim/core/error.hh"
+
+namespace mfusim
+{
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::uint64_t bucketWidth, std::size_t bucketCount)
+    : width_(bucketWidth), buckets_(bucketCount, 0)
+{
+    if (bucketWidth == 0 || bucketCount == 0)
+        throw Error("Histogram: bucketWidth and bucketCount must be "
+                    "nonzero");
+}
+
+void
+Histogram::record(std::uint64_t value, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    const std::uint64_t idx = value / width_;
+    if (idx < buckets_.size())
+        buckets_[idx] += weight;
+    else
+        overflow_ += weight;
+    count_ += weight;
+    sum_ += value * weight;
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.width_ != width_ ||
+        other.buckets_.size() != buckets_.size())
+        throw Error("Histogram::merge: bucket geometry mismatch");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ && other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+// ---------------------------------------------------------------- TimeSeries
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity)
+{
+}
+
+void
+TimeSeries::record(ClockCycle cycle, double value)
+{
+    if (pending_ + 1 < stride_) {
+        ++pending_;
+        return;
+    }
+    pending_ = 0;
+    if (points_.size() >= capacity_) {
+        // Keep every other point and double the stride: retained
+        // points stay evenly spaced over the run so far.
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < points_.size(); r += 2)
+            points_[w++] = points_[r];
+        points_.resize(w);
+        stride_ *= 2;
+    }
+    points_.push_back(Point{ cycle, value });
+}
+
+// ---------------------------------------------------------------- Registry
+
+MetricsRegistry::Entry *
+MetricsRegistry::find(const std::string &name)
+{
+    for (auto &entry : entries_)
+        if (entry->name == name)
+            return entry.get();
+    return nullptr;
+}
+
+const MetricsRegistry::Entry *
+MetricsRegistry::find(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry->name == name)
+            return entry.get();
+    return nullptr;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::create(const std::string &name, Kind kind)
+{
+    entries_.push_back(std::make_unique<Entry>());
+    Entry &entry = *entries_.back();
+    entry.name = name;
+    entry.kind = kind;
+    return entry;
+}
+
+void
+MetricsRegistry::kindClash(const Entry &entry, Kind wanted) const
+{
+    static const char *const names[] = { "counter", "gauge",
+                                         "histogram", "series" };
+    throw Error("MetricsRegistry: '" + entry.name + "' is a " +
+                names[unsigned(entry.kind)] + ", requested as " +
+                names[unsigned(wanted)]);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    if (Entry *entry = find(name)) {
+        if (entry->kind != Kind::kCounter)
+            kindClash(*entry, Kind::kCounter);
+        return *entry->counter;
+    }
+    Entry &entry = create(name, Kind::kCounter);
+    entry.counter = std::make_unique<Counter>();
+    return *entry.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    if (Entry *entry = find(name)) {
+        if (entry->kind != Kind::kGauge)
+            kindClash(*entry, Kind::kGauge);
+        return *entry->gauge;
+    }
+    Entry &entry = create(name, Kind::kGauge);
+    entry.gauge = std::make_unique<Gauge>();
+    return *entry.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::uint64_t bucketWidth,
+                           std::size_t bucketCount)
+{
+    if (Entry *entry = find(name)) {
+        if (entry->kind != Kind::kHistogram)
+            kindClash(*entry, Kind::kHistogram);
+        return *entry->histogram;
+    }
+    Entry &entry = create(name, Kind::kHistogram);
+    entry.histogram =
+        std::make_unique<Histogram>(bucketWidth, bucketCount);
+    return *entry.histogram;
+}
+
+TimeSeries &
+MetricsRegistry::series(const std::string &name, std::size_t capacity)
+{
+    if (Entry *entry = find(name)) {
+        if (entry->kind != Kind::kSeries)
+            kindClash(*entry, Kind::kSeries);
+        return *entry->series;
+    }
+    Entry &entry = create(name, Kind::kSeries);
+    entry.series = std::make_unique<TimeSeries>(capacity);
+    return *entry.series;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (!entry)
+        return 0;
+    if (entry->kind != Kind::kCounter)
+        kindClash(*entry, Kind::kCounter);
+    return entry->counter->value();
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (!entry)
+        return 0.0;
+    if (entry->kind != Kind::kGauge)
+        kindClash(*entry, Kind::kGauge);
+    return entry->gauge->value();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    if (!entry)
+        return nullptr;
+    if (entry->kind != Kind::kHistogram)
+        kindClash(*entry, Kind::kHistogram);
+    return entry->histogram.get();
+}
+
+void
+MetricsRegistry::setLabel(const std::string &key,
+                          const std::string &value)
+{
+    labels_[key] = value;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &src : other.entries_) {
+        switch (src->kind) {
+          case Kind::kCounter:
+            counter(src->name).add(src->counter->value());
+            break;
+          case Kind::kGauge:
+            gauge(src->name).add(src->gauge->value());
+            break;
+          case Kind::kHistogram: {
+            Histogram &dst =
+                histogram(src->name, src->histogram->bucketWidth(),
+                          src->histogram->bucketCount());
+            dst.merge(*src->histogram);
+            break;
+          }
+          case Kind::kSeries:
+            // Time series are per-run artifacts: their cycle axes
+            // restart at 0 in every run, so concatenating them
+            // would produce a non-monotonic, meaningless series.
+            // Merged registries carry counters, gauges and
+            // histograms only.
+            break;
+        }
+    }
+    for (const auto &[key, value] : other.labels_)
+        labels_.emplace(key, value);    // first writer wins
+}
+
+// ------------------------------------------------------------------- export
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"mfusim-metrics-v1\",\n";
+
+    os << "  \"labels\": {";
+    bool first = true;
+    for (const auto &[key, value] : labels_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(key)
+           << "\": \"" << jsonEscape(value) << "\"";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"counters\": {";
+    first = true;
+    for (const auto &entry : entries_) {
+        if (entry->kind != Kind::kCounter)
+            continue;
+        os << (first ? "" : ",") << "\n    \""
+           << jsonEscape(entry->name)
+           << "\": " << entry->counter->value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"gauges\": {";
+    first = true;
+    for (const auto &entry : entries_) {
+        if (entry->kind != Kind::kGauge)
+            continue;
+        os << (first ? "" : ",") << "\n    \""
+           << jsonEscape(entry->name)
+           << "\": " << jsonNumber(entry->gauge->value());
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"histograms\": {";
+    first = true;
+    for (const auto &entry : entries_) {
+        if (entry->kind != Kind::kHistogram)
+            continue;
+        const Histogram &h = *entry->histogram;
+        os << (first ? "" : ",") << "\n    \""
+           << jsonEscape(entry->name) << "\": {\"bucket_width\": "
+           << h.bucketWidth() << ", \"count\": " << h.count()
+           << ", \"sum\": " << h.sum() << ", \"min\": " << h.min()
+           << ", \"max\": " << h.max()
+           << ", \"mean\": " << jsonNumber(h.mean())
+           << ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.bucketCount(); ++i)
+            os << (i ? ", " : "") << h.bucket(i);
+        os << "], \"overflow\": " << h.overflow() << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"series\": {";
+    first = true;
+    for (const auto &entry : entries_) {
+        if (entry->kind != Kind::kSeries)
+            continue;
+        const TimeSeries &ts = *entry->series;
+        os << (first ? "" : ",") << "\n    \""
+           << jsonEscape(entry->name) << "\": {\"stride\": "
+           << ts.stride() << ", \"points\": [";
+        bool firstPoint = true;
+        for (const auto &p : ts.points()) {
+            os << (firstPoint ? "" : ", ") << "[" << p.cycle << ", "
+               << jsonNumber(p.value) << "]";
+            firstPoint = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    // CSV flattens to scalar statistics: histograms export their
+    // moments, series their last value.  Labels ride along as
+    // pseudo-metrics so a spreadsheet join keeps the context.
+    os << "name,kind,value\n";
+    for (const auto &[key, value] : labels_)
+        os << "label." << key << ",label," << value << "\n";
+    for (const auto &entry : entries_) {
+        switch (entry->kind) {
+          case Kind::kCounter:
+            os << entry->name << ",counter,"
+               << entry->counter->value() << "\n";
+            break;
+          case Kind::kGauge:
+            os << entry->name << ",gauge,"
+               << jsonNumber(entry->gauge->value()) << "\n";
+            break;
+          case Kind::kHistogram: {
+            const Histogram &h = *entry->histogram;
+            os << entry->name << ".count,histogram," << h.count()
+               << "\n"
+               << entry->name << ".mean,histogram,"
+               << jsonNumber(h.mean()) << "\n"
+               << entry->name << ".min,histogram," << h.min() << "\n"
+               << entry->name << ".max,histogram," << h.max() << "\n";
+            break;
+          }
+          case Kind::kSeries: {
+            const auto &points = entry->series->points();
+            os << entry->name << ".samples,series," << points.size()
+               << "\n";
+            break;
+          }
+        }
+    }
+}
+
+// ------------------------------------------------------------- phase timer
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ScopedPhaseTimer::ScopedPhaseTimer(Gauge &gauge)
+    : gauge_(gauge), startNs_(nowNs())
+{
+}
+
+ScopedPhaseTimer::~ScopedPhaseTimer()
+{
+    gauge_.add(double(nowNs() - startNs_) * 1e-9);
+}
+
+} // namespace mfusim

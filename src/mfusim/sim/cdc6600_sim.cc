@@ -20,6 +20,13 @@ namespace mfusim
 SimResult
 Cdc6600Sim::run(const DecodedTrace &trace)
 {
+    return auditSink() ? runImpl<true>(trace) : runImpl<false>(trace);
+}
+
+template <bool kObs>
+SimResult
+Cdc6600Sim::runImpl(const DecodedTrace &trace)
+{
     checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
@@ -51,7 +58,7 @@ Cdc6600Sim::run(const DecodedTrace &trace)
     // audit).  Boundary state: live register ready times, waiting
     // stations, the pool, and the outstanding bus reservations, all
     // rebased to the issue cursor.
-    const bool steady = steadyStateEnabled() && auditSink() == nullptr;
+    const bool steady = steadyStateEnabled() && !kObs;
     SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
                                n);
     std::size_t boundary = tracker.nextBoundary();
@@ -113,7 +120,8 @@ Cdc6600Sim::run(const DecodedTrace &trace)
                  trace.btfnCorrect(i));
             if (predicted_free) {
                 const ClockCycle t = issue_cursor;
-                emitAudit(AuditPhase::kIssue, t, i);
+                if constexpr (kObs)
+                    emitAudit(AuditPhase::kIssue, t, i);
                 issue_cursor = t + 1;
                 end = std::max(end, t + 1);
             } else {
@@ -122,7 +130,13 @@ Cdc6600Sim::run(const DecodedTrace &trace)
                 // for the condition, then block for the branch time.
                 const ClockCycle t =
                     std::max(issue_cursor, cond_ready);
-                emitAudit(AuditPhase::kIssue, t, i);
+                if constexpr (kObs) {
+                    emitAudit(AuditPhase::kIssue, t, i);
+                    emitStall(StallCause::kBranch, issue_cursor,
+                              t - issue_cursor, i);
+                    emitStall(StallCause::kBranch, t + 1,
+                              cfg_.branchTime - 1, i);
+                }
                 issue_cursor = t + cfg_.branchTime;
                 end = std::max(end, t + cfg_.branchTime);
             }
@@ -138,8 +152,14 @@ Cdc6600Sim::run(const DecodedTrace &trace)
         ClockCycle t = issue_cursor;
         if (dst != kNoReg)
             t = std::max(t, regReady[dst]);             // WAW
+        if constexpr (kObs)
+            emitStall(StallCause::kWaw, issue_cursor,
+                      t - issue_cursor, i);
+        const ClockCycle waw_mark = t;
         if (!is_transfer)
             t = std::max(t, stationFree[fu]);           // station busy
+        if constexpr (kObs)
+            emitStall(StallCause::kFuBusy, waw_mark, t - waw_mark, i);
 
         // Dispatch: the parked instruction enters its (segmented)
         // unit once its operands exist and the unit can accept.
@@ -174,9 +194,12 @@ Cdc6600Sim::run(const DecodedTrace &trace)
 
         const ClockCycle ready = pool.accept(fu_class, dispatch,
                                              latency);
-        emitAudit(AuditPhase::kIssue, t, i);
-        emitAudit(AuditPhase::kDispatch, dispatch, i);
-        emitAudit(AuditPhase::kComplete, ready, i, needs_bus ? 0 : -1);
+        if constexpr (kObs) {
+            emitAudit(AuditPhase::kIssue, t, i);
+            emitAudit(AuditPhase::kDispatch, dispatch, i);
+            emitAudit(AuditPhase::kComplete, ready, i,
+                      needs_bus ? 0 : -1);
+        }
         if (needs_bus)
             bus_reserved.insert(ready);
         if (dst != kNoReg)

@@ -58,6 +58,11 @@ class Cdc6600Sim : public Simulator
     AuditRules auditRules() const override;
 
   private:
+    // The issue loop is compiled twice: kObs=false (no attached
+    // sink) carries zero event/stall-emission code, so the default
+    // path's throughput is untouched by instrumentation.
+    template <bool kObs> SimResult runImpl(const DecodedTrace &trace);
+
     Cdc6600Config org_;
     MachineConfig cfg_;
 };

@@ -339,6 +339,17 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
             bool progress = false;
             ClockCycle hint = kNever;   // earliest future issue event
 
+            // Stall attribution: the oldest unissued window entry is
+            // never blocked by a buffer-order hazard (every earlier
+            // entry has issued), so it always reaches a concrete
+            // dependency / FU / bus check whose cause we record.  If
+            // this pass issues nothing, the skipped cycles are
+            // charged to that cause.
+            [[maybe_unused]] bool head_blocked = false;
+            [[maybe_unused]] bool seen_unissued = false;
+            [[maybe_unused]] StallCause head_cause = StallCause::kOther;
+            [[maybe_unused]] std::uint64_t head_op = 0;
+
             for (std::size_t j = wStart; j < wEnd; ++j) {
                 const std::size_t s = j - wStart;
                 bool buffer_hazard;
@@ -382,9 +393,16 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                     }
                 }
                 if (buffer_hazard) {
+                    if constexpr (kAudit)
+                        seen_unissued = true;
                     if (!org_.outOfOrder)
                         break;      // nothing later may issue either
                     continue;
+                }
+                [[maybe_unused]] bool is_head = false;
+                if constexpr (kAudit) {
+                    is_head = !seen_unissued;
+                    seen_unissued = true;
                 }
 
                 // Register and control constraints give a concrete
@@ -409,6 +427,29 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                     earliest = std::max(earliest, floorTime);
 
                 if (earliest > t) {
+                    if constexpr (kAudit) {
+                        if (is_head && !head_blocked) {
+                            // Decompose the binding register/control
+                            // constraint back into the paper's
+                            // conflict classes.
+                            ClockCycle rawT = 0, wawT = 0;
+                            if (!free_branch &&
+                                trace.prodA(j) != kNoProd)
+                                rawT = completion[trace.prodA(j)];
+                            if (trace.prodB(j) != kNoProd)
+                                rawT = std::max(
+                                    rawT, completion[trace.prodB(j)]);
+                            if (trace.prevWriter(j) != kNoProd)
+                                wawT = completion[trace.prevWriter(j)];
+                            head_cause = trace.isBranch(j)
+                                ? StallCause::kBranch
+                                : rawT == earliest ? StallCause::kRaw
+                                : wawT == earliest ? StallCause::kWaw
+                                                   : StallCause::kBranch;
+                            head_op = j;
+                            head_blocked = true;
+                        }
+                    }
                     hint = std::min(hint, earliest);
                     if (!org_.outOfOrder)
                         break;
@@ -419,6 +460,13 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                 const unsigned unit = unsigned(s);
                 const FuClass op_fu = trace.fu(j);
                 if (!pool.canAccept(op_fu, t)) {
+                    if constexpr (kAudit) {
+                        if (is_head && !head_blocked) {
+                            head_cause = StallCause::kFuBusy;
+                            head_op = j;
+                            head_blocked = true;
+                        }
+                    }
                     hint = std::min(hint,
                                     pool.earliestAccept(op_fu, t));
                     if (!org_.outOfOrder)
@@ -427,6 +475,13 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                 }
                 const bool produces = trace.producesResult(j);
                 if (produces && !bus.canReserve(unit, t + latency)) {
+                    if constexpr (kAudit) {
+                        if (is_head && !head_blocked) {
+                            head_cause = StallCause::kBusBusy;
+                            head_op = j;
+                            head_blocked = true;
+                        }
+                    }
                     // Exact next event: every completion cycle up to
                     // the first free slot is taken on every eligible
                     // bus, and a no-progress pass adds no
@@ -487,6 +542,12 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                 hint == kNever ? t + 1 : std::max(t + 1, hint);
             if (next - last_event > watchdog)
                 throw_watchdog(next, wStart, wEnd);
+            if constexpr (kAudit) {
+                // Nothing issued this pass: charge [t, next) to
+                // whatever blocked the oldest unissued entry.
+                if (head_blocked)
+                    emitStall(head_cause, t, next - t, head_op);
+            }
             t = next;
         }
 

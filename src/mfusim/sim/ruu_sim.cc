@@ -330,6 +330,15 @@ RuuSim::runImpl(const DecodedTrace &trace)
         ClockCycle hint = kUnknown;
         wb.advanceTo(t);
 
+        // Front-end stall attribution for this cycle: set when the
+        // insert stage has ops left but could not insert anything
+        // (branch hold / condition wait / full RUU bank).  Cycles
+        // where the front is empty-handed because the trace ran out
+        // fall into the drain bucket instead.
+        [[maybe_unused]] bool front_blocked = false;
+        [[maybe_unused]] StallCause front_cause = StallCause::kOther;
+        [[maybe_unused]] std::uint64_t front_op = 0;
+
         // ---- commit: retire completed results from the head -------
         unsigned committed = 0;
         while (committed < commit_cap && ruu_head < ruu.size()) {
@@ -418,6 +427,13 @@ RuuSim::runImpl(const DecodedTrace &trace)
 
         // ---- insert: issue units -> RUU ----------------------------
         if (t < insert_blocked_until) {
+            if constexpr (kAudit) {
+                if (next_insert < n) {
+                    front_blocked = true;
+                    front_cause = StallCause::kBranch;
+                    front_op = next_insert;
+                }
+            }
             hint = std::min(hint, insert_blocked_until);
         } else {
             unsigned inserted = 0;
@@ -446,6 +462,13 @@ RuuSim::runImpl(const DecodedTrace &trace)
                     const std::uint32_t prod =
                         trace.prodA(next_insert);
                     if (!operand_ready(prod, t)) {
+                        if constexpr (kAudit) {
+                            if (inserted == 0) {
+                                front_blocked = true;
+                                front_cause = StallCause::kBranch;
+                                front_op = next_insert;
+                            }
+                        }
                         const ClockCycle h = operand_hint(prod);
                         if (h != kUnknown)
                             hint = std::min(hint, h);
@@ -463,8 +486,16 @@ RuuSim::runImpl(const DecodedTrace &trace)
 
                 const unsigned bank =
                     banked ? unsigned(insert_counter % org_.width) : 0;
-                if (bank_count[bank] >= bank_cap[bank])
+                if (bank_count[bank] >= bank_cap[bank]) {
+                    if constexpr (kAudit) {
+                        if (inserted == 0) {
+                            front_blocked = true;
+                            front_cause = StallCause::kBufferDrain;
+                            front_op = next_insert;
+                        }
+                    }
                     break;      // RUU (bank) full: stall in order
+                }
 
                 if constexpr (kAudit)
                     emitAudit(AuditPhase::kInsert, t, next_insert,
@@ -481,6 +512,12 @@ RuuSim::runImpl(const DecodedTrace &trace)
 
         // ---- advance time ------------------------------------------
         if (progress) {
+            if constexpr (kAudit) {
+                // Back-end progress with a blocked front: the issue
+                // units still lost this cycle.
+                if (front_blocked)
+                    emitStall(front_cause, t, 1, front_op);
+            }
             last_event = t;
             t += 1;
         } else {
@@ -488,6 +525,10 @@ RuuSim::runImpl(const DecodedTrace &trace)
                 (hint == kUnknown || hint <= t) ? t + 1 : hint;
             if (next - last_event > watchdog)
                 throw_watchdog(next);
+            if constexpr (kAudit) {
+                if (front_blocked)
+                    emitStall(front_cause, t, next - t, front_op);
+            }
             t = next;
         }
     }

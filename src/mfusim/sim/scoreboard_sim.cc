@@ -58,6 +58,13 @@ ScoreboardSim::name() const
 SimResult
 ScoreboardSim::run(const DecodedTrace &trace)
 {
+    return auditSink() ? runImpl<true>(trace) : runImpl<false>(trace);
+}
+
+template <bool kObs>
+SimResult
+ScoreboardSim::runImpl(const DecodedTrace &trace)
+{
     checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
@@ -83,7 +90,7 @@ ScoreboardSim::run(const DecodedTrace &trace)
     // pool and bus timelines and the end watermark, all rebased to
     // the issue cursor; once it repeats across boundaries, the
     // remaining iterations shift by a constant delta.
-    const bool steady = steadyStateEnabled() && auditSink() == nullptr;
+    const bool steady = steadyStateEnabled() && !kObs;
     SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
                                n);
     std::size_t boundary = tracker.nextBoundary();
@@ -161,7 +168,8 @@ ScoreboardSim::run(const DecodedTrace &trace)
                 // Correctly predicted: the branch spends one issue
                 // slot and never gates the stream.
                 const ClockCycle t = issue_cursor;
-                emitAudit(AuditPhase::kIssue, t, i);
+                if constexpr (kObs)
+                    emitAudit(AuditPhase::kIssue, t, i);
                 issue_cursor = t + 1;
                 end = std::max(end, t + 1);
             } else {
@@ -171,9 +179,15 @@ ScoreboardSim::run(const DecodedTrace &trace)
                 // branch time.
                 const ClockCycle t =
                     std::max(issue_cursor, cond_ready);
-                emitAudit(AuditPhase::kIssue, t, i);
                 result.stalls.branch +=
                     (t - issue_cursor) + (cfg_.branchTime - 1);
+                if constexpr (kObs) {
+                    emitAudit(AuditPhase::kIssue, t, i);
+                    emitStall(StallCause::kBranch, issue_cursor,
+                              t - issue_cursor, i);
+                    emitStall(StallCause::kBranch, t + 1,
+                              cfg_.branchTime - 1, i);
+                }
                 issue_cursor = t + cfg_.branchTime;
                 end = std::max(end, t + cfg_.branchTime);
             }
@@ -198,10 +212,15 @@ ScoreboardSim::run(const DecodedTrace &trace)
                                            : regReady[src]);
         }
         result.stalls.raw += t - issue_cursor;
+        if constexpr (kObs)
+            emitStall(StallCause::kRaw, issue_cursor,
+                      t - issue_cursor, i);
         ClockCycle mark = t;
         if (dst != kNoReg)
             t = std::max(t, regReady[dst]);         // WAW reservation
         result.stalls.waw += t - mark;
+        if constexpr (kObs)
+            emitStall(StallCause::kWaw, mark, t - mark, i);
 
         // Structural hazards: functional unit, then result bus.
         // Vector results stream over the vector register write
@@ -211,6 +230,8 @@ ScoreboardSim::run(const DecodedTrace &trace)
         while (true) {
             const ClockCycle at_fu = pool.earliestAccept(fu, t);
             result.stalls.structural += at_fu - t;
+            if constexpr (kObs)
+                emitStall(StallCause::kFuBusy, t, at_fu - t, i);
             t = at_fu;
             if (needs_bus) {
                 bus.advanceTo(t);
@@ -224,6 +245,9 @@ ScoreboardSim::run(const DecodedTrace &trace)
                     bus.earliestReserve(0, t + latency);
                 if (slot != t + latency) {
                     result.stalls.resultBus += slot - (t + latency);
+                    if constexpr (kObs)
+                        emitStall(StallCause::kBusBusy, t,
+                                  slot - (t + latency), i);
                     t = slot - latency;
                     continue;   // recheck the unit at the later cycle
                 }
@@ -233,8 +257,11 @@ ScoreboardSim::run(const DecodedTrace &trace)
 
         // Issue.
         const ClockCycle ready = pool.accept(fu, t, latency, occupancy);
-        emitAudit(AuditPhase::kIssue, t, i);
-        emitAudit(AuditPhase::kComplete, ready, i, needs_bus ? 0 : -1);
+        if constexpr (kObs) {
+            emitAudit(AuditPhase::kIssue, t, i);
+            emitAudit(AuditPhase::kComplete, ready, i,
+                      needs_bus ? 0 : -1);
+        }
         if (needs_bus)
             bus.reserve(0, ready);
         if (dst != kNoReg) {

@@ -92,6 +92,11 @@ class ScoreboardSim : public Simulator
     AuditRules auditRules() const override;
 
   private:
+    // The issue loop is compiled twice: kObs=false (no attached
+    // sink) carries zero event/stall-emission code, so the default
+    // path's throughput is untouched by instrumentation.
+    template <bool kObs> SimResult runImpl(const DecodedTrace &trace);
+
     ScoreboardConfig org_;
     MachineConfig cfg_;
 };

@@ -55,8 +55,15 @@ SimpleSim::runImpl(const DecodedTrace &trace) const
             }
             boundary = tracker.nextBoundary();
         }
-        if constexpr (kAudit)
+        if constexpr (kAudit) {
             emitAudit(AuditPhase::kIssue, end, i);
+            // Every cycle this op holds the execute stage beyond its
+            // issue cycle is a serial-execution stall for the stream.
+            emitStall(StallCause::kSerial, end + 1,
+                      ClockCycle(trace.latency(i)) +
+                          trace.occupancy(i) - 2,
+                      i);
+        }
         end += trace.latency(i);
         end += trace.occupancy(i) - 1;      // one element per cycle
         if constexpr (kAudit)

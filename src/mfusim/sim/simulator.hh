@@ -17,6 +17,7 @@
 #include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/machine_config.hh"
 #include "mfusim/core/trace.hh"
+#include "mfusim/obs/obs_sink.hh"
 #include "mfusim/sim/audit.hh"
 
 namespace mfusim
@@ -117,8 +118,21 @@ class Simulator
      * event.  The caller owns the sink and must keep it alive across
      * the run (see runAudited() for the packaged form).
      */
-    void attachAudit(AuditSink *sink) { audit_ = sink; }
+    void
+    attachAudit(AuditSink *sink)
+    {
+        audit_ = sink;
+        obs_ = dynamic_cast<ObsSink *>(sink);
+    }
     AuditSink *auditSink() const { return audit_; }
+
+    /**
+     * The attached sink's observability interface, or nullptr when
+     * no sink is attached or the sink is a plain AuditSink.  Stall
+     * samples (emitStall) reach only ObsSinks; plain auditors see
+     * the unchanged event stream.
+     */
+    ObsSink *obsSink() const { return obs_; }
 
     /**
      * The legality invariants an Auditor should enforce for this
@@ -137,8 +151,23 @@ class Simulator
             audit_->onEvent(AuditEvent{ cycle, op, unit, phase });
     }
 
+    /**
+     * Report @p cycles consecutive lost issue cycles starting at
+     * @p from, attributed to @p cause, if an ObsSink is attached.
+     * Zero-length waits are swallowed here so call sites can report
+     * every resolved max() unconditionally.
+     */
+    void
+    emitStall(StallCause cause, ClockCycle from, ClockCycle cycles,
+              std::uint64_t op) const
+    {
+        if (obs_ && cycles)
+            obs_->onStall(StallSample{ from, cycles, op, cause });
+    }
+
   private:
     AuditSink *audit_ = nullptr;
+    ObsSink *obs_ = nullptr;
 };
 
 /**

@@ -42,6 +42,13 @@ TomasuloSim::name() const
 SimResult
 TomasuloSim::run(const DecodedTrace &trace)
 {
+    return auditSink() ? runImpl<true>(trace) : runImpl<false>(trace);
+}
+
+template <bool kObs>
+SimResult
+TomasuloSim::runImpl(const DecodedTrace &trace)
+{
     checkDecodedConfig(trace, cfg_);
     SimResult result;
     result.instructions = trace.size();
@@ -92,7 +99,7 @@ TomasuloSim::run(const DecodedTrace &trace)
     // live register values, station broadcast times, and the accept /
     // CDB reservation sets pruned to the future, rebased to the
     // issue cursor.
-    const bool steady = steadyStateEnabled() && auditSink() == nullptr;
+    const bool steady = steadyStateEnabled() && !kObs;
     SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
                                n);
     std::size_t boundary = tracker.nextBoundary();
@@ -176,13 +183,20 @@ TomasuloSim::run(const DecodedTrace &trace)
                  trace.btfnCorrect(i));
             if (predicted_free) {
                 const ClockCycle t = issue_cursor;
-                emitAudit(AuditPhase::kIssue, t, i);
+                if constexpr (kObs)
+                    emitAudit(AuditPhase::kIssue, t, i);
                 issue_cursor = t + 1;
                 end = std::max(end, t + 1);
             } else {
                 const ClockCycle t =
                     std::max(issue_cursor, cond_ready);
-                emitAudit(AuditPhase::kIssue, t, i);
+                if constexpr (kObs) {
+                    emitAudit(AuditPhase::kIssue, t, i);
+                    emitStall(StallCause::kBranch, issue_cursor,
+                              t - issue_cursor, i);
+                    emitStall(StallCause::kBranch, t + 1,
+                              cfg_.branchTime - 1, i);
+                }
                 issue_cursor = t + cfg_.branchTime;
                 end = std::max(end, t + cfg_.branchTime);
             }
@@ -205,6 +219,11 @@ TomasuloSim::run(const DecodedTrace &trace)
                     pool.erase(pool.begin());
             }
         }
+        // The only in-order issue blocker is a full station pool;
+        // operand and CDB waits happen out at the stations.
+        if constexpr (kObs)
+            emitStall(StallCause::kBufferDrain, issue_cursor,
+                      t - issue_cursor, i);
 
         // ---- dispatch: operands by tag, then a pipeline slot.
         ClockCycle dispatch = t + 1;    // station latch
@@ -256,9 +275,12 @@ TomasuloSim::run(const DecodedTrace &trace)
             stations[fu].insert(completion);
         }
 
-        emitAudit(AuditPhase::kIssue, t, i);
-        emitAudit(AuditPhase::kDispatch, dispatch, i);
-        emitAudit(AuditPhase::kComplete, completion, i, claimed_cdb);
+        if constexpr (kObs) {
+            emitAudit(AuditPhase::kIssue, t, i);
+            emitAudit(AuditPhase::kDispatch, dispatch, i);
+            emitAudit(AuditPhase::kComplete, completion, i,
+                      claimed_cdb);
+        }
         if (dst != kNoReg)
             value_ready[dst] = completion;
         issue_cursor = t + 1;

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Observability-layer tests: the MetricsRegistry primitives, the
+ * PipeTraceRecorder + exporters, and — for all six simulators — the
+ * per-op schedule invariants and the cycle accounting identity
+ *
+ *     cycles.total = cycles.front_active
+ *                  + sum(cycles.stall.*) + cycles.drain
+ *
+ * which populateRunMetrics() enforces (it throws on a negative
+ * remainder, so merely calling it is half the test).
+ */
+
+#include <cctype>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/obs/metrics.hh"
+#include "mfusim/obs/pipe_trace.hh"
+#include "mfusim/obs/run_metrics.hh"
+#include "mfusim/sim/cdc6600_sim.hh"
+#include "mfusim/sim/multi_issue_sim.hh"
+#include "mfusim/sim/ruu_sim.hh"
+#include "mfusim/sim/scoreboard_sim.hh"
+#include "mfusim/sim/simple_sim.hh"
+#include "mfusim/sim/tomasulo_sim.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// A minimal JSON validity checker (structure only, no values kept):
+// enough to catch unbalanced brackets, bad escapes, trailing commas
+// and unquoted keys in the exporters' hand-written JSON.
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool valid()
+    {
+        skipSpace();
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_;     // '{'
+        skipSpace();
+        if (peek() == '}') { ++pos_; return true; }
+        for (;;) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_;     // '['
+        skipSpace();
+        if (peek() == ']') { ++pos_; return true; }
+        for (;;) {
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_;     // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+validJson(const std::string &text)
+{
+    return JsonChecker(text).valid();
+}
+
+// ---------------------------------------------------------------
+// MetricsRegistry primitives.
+
+TEST(Metrics, CountersAndGauges)
+{
+    MetricsRegistry reg;
+    reg.counter("a").add(3);
+    reg.counter("a").increment();
+    reg.gauge("g").set(2.5);
+    reg.gauge("g").add(0.5);
+    EXPECT_EQ(reg.counterValue("a"), 4u);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("g"), 3.0);
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("missing"), 0.0);
+}
+
+TEST(Metrics, KindMismatchThrows)
+{
+    MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), Error);
+    EXPECT_THROW(reg.histogram("x", 1.0, 4), Error);
+}
+
+TEST(Metrics, HistogramBucketsAndMerge)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("h", 10.0, 4);
+    h.record(0);
+    h.record(5);
+    h.record(15);
+    h.record(999);      // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 999.0);
+
+    MetricsRegistry other;
+    other.histogram("h", 10.0, 4).record(25);
+    reg.merge(other);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(2), 1u);
+
+    MetricsRegistry bad;
+    bad.histogram("h", 5.0, 4).record(1);
+    EXPECT_THROW(reg.merge(bad), Error);
+}
+
+TEST(Metrics, TimeSeriesCompactsUnderCap)
+{
+    MetricsRegistry reg;
+    TimeSeries &s = reg.series("s", 64);
+    for (ClockCycle t = 0; t < 10000; ++t)
+        s.record(t, double(t));
+    EXPECT_LE(s.points().size(), 64u);
+    EXPECT_GT(s.stride(), 1u);
+    // Sampled cycles remain sorted.
+    const auto &pts = s.points();
+    for (std::size_t i = 1; i < pts.size(); ++i)
+        EXPECT_LT(pts[i - 1].cycle, pts[i].cycle);
+}
+
+TEST(Metrics, MergeAccumulatesAndKeepsFirstLabels)
+{
+    MetricsRegistry a, b;
+    a.setLabel("who", "a");
+    a.counter("n").add(1);
+    b.setLabel("who", "b");
+    b.setLabel("extra", "e");
+    b.counter("n").add(2);
+    a.merge(b);
+    EXPECT_EQ(a.counterValue("n"), 3u);
+    EXPECT_EQ(a.labels().at("who"), "a");
+    EXPECT_EQ(a.labels().at("extra"), "e");
+}
+
+TEST(Metrics, JsonAndCsvOutput)
+{
+    MetricsRegistry reg;
+    reg.setLabel("sim", "test \"quoted\"");
+    reg.counter("cycles.total").add(10);
+    reg.gauge("rate").set(0.5);
+    reg.histogram("occ", 1.0, 4).record(2);
+    reg.series("ts").record(0, 1.0);
+
+    std::ostringstream json;
+    reg.writeJson(json);
+    EXPECT_TRUE(validJson(json.str())) << json.str();
+    EXPECT_NE(json.str().find("mfusim-metrics-v1"), std::string::npos);
+
+    std::ostringstream csv;
+    reg.writeCsv(csv);
+    EXPECT_NE(csv.str().find("name,kind,value"), std::string::npos);
+    EXPECT_NE(csv.str().find("cycles.total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// FanoutSink: events reach every child, stalls only obs children.
+
+TEST(ObsSink, FanoutForwardsToAllChildren)
+{
+    PipeTraceRecorder a, b;
+    FanoutSink fanout;
+    fanout.add(&a);
+    fanout.add(&b);
+    fanout.onEvent(AuditEvent{ 3, 0, 1, AuditPhase::kIssue });
+    fanout.onStall(StallSample{ 4, 2, 0, StallCause::kRaw });
+    for (PipeTraceRecorder *r : { &a, &b }) {
+        ASSERT_EQ(r->opCount(), 1u);
+        EXPECT_EQ(r->issue(0), 3u);
+        ASSERT_EQ(r->stalls().size(), 1u);
+        EXPECT_EQ(r->stalls()[0].cycles, 2u);
+    }
+}
+
+// ---------------------------------------------------------------
+// All six simulators: schedule invariants + the accounting identity.
+
+struct NamedSim
+{
+    std::string name;
+    std::unique_ptr<Simulator> sim;
+    bool inOrderFront;      // front events monotonic in op order
+};
+
+std::vector<NamedSim>
+allSims(const MachineConfig &cfg)
+{
+    std::vector<NamedSim> sims;
+    sims.push_back({ "simple", std::make_unique<SimpleSim>(cfg),
+                     true });
+    sims.push_back({ "cray",
+                     std::make_unique<ScoreboardSim>(
+                         ScoreboardConfig::crayLike(), cfg),
+                     true });
+    sims.push_back({ "cdc",
+                     std::make_unique<Cdc6600Sim>(Cdc6600Config{},
+                                                  cfg),
+                     true });
+    sims.push_back({ "tomasulo",
+                     std::make_unique<TomasuloSim>(TomasuloConfig{},
+                                                   cfg),
+                     true });
+    sims.push_back({ "ooo4",
+                     std::make_unique<MultiIssueSim>(
+                         MultiIssueConfig{ 4, true, BusKind::kPerUnit,
+                                           false,
+                                           BranchPolicy::kBlocking },
+                         cfg),
+                     false });
+    sims.push_back({ "ruu",
+                     std::make_unique<RuuSim>(
+                         RuuConfig{ 2, 30, BusKind::kPerUnit,
+                                    BranchPolicy::kBlocking },
+                         cfg),
+                     true });
+    return sims;
+}
+
+TEST(ObsAllSims, ScheduleCompleteAndMonotonic)
+{
+    const MachineConfig cfg = configM11BR5();
+    for (int loop : { 3, 5 }) {
+        const DecodedTrace trace(TraceLibrary::instance().trace(loop),
+                                 cfg);
+        for (NamedSim &entry : allSims(cfg)) {
+            PipeTraceRecorder rec;
+            entry.sim->attachAudit(&rec);
+            entry.sim->run(trace);
+            entry.sim->attachAudit(nullptr);
+
+            ASSERT_EQ(rec.opCount(), trace.size())
+                << entry.name << " LL" << loop;
+            ClockCycle prevFront = 0;
+            for (std::size_t i = 0; i < trace.size(); ++i) {
+                const std::string where = entry.name + " LL" +
+                                          std::to_string(loop) +
+                                          " op " + std::to_string(i);
+                // Every op enters the front end exactly once...
+                ASSERT_NE(rec.front(i), PipeTraceRecorder::kNoCycle)
+                    << where;
+                // ...executes no earlier than it entered...
+                EXPECT_LE(rec.front(i), rec.exec(i)) << where;
+                // ...and completes after starting, where completion
+                // is modeled (branches produce no result).
+                if (rec.complete(i) != PipeTraceRecorder::kNoCycle)
+                    EXPECT_LT(rec.exec(i), rec.complete(i) + 1)
+                        << where;
+                if (rec.commit(i) != PipeTraceRecorder::kNoCycle &&
+                    rec.complete(i) != PipeTraceRecorder::kNoCycle)
+                    EXPECT_LE(rec.complete(i), rec.commit(i))
+                        << where;
+                if (entry.inOrderFront) {
+                    EXPECT_LE(prevFront, rec.front(i)) << where;
+                    prevFront = rec.front(i);
+                }
+            }
+        }
+    }
+}
+
+TEST(ObsAllSims, StallIdentityHolds)
+{
+    const MachineConfig cfg = configM11BR5();
+    for (int loop : { 1, 3, 5, 7, 12 }) {
+        const DecodedTrace trace(TraceLibrary::instance().trace(loop),
+                                 cfg);
+        for (NamedSim &entry : allSims(cfg)) {
+            PipeTraceRecorder rec;
+            entry.sim->attachAudit(&rec);
+            const SimResult r = entry.sim->run(trace);
+            entry.sim->attachAudit(nullptr);
+
+            MetricsRegistry reg;
+            // Throws if attribution overlaps issue cycles.
+            ASSERT_NO_THROW(
+                populateRunMetrics(reg, trace, rec, r, *entry.sim))
+                << entry.name << " LL" << loop;
+
+            std::uint64_t stall = 0;
+            for (unsigned c = 0; c < kNumStallCauses; ++c)
+                stall += reg.counterValue(
+                    std::string("cycles.stall.") +
+                    stallCauseName(StallCause(c)));
+            EXPECT_EQ(reg.counterValue("cycles.total"),
+                      reg.counterValue("cycles.front_active") +
+                          stall + reg.counterValue("cycles.drain"))
+                << entry.name << " LL" << loop;
+            EXPECT_EQ(reg.counterValue("cycles.total"), r.cycles)
+                << entry.name << " LL" << loop;
+            EXPECT_EQ(reg.counterValue("ops.total"), r.instructions)
+                << entry.name << " LL" << loop;
+            // Utilization gauges are fractions.
+            for (const auto &label : reg.labels())
+                (void)label;
+        }
+    }
+}
+
+TEST(ObsAllSims, InstrumentedRunMatchesFastPath)
+{
+    // Attaching a sink disables the steady-state fast path; the
+    // result must nevertheless be identical to the default run.
+    const MachineConfig cfg = configM11BR5();
+    const DecodedTrace trace(TraceLibrary::instance().trace(7), cfg);
+    for (NamedSim &entry : allSims(cfg)) {
+        const SimResult fast = entry.sim->run(trace);
+        PipeTraceRecorder rec;
+        entry.sim->attachAudit(&rec);
+        const SimResult slow = entry.sim->run(trace);
+        entry.sim->attachAudit(nullptr);
+        EXPECT_EQ(fast.cycles, slow.cycles) << entry.name;
+        EXPECT_EQ(fast.instructions, slow.instructions)
+            << entry.name;
+        if (fast.hasStalls && slow.hasStalls) {
+            EXPECT_EQ(fast.stalls.raw, slow.stalls.raw)
+                << entry.name;
+            EXPECT_EQ(fast.stalls.branch, slow.stalls.branch)
+                << entry.name;
+        }
+        // The instrumented run must not have taken the fast path.
+        EXPECT_EQ(slow.steadyOpsSkipped, 0u) << entry.name;
+    }
+}
+
+// ---------------------------------------------------------------
+// Exporters.
+
+TEST(ObsExport, ChromeTraceIsValidJson)
+{
+    const MachineConfig cfg = configM11BR5();
+    const DecodedTrace trace(TraceLibrary::instance().trace(5), cfg);
+    for (NamedSim &entry : allSims(cfg)) {
+        PipeTraceRecorder rec;
+        entry.sim->attachAudit(&rec);
+        entry.sim->run(trace);
+        entry.sim->attachAudit(nullptr);
+        std::ostringstream out;
+        writeChromeTrace(out, rec, trace, entry.name + " LL5");
+        EXPECT_TRUE(validJson(out.str())) << entry.name;
+        EXPECT_NE(out.str().find("traceEvents"), std::string::npos)
+            << entry.name;
+        EXPECT_NE(out.str().find("process_name"), std::string::npos)
+            << entry.name;
+    }
+}
+
+TEST(ObsExport, PipeviewShowsSchedule)
+{
+    const MachineConfig cfg = configM11BR5();
+    const DecodedTrace trace(TraceLibrary::instance().trace(5), cfg);
+    RuuSim sim(RuuConfig{ 2, 30, BusKind::kPerUnit,
+                          BranchPolicy::kBlocking },
+               cfg);
+    PipeTraceRecorder rec;
+    sim.attachAudit(&rec);
+    sim.run(trace);
+    sim.attachAudit(nullptr);
+    std::ostringstream out;
+    writePipeview(out, rec, trace, 8, 80);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("pipeview:"), std::string::npos);
+    EXPECT_NE(text.find(mnemonicOf(trace.op(0))),
+              std::string::npos);
+    EXPECT_NE(text.find('I'), std::string::npos);
+    // 8-op clamp plus a truncation note for the rest.
+    EXPECT_NE(text.find("more ops"), std::string::npos);
+}
+
+TEST(ObsExport, ScopedPhaseTimerAccumulates)
+{
+    MetricsRegistry reg;
+    {
+        ScopedPhaseTimer timer(reg.gauge("profile.x_seconds"));
+        volatile unsigned sink = 0;
+        for (unsigned i = 0; i < 100000; ++i)
+            sink = sink + i;
+    }
+    EXPECT_GT(reg.gaugeValue("profile.x_seconds"), 0.0);
+}
+
+} // namespace
+} // namespace mfusim

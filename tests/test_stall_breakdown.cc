@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "mfusim/harness/trace_library.hh"
+#include "mfusim/obs/run_metrics.hh"
 #include "mfusim/sim/scoreboard_sim.hh"
 #include "test_util.hh"
 
@@ -126,6 +127,63 @@ TEST(StallBreakdown, RawDominatesOnRecurrenceLoop)
     EXPECT_GT(r.stalls.raw, r.stalls.waw);
     EXPECT_GT(r.stalls.raw, r.stalls.structural);
     EXPECT_GT(r.stalls.raw, r.stalls.resultBus);
+}
+
+TEST(StallBreakdown, AddStallBreakdownUsesStandardNames)
+{
+    // The bench table is now rendered from a MetricsRegistry; this
+    // pins the StallBreakdown -> cycles.stall.* name mapping it
+    // relies on, and that repeated adds accumulate.
+    StallBreakdown stalls;
+    stalls.raw = 3;
+    stalls.waw = 5;
+    stalls.structural = 7;
+    stalls.resultBus = 11;
+    stalls.branch = 13;
+    MetricsRegistry reg;
+    addStallBreakdown(reg, stalls);
+    addStallBreakdown(reg, stalls);
+    EXPECT_EQ(reg.counterValue("cycles.stall.raw"), 6u);
+    EXPECT_EQ(reg.counterValue("cycles.stall.waw"), 10u);
+    EXPECT_EQ(reg.counterValue("cycles.stall.fu_busy"), 14u);
+    EXPECT_EQ(reg.counterValue("cycles.stall.bus_busy"), 22u);
+    EXPECT_EQ(reg.counterValue("cycles.stall.branch"), 26u);
+}
+
+TEST(StallBreakdown, SampledStallsMatchSummaryCounters)
+{
+    // The per-sample stream a PipeTraceRecorder collects must agree
+    // cycle-for-cycle with the SimResult's summary StallBreakdown:
+    // both sides are incremented at the same decision points in the
+    // scoreboard issue loop.
+    for (int id : { 1, 3, 5, 7 }) {
+        const DecodedTrace trace(TraceLibrary::instance().trace(id),
+                                 configM11BR5());
+        ScoreboardSim sim(ScoreboardConfig::crayLike(),
+                          configM11BR5());
+        PipeTraceRecorder recorder;
+        sim.attachAudit(&recorder);
+        const SimResult r = sim.run(trace);
+        sim.attachAudit(nullptr);
+
+        MetricsRegistry reg;
+        populateRunMetrics(reg, trace, recorder, r, sim);
+        EXPECT_EQ(reg.counterValue("cycles.stall.raw"),
+                  r.stalls.raw)
+            << "loop " << id;
+        EXPECT_EQ(reg.counterValue("cycles.stall.waw"),
+                  r.stalls.waw)
+            << "loop " << id;
+        EXPECT_EQ(reg.counterValue("cycles.stall.fu_busy"),
+                  r.stalls.structural)
+            << "loop " << id;
+        EXPECT_EQ(reg.counterValue("cycles.stall.bus_busy"),
+                  r.stalls.resultBus)
+            << "loop " << id;
+        EXPECT_EQ(reg.counterValue("cycles.stall.branch"),
+                  r.stalls.branch)
+            << "loop " << id;
+    }
 }
 
 TEST(StallBreakdown, InterleavingRemovesStructuralStalls)

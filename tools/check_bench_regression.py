@@ -26,7 +26,12 @@ def load(path):
         for b in data.get("benchmarks", [])
         if "items_per_second" in b and b.get("run_type") != "aggregate"
     }
-    return data.get("context", {}).get("build_type", "unknown"), benches
+    context = data.get("context", {})
+    # context.self_profile (run_bench.sh's phase wall times) is
+    # informational: printed when present in both snapshots, never
+    # gated — wall times on shared CI machines are too noisy.
+    return (context.get("build_type", "unknown"), benches,
+            context.get("self_profile", {}))
 
 
 def main():
@@ -47,8 +52,8 @@ def main():
         return 0
 
     new_path, old_path = snapshots[-1], snapshots[-2]
-    old_type, old = load(old_path)
-    new_type, new = load(new_path)
+    old_type, old, old_profile = load(old_path)
+    new_type, new, new_profile = load(new_path)
     if old_type != new_type:
         print(f"check_bench_regression: build types differ "
               f"({os.path.basename(old_path)}={old_type}, "
@@ -72,6 +77,11 @@ def main():
             failures += 1
         print(f"  {name:45s} {old[name] / 1e6:9.2f} -> "
               f"{new[name] / 1e6:9.2f} M items/s  ({ratio:6.2f}x){flag}")
+
+    for phase in sorted(set(old_profile) & set(new_profile)):
+        print(f"  self-profile {phase:32s} "
+              f"{old_profile[phase] * 1e3:9.2f} -> "
+              f"{new_profile[phase] * 1e3:9.2f} ms  (informational)")
 
     if failures:
         print(f"{failures} benchmark(s) regressed more than "

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate mfusim observability output files.
+
+Usage: check_obs_json.py FILE [FILE...]
+
+Each FILE is sniffed by its top-level keys:
+
+  - a Chrome trace-event file ({"traceEvents": [...]}) is checked for
+    structural validity: every event has the required keys for its
+    phase, durations are non-negative, and "X" slices never end before
+    they start;
+  - an mfusim metrics file ({"schema": "mfusim-metrics-v1"}) is
+    checked against the schema AND re-verifies the cycle accounting
+    identity
+
+        cycles.total = cycles.front_active
+                     + sum(cycles.stall.*) + cycles.drain
+
+    plus basic histogram consistency (bucket sums match counts,
+    min <= mean <= max).
+
+Exit code 0 if every file passes, 1 otherwise.  Used by the CI
+observability smoke job; no third-party dependencies.
+"""
+
+import json
+import math
+import sys
+
+KNOWN_STALL_CAUSES = {
+    "raw",
+    "waw",
+    "fu_busy",
+    "bus_busy",
+    "branch",
+    "buffer_drain",
+    "serial",
+    "other",
+}
+
+
+def fail(path, message):
+    print(f"{path}: FAIL: {message}")
+    return False
+
+
+def check_chrome_trace(path, data):
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not a list")
+    if not events:
+        return fail(path, "traceEvents is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(path, f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "C"):
+            return fail(path, f"event {i}: unexpected phase {ph!r}")
+        if "name" not in ev or "pid" not in ev:
+            return fail(path, f"event {i}: missing name/pid")
+        if ph in ("X", "C"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                return fail(path, f"event {i}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(path, f"event {i}: bad dur {dur!r}")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            return fail(path, f"event {i}: counter without args")
+    slices = sum(1 for ev in events if ev.get("ph") == "X")
+    print(f"{path}: OK chrome-trace ({len(events)} events, "
+          f"{slices} slices)")
+    return True
+
+
+def check_histogram(path, name, hist):
+    for key in ("bucket_width", "count", "sum", "buckets", "overflow"):
+        if key not in hist:
+            return fail(path, f"histogram {name}: missing {key}")
+    total = sum(hist["buckets"]) + hist["overflow"]
+    if total != hist["count"]:
+        return fail(
+            path,
+            f"histogram {name}: buckets+overflow {total} != "
+            f"count {hist['count']}")
+    if hist["count"] > 0:
+        lo, hi, mean = hist["min"], hist["max"], hist["mean"]
+        if not (lo <= mean <= hi) and not math.isclose(lo, hi):
+            return fail(
+                path,
+                f"histogram {name}: mean {mean} outside "
+                f"[{lo}, {hi}]")
+    return True
+
+
+def check_metrics(path, data):
+    for section in ("labels", "counters", "gauges", "histograms",
+                    "series"):
+        if not isinstance(data.get(section), dict):
+            return fail(path, f"missing section {section!r}")
+    counters = data["counters"]
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            return fail(path, f"counter {name}: bad value {value!r}")
+
+    total = counters.get("cycles.total")
+    if total is None:
+        return fail(path, "no cycles.total counter")
+    stall = 0
+    for name, value in counters.items():
+        if name.startswith("cycles.stall."):
+            cause = name[len("cycles.stall."):]
+            if cause not in KNOWN_STALL_CAUSES:
+                return fail(path, f"unknown stall cause {cause!r}")
+            stall += value
+    active = counters.get("cycles.front_active", 0)
+    drain = counters.get("cycles.drain", 0)
+    if total != active + stall + drain:
+        return fail(
+            path,
+            f"identity violated: total {total} != front_active "
+            f"{active} + stalls {stall} + drain {drain}")
+
+    for name, hist in data["histograms"].items():
+        if not check_histogram(path, name, hist):
+            return False
+    for name, series in data["series"].items():
+        points = series.get("points")
+        if not isinstance(points, list):
+            return fail(path, f"series {name}: missing points")
+        cycles = [p[0] for p in points]
+        if cycles != sorted(cycles):
+            return fail(path, f"series {name}: cycles not sorted")
+
+    print(f"{path}: OK metrics (total {total} = active {active} + "
+          f"stalls {stall} + drain {drain})")
+    return True
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, str(e))
+    if not isinstance(data, dict):
+        return fail(path, "top level is not an object")
+    if "traceEvents" in data:
+        return check_chrome_trace(path, data)
+    if data.get("schema") == "mfusim-metrics-v1":
+        return check_metrics(path, data)
+    return fail(path, "neither a chrome trace nor mfusim metrics")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 1
+    ok = all([check_file(path) for path in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

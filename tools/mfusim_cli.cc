@@ -5,8 +5,11 @@
  * organization without writing code.
  *
  * Usage:
- *   mfusim [--jobs N] [--audit] [--no-steady-state] <command> ...
+ *   mfusim [--jobs N] [--audit] [--no-steady-state]
+ *          [--trace-out F] [--metrics-out F] [--pipeview]
+ *          <command> ...
  *
+ *   mfusim --version
  *   mfusim list
  *   mfusim disasm  <loop>
  *   mfusim analyze <loop> [config]
@@ -24,6 +27,17 @@
  *           disable the steady-state extrapolation fast path (also:
  *           MFUSIM_NO_STEADY_STATE=1 env var); results are identical
  *           either way — this is a debugging escape hatch
+ * --trace-out F    (rate/replay, single loop) write the pipeline
+ *           schedule as Chrome/Perfetto trace-event JSON to F
+ * --metrics-out F  (rate/replay) write the run's MetricsRegistry to
+ *           F — JSON, or CSV when F ends in ".csv"; with "rate all"
+ *           the per-loop registries are merged across the sweep
+ * --pipeview       (rate/replay, single loop) print an ASCII
+ *           pipeline diagram of the first ops to stdout
+ * --version print the git revision this binary was built from
+ *
+ * Attaching any of the observability sinks disables the steady-state
+ * fast path for that run, so traces and metrics are cycle-exact.
  *
  * Exit codes: 0 success, 1 generic failure, 2 usage, 3 bad config,
  * 4 bad trace, 5 simulator failure (livelock watchdog / unsupported
@@ -33,7 +47,8 @@
  *           compilation, e.g. "7v"), or "all" (rate only): every
  *           library loop, timed on the sweep worker pool
  * <config>  M11BR5 (default) | M11BR2 | M5BR5 | M5BR2
- * <machine> simple | serialmem | nonseg | cray |
+ * <machine> simple | serialmem | nonseg | cray | cdc |
+ *           tomasulo[:<rs>[:<cdb>]] |
  *           seq:<w> | ooo:<w> | ruu:<w>:<size>
  *           with optional ",1bus" / ",xbar" and ",btfn" / ",oracle"
  *           suffixes, e.g. "ruu:4:50,1bus,oracle"
@@ -50,10 +65,29 @@
 
 #include "mfusim/mfusim.hh"
 
+#ifndef MFUSIM_GIT_SHA
+#define MFUSIM_GIT_SHA "unknown"
+#endif
+
 using namespace mfusim;
 
 namespace
 {
+
+/** Global observability options (set by the flag stripper). */
+struct ObsOptions
+{
+    std::string traceOut;
+    std::string metricsOut;
+    bool pipeview = false;
+
+    bool active() const
+    {
+        return !traceOut.empty() || !metricsOut.empty() || pipeview;
+    }
+};
+
+ObsOptions g_obs;
 
 [[noreturn]] void
 usage()
@@ -61,12 +95,15 @@ usage()
     std::fprintf(stderr,
                  "usage: mfusim [--jobs N] [--audit] "
                  "[--no-steady-state]\n"
+                 "       [--trace-out F] [--metrics-out F] "
+                 "[--pipeview]\n"
                  "       "
                  "list | disasm <loop> | analyze <loop> [cfg] |\n"
                  "       limits <loop> [cfg] | "
                  "rate <loop>|all <machine> [cfg] |\n"
                  "       save <loop> <file> | "
-                 "replay <file> <machine> [cfg]\n");
+                 "replay <file> <machine> [cfg]\n"
+                 "       mfusim --version\n");
     std::exit(2);
 }
 
@@ -186,8 +223,116 @@ parseMachine(const std::string &spec, const MachineConfig &cfg)
         RuuConfig org{ arg(1), arg(2), bus, policy };
         return std::make_unique<RuuSim>(org, cfg);
     }
+    if (fields[0] == "cdc") {
+        Cdc6600Config org;
+        // ",xbar" lifts the single-result-bus completion model.
+        org.modelResultBus = bus != BusKind::kCrossbar;
+        org.branchPolicy = policy;
+        return std::make_unique<Cdc6600Sim>(org, cfg);
+    }
+    if (fields[0] == "tomasulo") {
+        TomasuloConfig org;
+        if (fields.size() > 1)
+            org.stationsPerFu = arg(1);
+        if (fields.size() > 2)
+            org.cdbCount = arg(2);
+        org.branchPolicy = policy;
+        return std::make_unique<TomasuloSim>(org, cfg);
+    }
     std::fprintf(stderr, "unknown machine '%s'\n", parts[0].c_str());
     std::exit(2);
+}
+
+/** Write @p metrics to @p path — CSV by extension, JSON otherwise. */
+void
+writeMetricsFile(const MetricsRegistry &metrics,
+                 const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw Error("cannot open '" + path + "'");
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (csv)
+        metrics.writeCsv(out);
+    else
+        metrics.writeJson(out);
+}
+
+/**
+ * Run @p sim on @p dyn honoring the global observability flags.
+ *
+ * With no flags this is the plain (or audited) run.  With any flag
+ * set the run is phased — decode, period-detect, simulate, each
+ * wall-timed into a profile.* gauge — with a PipeTraceRecorder
+ * attached (which disables the steady-state fast path, making every
+ * output cycle-exact), and the requested artifacts are written
+ * afterwards.  --audit composes: the Auditor joins the recorder
+ * behind one FanoutSink.
+ */
+SimResult
+runObserved(Simulator &sim, const DynTrace &dyn,
+            const MachineConfig &cfg)
+{
+    const bool audit = auditRequested();
+    if (!g_obs.active())
+        return audit ? runAudited(sim, DecodedTrace(dyn, cfg))
+                     : sim.run(dyn);
+
+    MetricsRegistry metrics;
+    std::unique_ptr<DecodedTrace> decoded;
+    {
+        ScopedPhaseTimer phase(
+            metrics.gauge("profile.decode_seconds"));
+        decoded = std::make_unique<DecodedTrace>(dyn, cfg);
+    }
+    {
+        // Periodicity is computed lazily; forcing it here separates
+        // its cost from the simulate phase.
+        ScopedPhaseTimer phase(
+            metrics.gauge("profile.period_detect_seconds"));
+        (void)decoded->periodicity();
+    }
+
+    PipeTraceRecorder recorder;
+    FanoutSink fanout;
+    fanout.add(&recorder);
+    std::unique_ptr<Auditor> auditor;
+    if (audit) {
+        auditor = std::make_unique<Auditor>(
+            *decoded, sim.auditRules(), sim.name());
+        fanout.add(auditor.get());
+    }
+
+    sim.attachAudit(&fanout);
+    SimResult result;
+    try {
+        ScopedPhaseTimer phase(
+            metrics.gauge("profile.simulate_seconds"));
+        result = sim.run(*decoded);
+    } catch (...) {
+        sim.attachAudit(nullptr);
+        throw;
+    }
+    sim.attachAudit(nullptr);
+    if (auditor)
+        auditor->finish();
+
+    populateRunMetrics(metrics, *decoded, recorder, result, sim);
+
+    if (!g_obs.traceOut.empty()) {
+        std::ofstream out(g_obs.traceOut);
+        if (!out)
+            throw Error("cannot open '" + g_obs.traceOut + "'");
+        writeChromeTrace(out, recorder, *decoded,
+                         sim.name() + " " + cfg.name() + " " +
+                             dyn.name());
+    }
+    if (!g_obs.metricsOut.empty())
+        writeMetricsFile(metrics, g_obs.metricsOut);
+    if (g_obs.pipeview)
+        writePipeview(std::cout, recorder, *decoded);
+    return result;
 }
 
 int
@@ -256,11 +401,25 @@ cmdRateAll(const std::string &machine, const MachineConfig &cfg)
     const SimFactory factory = [&machine](const MachineConfig &c) {
         return parseMachine(machine, c);
     };
+    if (!g_obs.traceOut.empty() || g_obs.pipeview) {
+        std::fprintf(stderr, "--trace-out/--pipeview need a single "
+                             "loop, not 'all'\n");
+        return 2;
+    }
     std::vector<int> loops;
     for (const KernelSpec &spec : kernelSpecs())
         loops.push_back(spec.id);
-    const std::vector<double> rates =
-        parallelPerLoopRates(factory, loops, cfg);
+    std::vector<double> rates;
+    if (!g_obs.metricsOut.empty()) {
+        // Instrumented sweep: per-cell registries, merged in loop
+        // order.
+        SweepMetrics sweep =
+            parallelPerLoopMetrics(factory, loops, cfg);
+        rates = std::move(sweep.rates);
+        writeMetricsFile(sweep.metrics, g_obs.metricsOut);
+    } else {
+        rates = parallelPerLoopRates(factory, loops, cfg);
+    }
 
     const std::string sim_name = parseMachine(machine, cfg)->name();
     std::printf("%s, %s (%u jobs):\n", sim_name.c_str(),
@@ -290,13 +449,7 @@ cmdRate(const std::string &loop, const std::string &machine,
         return cmdRateAll(machine, cfg);
     const DynTrace trace = traceFor(loop);
     auto sim = parseMachine(machine, cfg);
-    SimResult result;
-    if (auditRequested()) {
-        const DecodedTrace decoded(trace, cfg);
-        result = runAudited(*sim, decoded);
-    } else {
-        result = sim->run(trace);
-    }
+    const SimResult result = runObserved(*sim, trace, cfg);
     std::printf("%s on %s, %s: %.4f instr/cycle "
                 "(%llu instructions, %llu cycles)%s\n",
                 trace.name().c_str(), sim->name().c_str(),
@@ -332,13 +485,7 @@ cmdReplay(const std::string &path, const std::string &machine,
     }
     const DynTrace trace = loadTrace(in);
     auto sim = parseMachine(machine, cfg);
-    SimResult result;
-    if (auditRequested()) {
-        const DecodedTrace decoded(trace, cfg);
-        result = runAudited(*sim, decoded);
-    } else {
-        result = sim->run(trace);
-    }
+    const SimResult result = runObserved(*sim, trace, cfg);
     std::printf("%s on %s, %s: %.4f instr/cycle%s\n",
                 trace.name().c_str(), sim->name().c_str(),
                 cfg.name().c_str(), result.issueRate(),
@@ -378,6 +525,23 @@ main(int argc, char **argv)
             setAuditRequested(true);
         } else if (arg == "--no-steady-state") {
             setSteadyStateEnabled(false);
+        } else if (arg == "--trace-out") {
+            if (i + 1 >= argc)
+                usage();
+            g_obs.traceOut = argv[++i];
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            g_obs.traceOut = arg.substr(12);
+        } else if (arg == "--metrics-out") {
+            if (i + 1 >= argc)
+                usage();
+            g_obs.metricsOut = argv[++i];
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            g_obs.metricsOut = arg.substr(14);
+        } else if (arg == "--pipeview") {
+            g_obs.pipeview = true;
+        } else if (arg == "--version") {
+            std::printf("mfusim %s\n", MFUSIM_GIT_SHA);
+            return 0;
         } else {
             args.push_back(arg);
         }

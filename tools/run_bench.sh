@@ -47,15 +47,38 @@ git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null ||
 out="$repo_root/BENCH_$(date +%Y%m%d).json"
 "$bench" --benchmark_min_time=0.2 --benchmark_format=json "$@" > "$out"
 
-# Stamp provenance into the snapshot's context block, then print a
-# quick human-readable items/s summary.
-python3 - "$out" "$build_type" "$git_sha" <<'EOF'
+# Self-profile the CLI's pipeline phases (decode / period-detect /
+# simulate wall time on a representative instrumented run) so the
+# snapshot records where a run's time goes, not just end-to-end
+# throughput.  Best effort: skipped when the CLI is not built.
+profile_json=""
+cli="$build_dir/tools/mfusim"
+if [ -x "$cli" ]; then
+    profile_json=$(mktemp)
+    if ! "$cli" --metrics-out "$profile_json" rate 7 ruu:4:50 \
+        > /dev/null 2>&1; then
+        rm -f "$profile_json"
+        profile_json=""
+    fi
+fi
+
+# Stamp provenance (and the self-profile phases, when available) into
+# the snapshot's context block, then print a quick human-readable
+# items/s summary.
+python3 - "$out" "$build_type" "$git_sha" "$profile_json" <<'EOF'
 import json, sys
-path, build_type, git_sha = sys.argv[1:4]
+path, build_type, git_sha, profile_path = sys.argv[1:5]
 with open(path) as f:
     data = json.load(f)
 data["context"]["build_type"] = build_type
 data["context"]["git_sha"] = git_sha
+if profile_path:
+    with open(profile_path) as f:
+        gauges = json.load(f).get("gauges", {})
+    profile = {k.split(".", 1)[1]: v for k, v in gauges.items()
+               if k.startswith("profile.")}
+    if profile:
+        data["context"]["self_profile"] = profile
 with open(path, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
@@ -63,5 +86,11 @@ for b in data["benchmarks"]:
     ips = b.get("items_per_second")
     if ips is not None:
         print(f"  {b['name']:45s} {ips / 1e6:10.2f} M items/s")
+profile = data["context"].get("self_profile")
+if profile:
+    phases = ", ".join(f"{k} {v * 1e3:.2f} ms"
+                       for k, v in sorted(profile.items()))
+    print(f"  self-profile: {phases}")
 EOF
+[ -n "$profile_json" ] && rm -f "$profile_json"
 echo "wrote $out ($build_type, $git_sha)"
