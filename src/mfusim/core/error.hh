@@ -18,8 +18,11 @@
  *   |             |      | unsupported trace for the organization)  |
  *   | AuditError  |  6   | SimAudit legality-invariant violation    |
  *   | SweepError  |  7   | one or more sweep grid cells failed      |
+ *   | ServeError  |  8   | serve daemon failure / bad HTTP request  |
  *
- * (Exit code 2 is reserved for CLI usage errors, 0 for success.)
+ * (Exit code 2 is reserved for CLI usage errors, 0 for success, and
+ * 128+signo for a run interrupted by SIGINT/SIGTERM after flushing
+ * partial output.)
  */
 
 #ifndef MFUSIM_CORE_ERROR_HH
@@ -137,6 +140,31 @@ class SweepError : public Error
                               std::size_t cells);
 
     std::vector<Failure> failures_;
+};
+
+/**
+ * A failure in the `mfusim serve` daemon, carrying the HTTP status
+ * the request should be answered with.  Handler code throws these
+ * for every client-visible failure (malformed JSON -> 400, body too
+ * large -> 413, queue overflow -> 429, deadline expiry -> 503, ...);
+ * the dispatch layer converts them into JSON error responses.
+ * Server-level failures (bind/listen errors) use status 0 and abort
+ * startup with exit code 8.
+ */
+class ServeError : public Error
+{
+  public:
+    ServeError(int httpStatus, const std::string &what)
+        : Error("serve: " + what), status_(httpStatus)
+    {}
+
+    /** HTTP status to answer with; 0 = not request-scoped. */
+    int httpStatus() const { return status_; }
+
+    int exitCode() const override { return 8; }
+
+  private:
+    int status_;
 };
 
 } // namespace mfusim

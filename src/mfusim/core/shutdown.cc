@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shutdown handler implementation (self-pipe + atomic flag).
+ */
+
+#include "mfusim/core/shutdown.hh"
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mfusim
+{
+
+namespace
+{
+
+std::atomic<int> g_signal{ 0 };
+std::atomic<int> g_pipe_write{ -1 };
+int g_pipe_read = -1;
+std::once_flag g_install_once;
+
+extern "C" void
+shutdownSignalHandler(int signo)
+{
+    // Async-signal-safe only: one store, one write.
+    g_signal.store(signo, std::memory_order_relaxed);
+    const int fd = g_pipe_write.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char byte = 1;
+        // A full pipe just means a wake-up is already pending.
+        (void)!write(fd, &byte, 1);
+    }
+}
+
+} // namespace
+
+void
+installShutdownHandler()
+{
+    std::call_once(g_install_once, [] {
+        int fds[2];
+        if (pipe(fds) == 0) {
+            fcntl(fds[0], F_SETFL, O_NONBLOCK);
+            fcntl(fds[1], F_SETFL, O_NONBLOCK);
+            fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+            fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+            g_pipe_read = fds[0];
+            g_pipe_write.store(fds[1], std::memory_order_relaxed);
+        }
+        struct sigaction action = {};
+        action.sa_handler = shutdownSignalHandler;
+        sigemptyset(&action.sa_mask);
+        // No SA_RESTART: a signal must interrupt blocking accept()/
+        // read() calls so their loops notice the flag.
+        action.sa_flags = 0;
+        sigaction(SIGINT, &action, nullptr);
+        sigaction(SIGTERM, &action, nullptr);
+    });
+}
+
+bool
+shutdownRequested()
+{
+    return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+shutdownSignal()
+{
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+int
+shutdownFd()
+{
+    return g_pipe_read;
+}
+
+void
+resetShutdownForTests()
+{
+    g_signal.store(0, std::memory_order_relaxed);
+    // Drain any pending wake-up bytes so fd waiters re-arm.
+    if (g_pipe_read >= 0) {
+        char buf[16];
+        while (read(g_pipe_read, buf, sizeof(buf)) > 0) {
+        }
+    }
+}
+
+} // namespace mfusim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM shutdown for long-running commands.
+ *
+ * A naked Ctrl-C during a sweep kills the process wherever it
+ * happens to be — possibly halfway through writing a metrics or
+ * trace file, leaving a truncated artifact that looks valid enough
+ * to mislead.  Long-running entry points (the sweep-driving CLI
+ * commands and the serve daemon) instead install a handler ONCE via
+ * installShutdownHandler(); the handler only records the signal and
+ * writes one byte into a self-pipe, both async-signal-safe.  Work
+ * loops poll shutdownRequested() at cell granularity and drain,
+ * letting the caller flush partial output and exit with the
+ * conventional 128+signo code; poll()-based servers add
+ * shutdownFd() to their fd set so a signal wakes a blocked loop
+ * immediately.
+ *
+ * Short interactive commands do not install the handler, so Ctrl-C
+ * keeps its default kill behaviour for them.
+ */
+
+#ifndef MFUSIM_CORE_SHUTDOWN_HH
+#define MFUSIM_CORE_SHUTDOWN_HH
+
+namespace mfusim
+{
+
+/**
+ * Install the SIGINT/SIGTERM handler.  Idempotent: only the first
+ * call changes signal dispositions, later calls are no-ops.  Safe to
+ * call from any thread before worker threads start.
+ */
+void installShutdownHandler();
+
+/** True once a SIGINT or SIGTERM has been received. */
+bool shutdownRequested();
+
+/**
+ * The signal that triggered shutdown (SIGINT or SIGTERM), or 0 when
+ * none has arrived.  The CLI exits with 128 + this value after
+ * flushing partial output.
+ */
+int shutdownSignal();
+
+/**
+ * Read end of the shutdown self-pipe, or -1 before
+ * installShutdownHandler().  Becomes readable (one byte, never
+ * consumed by this module) when a shutdown signal arrives; poll()
+ * loops add it to their fd set to wake instantly.  Do not read or
+ * close it.
+ */
+int shutdownFd();
+
+/**
+ * Reset the shutdown flag (testing only — the pipe is left alone, so
+ * an fd-based waiter may still see it readable).
+ */
+void resetShutdownForTests();
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_SHUTDOWN_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Textual spec parsing shared by the CLI and the serve daemon.
+ *
+ * The grammar is the CLI's:
+ *
+ *   config   M11BR5 | M11BR2 | M5BR5 | M5BR2
+ *   loop     <id> | <id>x<factor> | <id>v        (e.g. 5, 1x4, 7v)
+ *   machine  simple | serialmem | nonseg | cray | cdc |
+ *            tomasulo[:<rs>[:<cdb>]] | seq:<w> | ooo:<w> |
+ *            ruu:<w>:<size>
+ *            with optional ",1bus" / ",xbar" and ",btfn" / ",oracle"
+ *            suffixes, e.g. "ruu:4:50,1bus,oracle"
+ *
+ * Unlike the original CLI helpers these functions never exit the
+ * process — bad input throws ConfigError, so a long-lived daemon can
+ * map it to a 400 and keep serving.  The CLI wraps them to keep its
+ * historical exit codes.
+ */
+
+#ifndef MFUSIM_HARNESS_SPEC_PARSE_HH
+#define MFUSIM_HARNESS_SPEC_PARSE_HH
+
+#include <memory>
+#include <string>
+
+#include "mfusim/codegen/livermore.hh"
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/sim/simulator.hh"
+
+namespace mfusim
+{
+
+/**
+ * Named standard configuration.
+ * @throws ConfigError on an unknown name.
+ */
+MachineConfig parseConfigSpec(const std::string &name);
+
+/**
+ * "5" -> canonical loop 5; "1x4" -> loop 1 unrolled by 4; "7v" ->
+ * loop 7 compiled for the vector unit.
+ * @throws ConfigError on unparseable input or an unknown loop.
+ */
+Kernel parseKernelSpec(const std::string &spec);
+
+/**
+ * Build the loop's kernel, execute it against the reference model
+ * and return its validated dynamic trace.
+ * @throws ConfigError on a bad spec; Error if the kernel's results
+ *         disagree with the reference model.
+ */
+DynTrace traceForLoopSpec(const std::string &spec);
+
+/**
+ * Instantiate a simulator from a machine spec string.
+ * @throws ConfigError on an unknown machine / option / malformed
+ *         numeric field.
+ */
+std::unique_ptr<Simulator> parseMachineSpec(const std::string &spec,
+                                            const MachineConfig &cfg);
+
+} // namespace mfusim
+
+#endif // MFUSIM_HARNESS_SPEC_PARSE_HH

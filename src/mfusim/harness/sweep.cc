@@ -7,15 +7,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "mfusim/core/error.hh"
+#include "mfusim/core/shutdown.hh"
 #include "mfusim/harness/trace_library.hh"
 #include "mfusim/obs/pipe_trace.hh"
 #include "mfusim/obs/run_metrics.hh"
+#include "mfusim/serve/result_cache.hh"
 #include "mfusim/sim/audit.hh"
 #include "mfusim/sim/simulator.hh"
 
@@ -94,6 +97,12 @@ runGrid(std::size_t cells,
 
     if (jobs <= 1 || t_in_worker) {
         for (std::size_t i = 0; i < cells; ++i) {
+            // Cooperative shutdown (core/shutdown.hh): stop handing
+            // out cells after SIGINT/SIGTERM so the caller can flush
+            // partial output.  Inert unless the entry point installed
+            // the handler.
+            if (shutdownRequested())
+                break;
             try {
                 body(i);
             } catch (...) {
@@ -114,6 +123,8 @@ runGrid(std::size_t cells,
     const auto work = [&] {
         t_in_worker = true;
         for (;;) {
+            if (shutdownRequested())
+                break;
             const std::size_t i = next.fetch_add(1);
             if (i >= cells)
                 break;
@@ -163,11 +174,28 @@ parallelPerLoopRates(const SimFactory &factory,
     const bool audit = auditRequested();
     try {
         runGrid(loops.size(), [&](std::size_t i) {
-            const DecodedTrace &trace =
-                TraceLibrary::instance().decoded(loops[i], cfg);
             auto sim = factory(cfg);
-            rates[i] = audit ? runAudited(*sim, trace).issueRate()
-                             : sim->run(trace).issueRate();
+            const auto simulate = [&]() -> SimResult {
+                const DecodedTrace &trace =
+                    TraceLibrary::instance().decoded(loops[i], cfg);
+                return audit ? runAudited(*sim, trace)
+                             : sim->run(trace);
+            };
+            // Cells whose simulator states a complete cache identity
+            // are memoized process-wide (serve/result_cache.hh):
+            // re-sweeping the same (machine, loop, config) cell — a
+            // table bench revisiting a column, `rate all` re-run by
+            // the serve daemon — skips the simulation entirely.
+            const std::string key = sim->cacheKey();
+            rates[i] =
+                key.empty()
+                    ? simulate().issueRate()
+                    : ResultCache::instance()
+                          .getOrCompute(key,
+                                        "LL" +
+                                            std::to_string(loops[i]),
+                                        cfg, audit, simulate)
+                          .issueRate();
         }, jobs, GridFailurePolicy::kContinue);
     } catch (const SweepError &e) {
         // Re-key the cell indices as loop ids so the report reads in
@@ -193,6 +221,10 @@ parallelPerLoopMetrics(const SimFactory &factory,
     SweepMetrics out;
     out.rates.resize(loops.size());
     std::vector<MetricsRegistry> cells(loops.size());
+    // One flag per cell, set as the body's last step: after an
+    // interrupted sweep (core/shutdown.hh) the merge below can count
+    // how many cells actually completed.
+    std::vector<char> done(loops.size(), 0);
     try {
         runGrid(loops.size(), [&](std::size_t i) {
             const DecodedTrace &trace =
@@ -208,6 +240,7 @@ parallelPerLoopMetrics(const SimFactory &factory,
             cells[i]
                 .gauge("rate.LL" + std::to_string(loops[i]))
                 .set(result.issueRate());
+            done[i] = 1;
         }, jobs, GridFailurePolicy::kContinue);
     } catch (const SweepError &e) {
         std::vector<SweepError::Failure> failures;
@@ -223,8 +256,20 @@ parallelPerLoopMetrics(const SimFactory &factory,
     // Serial index-order merge: deterministic regardless of the
     // worker schedule.
     out.metrics.setLabel("config", cfg.name());
-    for (MetricsRegistry &cell : cells)
-        out.metrics.merge(cell);
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (done[i])
+            ++completed;
+        out.metrics.merge(cells[i]);
+    }
+    out.metrics.gauge("sweep.cells_total")
+        .set(double(loops.size()));
+    out.metrics.gauge("sweep.cells_completed").set(double(completed));
+    if (shutdownRequested())
+        out.metrics.setLabel("interrupted",
+                             shutdownSignal() == SIGTERM ? "SIGTERM"
+                                                         : "SIGINT");
+    ResultCache::instance().appendMetrics(out.metrics);
     return out;
 }
 

@@ -71,6 +71,12 @@ enum class GridFailurePolicy
  * the calling thread as one SweepError listing each failed cell index
  * with its message, sorted by cell.
  *
+ * Shutdown: once shutdownRequested() (core/shutdown.hh) is set, no
+ * further cells are started; in-flight cells complete.  Callers that
+ * installed the handler check the flag afterwards and flush partial
+ * results.  Without the handler installed the flag never fires and
+ * behaviour is unchanged.
+ *
  * @throws SweepError (a std::runtime_error) if any body threw.
  */
 void runGrid(std::size_t cells,
@@ -83,6 +89,11 @@ void runGrid(std::size_t cells,
  * library's cached pre-decoded trace of (loop, cfg) on a fresh
  * simulator from @p factory.  Results are in @p loops order,
  * bit-identical to the serial loop.
+ *
+ * Cells whose simulator exposes a cacheKey() identity are memoized
+ * in the process-wide ResultCache (serve/result_cache.hh): a
+ * repeated (machine, loop, config, audit) cell within one process is
+ * served from the cache without re-simulating.
  *
  * When auditRequested() is set (MFUSIM_AUDIT=1 or --audit), every
  * cell runs under a SimAudit legality check via runAudited(); rates

@@ -9,8 +9,10 @@
  * the 14 Livermore loops as benchmark programs, a family of
  * trace-driven issue-timing simulators (serial, scoreboarded
  * single-issue, multiple-issue buffers, RUU dependency resolution),
- * dataflow/resource limit analyzers, and an experiment harness that
- * regenerates every table of the paper.
+ * dataflow/resource limit analyzers, an experiment harness that
+ * regenerates every table of the paper, and a simulation-as-a-service
+ * HTTP daemon (`mfusim serve`) with result caching, admission
+ * control and Prometheus metrics.
  */
 
 #ifndef MFUSIM_MFUSIM_HH
@@ -28,6 +30,7 @@
 #include "mfusim/core/machine_config.hh"
 #include "mfusim/core/opcode.hh"
 #include "mfusim/core/registers.hh"
+#include "mfusim/core/shutdown.hh"
 #include "mfusim/core/stats.hh"
 #include "mfusim/core/table.hh"
 #include "mfusim/core/trace.hh"
@@ -41,12 +44,18 @@
 #include "mfusim/funits/result_bus.hh"
 #include "mfusim/harness/experiment.hh"
 #include "mfusim/harness/paper_data.hh"
+#include "mfusim/harness/spec_parse.hh"
 #include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
 #include "mfusim/obs/metrics.hh"
 #include "mfusim/obs/obs_sink.hh"
 #include "mfusim/obs/pipe_trace.hh"
 #include "mfusim/obs/run_metrics.hh"
+#include "mfusim/serve/http.hh"
+#include "mfusim/serve/json.hh"
+#include "mfusim/serve/result_cache.hh"
+#include "mfusim/serve/server.hh"
+#include "mfusim/serve/sim_service.hh"
 #include "mfusim/sim/audit.hh"
 #include "mfusim/sim/cdc6600_sim.hh"
 #include "mfusim/sim/multi_issue_sim.hh"

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <sstream>
 
 #include "mfusim/core/error.hh"
 
@@ -408,6 +409,151 @@ MetricsRegistry::writeCsv(std::ostream &os) const
           }
         }
     }
+}
+
+// -------------------------------------------------------------- prometheus
+
+namespace
+{
+
+/** "http.latency ms" -> "mfusim_http_latency_ms". */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "mfusim_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** Label-name alphabet is the metric alphabet minus ':'. */
+std::string
+promLabelName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '_';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out = "_" + out;
+    return out;
+}
+
+std::string
+promLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"':  out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default:   out += c;
+        }
+    }
+    return out;
+}
+
+/** The shared {key="value",...} suffix, or "" without labels. */
+std::string
+promLabels(const std::map<std::string, std::string> &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ",";
+        out += promLabelName(key) + "=\"" + promLabelValue(value) +
+            "\"";
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+/** Like promLabels() but with one extra (histogram "le") label. */
+std::string
+promLabelsWith(const std::map<std::string, std::string> &labels,
+               const std::string &extraKey,
+               const std::string &extraValue)
+{
+    std::string out = "{";
+    for (const auto &[key, value] : labels)
+        out += promLabelName(key) + "=\"" + promLabelValue(value) +
+            "\",";
+    out += extraKey + "=\"" + extraValue + "\"}";
+    return out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    const std::string labels = promLabels(labels_);
+    for (const auto &entry : entries_) {
+        switch (entry->kind) {
+          case Kind::kCounter: {
+            const std::string name = promName(entry->name) + "_total";
+            os << "# TYPE " << name << " counter\n";
+            os << name << labels << " " << entry->counter->value()
+               << "\n";
+            break;
+          }
+          case Kind::kGauge: {
+            const std::string name = promName(entry->name);
+            os << "# TYPE " << name << " gauge\n";
+            os << name << labels << " "
+               << jsonNumber(entry->gauge->value()) << "\n";
+            break;
+          }
+          case Kind::kHistogram: {
+            const Histogram &h = *entry->histogram;
+            const std::string name = promName(entry->name);
+            os << "# TYPE " << name << " histogram\n";
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+                cumulative += h.bucket(i);
+                const std::uint64_t edge =
+                    h.bucketWidth() * std::uint64_t(i + 1);
+                os << name << "_bucket"
+                   << promLabelsWith(labels_, "le",
+                                     std::to_string(edge))
+                   << " " << cumulative << "\n";
+            }
+            os << name << "_bucket"
+               << promLabelsWith(labels_, "le", "+Inf") << " "
+               << h.count() << "\n";
+            os << name << "_sum" << labels << " " << h.sum() << "\n";
+            os << name << "_count" << labels << " " << h.count()
+               << "\n";
+            break;
+          }
+          case Kind::kSeries:
+            // No Prometheus equivalent (per-run cycle axis).
+            break;
+        }
+    }
+}
+
+std::string
+renderPrometheus(const MetricsRegistry &metrics)
+{
+    std::ostringstream os;
+    metrics.writePrometheus(os);
+    return os.str();
 }
 
 // ------------------------------------------------------------- phase timer

@@ -169,6 +169,28 @@ class MetricsRegistry
     /** Serialize as flat name,kind,value CSV (scalar stats only). */
     void writeCsv(std::ostream &os) const;
 
+    /**
+     * Serialize in the Prometheus text exposition format (version
+     * 0.0.4), the `GET /metrics` payload of `mfusim serve`.
+     *
+     * Mapping:
+     *  - names are prefixed "mfusim_" and sanitized to the metric-
+     *    name alphabet [a-zA-Z0-9_:] (every other byte becomes '_');
+     *  - counters render with the conventional "_total" suffix;
+     *  - histograms render as cumulative "_bucket" samples with
+     *    le="<upper edge>" plus the "+Inf" bucket, "_sum" and
+     *    "_count", matching the native Prometheus histogram type;
+     *  - registry labels() are attached to every sample, with label
+     *    names sanitized like metric names and values escaped;
+     *  - time series are per-run artifacts with their own cycle axis
+     *    and have no Prometheus equivalent, so they are skipped.
+     *
+     * Every family is preceded by its "# TYPE" line.  Output order is
+     * insertion order, so the format is deterministic and golden-file
+     * testable.
+     */
+    void writePrometheus(std::ostream &os) const;
+
   private:
     enum class Kind : std::uint8_t
     {
@@ -216,6 +238,9 @@ class ScopedPhaseTimer
     Gauge &gauge_;
     std::uint64_t startNs_;
 };
+
+/** writePrometheus() into a string (serve /metrics handler). */
+std::string renderPrometheus(const MetricsRegistry &metrics);
 
 } // namespace mfusim
 

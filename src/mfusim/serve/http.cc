@@ -1,0 +1,324 @@
+/**
+ * @file
+ * HTTP request reading / parsing / response serialization.
+ */
+
+#include "mfusim/serve/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mfusim
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxHeadBytes = 16 * 1024;
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                     s[e - 1] == '\r'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::uint64_t
+nowMs()
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+std::string
+HttpRequest::header(const std::string &name,
+                    const std::string &fallback) const
+{
+    const auto it = headers.find(toLower(name));
+    return it == headers.end() ? fallback : it->second;
+}
+
+bool
+HttpRequest::keepAlive() const
+{
+    // HTTP/1.1 defaults to persistent connections.
+    return toLower(header("connection", "keep-alive")) != "close";
+}
+
+HttpResponse::HttpResponse(int status, std::string contentType,
+                           std::string responseBody)
+    : status(status), body(std::move(responseBody))
+{
+    headers["Content-Type"] = std::move(contentType);
+}
+
+const char *
+HttpResponse::reason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default:  return "Unknown";
+    }
+}
+
+std::string
+HttpResponse::serialize(bool keepAlive) const
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+        reason(status) + "\r\n";
+    for (const auto &[name, value] : headers)
+        out += name + ": " + value + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += keepAlive ? "Connection: keep-alive\r\n"
+                     : "Connection: close\r\n";
+    out += "\r\n";
+    out += body;
+    return out;
+}
+
+bool
+parseRequestHead(const std::string &head, HttpRequest *out,
+                 std::string *error)
+{
+    *out = HttpRequest{};
+    std::size_t pos = 0;
+    const auto nextLine = [&](std::string *line) -> bool {
+        if (pos >= head.size())
+            return false;
+        const std::size_t eol = head.find('\n', pos);
+        if (eol == std::string::npos) {
+            *line = head.substr(pos);
+            pos = head.size();
+        } else {
+            *line = head.substr(pos, eol - pos);
+            pos = eol + 1;
+        }
+        if (!line->empty() && line->back() == '\r')
+            line->pop_back();
+        return true;
+    };
+
+    std::string line;
+    if (!nextLine(&line) || line.empty()) {
+        *error = "empty request line";
+        return false;
+    }
+    // METHOD SP TARGET SP VERSION
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        *error = "malformed request line '" + line + "'";
+        return false;
+    }
+    out->method = line.substr(0, sp1);
+    out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    if (version.rfind("HTTP/1.", 0) != 0) {
+        *error = "unsupported protocol '" + version + "'";
+        return false;
+    }
+    if (out->method.empty() || out->target.empty() ||
+        out->target[0] != '/') {
+        *error = "malformed request line '" + line + "'";
+        return false;
+    }
+    out->path = out->target.substr(0, out->target.find('?'));
+
+    while (nextLine(&line)) {
+        if (line.empty())
+            break;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            *error = "malformed header line '" + line + "'";
+            return false;
+        }
+        const std::string name = toLower(trim(line.substr(0, colon)));
+        if (name.find(' ') != std::string::npos ||
+            name.find('\t') != std::string::npos) {
+            *error = "whitespace in header name '" + name + "'";
+            return false;
+        }
+        out->headers[name] = trim(line.substr(colon + 1));
+    }
+    return true;
+}
+
+ReadOutcome
+readHttpRequest(int fd, HttpRequest *out, unsigned budgetMs,
+                unsigned idleMs, std::size_t maxBody,
+                std::string *error)
+{
+    std::string buffer;
+    std::size_t headEnd = std::string::npos;
+    std::size_t headSkip = 0;   // separator length (4 CRLF, 2 LF)
+    const std::uint64_t start = nowMs();
+    bool sawAnyByte = false;
+
+    const auto remaining = [&](unsigned cap) -> int {
+        const std::uint64_t elapsed = nowMs() - start;
+        if (elapsed >= cap)
+            return 0;
+        return int(cap - elapsed);
+    };
+
+    // Phase 1: accumulate until the blank line.
+    for (;;) {
+        const std::size_t crlf = buffer.find("\r\n\r\n");
+        const std::size_t lf = buffer.find("\n\n");
+        if (crlf != std::string::npos &&
+            (lf == std::string::npos || crlf < lf)) {
+            headEnd = crlf;
+            headSkip = 4;
+            break;
+        }
+        if (lf != std::string::npos) {
+            headEnd = lf;
+            headSkip = 2;
+            break;
+        }
+        if (buffer.size() > kMaxHeadBytes)
+            return ReadOutcome::kTooLarge;
+
+        // An idle keep-alive connection (no bytes yet) times out on
+        // the idle clock; a half-sent request on the budget clock.
+        const int wait = sawAnyByte ? remaining(budgetMs)
+                                    : remaining(idleMs);
+        if (wait <= 0)
+            return sawAnyByte ? ReadOutcome::kTimeout
+                              : ReadOutcome::kClosed;
+        struct pollfd pfd = { fd, POLLIN, 0 };
+        const int ready = poll(&pfd, 1, wait);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadOutcome::kError;
+        }
+        if (ready == 0)
+            continue;       // loop re-checks the clocks
+
+        char chunk[4096];
+        const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+        if (got == 0)
+            return sawAnyByte ? ReadOutcome::kMalformed
+                              : ReadOutcome::kClosed;
+        if (got < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return ReadOutcome::kError;
+        }
+        sawAnyByte = true;
+        buffer.append(chunk, std::size_t(got));
+    }
+
+    if (!parseRequestHead(buffer.substr(0, headEnd), out, error))
+        return ReadOutcome::kMalformed;
+
+    // Phase 2: the body, if any.
+    std::size_t contentLength = 0;
+    const std::string lengthHeader = out->header("content-length");
+    if (!lengthHeader.empty()) {
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(lengthHeader.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+            *error = "bad Content-Length '" + lengthHeader + "'";
+            return ReadOutcome::kMalformed;
+        }
+        contentLength = std::size_t(parsed);
+    }
+    if (!out->header("transfer-encoding").empty()) {
+        *error = "Transfer-Encoding is not supported";
+        return ReadOutcome::kMalformed;
+    }
+    if (contentLength > maxBody)
+        return ReadOutcome::kTooLarge;
+
+    out->body = buffer.substr(headEnd + headSkip);
+    while (out->body.size() < contentLength) {
+        const int wait = remaining(budgetMs);
+        if (wait <= 0)
+            return ReadOutcome::kTimeout;
+        struct pollfd pfd = { fd, POLLIN, 0 };
+        const int ready = poll(&pfd, 1, wait);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadOutcome::kError;
+        }
+        if (ready == 0)
+            continue;
+        char chunk[8192];
+        const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+        if (got == 0)
+            return ReadOutcome::kMalformed;  // truncated body
+        if (got < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return ReadOutcome::kError;
+        }
+        out->body.append(chunk, std::size_t(got));
+    }
+    if (out->body.size() > contentLength)
+        out->body.resize(contentLength);    // ignore pipelined extra
+    return ReadOutcome::kOk;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                 MSG_NOSIGNAL
+#else
+                 0
+#endif
+            );
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return false;
+        }
+        sent += std::size_t(n);
+    }
+    return true;
+}
+
+} // namespace mfusim

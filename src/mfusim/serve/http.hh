@@ -1,0 +1,112 @@
+/**
+ * @file
+ * HTTP/1.1 protocol layer of the serve daemon.
+ *
+ * POSIX sockets only, no external dependencies.  The layer splits
+ * cleanly in two:
+ *
+ *  - pure parsing/serialization (parseRequestHead(),
+ *    HttpResponse::serialize()) — unit-testable on strings, no
+ *    sockets involved;
+ *  - socket plumbing (readHttpRequest(), writeAll()) — a poll()-based
+ *    blocking read loop with a wall-clock budget, so a stalled or
+ *    malicious client cannot pin a worker past its deadline.
+ *
+ * Supported surface (deliberately narrow — this is a JSON RPC
+ * daemon, not a general web server): GET/POST, Content-Length
+ * bodies (no chunked transfer), keep-alive with Connection: close
+ * opt-out, header section capped at 16 KiB.
+ */
+
+#ifndef MFUSIM_SERVE_HTTP_HH
+#define MFUSIM_SERVE_HTTP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mfusim
+{
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method;     //!< "GET", "POST", ...
+    std::string target;     //!< path incl. query, e.g. "/v1/simulate"
+    std::string path;       //!< target up to '?'
+    /** Header fields, names lowercased; later duplicates win. */
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Header value by lowercase name, or @p fallback. */
+    std::string header(const std::string &name,
+                       const std::string &fallback = "") const;
+
+    /** True when the client asked for (or defaulted to) keep-alive. */
+    bool keepAlive() const;
+};
+
+/** One response under construction. */
+struct HttpResponse
+{
+    int status = 200;
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    HttpResponse() = default;
+    HttpResponse(int status, std::string contentType,
+                 std::string body);
+
+    /** Canonical reason phrase for the statuses the daemon emits. */
+    static const char *reason(int status);
+
+    /**
+     * Full wire form: status line, headers (Content-Length and
+     * Connection added/overridden here), blank line, body.
+     */
+    std::string serialize(bool keepAlive) const;
+};
+
+/**
+ * Parse the request head (request line + header fields, everything
+ * before the blank line, CRLF or bare-LF separated).
+ *
+ * @returns true on success; false with @p error set on malformed
+ *          input (the caller answers 400).
+ */
+bool parseRequestHead(const std::string &head, HttpRequest *out,
+                      std::string *error);
+
+/** What readHttpRequest() observed. */
+enum class ReadOutcome
+{
+    kOk,            //!< full request parsed into *out
+    kClosed,        //!< peer closed before sending anything (benign)
+    kMalformed,     //!< unparseable head; answer 400
+    kTooLarge,      //!< head over cap or body over maxBody; answer 431/413
+    kTimeout,       //!< budget exhausted mid-request; answer 408
+    kError,         //!< socket error; drop the connection
+};
+
+/**
+ * Read one HTTP request from @p fd.
+ *
+ * Blocks up to @p budgetMs wall milliseconds in total (poll() +
+ * recv() loop).  @p idleMs bounds the initial wait for the first
+ * byte separately — a keep-alive connection parked between requests
+ * times out as kClosed rather than kTimeout, so idle churn is not an
+ * error.  Body reading stops early with kTooLarge as soon as
+ * Content-Length exceeds @p maxBody (the body is not drained; the
+ * caller answers 413 and closes).  @p error receives a diagnostic
+ * for kMalformed.
+ */
+ReadOutcome readHttpRequest(int fd, HttpRequest *out,
+                            unsigned budgetMs, unsigned idleMs,
+                            std::size_t maxBody, std::string *error);
+
+/** write() until done; false on error/EPIPE. */
+bool writeAll(int fd, const std::string &data);
+
+} // namespace mfusim
+
+#endif // MFUSIM_SERVE_HTTP_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * ResultCache implementation.
+ */
+
+#include "mfusim/serve/result_cache.hh"
+
+#include "mfusim/sim/steady_state.hh"
+
+namespace mfusim
+{
+
+ResultCache &
+ResultCache::instance()
+{
+    static ResultCache cache;
+    return cache;
+}
+
+std::string
+ResultCache::composeKey(const std::string &machineKey,
+                        const std::string &traceKey,
+                        const MachineConfig &cfg, bool audited) const
+{
+    // '\n' never occurs in any component, so the composition is
+    // injective.  The steady-state mode cannot change cycles or
+    // stalls (bit-identity is tested), but it does change the
+    // steadyOpsSkipped diagnostic, so it is part of the key to keep
+    // cached diagnostics honest.
+    return machineKey + "\n" + traceKey + "\n" + cfg.name() + "\n" +
+        (audited ? "audited" : "plain") + "\n" +
+        (steadyStateEnabled() ? "steady" : "exact") + "\n" + version_;
+}
+
+SimResult
+ResultCache::getOrCompute(const std::string &machineKey,
+                          const std::string &traceKey,
+                          const MachineConfig &cfg, bool audited,
+                          const std::function<SimResult()> &compute,
+                          bool *wasHit)
+{
+    const std::string key =
+        composeKey(machineKey, traceKey, cfg, audited);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            if (wasHit)
+                *wasHit = true;
+            return it->second;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (wasHit)
+        *wasHit = false;
+    const SimResult result = compute();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.emplace(key, result);
+    }
+    return result;
+}
+
+bool
+ResultCache::lookup(const std::string &machineKey,
+                    const std::string &traceKey,
+                    const MachineConfig &cfg, bool audited,
+                    SimResult *out) const
+{
+    const std::string key =
+        composeKey(machineKey, traceKey, cfg, audited);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    if (out)
+        *out = it->second;
+    return true;
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    ResultCacheStats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.entries = entries_.size();
+    return stats;
+}
+
+void
+ResultCache::appendMetrics(MetricsRegistry &metrics) const
+{
+    const ResultCacheStats s = stats();
+    metrics.counter("result_cache.hits").add(s.hits);
+    metrics.counter("result_cache.misses").add(s.misses);
+    metrics.gauge("result_cache.entries").set(double(s.entries));
+}
+
+void
+ResultCache::setVersion(const std::string &version)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    version_ = version;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace mfusim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic simulation result cache.
+ *
+ * Every mfusim timing run is a pure function of (machine
+ * organization, machine configuration, trace, audit/steady-state
+ * mode) — the simulators share no hidden state and use no
+ * randomness.  That makes results perfectly memoizable: the serve
+ * daemon's common case is a user iterating on one parameter of a
+ * grid whose other cells are unchanged, and a batch `rate all` or
+ * table bench re-times the same (machine, loop, config) cell under
+ * several reporting views.  The ResultCache turns every repeat into
+ * a hash lookup.
+ *
+ * Keys compose the simulator's cacheKey() — a canonical serialization
+ * of every organization knob (see Simulator::cacheKey()) — with the
+ * trace identity, the MachineConfig name, the audit and steady-state
+ * modes, and a code-version string (the git SHA for daemon builds),
+ * so a key can never alias two runs that could differ in any output
+ * bit.  Values are complete SimResults, so hits reproduce
+ * instructions, cycles, stall breakdowns and steady-state telemetry
+ * bit-identically.
+ *
+ * Thread safety: lookups and stores take one mutex; getOrCompute()
+ * drops it around the compute so concurrent misses on different keys
+ * simulate in parallel.  Two racing misses on the same key both
+ * simulate — results are identical by construction, the second
+ * store is a no-op.
+ */
+
+#ifndef MFUSIM_SERVE_RESULT_CACHE_HH
+#define MFUSIM_SERVE_RESULT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "mfusim/core/machine_config.hh"
+#include "mfusim/obs/metrics.hh"
+#include "mfusim/sim/simulator.hh"
+
+namespace mfusim
+{
+
+/** Point-in-time cache statistics. */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+};
+
+/** The process-wide memo of completed simulation cells. */
+class ResultCache
+{
+  public:
+    /** The instance shared by serve workers and sweep cells. */
+    static ResultCache &instance();
+
+    ResultCache() = default;
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Return the cached result for the composed key, or run
+     * @p compute, store its result, and return it.  @p machineKey
+     * must be a Simulator::cacheKey() (callers skip the cache when
+     * that is empty); @p traceKey identifies the trace (canonical
+     * loops use "LL<spec>", replayed files their trace name).
+     * Counts one hit or one miss.  If @p compute throws, nothing is
+     * stored and the exception propagates (a failed cell is
+     * recomputed — and re-diagnosed — on every request).
+     *
+     * @param wasHit optional out-param: true iff served from cache.
+     */
+    SimResult getOrCompute(const std::string &machineKey,
+                           const std::string &traceKey,
+                           const MachineConfig &cfg, bool audited,
+                           const std::function<SimResult()> &compute,
+                           bool *wasHit = nullptr);
+
+    /** Peek without computing; does not count a hit or miss. */
+    bool lookup(const std::string &machineKey,
+                const std::string &traceKey,
+                const MachineConfig &cfg, bool audited,
+                SimResult *out) const;
+
+    ResultCacheStats stats() const;
+
+    /**
+     * Export stats into @p metrics as the counters
+     * "result_cache.hits" / "result_cache.misses" and the gauge
+     * "result_cache.entries" (cumulative process-lifetime values, so
+     * a Prometheus scrape sees proper monotone counters).
+     */
+    void appendMetrics(MetricsRegistry &metrics) const;
+
+    /**
+     * The code-version component of every key.  Defaults to
+     * "in-process" (an in-memory cache cannot span two code
+     * versions); the CLI stamps the build's git SHA so exported
+     * diagnostics name the producing build.
+     */
+    void setVersion(const std::string &version);
+
+    /** Drop all entries and zero the stats (tests). */
+    void clear();
+
+  private:
+    std::string composeKey(const std::string &machineKey,
+                           const std::string &traceKey,
+                           const MachineConfig &cfg,
+                           bool audited) const;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, SimResult> entries_;
+    std::string version_ = "in-process";
+    // Atomics, not mutex-guarded fields: getOrCompute() counts a
+    // miss after dropping the lock.
+    mutable std::atomic<std::uint64_t> hits_{ 0 };
+    mutable std::atomic<std::uint64_t> misses_{ 0 };
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_SERVE_RESULT_CACHE_HH

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * HttpServer implementation: accept thread, bounded queue, workers.
+ */
+
+#include "mfusim/serve/server.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mfusim/core/error.hh"
+#include "mfusim/serve/json.hh"
+
+namespace mfusim
+{
+
+HttpResponse
+jsonErrorResponse(int status, const std::string &message)
+{
+    Json body = Json::object();
+    body.set("error", Json(message));
+    body.set("status", Json(std::int64_t(status)));
+    return HttpResponse(status, "application/json", body.dump() + "\n");
+}
+
+HttpServer::HttpServer(ServeOptions options, HttpHandler handler)
+    : options_(options), handler_(std::move(handler))
+{
+    if (options_.workers == 0)
+        options_.workers = 1;
+    if (options_.queueDepth == 0)
+        options_.queueDepth = 1;
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::start()
+{
+    if (running_.load())
+        return;
+
+    listenFd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        throw ServeError(0, std::string("socket: ") +
+                                std::strerror(errno));
+    const int one = 1;
+    setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(options_.port);
+    if (bind(listenFd_, reinterpret_cast<struct sockaddr *>(&addr),
+             sizeof(addr)) < 0) {
+        const std::string what = std::string("bind port ") +
+            std::to_string(options_.port) + ": " +
+            std::strerror(errno);
+        close(listenFd_);
+        listenFd_ = -1;
+        throw ServeError(0, what);
+    }
+    if (listen(listenFd_, int(options_.queueDepth) + 16) < 0) {
+        const std::string what =
+            std::string("listen: ") + std::strerror(errno);
+        close(listenFd_);
+        listenFd_ = -1;
+        throw ServeError(0, what);
+    }
+
+    // Resolve the actual port (meaningful when options_.port == 0).
+    socklen_t len = sizeof(addr);
+    if (getsockname(listenFd_,
+                    reinterpret_cast<struct sockaddr *>(&addr),
+                    &len) == 0)
+        boundPort_ = ntohs(addr.sin_port);
+
+    stopping_.store(false);
+    running_.store(true);
+    acceptThread_ = std::thread(&HttpServer::acceptLoop, this);
+    workers_.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i)
+        workers_.emplace_back(&HttpServer::workerLoop, this);
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.load())
+        return;
+    stopping_.store(true);
+    queueCv_.notify_all();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // Workers drain the queue, then observe stopping_ and exit.
+    queueCv_.notify_all();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+    if (listenFd_ >= 0) {
+        close(listenFd_);
+        listenFd_ = -1;
+    }
+    running_.store(false);
+}
+
+ServerStats
+HttpServer::stats() const
+{
+    ServerStats out;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out = stats_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        out.queueDepth = pending_.size();
+    }
+    return out;
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        struct pollfd pfd = { listenFd_, POLLIN, 0 };
+        const int ready = poll(&pfd, 1, 100);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+
+        const int fd = accept4(listenFd_, nullptr, nullptr,
+                               SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        const int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        bool admitted = false;
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            if (pending_.size() < options_.queueDepth) {
+                pending_.push_back(fd);
+                admitted = true;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            if (admitted) {
+                ++stats_.accepted;
+            } else {
+                ++stats_.rejected;
+            }
+        }
+        if (admitted) {
+            queueCv_.notify_one();
+        } else {
+            // Overload path runs on the accept thread so the client
+            // learns about it within one round trip.
+            HttpResponse busy =
+                jsonErrorResponse(429, "server overloaded, retry");
+            busy.headers["Retry-After"] = "1";
+            writeAll(fd, busy.serialize(false));
+            close(fd);
+        }
+    }
+}
+
+void
+HttpServer::workerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [&] {
+                return stopping_.load() || !pending_.empty();
+            });
+            if (pending_.empty()) {
+                if (stopping_.load())
+                    return;
+                continue;
+            }
+            fd = pending_.front();
+            pending_.pop_front();
+        }
+        serveConnection(fd);
+        close(fd);
+    }
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    // Keep-alive loop: one iteration per request on this connection.
+    for (;;) {
+        HttpRequest request;
+        std::string parseError;
+        const ReadOutcome outcome = readHttpRequest(
+            fd, &request, options_.deadlineMs, options_.idleTimeoutMs,
+            options_.maxBodyBytes, &parseError);
+
+        switch (outcome) {
+          case ReadOutcome::kOk:
+            break;
+          case ReadOutcome::kClosed:
+            return;
+          case ReadOutcome::kMalformed:
+            writeAll(fd, jsonErrorResponse(400, parseError.empty()
+                                                    ? "malformed request"
+                                                    : parseError)
+                             .serialize(false));
+            return;
+          case ReadOutcome::kTooLarge:
+            writeAll(fd, jsonErrorResponse(
+                             413, "request body exceeds " +
+                                      std::to_string(
+                                          options_.maxBodyBytes) +
+                                      " bytes")
+                             .serialize(false));
+            return;
+          case ReadOutcome::kTimeout:
+            writeAll(fd,
+                     jsonErrorResponse(408, "request read timed out")
+                         .serialize(false));
+            return;
+          case ReadOutcome::kError:
+            return;
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.requests;
+            ++stats_.inFlight;
+        }
+
+        // Per-request deadline: the default, lowered (never raised)
+        // by an X-Deadline-Ms header.
+        unsigned budgetMs = options_.deadlineMs;
+        const std::string deadlineHeader =
+            request.header("x-deadline-ms");
+        if (!deadlineHeader.empty()) {
+            char *end = nullptr;
+            const unsigned long parsed =
+                std::strtoul(deadlineHeader.c_str(), &end, 10);
+            if (end != nullptr && *end == '\0' && parsed < budgetMs)
+                budgetMs = unsigned(parsed);
+        }
+
+        HttpResponse response;
+        if (budgetMs == 0) {
+            response = jsonErrorResponse(
+                503, "deadline expired before processing");
+        } else {
+            try {
+                response = handler_(request, budgetMs);
+            } catch (const ServeError &e) {
+                response = jsonErrorResponse(
+                    e.httpStatus() > 0 ? e.httpStatus() : 500,
+                    e.what());
+            } catch (const std::exception &e) {
+                response = jsonErrorResponse(500, e.what());
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            --stats_.inFlight;
+        }
+
+        // During a drain, finish this request but no more.
+        const bool keep = request.keepAlive() && !stopping_.load();
+        if (!writeAll(fd, response.serialize(keep)))
+            return;
+        if (!keep)
+            return;
+    }
+}
+
+} // namespace mfusim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Generic HTTP server with admission control.
+ *
+ * Topology: one accept thread feeding a bounded connection queue, a
+ * fixed pool of worker threads draining it.  Admission control is in
+ * the accept thread — when the queue is full the server answers 429
+ * with Retry-After *immediately* instead of letting the kernel
+ * backlog grow unboundedly, so overload is visible to clients within
+ * one round trip.
+ *
+ * The server knows nothing about simulation; it routes every parsed
+ * request through a single Handler callback.  SimService
+ * (sim_service.hh) provides the mfusim-specific handler.  Keeping the
+ * two apart lets tests exercise queue overflow and deadlines with a
+ * deliberately slow handler instead of timing-sensitive real
+ * simulations.
+ *
+ * Lifecycle: start() binds and spawns threads (port 0 picks an
+ * ephemeral port, readable via port() — this is how tests avoid
+ * collisions); stop() performs a graceful drain — stop accepting,
+ * finish queued and in-flight requests, join all threads.  stop() is
+ * idempotent and also runs from the destructor.
+ */
+
+#ifndef MFUSIM_SERVE_SERVER_HH
+#define MFUSIM_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mfusim/serve/http.hh"
+
+namespace mfusim
+{
+
+/** Server capacity and protocol knobs. */
+struct ServeOptions
+{
+    /** TCP port; 0 binds an ephemeral port (see HttpServer::port()). */
+    std::uint16_t port = 8100;
+    /** Worker threads draining the connection queue. */
+    unsigned workers = 4;
+    /** Bounded queue depth; beyond it new connections get 429. */
+    unsigned queueDepth = 64;
+    /**
+     * Default per-request wall-clock deadline in ms.  A request may
+     * lower (never raise) it with an X-Deadline-Ms header.  Expired
+     * requests answer 503 without running the simulation.
+     */
+    unsigned deadlineMs = 30000;
+    /** Largest accepted request body; beyond it 413. */
+    std::size_t maxBodyBytes = 1 << 20;
+    /** Keep-alive idle timeout before a parked connection is closed. */
+    unsigned idleTimeoutMs = 5000;
+};
+
+/** Observable server state, exported to /metrics by SimService. */
+struct ServerStats
+{
+    std::uint64_t accepted = 0;     //!< connections accepted
+    std::uint64_t rejected = 0;     //!< connections answered 429
+    std::uint64_t requests = 0;     //!< requests fully read
+    std::uint64_t queueDepth = 0;   //!< connections waiting right now
+    std::uint64_t inFlight = 0;     //!< requests being handled right now
+};
+
+/**
+ * The request handler.  Receives the parsed request plus the
+ * remaining per-request deadline budget in ms; returns the response.
+ * Runs on a worker thread; must be thread-safe.  Exceptions escaping
+ * the handler become a 500 (ServeError keeps its own httpStatus()).
+ */
+using HttpHandler =
+    std::function<HttpResponse(const HttpRequest &, unsigned budgetMs)>;
+
+/** Uniform JSON error body: {"error": <message>, "status": <status>}. */
+HttpResponse jsonErrorResponse(int status, const std::string &message);
+
+class HttpServer
+{
+  public:
+    HttpServer(ServeOptions options, HttpHandler handler);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Bind, listen and spawn the accept + worker threads.
+     * @throws ServeError (httpStatus 0 — not request-scoped) on
+     *         socket/bind failure, e.g. the port is taken.
+     */
+    void start();
+
+    /** Graceful drain: stop accepting, finish in-flight, join. */
+    void stop();
+
+    /** The bound port (resolves ephemeral port 0 after start()). */
+    std::uint16_t port() const { return boundPort_; }
+
+    bool running() const { return running_.load(); }
+
+    /** Point-in-time snapshot of the admission-control counters. */
+    ServerStats stats() const;
+
+  private:
+    void acceptLoop();
+    void workerLoop();
+    void serveConnection(int fd);
+
+    ServeOptions options_;
+    HttpHandler handler_;
+
+    int listenFd_ = -1;
+    std::uint16_t boundPort_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<int> pending_;       //!< accepted fds awaiting a worker
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex statsMutex_;
+    ServerStats stats_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_SERVE_SERVER_HH

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * SimService: the mfusim JSON API on top of HttpServer.
+ */
+
+#include "mfusim/serve/sim_service.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "mfusim/codegen/livermore.hh"
+#include "mfusim/core/decoded_trace.hh"
+#include "mfusim/core/error.hh"
+#include "mfusim/core/stats.hh"
+#include "mfusim/harness/spec_parse.hh"
+#include "mfusim/harness/sweep.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/serve/json.hh"
+#include "mfusim/serve/result_cache.hh"
+#include "mfusim/sim/audit.hh"
+
+namespace mfusim
+{
+
+namespace
+{
+
+/** "%.4f" — the CLI's table precision, replicated for diffability. */
+std::string
+rateString(double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", rate);
+    return buf;
+}
+
+double
+nowMsF()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The "loop" request field: a JSON number or spec string. */
+std::string
+loopSpecOf(const Json &value)
+{
+    if (value.isString())
+        return value.asString();
+    if (value.isNumber()) {
+        const double n = value.asNumber();
+        if (n != std::floor(n) || n < 1 || n > 1e6)
+            throw ServeError(400, "'loop' must be an integer or a "
+                                  "spec string like \"1x4\"");
+        return std::to_string(std::int64_t(n));
+    }
+    throw ServeError(400, "'loop' must be a number or string");
+}
+
+/** True when @p spec is a canonical library loop id ("1".."14"). */
+bool
+isLibraryLoop(const std::string &spec, int *id)
+{
+    if (spec.empty() || spec.size() > 2)
+        return false;
+    for (const char c : spec)
+        if (c < '0' || c > '9')
+            return false;
+    const int n = std::stoi(spec);
+    for (const KernelSpec &k : kernelSpecs()) {
+        if (k.id == n) {
+            *id = n;
+            return true;
+        }
+    }
+    return false;
+}
+
+const Json &
+requireMember(const Json &body, const std::string &key)
+{
+    const Json *value = body.find(key);
+    if (value == nullptr || value->isNull())
+        throw ServeError(400, "missing required field '" + key + "'");
+    return *value;
+}
+
+/** One timed cell, shared by /v1/simulate and /v1/sweep rows. */
+struct CellOutcome
+{
+    SimResult result;
+    std::string simName;
+    bool cached = false;
+    bool audited = false;
+};
+
+CellOutcome
+runCell(const std::string &loopSpec, const std::string &machineSpec,
+        const MachineConfig &cfg, bool auditFlag)
+{
+    auto sim = parseMachineSpec(machineSpec, cfg);
+    CellOutcome out;
+    out.simName = sim->name();
+    out.audited = auditFlag || auditRequested();
+
+    const auto simulate = [&]() -> SimResult {
+        int id = 0;
+        if (isLibraryLoop(loopSpec, &id)) {
+            const DecodedTrace &decoded =
+                TraceLibrary::instance().decoded(id, cfg);
+            return out.audited ? runAudited(*sim, decoded)
+                               : sim->run(decoded);
+        }
+        const DynTrace dyn = traceForLoopSpec(loopSpec);
+        const DecodedTrace decoded(dyn, cfg);
+        return out.audited ? runAudited(*sim, decoded)
+                           : sim->run(decoded);
+    };
+
+    const std::string machineKey = sim->cacheKey();
+    if (machineKey.empty()) {
+        out.result = simulate();
+    } else {
+        out.result = ResultCache::instance().getOrCompute(
+            machineKey, "LL" + loopSpec, cfg, out.audited, simulate,
+            &out.cached);
+    }
+    return out;
+}
+
+Json
+cellJson(const std::string &loopSpec, const std::string &machineSpec,
+         const MachineConfig &cfg, const CellOutcome &cell)
+{
+    Json out = Json::object();
+    out.set("schema", Json("mfusim-serve-v1"));
+    out.set("loop", Json("LL" + loopSpec));
+    out.set("machine", Json(cell.simName));
+    out.set("machine_spec", Json(machineSpec));
+    out.set("config", Json(cfg.name()));
+    out.set("instructions",
+            Json(std::uint64_t(cell.result.instructions)));
+    out.set("cycles", Json(std::uint64_t(cell.result.cycles)));
+    out.set("rate", Json(cell.result.issueRate()));
+    out.set("rate_str", Json(rateString(cell.result.issueRate())));
+    out.set("cached", Json(cell.cached));
+    out.set("audited", Json(cell.audited));
+    out.set("steady_ops_skipped",
+            Json(std::uint64_t(cell.result.steadyOpsSkipped)));
+    return out;
+}
+
+} // namespace
+
+SimService::SimService(SimServiceOptions options)
+    : options_(std::move(options))
+{}
+
+HttpResponse
+SimService::handle(const HttpRequest &request, unsigned budgetMs)
+{
+    const double start = nowMsF();
+    HttpResponse response;
+    try {
+        response = dispatch(request, budgetMs);
+    } catch (const ServeError &e) {
+        response = jsonErrorResponse(
+            e.httpStatus() > 0 ? e.httpStatus() : 500, e.what());
+    } catch (const ConfigError &e) {
+        // Spec parsers throw ConfigError; in a daemon that is client
+        // input, not an operator mistake.
+        response = jsonErrorResponse(400, e.what());
+    } catch (const Error &e) {
+        response = jsonErrorResponse(500, e.what());
+    }
+    record(request.path, response.status, nowMsF() - start);
+    return response;
+}
+
+HttpResponse
+SimService::dispatch(const HttpRequest &request, unsigned budgetMs)
+{
+    (void)budgetMs;     // expiry is enforced by the transport
+    const std::string &path = request.path;
+    if (path == "/healthz") {
+        if (request.method != "GET" && request.method != "HEAD")
+            throw ServeError(405, "use GET " + path);
+        return handleHealthz();
+    }
+    if (path == "/metrics") {
+        if (request.method != "GET")
+            throw ServeError(405, "use GET " + path);
+        return handleMetrics();
+    }
+    if (path == "/v1/simulate") {
+        if (request.method != "POST")
+            throw ServeError(405, "use POST " + path);
+        return handleSimulate(request.body);
+    }
+    if (path == "/v1/sweep") {
+        if (request.method != "POST")
+            throw ServeError(405, "use POST " + path);
+        return handleSweep(request.body);
+    }
+    throw ServeError(404, "no route for '" + path + "'");
+}
+
+HttpResponse
+SimService::handleSimulate(const std::string &body)
+{
+    const Json request = parseJson(body);
+    if (!request.isObject())
+        throw ServeError(400, "request body must be a JSON object");
+
+    const std::string loopSpec =
+        loopSpecOf(requireMember(request, "loop"));
+    const std::string machineSpec =
+        requireMember(request, "machine").asString();
+    const Json *cfgField = request.find("config");
+    const MachineConfig cfg = parseConfigSpec(
+        cfgField != nullptr ? cfgField->asString() : "M11BR5");
+    const Json *auditField = request.find("audit");
+    const bool audit =
+        auditField != nullptr && auditField->asBool();
+
+    const CellOutcome cell =
+        runCell(loopSpec, machineSpec, cfg, audit);
+    return HttpResponse(
+        200, "application/json",
+        cellJson(loopSpec, machineSpec, cfg, cell).dump() + "\n");
+}
+
+HttpResponse
+SimService::handleSweep(const std::string &body)
+{
+    const Json request = parseJson(body);
+    if (!request.isObject())
+        throw ServeError(400, "request body must be a JSON object");
+
+    const std::string machineSpec =
+        requireMember(request, "machine").asString();
+    const Json *cfgField = request.find("config");
+    const MachineConfig cfg = parseConfigSpec(
+        cfgField != nullptr ? cfgField->asString() : "M11BR5");
+
+    // Validate the machine spec once, up front, so a bad spec is a
+    // clean 400 instead of a SweepError from every cell.
+    const std::string simName = parseMachineSpec(machineSpec, cfg)->name();
+
+    std::vector<int> loops;
+    const Json *loopsField = request.find("loops");
+    if (loopsField == nullptr || loopsField->isNull()) {
+        for (const KernelSpec &spec : kernelSpecs())
+            loops.push_back(spec.id);
+    } else {
+        for (const Json &item : loopsField->items()) {
+            int id = 0;
+            if (!isLibraryLoop(loopSpecOf(item), &id))
+                throw ServeError(400, "'loops' entries must be "
+                                      "library loop ids (1..14)");
+            loops.push_back(id);
+        }
+    }
+    if (loops.empty())
+        throw ServeError(400, "'loops' must not be empty");
+    if (loops.size() > options_.maxSweepLoops)
+        throw ServeError(400, "sweep of " +
+                                  std::to_string(loops.size()) +
+                                  " loops exceeds the cap of " +
+                                  std::to_string(
+                                      options_.maxSweepLoops));
+
+    // Optional 'jobs' caps the intra-sweep parallelism; 0/absent
+    // means the process default.  Bounded so one request cannot
+    // oversubscribe the worker pool's host arbitrarily.
+    unsigned jobs = 0;
+    if (const Json *jobsField = request.find("jobs");
+        jobsField != nullptr && !jobsField->isNull()) {
+        const double raw = jobsField->asNumber();
+        if (raw < 0 || raw > 256 ||
+            raw != static_cast<double>(
+                       static_cast<unsigned>(raw)))
+            throw ServeError(400,
+                             "'jobs' must be an integer in [0, 256]");
+        jobs = static_cast<unsigned>(raw);
+    }
+
+    const SimFactory factory =
+        [&machineSpec](const MachineConfig &c) {
+            return parseMachineSpec(machineSpec, c);
+        };
+    const std::vector<double> rates =
+        parallelPerLoopRates(factory, loops, cfg, jobs);
+
+    Json results = Json::array();
+    std::vector<double> scalarRates, vectorRates;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        bool vectorizable = false;
+        for (const KernelSpec &spec : kernelSpecs())
+            if (spec.id == loops[i])
+                vectorizable = spec.vectorizable;
+        (vectorizable ? vectorRates : scalarRates)
+            .push_back(rates[i]);
+        Json row = Json::object();
+        row.set("loop",
+                Json("LL" + std::to_string(loops[i])));
+        row.set("class",
+                Json(vectorizable ? "vector" : "scalar"));
+        row.set("rate", Json(rates[i]));
+        row.set("rate_str", Json(rateString(rates[i])));
+        results.push(std::move(row));
+    }
+
+    Json out = Json::object();
+    out.set("schema", Json("mfusim-serve-v1"));
+    out.set("machine", Json(simName));
+    out.set("machine_spec", Json(machineSpec));
+    out.set("config", Json(cfg.name()));
+    out.set("jobs", Json(std::uint64_t(
+                        jobs != 0 ? jobs : defaultSweepJobs())));
+    out.set("results", std::move(results));
+    if (!scalarRates.empty())
+        out.set("harmonic_mean_scalar",
+                Json(harmonicMean(scalarRates)));
+    if (!vectorRates.empty())
+        out.set("harmonic_mean_vector",
+                Json(harmonicMean(vectorRates)));
+    return HttpResponse(200, "application/json", out.dump() + "\n");
+}
+
+HttpResponse
+SimService::handleHealthz() const
+{
+    Json out = Json::object();
+    out.set("status", Json("ok"));
+    out.set("version", Json(options_.version));
+    return HttpResponse(200, "application/json", out.dump() + "\n");
+}
+
+HttpResponse
+SimService::handleMetrics()
+{
+    // The scrape snapshot: service counters + transport admission
+    // stats + result-cache stats, all cumulative so Prometheus sees
+    // monotone counters.
+    MetricsRegistry snapshot;
+    {
+        std::lock_guard<std::mutex> lock(metricsMutex_);
+        snapshot.merge(http_);
+    }
+    if (server_ != nullptr) {
+        const ServerStats stats = server_->stats();
+        snapshot.counter("http.connections.accepted")
+            .add(stats.accepted);
+        snapshot.counter("http.connections.rejected")
+            .add(stats.rejected);
+        snapshot.counter("http.connections.requests")
+            .add(stats.requests);
+        snapshot.gauge("http.queue_depth")
+            .set(double(stats.queueDepth));
+        snapshot.gauge("http.in_flight").set(double(stats.inFlight));
+    }
+    ResultCache::instance().appendMetrics(snapshot);
+    snapshot.setLabel("version", options_.version);
+    return HttpResponse(200, "text/plain; version=0.0.4",
+                        renderPrometheus(snapshot));
+}
+
+void
+SimService::record(const std::string &endpoint, int status,
+                   double elapsedMs)
+{
+    std::lock_guard<std::mutex> lock(metricsMutex_);
+    http_.counter("http.requests").increment();
+    const std::string statusClass =
+        status >= 500 ? "5xx" : status >= 400 ? "4xx" : "2xx";
+    http_.counter("http.responses." + statusClass).increment();
+
+    // Per-endpoint counter + latency histogram for the routed
+    // endpoints (unknown paths aggregate under "other" so a path
+    // scanner cannot inflate the registry without bound).
+    std::string name = "other";
+    if (endpoint == "/v1/simulate")
+        name = "simulate";
+    else if (endpoint == "/v1/sweep")
+        name = "sweep";
+    else if (endpoint == "/healthz")
+        name = "healthz";
+    else if (endpoint == "/metrics")
+        name = "metrics";
+    http_.counter("http." + name + ".requests").increment();
+    // 2 ms buckets x 50 = 100 ms span; slower requests land in the
+    // overflow bucket, which Prometheus renders under +Inf anyway.
+    http_.histogram("http." + name + ".latency_ms", 2, 50)
+        .record(std::uint64_t(elapsedMs < 0 ? 0 : elapsedMs));
+}
+
+} // namespace mfusim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The mfusim request handler behind `mfusim serve`.
+ *
+ * SimService owns the HTTP surface of the daemon:
+ *
+ *   POST /v1/simulate   time one (loop, machine, config) cell
+ *   POST /v1/sweep      fan a loop list over the sweep worker pool
+ *   GET  /healthz       liveness + build version
+ *   GET  /metrics       Prometheus text exposition
+ *
+ * Both POST endpoints take and return JSON (response schema
+ * "mfusim-serve-v1"); responses are bit-identical to the equivalent
+ * CLI invocation because both sit on the same spec parsers, trace
+ * library, simulators and ResultCache.  All input errors surface as
+ * ServeError(400) and render as {"error": ..., "status": 400}.
+ *
+ * The service is handler-only — it plugs into the transport-level
+ * HttpServer (server.hh) and can read its admission-control stats
+ * for the /metrics scrape via setServer().
+ */
+
+#ifndef MFUSIM_SERVE_SIM_SERVICE_HH
+#define MFUSIM_SERVE_SIM_SERVICE_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "mfusim/obs/metrics.hh"
+#include "mfusim/serve/server.hh"
+
+namespace mfusim
+{
+
+/** Service-level (not transport-level) knobs. */
+struct SimServiceOptions
+{
+    /** Build identity reported by /healthz and /metrics. */
+    std::string version = "unknown";
+    /** Upper bound on loops per /v1/sweep request (400 beyond it). */
+    std::size_t maxSweepLoops = 256;
+};
+
+class SimService
+{
+  public:
+    explicit SimService(SimServiceOptions options = {});
+
+    /**
+     * The HttpHandler entry point: route, execute, count.  Thread
+     * safe; runs on HttpServer worker threads.
+     */
+    HttpResponse handle(const HttpRequest &request, unsigned budgetMs);
+
+    /**
+     * Attach the transport so /metrics can export its accepted /
+     * rejected / queue-depth stats.  Call before start(); may be
+     * null (stats are simply absent).
+     */
+    void setServer(const HttpServer *server) { server_ = server; }
+
+  private:
+    HttpResponse dispatch(const HttpRequest &request,
+                          unsigned budgetMs);
+    HttpResponse handleSimulate(const std::string &body);
+    HttpResponse handleSweep(const std::string &body);
+    HttpResponse handleHealthz() const;
+    HttpResponse handleMetrics();
+
+    /** Count one finished request into the service registry. */
+    void record(const std::string &endpoint, int status,
+                double elapsedMs);
+
+    SimServiceOptions options_;
+    const HttpServer *server_ = nullptr;
+
+    mutable std::mutex metricsMutex_;
+    MetricsRegistry http_;
+};
+
+} // namespace mfusim
+
+#endif // MFUSIM_SERVE_SIM_SERVICE_HH

@@ -54,6 +54,13 @@ class Cdc6600Sim : public Simulator
     using Simulator::run;
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override { return "CDC6600-issue"; }
+    std::string
+    cacheKey() const override
+    {
+        return std::string("cdc|rbus=") +
+            (org_.modelResultBus ? "1" : "0") + "|bp=" +
+            branchPolicyName(org_.branchPolicy);
+    }
     const MachineConfig &config() const override { return cfg_; }
     AuditRules auditRules() const override;
 

@@ -45,6 +45,19 @@ MultiIssueSim::name() const
     return text;
 }
 
+std::string
+MultiIssueSim::cacheKey() const
+{
+    return std::string(org_.outOfOrder ? "ooo" : "seq") +
+        "|w=" + std::to_string(org_.width) +
+        "|bus=" + busKindName(org_.busKind) +
+        "|war=" + (org_.blockWar ? "1" : "0") +
+        "|bp=" + branchPolicyName(org_.branchPolicy) +
+        "|fuc=" + std::to_string(org_.fuCopies) +
+        "|mp=" + std::to_string(org_.memPorts) +
+        "|wd=" + std::to_string(org_.watchdogCycles);
+}
+
 SimResult
 MultiIssueSim::run(const DecodedTrace &trace)
 {

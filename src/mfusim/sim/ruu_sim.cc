@@ -48,6 +48,18 @@ RuuSim::name() const
         busKindName(org_.busKind) + ")";
 }
 
+std::string
+RuuSim::cacheKey() const
+{
+    return "ruu|w=" + std::to_string(org_.width) +
+        "|size=" + std::to_string(org_.ruuSize) +
+        "|bus=" + busKindName(org_.busKind) +
+        "|bp=" + branchPolicyName(org_.branchPolicy) +
+        "|fuc=" + std::to_string(org_.fuCopies) +
+        "|mp=" + std::to_string(org_.memPorts) +
+        "|wd=" + std::to_string(org_.watchdogCycles);
+}
+
 SimResult
 RuuSim::run(const DecodedTrace &trace)
 {

@@ -84,6 +84,7 @@ class RuuSim : public Simulator
     using Simulator::run;
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override;
+    std::string cacheKey() const override;
     const MachineConfig &config() const override { return cfg_; }
     AuditRules auditRules() const override;
 

@@ -55,6 +55,23 @@ ScoreboardSim::name() const
     return "CRAY-like";
 }
 
+std::string
+ScoreboardSim::cacheKey() const
+{
+    return std::string("scoreboard|fu=") +
+        (org_.fuDiscipline == FuDiscipline::kSegmented ? "seg"
+                                                       : "nonseg") +
+        "|mem=" +
+        (org_.memDiscipline == MemDiscipline::kInterleaved
+             ? "ilv"
+             : "serial") +
+        "|rbus=" + (org_.modelResultBus ? "1" : "0") +
+        "|bp=" + branchPolicyName(org_.branchPolicy) +
+        "|chain=" + (org_.vectorChaining ? "1" : "0") +
+        "|fuc=" + std::to_string(org_.fuCopies) +
+        "|mp=" + std::to_string(org_.memPorts);
+}
+
 SimResult
 ScoreboardSim::run(const DecodedTrace &trace)
 {

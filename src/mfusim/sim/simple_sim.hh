@@ -31,6 +31,7 @@ class SimpleSim : public Simulator
     using Simulator::run;
     SimResult run(const DecodedTrace &trace) override;
     std::string name() const override { return "Simple"; }
+    std::string cacheKey() const override { return "simple"; }
     const MachineConfig &config() const override { return cfg_; }
     AuditRules auditRules() const override;
 

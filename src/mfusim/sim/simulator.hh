@@ -108,6 +108,19 @@ class Simulator
     /** Human-readable machine description (without M/BR config). */
     virtual std::string name() const = 0;
 
+    /**
+     * A canonical identity string for the deterministic result cache
+     * (serve/result_cache.hh): two simulators with equal cacheKey()
+     * and equal MachineConfig MUST produce bit-identical SimResults
+     * on every trace.  Unlike name(), the key serializes EVERY
+     * organization knob (branch policy, WAR blocking, FU copies,
+     * ports, ...), so ablation variants that share a display name
+     * never alias.  An empty string opts out of caching; the base
+     * class returns empty so external Simulator subclasses are
+     * uncacheable unless they make the identity promise explicitly.
+     */
+    virtual std::string cacheKey() const { return ""; }
+
     /** The machine parameters this simulator times traces under. */
     virtual const MachineConfig &config() const = 0;
 

@@ -39,6 +39,14 @@ TomasuloSim::name() const
         ", cdb=" + std::to_string(org_.cdbCount) + ")";
 }
 
+std::string
+TomasuloSim::cacheKey() const
+{
+    return "tomasulo|rs=" + std::to_string(org_.stationsPerFu) +
+        "|cdb=" + std::to_string(org_.cdbCount) +
+        "|bp=" + branchPolicyName(org_.branchPolicy);
+}
+
 SimResult
 TomasuloSim::run(const DecodedTrace &trace)
 {

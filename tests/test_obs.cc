@@ -12,10 +12,13 @@
  */
 
 #include <cctype>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
 #include "mfusim/obs/metrics.hh"
 #include "mfusim/obs/pipe_trace.hh"
@@ -489,6 +492,101 @@ TEST(ObsExport, ScopedPhaseTimerAccumulates)
             sink = sink + i;
     }
     EXPECT_GT(reg.gaugeValue("profile.x_seconds"), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Prometheus text exposition.
+
+/** The registry behind the pinned golden file. */
+MetricsRegistry
+prometheusGoldenRegistry()
+{
+    MetricsRegistry reg;
+    reg.setLabel("sim", "CRAY-like");
+    reg.setLabel("config", "M11\"BR5\\x");  // value needs escaping
+    reg.counter("issues.total").add(12345);
+    reg.counter("stall.raw").add(678);
+    reg.gauge("rate.LL5").set(0.385);
+    reg.gauge("profile.simulate_seconds").set(1.5);
+    Histogram &h = reg.histogram("queue depth!", 2, 3);
+    h.record(0);
+    h.record(1);
+    h.record(3);
+    h.record(5);
+    h.record(100);      // overflow bucket
+    reg.series("occupancy.timeline").record(1, 0.5);
+    return reg;
+}
+
+TEST(Prometheus, RenderMatchesPinnedGolden)
+{
+    const std::string rendered =
+        renderPrometheus(prometheusGoldenRegistry());
+
+    std::ifstream golden(std::string(MFUSIM_TEST_GOLDEN_DIR) +
+                         "/metrics.prom");
+    ASSERT_TRUE(golden.good())
+        << "missing golden file; expected output:\n" << rendered;
+    std::ostringstream want;
+    want << golden.rdbuf();
+    EXPECT_EQ(rendered, want.str())
+        << "renderPrometheus drifted from the pinned golden; if the "
+           "change is intentional, update tests/golden/metrics.prom";
+}
+
+TEST(Prometheus, FormatInvariants)
+{
+    const std::string text =
+        renderPrometheus(prometheusGoldenRegistry());
+
+    // Counters carry the _total suffix and the sanitized prefix.
+    EXPECT_NE(text.find("# TYPE mfusim_issues_total_total counter"),
+              std::string::npos)
+        << text;
+    // Name sanitization: "queue depth!" -> queue_depth_.
+    EXPECT_NE(text.find("mfusim_queue_depth__bucket"),
+              std::string::npos)
+        << text;
+    // Histograms are cumulative and end at +Inf == _count.
+    const std::size_t inf = text.find("le=\"+Inf\"");
+    ASSERT_NE(inf, std::string::npos);
+    EXPECT_NE(text.find("mfusim_queue_depth__count"),
+              std::string::npos);
+    // Label values are escaped.
+    EXPECT_NE(text.find("M11\\\"BR5\\\\x"), std::string::npos)
+        << text;
+    // Time series are not exported.
+    EXPECT_EQ(text.find("occupancy"), std::string::npos) << text;
+    // Every line is a comment or a sample ending in a number.
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        if (line[0] == '#')
+            continue;
+        const std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        char *end = nullptr;
+        std::strtod(line.c_str() + space + 1, &end);
+        EXPECT_EQ(*end, '\0') << line;
+    }
+}
+
+TEST(Prometheus, SweepRegistryRendersCleanly)
+{
+    // A real merged sweep registry (the /metrics payload shape for
+    // an instrumented run) renders without throwing and contains the
+    // per-loop rate gauges.
+    const SimFactory factory = [](const MachineConfig &c)
+        -> std::unique_ptr<Simulator> {
+        return std::make_unique<SimpleSim>(c);
+    };
+    const SweepMetrics sweep = parallelPerLoopMetrics(
+        factory, { 1, 2 }, configM11BR5(), 1);
+    const std::string text = renderPrometheus(sweep.metrics);
+    EXPECT_NE(text.find("mfusim_rate_LL1"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("mfusim_rate_LL2"), std::string::npos);
 }
 
 } // namespace

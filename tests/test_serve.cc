@@ -1,0 +1,642 @@
+/**
+ * @file
+ * The serve daemon, end to end: JSON layer, HTTP parsing, and a real
+ * HttpServer+SimService on an ephemeral port driven through raw
+ * POSIX sockets — simulate/sweep round trips bit-identical to direct
+ * library calls, result-cache visibility, admission control (429),
+ * oversized bodies (413), deadlines (503), malformed input (400),
+ * concurrent clients, and graceful drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mfusim/core/error.hh"
+#include "mfusim/harness/spec_parse.hh"
+#include "mfusim/harness/sweep.hh"
+#include "mfusim/harness/trace_library.hh"
+#include "mfusim/serve/http.hh"
+#include "mfusim/serve/json.hh"
+#include "mfusim/serve/result_cache.hh"
+#include "mfusim/serve/server.hh"
+#include "mfusim/serve/sim_service.hh"
+
+namespace mfusim
+{
+namespace
+{
+
+// ----------------------------------------------------------------- JSON
+
+TEST(Json, ParseRoundTrip)
+{
+    const Json v = parseJson(
+        R"({"a": 1, "b": [true, null, "x\n"], "c": {"d": 2.5}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.find("a")->asNumber(), 1.0);
+    EXPECT_TRUE(v.find("b")->items()[0].asBool());
+    EXPECT_TRUE(v.find("b")->items()[1].isNull());
+    EXPECT_EQ(v.find("b")->items()[2].asString(), "x\n");
+    EXPECT_EQ(v.find("c")->find("d")->asNumber(), 2.5);
+    // Dump re-parses to the same structure.
+    const Json again = parseJson(v.dump());
+    EXPECT_EQ(again.dump(), v.dump());
+}
+
+TEST(Json, MalformedInputsThrow400)
+{
+    for (const char *bad :
+         { "", "{", "[1,", "{\"a\" 1}", "tru", "{\"a\":01x}",
+           "\"unterminated", "{\"a\":1} trailing", "[1 2]" }) {
+        try {
+            parseJson(bad);
+            FAIL() << "no throw for: " << bad;
+        } catch (const ServeError &e) {
+            EXPECT_EQ(e.httpStatus(), 400) << bad;
+        }
+    }
+}
+
+TEST(Json, DepthCapStopsHostileNesting)
+{
+    std::string hostile(2000, '[');
+    hostile += std::string(2000, ']');
+    EXPECT_THROW(parseJson(hostile), ServeError);
+}
+
+TEST(Json, DiagnosticNamesLineAndColumn)
+{
+    try {
+        parseJson("{\n  \"a\": bogus\n}");
+        FAIL();
+    } catch (const ServeError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ----------------------------------------------------------------- HTTP
+
+TEST(HttpParse, RequestHead)
+{
+    HttpRequest req;
+    std::string error;
+    ASSERT_TRUE(parseRequestHead("POST /v1/simulate?x=1 HTTP/1.1\r\n"
+                                 "Host: localhost\r\n"
+                                 "Content-Type: application/json\r\n",
+                                 &req, &error))
+        << error;
+    EXPECT_EQ(req.method, "POST");
+    EXPECT_EQ(req.target, "/v1/simulate?x=1");
+    EXPECT_EQ(req.path, "/v1/simulate");
+    EXPECT_EQ(req.header("content-type"), "application/json");
+    EXPECT_EQ(req.header("CONTENT-TYPE"), "application/json");
+    EXPECT_TRUE(req.keepAlive());
+}
+
+TEST(HttpParse, RejectsGarbage)
+{
+    HttpRequest req;
+    std::string error;
+    EXPECT_FALSE(parseRequestHead("", &req, &error));
+    EXPECT_FALSE(parseRequestHead("GETHTTP/1.1", &req, &error));
+    EXPECT_FALSE(parseRequestHead("GET / SPDY/3", &req, &error));
+    EXPECT_FALSE(
+        parseRequestHead("GET / HTTP/1.1\r\nbadheader\r\n", &req,
+                         &error));
+}
+
+TEST(HttpParse, ConnectionClose)
+{
+    HttpRequest req;
+    std::string error;
+    ASSERT_TRUE(parseRequestHead(
+        "GET / HTTP/1.1\r\nConnection: close\r\n", &req, &error));
+    EXPECT_FALSE(req.keepAlive());
+}
+
+TEST(HttpSerialize, ResponseWireFormat)
+{
+    HttpResponse resp(200, "application/json", "{}");
+    const std::string wire = resp.serialize(true);
+    EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+    EXPECT_EQ(wire.substr(wire.size() - 2), "{}");
+}
+
+// --------------------------------------------------- raw-socket client
+
+/** Connect to 127.0.0.1:port; returns the fd (closes in dtor). */
+class ClientSocket
+{
+  public:
+    explicit ClientSocket(std::uint16_t port)
+    {
+        fd_ = socket(AF_INET, SOCK_STREAM, 0);
+        struct sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (connect(fd_, reinterpret_cast<struct sockaddr *>(&addr),
+                    sizeof(addr)) != 0) {
+            close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~ClientSocket()
+    {
+        if (fd_ >= 0)
+            close(fd_);
+    }
+    int fd() const { return fd_; }
+    bool ok() const { return fd_ >= 0; }
+
+    bool sendAll(const std::string &data)
+    {
+        return writeAll(fd_, data);
+    }
+
+    /** Read one response (headers + Content-Length body). */
+    std::string
+    readResponse()
+    {
+        std::string buffer;
+        char chunk[4096];
+        std::size_t headEnd = std::string::npos;
+        while (headEnd == std::string::npos) {
+            const ssize_t got = recv(fd_, chunk, sizeof(chunk), 0);
+            if (got <= 0)
+                return buffer;
+            buffer.append(chunk, std::size_t(got));
+            headEnd = buffer.find("\r\n\r\n");
+        }
+        // Parse Content-Length to know when the body is complete.
+        std::size_t contentLength = 0;
+        const std::size_t cl = buffer.find("Content-Length: ");
+        if (cl != std::string::npos && cl < headEnd)
+            contentLength = std::size_t(
+                std::strtoull(buffer.c_str() + cl + 16, nullptr, 10));
+        while (buffer.size() < headEnd + 4 + contentLength) {
+            const ssize_t got = recv(fd_, chunk, sizeof(chunk), 0);
+            if (got <= 0)
+                break;
+            buffer.append(chunk, std::size_t(got));
+        }
+        return buffer;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+struct Response
+{
+    int status = 0;
+    std::string body;
+    std::string raw;
+};
+
+Response
+parseResponse(const std::string &wire)
+{
+    Response r;
+    r.raw = wire;
+    if (wire.rfind("HTTP/1.1 ", 0) == 0)
+        r.status = std::atoi(wire.c_str() + 9);
+    const std::size_t headEnd = wire.find("\r\n\r\n");
+    if (headEnd != std::string::npos)
+        r.body = wire.substr(headEnd + 4);
+    return r;
+}
+
+/** One-shot request against a local server. */
+Response
+roundTrip(std::uint16_t port, const std::string &method,
+          const std::string &path, const std::string &body = "",
+          const std::string &extraHeaders = "")
+{
+    ClientSocket sock(port);
+    if (!sock.ok())
+        return Response{};
+    std::string request = method + " " + path + " HTTP/1.1\r\n" +
+        "Host: localhost\r\nConnection: close\r\n" + extraHeaders;
+    if (!body.empty())
+        request +=
+            "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    request += "\r\n" + body;
+    sock.sendAll(request);
+    return parseResponse(sock.readResponse());
+}
+
+// ------------------------------------------------------- e2e fixture
+
+/** An HttpServer+SimService on an ephemeral port, torn down after. */
+class ServeE2E : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ResultCache::instance().clear();
+        ServeOptions opts;
+        opts.port = 0;          // ephemeral: tests never collide
+        opts.workers = 4;
+        opts.deadlineMs = 10000;
+        opts.maxBodyBytes = 64 * 1024;
+        service_ = std::make_unique<SimService>(
+            SimServiceOptions{ "test", 64 });
+        server_ = std::make_unique<HttpServer>(
+            opts, [this](const HttpRequest &request,
+                         unsigned budgetMs) {
+                return service_->handle(request, budgetMs);
+            });
+        service_->setServer(server_.get());
+        server_->start();
+        ASSERT_NE(server_->port(), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+        ResultCache::instance().clear();
+    }
+
+    std::uint16_t port() const { return server_->port(); }
+
+    std::unique_ptr<SimService> service_;
+    std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServeE2E, Healthz)
+{
+    const Response r = roundTrip(port(), "GET", "/healthz");
+    EXPECT_EQ(r.status, 200);
+    const Json body = parseJson(r.body);
+    EXPECT_EQ(body.find("status")->asString(), "ok");
+    EXPECT_EQ(body.find("version")->asString(), "test");
+}
+
+TEST_F(ServeE2E, SimulateBitIdenticalToDirectRunAllMachines)
+{
+    // The acceptance criterion: POST /v1/simulate responses must be
+    // bit-identical to the equivalent direct invocation for all six
+    // simulator families.
+    const std::vector<std::string> machines{
+        "simple",   "cray",  "cdc",
+        "tomasulo", "seq:2", "ruu:4:50",
+    };
+    const std::vector<int> loops{ 1, 5, 9, 14 };
+    const MachineConfig cfg = configM11BR2();
+
+    for (const std::string &machine : machines) {
+        for (const int loop : loops) {
+            const Response r = roundTrip(
+                port(), "POST", "/v1/simulate",
+                "{\"loop\": " + std::to_string(loop) +
+                    ", \"machine\": \"" + machine +
+                    "\", \"config\": \"M11BR2\"}");
+            ASSERT_EQ(r.status, 200)
+                << machine << " LL" << loop << ": " << r.body;
+            const Json body = parseJson(r.body);
+
+            auto sim = parseMachineSpec(machine, cfg);
+            const SimResult direct = sim->run(
+                TraceLibrary::instance().decoded(loop, cfg));
+            EXPECT_EQ(body.find("instructions")->asNumber(),
+                      double(direct.instructions))
+                << machine << " LL" << loop;
+            EXPECT_EQ(body.find("cycles")->asNumber(),
+                      double(direct.cycles))
+                << machine << " LL" << loop;
+            EXPECT_EQ(body.find("rate")->asNumber(),
+                      direct.issueRate())
+                << machine << " LL" << loop;
+            EXPECT_EQ(body.find("machine")->asString(), sim->name());
+            EXPECT_EQ(body.find("schema")->asString(),
+                      "mfusim-serve-v1");
+        }
+    }
+}
+
+TEST_F(ServeE2E, RepeatedRequestServedFromCacheAndCounted)
+{
+    const std::string request =
+        R"({"loop": 5, "machine": "cray", "config": "M5BR2"})";
+    const Response first =
+        roundTrip(port(), "POST", "/v1/simulate", request);
+    ASSERT_EQ(first.status, 200) << first.body;
+    EXPECT_FALSE(parseJson(first.body).find("cached")->asBool());
+
+    const Response second =
+        roundTrip(port(), "POST", "/v1/simulate", request);
+    ASSERT_EQ(second.status, 200);
+    const Json secondBody = parseJson(second.body);
+    EXPECT_TRUE(secondBody.find("cached")->asBool());
+    EXPECT_EQ(secondBody.find("cycles")->asNumber(),
+              parseJson(first.body).find("cycles")->asNumber());
+
+    // The hit is observable through /metrics (the acceptance
+    // criterion's "hit counter observable" clause).
+    const Response metrics = roundTrip(port(), "GET", "/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    // The sample line (not the "# TYPE" comment) carries the labels.
+    const std::size_t at =
+        metrics.body.find("mfusim_result_cache_hits_total{");
+    ASSERT_NE(at, std::string::npos) << metrics.body;
+    const std::string line = metrics.body.substr(
+        at, metrics.body.find('\n', at) - at);
+    EXPECT_EQ(line.substr(line.rfind(' ') + 1), "1") << line;
+}
+
+TEST_F(ServeE2E, UnrolledAndVectorLoopSpecsWork)
+{
+    for (const char *spec : { "\"1x4\"", "\"7v\"" }) {
+        const Response r = roundTrip(
+            port(), "POST", "/v1/simulate",
+            std::string("{\"loop\": ") + spec +
+                ", \"machine\": \"cray\"}");
+        EXPECT_EQ(r.status, 200) << spec << ": " << r.body;
+    }
+}
+
+TEST_F(ServeE2E, SweepMatchesDirectParallelRates)
+{
+    const Response r = roundTrip(
+        port(), "POST", "/v1/sweep",
+        R"({"machine": "seq:2", "config": "M5BR5",
+            "loops": [1, 2, 3, 8, 12]})");
+    ASSERT_EQ(r.status, 200) << r.body;
+    const Json body = parseJson(r.body);
+    const auto &rows = body.find("results")->items();
+    ASSERT_EQ(rows.size(), 5u);
+
+    const MachineConfig cfg = configM5BR5();
+    const SimFactory factory = [](const MachineConfig &c) {
+        return parseMachineSpec("seq:2", c);
+    };
+    const std::vector<double> direct = parallelPerLoopRates(
+        factory, { 1, 2, 3, 8, 12 }, cfg);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(rows[i].find("rate")->asNumber(), direct[i])
+            << "row " << i;
+}
+
+TEST_F(ServeE2E, BadInputsMapToFourHundreds)
+{
+    // Malformed JSON.
+    EXPECT_EQ(roundTrip(port(), "POST", "/v1/simulate", "{nope")
+                  .status,
+              400);
+    // Unknown machine / config / loop.
+    EXPECT_EQ(roundTrip(port(), "POST", "/v1/simulate",
+                        R"({"loop": 5, "machine": "pdp11"})")
+                  .status,
+              400);
+    EXPECT_EQ(roundTrip(
+                  port(), "POST", "/v1/simulate",
+                  R"({"loop": 5, "machine": "cray", "config": "Z"})")
+                  .status,
+              400);
+    EXPECT_EQ(roundTrip(port(), "POST", "/v1/simulate",
+                        R"({"loop": 99, "machine": "cray"})")
+                  .status,
+              400);
+    // Missing fields.
+    EXPECT_EQ(roundTrip(port(), "POST", "/v1/simulate",
+                        R"({"machine": "cray"})")
+                  .status,
+              400);
+    // Sweep with a bad loop list.
+    EXPECT_EQ(roundTrip(port(), "POST", "/v1/sweep",
+                        R"({"machine": "cray", "loops": [1, 99]})")
+                  .status,
+              400);
+    EXPECT_EQ(roundTrip(port(), "POST", "/v1/sweep",
+                        R"({"machine": "cray", "loops": []})")
+                  .status,
+              400);
+    // Unknown route and wrong method.
+    EXPECT_EQ(roundTrip(port(), "GET", "/nope").status, 404);
+    EXPECT_EQ(roundTrip(port(), "GET", "/v1/simulate").status, 405);
+    const Response errBody =
+        roundTrip(port(), "POST", "/v1/simulate", "{nope");
+    const Json err = parseJson(errBody.body);
+    EXPECT_EQ(err.find("status")->asNumber(), 400.0);
+    EXPECT_FALSE(err.find("error")->asString().empty());
+}
+
+TEST_F(ServeE2E, OversizedBodyIs413)
+{
+    // 64 KiB limit in the fixture; send a Content-Length beyond it.
+    const std::string body(70 * 1024, 'x');
+    const Response r =
+        roundTrip(port(), "POST", "/v1/simulate", body);
+    EXPECT_EQ(r.status, 413);
+}
+
+TEST_F(ServeE2E, DeadlineZeroIs503)
+{
+    const Response r = roundTrip(
+        port(), "POST", "/v1/simulate",
+        R"({"loop": 5, "machine": "cray"})", "X-Deadline-Ms: 0\r\n");
+    EXPECT_EQ(r.status, 503);
+}
+
+TEST_F(ServeE2E, ConcurrentClientsAllSucceedAndAgree)
+{
+    constexpr int kClients = 8;
+    std::vector<std::thread> threads;
+    std::vector<Response> responses(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([this, c, &responses] {
+            responses[std::size_t(c)] = roundTrip(
+                port(), "POST", "/v1/simulate",
+                R"({"loop": 7, "machine": "ooo:4", "config": "M11BR5"})");
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    ASSERT_EQ(responses[0].status, 200) << responses[0].body;
+    const double cycles =
+        parseJson(responses[0].body).find("cycles")->asNumber();
+    for (int c = 1; c < kClients; ++c) {
+        ASSERT_EQ(responses[std::size_t(c)].status, 200);
+        EXPECT_EQ(parseJson(responses[std::size_t(c)].body)
+                      .find("cycles")
+                      ->asNumber(),
+                  cycles)
+            << "client " << c;
+    }
+}
+
+TEST_F(ServeE2E, KeepAliveServesSequentialRequests)
+{
+    ClientSocket sock(port());
+    ASSERT_TRUE(sock.ok());
+    const std::string body = R"({"loop": 2, "machine": "simple"})";
+    for (int i = 0; i < 3; ++i) {
+        std::string request =
+            "POST /v1/simulate HTTP/1.1\r\nHost: x\r\n"
+            "Content-Length: " + std::to_string(body.size()) +
+            "\r\n\r\n" + body;
+        ASSERT_TRUE(sock.sendAll(request));
+        const Response r = parseResponse(sock.readResponse());
+        EXPECT_EQ(r.status, 200) << "request " << i;
+    }
+}
+
+TEST_F(ServeE2E, MetricsExposePrometheusFamilies)
+{
+    roundTrip(port(), "POST", "/v1/simulate",
+              R"({"loop": 1, "machine": "simple"})");
+    const Response r = roundTrip(port(), "GET", "/metrics");
+    ASSERT_EQ(r.status, 200);
+    for (const char *family :
+         { "# TYPE mfusim_http_requests_total counter",
+           "mfusim_http_simulate_requests_total",
+           "mfusim_http_simulate_latency_ms_bucket",
+           "mfusim_http_connections_accepted_total",
+           "mfusim_http_queue_depth",
+           "mfusim_result_cache_misses_total" }) {
+        EXPECT_NE(r.body.find(family), std::string::npos)
+            << "missing: " << family << "\n" << r.body;
+    }
+}
+
+// ------------------------------------------- transport-level behaviour
+
+TEST(HttpServerAdmission, QueueOverflowAnswers429)
+{
+    // A deliberately slow handler with one worker and a queue depth
+    // of 1: the third concurrent connection cannot be admitted and
+    // must get an immediate 429 with Retry-After.
+    std::atomic<bool> release{ false };
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    opts.queueDepth = 1;
+    // Short idle timeout so draining the parked keep-alive
+    // connections at stop() does not stall the test suite.
+    opts.idleTimeoutMs = 200;
+    HttpServer server(opts, [&](const HttpRequest &, unsigned) {
+        while (!release.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        return HttpResponse(200, "text/plain", "done");
+    });
+    server.start();
+
+    // First connection: admitted, its request occupies the worker.
+    ClientSocket busy(server.port());
+    ASSERT_TRUE(busy.ok());
+    busy.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
+    // Second connection: admitted, parks in the queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ClientSocket parked(server.port());
+    ASSERT_TRUE(parked.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // Third connection: the queue is full — 429, immediately, while
+    // the worker is still busy.
+    ClientSocket rejected(server.port());
+    ASSERT_TRUE(rejected.ok());
+    const Response r = parseResponse(rejected.readResponse());
+    EXPECT_EQ(r.status, 429);
+    EXPECT_NE(r.raw.find("Retry-After:"), std::string::npos);
+
+    release.store(true);
+    const Response ok = parseResponse(busy.readResponse());
+    EXPECT_EQ(ok.status, 200);
+    server.stop();
+    EXPECT_GE(server.stats().rejected, 1u);
+}
+
+TEST(HttpServerAdmission, GracefulDrainFinishesInFlightRequest)
+{
+    std::atomic<bool> entered{ false };
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 2;
+    HttpServer server(opts, [&](const HttpRequest &, unsigned) {
+        entered.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        return HttpResponse(200, "text/plain", "drained fine");
+    });
+    server.start();
+
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    sock.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
+    while (!entered.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // stop() during the in-flight request: it must complete, not be
+    // dropped.
+    std::thread stopper([&] { server.stop(); });
+    const Response r = parseResponse(sock.readResponse());
+    stopper.join();
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "drained fine");
+    EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerAdmission, EphemeralPortsAreIndependent)
+{
+    const auto handler = [](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "text/plain", "ok");
+    };
+    ServeOptions opts;
+    opts.port = 0;
+    HttpServer a(opts, handler), b(opts, handler);
+    a.start();
+    b.start();
+    EXPECT_NE(a.port(), 0);
+    EXPECT_NE(b.port(), 0);
+    EXPECT_NE(a.port(), b.port());
+    EXPECT_EQ(roundTrip(a.port(), "GET", "/").status, 200);
+    EXPECT_EQ(roundTrip(b.port(), "GET", "/").status, 200);
+    a.stop();
+    b.stop();
+}
+
+TEST(HttpServerAdmission, PortCollisionThrowsServeError)
+{
+    const auto handler = [](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "text/plain", "ok");
+    };
+    ServeOptions opts;
+    opts.port = 0;
+    HttpServer first(opts, handler);
+    first.start();
+    ServeOptions clash;
+    clash.port = first.port();
+    HttpServer second(clash, handler);
+    try {
+        second.start();
+        FAIL() << "no ServeError for a taken port";
+    } catch (const ServeError &e) {
+        EXPECT_EQ(e.exitCode(), 8);
+        EXPECT_EQ(e.httpStatus(), 0);
+    }
+    first.stop();
+}
+
+} // namespace
+} // namespace mfusim

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Concurrent load generator for `mfusim serve`.
+
+Standard library only (urllib + threads): usable from CI without
+installing anything.  Fires a mixed burst of /v1/simulate requests —
+optionally across several machine specs and loops — plus periodic
+/healthz probes, then reports status-code counts and latency
+percentiles and writes a machine-readable JSON report.
+
+Exit status: 0 when every gate passes; 1 when --fail-on-5xx saw a
+5xx, the p99 exceeded --max-p99-ms, or nothing succeeded at all.
+
+Example (the CI server-smoke job):
+
+    python3 tools/loadgen.py --base-url http://127.0.0.1:8100 \
+        --requests 200 --concurrency 8 \
+        --machine simple --machine cray --machine cdc \
+        --machine tomasulo:3:1 --machine ooo:4 --machine ruu:4:50 \
+        --fail-on-5xx --max-p99-ms 2000 --report loadgen.json
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an ascending list (0.0 on empty)."""
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1,
+                       int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+class Worker(threading.Thread):
+    """Pulls request indices off a shared counter until exhausted."""
+
+    def __init__(self, args, counter, lock, results):
+        super().__init__(daemon=True)
+        self.args = args
+        self.counter = counter
+        self.lock = lock
+        self.results = results
+
+    def run(self):
+        while True:
+            with self.lock:
+                index = self.counter[0]
+                if index >= self.args.requests:
+                    return
+                self.counter[0] += 1
+            self.one_request(index)
+
+    def one_request(self, index):
+        machine = self.args.machine[index % len(self.args.machine)]
+        loop = self.args.loops[index % len(self.args.loops)]
+        config = self.args.config[index % len(self.args.config)]
+        body = json.dumps({
+            "loop": loop,
+            "machine": machine,
+            "config": config,
+        }).encode()
+        request = urllib.request.Request(
+            self.args.base_url + "/v1/simulate",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST")
+        start = time.monotonic()
+        status, cached = 0, False
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.args.timeout) as response:
+                status = response.status
+                payload = json.loads(response.read())
+                cached = bool(payload.get("cached"))
+        except urllib.error.HTTPError as error:
+            status = error.code
+        except Exception:
+            status = 0          # connection-level failure
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        with self.lock:
+            self.results.append((status, elapsed_ms, cached))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="mfusim serve load generator")
+    parser.add_argument("--base-url", default="http://127.0.0.1:8100")
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--machine", action="append", default=None,
+                        help="machine spec; repeatable, round-robined")
+    parser.add_argument("--loop", dest="loops", action="append",
+                        type=int, default=None,
+                        help="loop id; repeatable, round-robined")
+    parser.add_argument("--config", action="append", default=None)
+    parser.add_argument("--fail-on-5xx", action="store_true")
+    parser.add_argument("--max-p99-ms", type=float, default=None)
+    parser.add_argument("--report", default=None,
+                        help="write a JSON report here")
+    args = parser.parse_args()
+    if not args.machine:
+        args.machine = ["cray"]
+    if not args.loops:
+        args.loops = [1, 3, 5, 7, 9, 12, 14]
+    if not args.config:
+        args.config = ["M11BR5", "M5BR2"]
+
+    # One healthz probe up front: fail fast when the daemon is absent
+    # rather than timing out N requests.
+    try:
+        with urllib.request.urlopen(args.base_url + "/healthz",
+                                    timeout=args.timeout) as response:
+            health = json.loads(response.read())
+    except Exception as error:
+        print(f"loadgen: /healthz unreachable: {error}",
+              file=sys.stderr)
+        return 1
+
+    results = []
+    counter = [0]
+    lock = threading.Lock()
+    started = time.monotonic()
+    workers = [Worker(args, counter, lock, results)
+               for _ in range(args.concurrency)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall_seconds = time.monotonic() - started
+
+    status_counts = {}
+    for status, _, _ in results:
+        key = str(status) if status else "connection_error"
+        status_counts[key] = status_counts.get(key, 0) + 1
+    latencies = sorted(ms for status, ms, _ in results
+                       if 200 <= status < 300)
+    cache_hits = sum(1 for status, _, cached in results
+                     if cached and 200 <= status < 300)
+    count_5xx = sum(n for code, n in status_counts.items()
+                    if code.isdigit() and code.startswith("5"))
+
+    report = {
+        "schema": "mfusim-loadgen-v1",
+        "base_url": args.base_url,
+        "server_version": health.get("version"),
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "machines": args.machine,
+        "wall_seconds": round(wall_seconds, 3),
+        "throughput_rps": round(len(results) / wall_seconds, 2)
+            if wall_seconds > 0 else 0.0,
+        "status_counts": status_counts,
+        "count_5xx": count_5xx,
+        "cache_hits": cache_hits,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 2),
+            "p90": round(percentile(latencies, 0.90), 2),
+            "p99": round(percentile(latencies, 0.99), 2),
+            "max": round(latencies[-1], 2) if latencies else 0.0,
+        },
+    }
+    print(json.dumps(report, indent=2))
+    if args.report:
+        with open(args.report, "w") as out:
+            json.dump(report, out, indent=2)
+            out.write("\n")
+
+    failures = []
+    if not latencies:
+        failures.append("no request succeeded")
+    if args.fail_on_5xx and count_5xx:
+        failures.append(f"{count_5xx} 5xx responses")
+    if args.max_p99_ms is not None and latencies and \
+            report["latency_ms"]["p99"] > args.max_p99_ms:
+        failures.append(
+            f"p99 {report['latency_ms']['p99']}ms exceeds "
+            f"{args.max_p99_ms}ms")
+    for failure in failures:
+        print(f"loadgen: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@
  *   mfusim rate    <loop> <machine> [config]
  *   mfusim save    <loop> <file>
  *   mfusim replay  <file> <machine> [config]
+ *   mfusim serve   [--port N] [--workers K] [--queue-depth D]
+ *                  [--deadline-ms M] [--max-body B]
  *
  * --jobs N  worker threads for sweeps (also: MFUSIM_JOBS env var);
  *           used by "rate all"
@@ -41,7 +43,17 @@
  *
  * Exit codes: 0 success, 1 generic failure, 2 usage, 3 bad config,
  * 4 bad trace, 5 simulator failure (livelock watchdog / unsupported
- * trace), 6 audit violation, 7 sweep cell failure(s).
+ * trace), 6 audit violation, 7 sweep cell failure(s), 8 serve
+ * failure (e.g. the port is taken), 128+signo when a sweep is
+ * interrupted by SIGINT/SIGTERM (partial output is still flushed).
+ *
+ * serve: a batching simulation-as-a-service HTTP daemon — see
+ * docs/SERVING.md.  --port P (default 8100, 0 = ephemeral),
+ * --workers K request workers (default 4), --queue-depth D bounded
+ * admission queue (default 64, overflow answers 429), --deadline-ms
+ * M per-request deadline (default 30000), --max-body B largest
+ * accepted body in bytes (default 1 MiB).  SIGINT/SIGTERM drain
+ * gracefully.
  * <loop>    1..14 (optionally "<id>x<factor>" for an unrolled
  *           variant, e.g. "1x4", or "<id>v" for a vector-unit
  *           compilation, e.g. "7v"), or "all" (rate only): every
@@ -54,6 +66,7 @@
  *           suffixes, e.g. "ruu:4:50,1bus,oracle"
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -62,6 +75,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <poll.h>
 
 #include "mfusim/mfusim.hh"
 
@@ -102,42 +117,37 @@ usage()
                  "       limits <loop> [cfg] | "
                  "rate <loop>|all <machine> [cfg] |\n"
                  "       save <loop> <file> | "
-                 "replay <file> <machine> [cfg]\n"
+                 "replay <file> <machine> [cfg] |\n"
+                 "       serve [--port N] [--workers K] "
+                 "[--queue-depth D]\n"
+                 "             [--deadline-ms M] [--max-body B]\n"
                  "       mfusim --version\n");
     std::exit(2);
 }
 
+// The shared spec grammar lives in harness/spec_parse.hh (the serve
+// daemon uses it too).  These wrappers keep the CLI's historical
+// behaviour: a bad spec prints to stderr and exits with the usage
+// code (2) instead of the ConfigError code (3).
+
 MachineConfig
 parseConfig(const std::string &name)
 {
-    for (const MachineConfig &cfg : standardConfigs()) {
-        if (cfg.name() == name)
-            return cfg;
+    try {
+        return parseConfigSpec(name);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
     }
-    std::fprintf(stderr, "unknown config '%s'\n", name.c_str());
-    std::exit(2);
 }
 
-/**
- * "5" -> canonical loop 5; "1x4" -> loop 1 unrolled by 4;
- * "7v" -> loop 7 compiled for the vector unit.
- */
 Kernel
 parseKernel(const std::string &spec)
 {
     try {
-        if (!spec.empty() && spec.back() == 'v') {
-            return buildVectorizedKernel(
-                std::stoi(spec.substr(0, spec.size() - 1)));
-        }
-        const auto x = spec.find('x');
-        if (x == std::string::npos)
-            return buildKernel(std::stoi(spec));
-        return buildUnrolledKernel(std::stoi(spec.substr(0, x)),
-                                   std::stoi(spec.substr(x + 1)));
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "bad loop '%s': %s\n", spec.c_str(),
-                     e.what());
+        return parseKernelSpec(spec);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
         std::exit(2);
     }
 }
@@ -145,102 +155,23 @@ parseKernel(const std::string &spec)
 DynTrace
 traceFor(const std::string &spec)
 {
-    const Kernel kernel = parseKernel(spec);
-    KernelRun run = runKernel(kernel, "LL" + spec);
-    if (run.mismatches != 0) {
-        std::fprintf(stderr,
-                     "loop %s failed reference validation "
-                     "(%zu/%zu cells)\n",
-                     spec.c_str(), run.mismatches, run.checkedCells);
-        std::exit(1);
+    try {
+        return traceForLoopSpec(spec);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
     }
-    return std::move(run.trace);
 }
 
 std::unique_ptr<Simulator>
 parseMachine(const std::string &spec, const MachineConfig &cfg)
 {
-    // Split "name,opt,opt" on commas.
-    std::vector<std::string> parts;
-    std::stringstream in(spec);
-    std::string part;
-    while (std::getline(in, part, ','))
-        parts.push_back(part);
-    if (parts.empty())
-        usage();
-
-    BusKind bus = BusKind::kPerUnit;
-    BranchPolicy policy = BranchPolicy::kBlocking;
-    for (std::size_t i = 1; i < parts.size(); ++i) {
-        if (parts[i] == "1bus")
-            bus = BusKind::kSingle;
-        else if (parts[i] == "xbar")
-            bus = BusKind::kCrossbar;
-        else if (parts[i] == "btfn")
-            policy = BranchPolicy::kBtfn;
-        else if (parts[i] == "oracle")
-            policy = BranchPolicy::kOracle;
-        else {
-            std::fprintf(stderr, "unknown machine option '%s'\n",
-                         parts[i].c_str());
-            std::exit(2);
-        }
+    try {
+        return parseMachineSpec(spec, cfg);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
     }
-
-    // Split the machine name on colons: name[:w[:size]].
-    std::vector<std::string> fields;
-    std::stringstream name_in(parts[0]);
-    while (std::getline(name_in, part, ':'))
-        fields.push_back(part);
-
-    const auto arg = [&fields](std::size_t i) -> unsigned {
-        if (i >= fields.size()) {
-            std::fprintf(stderr, "machine spec needs more fields\n");
-            std::exit(2);
-        }
-        return unsigned(std::stoul(fields[i]));
-    };
-
-    if (fields[0] == "simple")
-        return std::make_unique<SimpleSim>(cfg);
-    if (fields[0] == "serialmem" || fields[0] == "nonseg" ||
-        fields[0] == "cray") {
-        ScoreboardConfig org =
-            fields[0] == "serialmem" ?
-                ScoreboardConfig::serialMemory() :
-                fields[0] == "nonseg" ?
-                    ScoreboardConfig::nonSegmented() :
-                    ScoreboardConfig::crayLike();
-        org.branchPolicy = policy;
-        return std::make_unique<ScoreboardSim>(org, cfg);
-    }
-    if (fields[0] == "seq" || fields[0] == "ooo") {
-        MultiIssueConfig org{ arg(1), fields[0] == "ooo", bus, false,
-                              policy };
-        return std::make_unique<MultiIssueSim>(org, cfg);
-    }
-    if (fields[0] == "ruu") {
-        RuuConfig org{ arg(1), arg(2), bus, policy };
-        return std::make_unique<RuuSim>(org, cfg);
-    }
-    if (fields[0] == "cdc") {
-        Cdc6600Config org;
-        // ",xbar" lifts the single-result-bus completion model.
-        org.modelResultBus = bus != BusKind::kCrossbar;
-        org.branchPolicy = policy;
-        return std::make_unique<Cdc6600Sim>(org, cfg);
-    }
-    if (fields[0] == "tomasulo") {
-        TomasuloConfig org;
-        if (fields.size() > 1)
-            org.stationsPerFu = arg(1);
-        if (fields.size() > 2)
-            org.cdbCount = arg(2);
-        org.branchPolicy = policy;
-        return std::make_unique<TomasuloSim>(org, cfg);
-    }
-    std::fprintf(stderr, "unknown machine '%s'\n", parts[0].c_str());
-    std::exit(2);
 }
 
 /** Write @p metrics to @p path — CSV by extension, JSON otherwise. */
@@ -397,7 +328,10 @@ int
 cmdRateAll(const std::string &machine, const MachineConfig &cfg)
 {
     // One grid cell per library loop, timed on the sweep worker
-    // pool (mfusim --jobs N / MFUSIM_JOBS).
+    // pool (mfusim --jobs N / MFUSIM_JOBS).  Ctrl-C / SIGTERM stop
+    // the grid at cell granularity; the partial table and metrics
+    // file are still flushed before exiting 128+signo.
+    installShutdownHandler();
     const SimFactory factory = [&machine](const MachineConfig &c) {
         return parseMachine(machine, c);
     };
@@ -438,6 +372,88 @@ cmdRateAll(const std::string &machine, const MachineConfig &cfg)
     std::printf("harmonic mean: scalar %.4f, vectorizable %.4f\n",
                 harmonicMean(scalar_rates),
                 harmonicMean(vector_rates));
+    if (shutdownRequested()) {
+        std::fflush(stdout);
+        std::fprintf(stderr,
+                     "mfusim: interrupted by signal %d; partial "
+                     "results flushed\n",
+                     shutdownSignal());
+        return 128 + shutdownSignal();
+    }
+    return 0;
+}
+
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    ServeOptions opts;
+    const auto numeric = [](const std::string &flag,
+                            const std::string &value) -> unsigned long {
+        try {
+            std::size_t used = 0;
+            const unsigned long n = std::stoul(value, &used);
+            if (used != value.size())
+                throw std::invalid_argument(value);
+            return n;
+        } catch (const std::exception &) {
+            std::fprintf(stderr, "%s expects a number, got '%s'\n",
+                         flag.c_str(), value.c_str());
+            std::exit(2);
+        }
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                usage();
+            return args[++i];
+        };
+        if (args[i] == "--port")
+            opts.port = std::uint16_t(numeric("--port", value()));
+        else if (args[i] == "--workers")
+            opts.workers = unsigned(numeric("--workers", value()));
+        else if (args[i] == "--queue-depth")
+            opts.queueDepth =
+                unsigned(numeric("--queue-depth", value()));
+        else if (args[i] == "--deadline-ms")
+            opts.deadlineMs =
+                unsigned(numeric("--deadline-ms", value()));
+        else if (args[i] == "--max-body")
+            opts.maxBodyBytes = numeric("--max-body", value());
+        else
+            usage();
+    }
+
+    // Install the drain handler BEFORE the server threads start so
+    // every thread inherits the disposition.
+    installShutdownHandler();
+    ResultCache::instance().setVersion(MFUSIM_GIT_SHA);
+
+    SimService service(SimServiceOptions{ MFUSIM_GIT_SHA, 256 });
+    HttpServer server(opts,
+                      [&service](const HttpRequest &request,
+                                 unsigned budgetMs) {
+                          return service.handle(request, budgetMs);
+                      });
+    service.setServer(&server);
+    server.start();
+    std::printf("mfusim serve %s listening on port %u "
+                "(%u workers, queue depth %u, deadline %u ms)\n",
+                MFUSIM_GIT_SHA, server.port(), opts.workers,
+                opts.queueDepth, opts.deadlineMs);
+    std::fflush(stdout);
+
+    // Park until SIGINT/SIGTERM: the self-pipe becomes readable the
+    // instant the signal lands.
+    struct pollfd pfd = { shutdownFd(), POLLIN, 0 };
+    while (!shutdownRequested()) {
+        if (poll(&pfd, 1, 1000) < 0 && errno != EINTR)
+            break;
+    }
+    std::printf("mfusim serve: signal %d, draining...\n",
+                shutdownSignal());
+    std::fflush(stdout);
+    server.stop();
+    std::printf("mfusim serve: drained, bye\n");
     return 0;
 }
 
@@ -577,6 +593,10 @@ main(int argc, char **argv)
             return cmdSave(argv[2], argv[3]);
         if (cmd == "replay" && argc >= 4)
             return cmdReplay(argv[2], argv[3], cfg_arg(4));
+        if (cmd == "serve")
+            return cmdServe(
+                std::vector<std::string>(args.begin() + 1,
+                                         args.end()));
     } catch (const Error &e) {
         std::fprintf(stderr, "mfusim: %s\n", e.what());
         return e.exitCode();
