@@ -11,8 +11,11 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "bench_util.hh"
+#include "mfusim/core/stats.hh"
 #include "mfusim/harness/experiment.hh"
 #include "mfusim/harness/paper_data.hh"
 #include "mfusim/harness/sweep.hh"
@@ -28,30 +31,53 @@ runMultiIssueTable(const char *title, LoopClass cls, bool outOfOrder)
 {
     std::printf("%s\n(measured [paper])\n\n", title);
 
-    // The table is a flat grid of independent (stations, config,
-    // bus) cells: evaluate it on the worker pool, with every cell
-    // writing only its own slot, then render serially — the printed
-    // table is bit-identical to a serial run.
+    // All 16 (stations, bus) variants of one (config, loop) cell
+    // time the same decoded trace, so each grid cell advances them
+    // together through the batched lockstep kernel — one trace pass,
+    // 16 lanes — instead of 16 scalar re-walks.  Cells still write
+    // only their own slots and the render stays serial, so the
+    // printed table is bit-identical to the scalar sweep.
     constexpr int kStations = 8;
     constexpr int kConfigs = 4;
     constexpr int kBusses = 2;
     const auto &configs = standardConfigs();
-    std::vector<double> measured(kStations * kConfigs * kBusses);
-    runGrid(measured.size(), [&](std::size_t i) {
-        const unsigned stations = unsigned(i) / (kConfigs * kBusses) + 1;
-        const int cfg = int(i / kBusses) % kConfigs;
-        const BusKind bus = i % kBusses == 0 ? BusKind::kPerUnit
-                                             : BusKind::kSingle;
-        measured[i] = meanIssueRate(
-            [stations, bus, outOfOrder](const MachineConfig &c)
-                -> std::unique_ptr<Simulator> {
-                return std::make_unique<MultiIssueSim>(
-                    MultiIssueConfig{ stations, outOfOrder, bus,
-                                      false },
-                    c);
-            },
-            cls, configs[std::size_t(cfg)]);
+    const std::vector<int> &loops = loopsOf(cls);
+    std::vector<SimFactory> variants;
+    for (unsigned stations = 1; stations <= kStations; ++stations) {
+        for (const BusKind bus :
+             { BusKind::kPerUnit, BusKind::kSingle }) {
+            variants.push_back(
+                [stations, bus, outOfOrder](const MachineConfig &c)
+                    -> std::unique_ptr<Simulator> {
+                    return std::make_unique<MultiIssueSim>(
+                        MultiIssueConfig{ stations, outOfOrder, bus,
+                                          false },
+                        c);
+                });
+        }
+    }
+    // rate of (config, variant, loop)
+    std::vector<double> cube(kConfigs * variants.size() *
+                             loops.size());
+    runGrid(std::size_t(kConfigs) * loops.size(), [&](std::size_t i) {
+        const std::size_t cfg = i / loops.size();
+        const std::size_t li = i % loops.size();
+        const auto cell = batchedPerLoopRates(
+            variants, { loops[li] }, configs[cfg]);
+        for (std::size_t v = 0; v < variants.size(); ++v)
+            cube[(cfg * variants.size() + v) * loops.size() + li] =
+                cell[v].front();
     });
+    std::vector<double> measured(kStations * kConfigs * kBusses);
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        const std::size_t stations = i / (kConfigs * kBusses);
+        const std::size_t cfg = i / kBusses % kConfigs;
+        const std::size_t bus = i % kBusses;
+        const std::size_t v = stations * kBusses + bus;
+        measured[i] = harmonicMean(std::span<const double>(
+            &cube[(cfg * variants.size() + v) * loops.size()],
+            loops.size()));
+    }
 
     RatioTracker ratios;
     AsciiTable table;

@@ -18,10 +18,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "mfusim/codegen/livermore.hh"
 #include "mfusim/core/decoded_trace.hh"
 #include "mfusim/dataflow/limits.hh"
+#include "mfusim/harness/experiment.hh"
 #include "mfusim/harness/trace_library.hh"
+#include "mfusim/sim/batched.hh"
 #include "mfusim/sim/multi_issue_sim.hh"
 #include "mfusim/sim/ruu_sim.hh"
 #include "mfusim/sim/scoreboard_sim.hh"
@@ -273,6 +278,69 @@ BENCHMARK(BM_RuuSteady)
     ->Args({ 7, 1 })
     ->Args({ 13, 0 })
     ->Args({ 13, 1 });
+
+// ---- batched lockstep sweep --------------------------------------
+//
+// The full Table 3 in-order grid — 4 standard configs x scalar-class
+// loops x 16 (stations, bus) variants — timed through the batched
+// lockstep kernel (batched=1) and the equivalent per-variant scalar
+// loop (batched=0), with the steady-state fast path off and on.  The
+// ResultCache is bypassed on both paths so the on/off
+// items_per_second ratio isolates the kernel itself; that ratio is
+// the batched-sweep speedup gate in tools/check_bench_regression.py.
+
+void
+BM_BatchedSweep(benchmark::State &state)
+{
+    const bool batched = state.range(0) != 0;
+    setSteadyStateEnabled(state.range(1) != 0);
+    const auto &configs = standardConfigs();
+    const std::vector<int> &loops = loopsOf(LoopClass::kScalar);
+    std::int64_t ops = 0;
+    for (auto _ : state) {
+        ops = 0;
+        for (const MachineConfig &cfg : configs) {
+            for (const int loop : loops) {
+                const DecodedTrace &trace =
+                    TraceLibrary::instance().decoded(loop, cfg);
+                std::vector<std::unique_ptr<Simulator>> sims;
+                for (unsigned stations = 1; stations <= 8;
+                     ++stations) {
+                    for (const BusKind bus :
+                         { BusKind::kPerUnit, BusKind::kSingle }) {
+                        sims.push_back(
+                            std::make_unique<MultiIssueSim>(
+                                MultiIssueConfig{ stations, false,
+                                                  bus, false },
+                                cfg));
+                    }
+                }
+                if (batched) {
+                    std::vector<BatchLane> lanes;
+                    lanes.reserve(sims.size());
+                    for (const auto &sim : sims)
+                        lanes.push_back({ sim.get(), &trace });
+                    benchmark::DoNotOptimize(
+                        runBatch(lanes).results.front().cycles);
+                } else {
+                    for (const auto &sim : sims)
+                        benchmark::DoNotOptimize(
+                            sim->run(trace).cycles);
+                }
+                ops += std::int64_t(trace.size()) *
+                       std::int64_t(sims.size());
+            }
+        }
+    }
+    setSteadyStateEnabled(true);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * ops);
+}
+BENCHMARK(BM_BatchedSweep)
+    ->Args({ 0, 0 })
+    ->Args({ 1, 0 })
+    ->Args({ 0, 1 })
+    ->Args({ 1, 1 })
+    ->Unit(benchmark::kMillisecond);
 
 // ---- decode and generation costs ---------------------------------
 

@@ -15,10 +15,11 @@ namespace
 
 constexpr std::uint32_t kNoProd = DecodedTrace::kNoProducer;
 
-/** Segments shorter than this many periods are not worth reporting:
- *  the steady-state tracker needs two matching boundary pairs before
- *  it extrapolates, so nothing could ever be skipped. */
-constexpr std::size_t kMinPeriods = 4;
+/** Segments shorter than this many periods are not worth reporting.
+ *  One period has no boundary pair to match; two periods already pay
+ *  off once the segment's family was confirmed earlier in the run
+ *  (the tracker then skips on the first in-segment match). */
+constexpr std::size_t kMinPeriods = 2;
 
 /** Static per-op signature equality (everything but the links). */
 bool
@@ -45,6 +46,48 @@ linkOk(std::uint32_t cur, std::uint32_t prev, std::size_t period,
     if (cur == std::uint64_t(prev) + period)
         return true;
     return cur == prev && cur < segBase;
+}
+
+/**
+ * Canonical body key of a segment: the per-op signature of its last
+ * (steady-state) period with links normalized to backward distances.
+ * Two segments with equal keys behave identically once their
+ * per-iteration state converged, so they form one family.  The
+ * encoding distinguishes absent links (0), in-segment links by their
+ * distance, and pre-segment (loop-invariant) links by a marker; the
+ * marker deliberately ignores *which* ancient op it is — families
+ * only gate when the steady-state tracker trusts a first match, the
+ * exactness of a skip always rests on the full state signature.
+ */
+std::vector<std::uint64_t>
+familyKey(const DecodedTrace &t, std::size_t base, std::size_t period,
+          std::size_t count)
+{
+    constexpr std::uint64_t kAncient = ~std::uint64_t(0);
+    std::vector<std::uint64_t> key;
+    key.reserve(1 + period * 11);
+    key.push_back(period);
+    const std::size_t start = base + (count - 1) * period;
+    for (std::size_t i = start; i < start + period; ++i) {
+        key.push_back(std::uint64_t(t.op(i)));
+        key.push_back(std::uint64_t(t.fu(i)));
+        key.push_back(t.flags(i));
+        key.push_back(t.latency(i));
+        key.push_back(t.occupancy(i));
+        key.push_back(t.dst(i));
+        key.push_back(t.srcA(i));
+        key.push_back(t.srcB(i));
+        for (const std::uint32_t link :
+             { t.prodA(i), t.prodB(i), t.prevWriter(i) }) {
+            if (link == kNoProd)
+                key.push_back(0);
+            else if (link < base)
+                key.push_back(kAncient);
+            else
+                key.push_back(i - link);
+        }
+    }
+    return key;
 }
 
 /** Ops [start, start+period) repeat ops [start-period, start). */
@@ -81,6 +124,10 @@ detectPeriods(const DecodedTrace &trace)
         if (trace.isBranch(i) && trace.taken(i))
             anchors.push_back(i);
     }
+
+    // Family assignment: canonical body keys of the segments found
+    // so far, in family-id order.
+    std::vector<std::vector<std::uint64_t>> familyKeys;
 
     std::size_t m = 0;
     while (m + 1 < anchors.size()) {
@@ -131,6 +178,13 @@ detectPeriods(const DecodedTrace &trace)
         seg.ancients.erase(std::unique(seg.ancients.begin(),
                                        seg.ancients.end()),
                            seg.ancients.end());
+        std::vector<std::uint64_t> key =
+            familyKey(trace, seg.base, seg.period, seg.count);
+        const auto at = std::find(familyKeys.begin(),
+                                  familyKeys.end(), key);
+        seg.family = std::uint32_t(at - familyKeys.begin());
+        if (at == familyKeys.end())
+            familyKeys.push_back(std::move(key));
         out.coveredOps += seg.period * seg.count;
         out.segments.push_back(std::move(seg));
         // Resume after this segment's last anchor.

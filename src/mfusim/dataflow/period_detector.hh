@@ -23,6 +23,14 @@
  * kernel) decompose into many short segments, one per inner run;
  * singly nested kernels (LL7, LL13, LL14, ...) yield one segment
  * covering almost the whole trace.
+ *
+ * Hierarchical periodicity: segments whose steady-state bodies are
+ * identical — same period, same per-op signatures, same normalized
+ * link shape — share a *family* id.  A nested loop's inner runs are
+ * all one family, so a simulator that confirmed steady state in one
+ * run can trust a first state match in the next run of the same
+ * family immediately (see sim/steady_state.hh): the outer loop level
+ * is exploited through the families of its inner segments.
  */
 
 #ifndef MFUSIM_DATAFLOW_PERIOD_DETECTOR_HH
@@ -64,6 +72,16 @@ struct TraceSegment
     std::size_t inserts = 0;
 
     /**
+     * Body-equivalence class: segments of one trace with the same
+     * period and identical steady-state bodies (per-op signatures
+     * and normalized dependence-link shape) carry the same family
+     * id.  Ids are dense indices in discovery order.  The nested
+     * levels of a hierarchically periodic trace (LL6) surface as
+     * many segments of one family.
+     */
+    std::uint32_t family = 0;
+
+    /**
      * Fixed pre-segment producers: ops before base() that remain the
      * program-order producer of some operand in *every* period
      * (loop-invariant values).  Sorted ascending.
@@ -84,8 +102,11 @@ struct TracePeriodicity
 
 /**
  * Analyze @p trace.  Deterministic, O(trace size); segments shorter
- * than four periods are not reported (the steady-state tracker needs
- * a few boundaries to confirm convergence before it can skip).
+ * than two periods are not reported (with a single period there is
+ * no boundary pair whose state could ever match).  Two-period
+ * segments still matter: once their family's steady state was
+ * confirmed in an earlier segment, the tracker skips their second
+ * period after one match.
  */
 TracePeriodicity detectPeriods(const DecodedTrace &trace);
 

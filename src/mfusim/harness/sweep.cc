@@ -20,6 +20,7 @@
 #include "mfusim/obs/run_metrics.hh"
 #include "mfusim/serve/result_cache.hh"
 #include "mfusim/sim/audit.hh"
+#include "mfusim/sim/batched.hh"
 #include "mfusim/sim/simulator.hh"
 
 namespace mfusim
@@ -170,32 +171,77 @@ parallelPerLoopRates(const SimFactory &factory,
                      const std::vector<int> &loops,
                      const MachineConfig &cfg, unsigned jobs)
 {
-    std::vector<double> rates(loops.size());
+    // The single-variant sweep is a one-lane batch per loop, which
+    // runBatch() routes to the plain scalar path.
+    return batchedPerLoopRates({ factory }, loops, cfg, jobs)
+        .front();
+}
+
+std::vector<std::vector<double>>
+batchedPerLoopRates(const std::vector<SimFactory> &variants,
+                    const std::vector<int> &loops,
+                    const MachineConfig &cfg, unsigned jobs)
+{
+    std::vector<std::vector<double>> rates(
+        variants.size(), std::vector<double>(loops.size()));
     const bool audit = auditRequested();
     try {
         runGrid(loops.size(), [&](std::size_t i) {
-            auto sim = factory(cfg);
-            const auto simulate = [&]() -> SimResult {
-                const DecodedTrace &trace =
-                    TraceLibrary::instance().decoded(loops[i], cfg);
-                return audit ? runAudited(*sim, trace)
-                             : sim->run(trace);
-            };
+            const DecodedTrace &trace =
+                TraceLibrary::instance().decoded(loops[i], cfg);
+            const std::string traceKey =
+                "LL" + std::to_string(loops[i]);
+            ResultCache &cache = ResultCache::instance();
+
             // Cells whose simulator states a complete cache identity
             // are memoized process-wide (serve/result_cache.hh):
             // re-sweeping the same (machine, loop, config) cell — a
             // table bench revisiting a column, `rate all` re-run by
             // the serve daemon — skips the simulation entirely.
-            const std::string key = sim->cacheKey();
-            rates[i] =
-                key.empty()
-                    ? simulate().issueRate()
-                    : ResultCache::instance()
-                          .getOrCompute(key,
-                                        "LL" +
-                                            std::to_string(loops[i]),
-                                        cfg, audit, simulate)
-                          .issueRate();
+            // The remaining variants advance over the trace together
+            // in one lockstep pass, then every computed cell is
+            // stored back (one simulate, many cache fills).
+            std::vector<std::unique_ptr<Simulator>> sims(
+                variants.size());
+            std::vector<std::string> keys(variants.size());
+            std::vector<std::size_t> missed;
+            for (std::size_t v = 0; v < variants.size(); ++v) {
+                sims[v] = variants[v](cfg);
+                keys[v] = sims[v]->cacheKey();
+                SimResult cached;
+                if (!keys[v].empty() &&
+                    cache.probe(keys[v], traceKey, cfg, audit,
+                                &cached)) {
+                    rates[v][i] = cached.issueRate();
+                    continue;
+                }
+                missed.push_back(v);
+            }
+            if (audit) {
+                // Audited cells need the complete per-op event
+                // stream: scalar path, as before.
+                for (const std::size_t v : missed) {
+                    const SimResult result =
+                        runAudited(*sims[v], trace);
+                    if (!keys[v].empty())
+                        cache.store(keys[v], traceKey, cfg, audit,
+                                    result);
+                    rates[v][i] = result.issueRate();
+                }
+                return;
+            }
+            std::vector<BatchLane> lanes;
+            lanes.reserve(missed.size());
+            for (const std::size_t v : missed)
+                lanes.push_back({ sims[v].get(), &trace });
+            const BatchOutcome out = runBatch(lanes);
+            for (std::size_t m = 0; m < missed.size(); ++m) {
+                const std::size_t v = missed[m];
+                if (!keys[v].empty())
+                    cache.store(keys[v], traceKey, cfg, audit,
+                                out.results[m]);
+                rates[v][i] = out.results[m].issueRate();
+            }
         }, jobs, GridFailurePolicy::kContinue);
     } catch (const SweepError &e) {
         // Re-key the cell indices as loop ids so the report reads in

@@ -109,6 +109,27 @@ std::vector<double> parallelPerLoopRates(const SimFactory &factory,
                                          const MachineConfig &cfg,
                                          unsigned jobs = 0);
 
+/**
+ * Batched parallelPerLoopRates(): many machine variants swept over
+ * the same loops and config in one call.  One grid cell per loop;
+ * within a cell the variants that miss the ResultCache advance over
+ * the loop's decoded trace together through the batched lockstep
+ * kernel (sim/batched.hh) — one trace pass, many configs — and every
+ * computed cell is stored back, so one simulate fills many cache
+ * entries.  Lanes the kernel does not cover (out-of-order issue,
+ * RUU, audited cells) fall back to the scalar path inside the same
+ * call; results are bit-identical to per-variant
+ * parallelPerLoopRates() either way.
+ *
+ * Returns rates[variant][loop index].  Audit and failure reporting
+ * as in parallelPerLoopRates(); a failing variant fails its whole
+ * loop cell.
+ */
+std::vector<std::vector<double>>
+batchedPerLoopRates(const std::vector<SimFactory> &variants,
+                    const std::vector<int> &loops,
+                    const MachineConfig &cfg, unsigned jobs = 0);
+
 /** Result of an instrumented sweep: rates plus merged metrics. */
 struct SweepMetrics
 {

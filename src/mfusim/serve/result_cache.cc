@@ -79,6 +79,32 @@ ResultCache::lookup(const std::string &machineKey,
     return true;
 }
 
+bool
+ResultCache::probe(const std::string &machineKey,
+                   const std::string &traceKey,
+                   const MachineConfig &cfg, bool audited,
+                   SimResult *out)
+{
+    if (lookup(machineKey, traceKey, cfg, audited, out)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+ResultCache::store(const std::string &machineKey,
+                   const std::string &traceKey,
+                   const MachineConfig &cfg, bool audited,
+                   const SimResult &result)
+{
+    const std::string key =
+        composeKey(machineKey, traceKey, cfg, audited);
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, result);
+}
+
 ResultCacheStats
 ResultCache::stats() const
 {

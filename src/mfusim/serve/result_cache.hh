@@ -88,6 +88,25 @@ class ResultCache
                 const MachineConfig &cfg, bool audited,
                 SimResult *out) const;
 
+    /**
+     * lookup() that counts one hit or one miss.  The batched sweep
+     * kernel decouples the lookup from the store — one lockstep pass
+     * computes many cells at once — so it cannot use getOrCompute()'s
+     * single-cell compute callback.
+     */
+    bool probe(const std::string &machineKey,
+               const std::string &traceKey, const MachineConfig &cfg,
+               bool audited, SimResult *out);
+
+    /**
+     * Insert one completed cell (one batched simulate, many fills).
+     * Counts neither a hit nor a miss; racing stores of the same key
+     * keep the first value (identical by construction).
+     */
+    void store(const std::string &machineKey,
+               const std::string &traceKey, const MachineConfig &cfg,
+               bool audited, const SimResult &result);
+
     ResultCacheStats stats() const;
 
     /**

@@ -19,6 +19,7 @@
 #include "mfusim/serve/json.hh"
 #include "mfusim/serve/result_cache.hh"
 #include "mfusim/sim/audit.hh"
+#include "mfusim/sim/batched.hh"
 
 namespace mfusim
 {
@@ -239,15 +240,39 @@ SimService::handleSweep(const std::string &body)
     if (!request.isObject())
         throw ServeError(400, "request body must be a JSON object");
 
-    const std::string machineSpec =
-        requireMember(request, "machine").asString();
+    // 'machine' is one spec string or a list of them: every listed
+    // variant sweeps the same loops and config in one request, and
+    // the variants advance over each loop's trace together through
+    // the batched lockstep kernel (sim/batched.hh).
+    const Json &machineField = requireMember(request, "machine");
+    std::vector<std::string> machineSpecs;
+    if (machineField.isString()) {
+        machineSpecs.push_back(machineField.asString());
+    } else if (machineField.isArray()) {
+        for (const Json &item : machineField.items())
+            machineSpecs.push_back(item.asString());
+    } else {
+        throw ServeError(400, "'machine' must be a spec string or "
+                              "an array of spec strings");
+    }
+    if (machineSpecs.empty())
+        throw ServeError(400, "'machine' must not be empty");
+    if (machineSpecs.size() > options_.maxSweepMachines)
+        throw ServeError(400,
+                         "sweep of " +
+                             std::to_string(machineSpecs.size()) +
+                             " machines exceeds the cap of " +
+                             std::to_string(
+                                 options_.maxSweepMachines));
     const Json *cfgField = request.find("config");
     const MachineConfig cfg = parseConfigSpec(
         cfgField != nullptr ? cfgField->asString() : "M11BR5");
 
-    // Validate the machine spec once, up front, so a bad spec is a
+    // Validate every machine spec once, up front, so a bad spec is a
     // clean 400 instead of a SweepError from every cell.
-    const std::string simName = parseMachineSpec(machineSpec, cfg)->name();
+    std::vector<std::string> simNames;
+    for (const std::string &spec : machineSpecs)
+        simNames.push_back(parseMachineSpec(spec, cfg)->name());
 
     std::vector<int> loops;
     const Json *loopsField = request.find("loops");
@@ -287,46 +312,67 @@ SimService::handleSweep(const std::string &body)
         jobs = static_cast<unsigned>(raw);
     }
 
-    const SimFactory factory =
-        [&machineSpec](const MachineConfig &c) {
-            return parseMachineSpec(machineSpec, c);
-        };
-    const std::vector<double> rates =
-        parallelPerLoopRates(factory, loops, cfg, jobs);
-
-    Json results = Json::array();
-    std::vector<double> scalarRates, vectorRates;
-    for (std::size_t i = 0; i < loops.size(); ++i) {
-        bool vectorizable = false;
-        for (const KernelSpec &spec : kernelSpecs())
-            if (spec.id == loops[i])
-                vectorizable = spec.vectorizable;
-        (vectorizable ? vectorRates : scalarRates)
-            .push_back(rates[i]);
-        Json row = Json::object();
-        row.set("loop",
-                Json("LL" + std::to_string(loops[i])));
-        row.set("class",
-                Json(vectorizable ? "vector" : "scalar"));
-        row.set("rate", Json(rates[i]));
-        row.set("rate_str", Json(rateString(rates[i])));
-        results.push(std::move(row));
+    std::vector<SimFactory> variants;
+    for (const std::string &spec : machineSpecs) {
+        variants.push_back([spec](const MachineConfig &c) {
+            return parseMachineSpec(spec, c);
+        });
     }
+    // One batched run per loop cell: the lockstep kernel advances
+    // every cache-missing variant in one trace pass and stores each
+    // computed cell back, so this call populates every covered
+    // ResultCache entry at once.
+    const std::vector<std::vector<double>> rates =
+        batchedPerLoopRates(variants, loops, cfg, jobs);
+
+    const auto fillMachine = [&](std::size_t v, Json &dst) {
+        Json results = Json::array();
+        std::vector<double> scalarRates, vectorRates;
+        for (std::size_t i = 0; i < loops.size(); ++i) {
+            bool vectorizable = false;
+            for (const KernelSpec &spec : kernelSpecs())
+                if (spec.id == loops[i])
+                    vectorizable = spec.vectorizable;
+            (vectorizable ? vectorRates : scalarRates)
+                .push_back(rates[v][i]);
+            Json row = Json::object();
+            row.set("loop",
+                    Json("LL" + std::to_string(loops[i])));
+            row.set("class",
+                    Json(vectorizable ? "vector" : "scalar"));
+            row.set("rate", Json(rates[v][i]));
+            row.set("rate_str", Json(rateString(rates[v][i])));
+            results.push(std::move(row));
+        }
+        dst.set("machine", Json(simNames[v]));
+        dst.set("machine_spec", Json(machineSpecs[v]));
+        dst.set("results", std::move(results));
+        if (!scalarRates.empty())
+            dst.set("harmonic_mean_scalar",
+                    Json(harmonicMean(scalarRates)));
+        if (!vectorRates.empty())
+            dst.set("harmonic_mean_vector",
+                    Json(harmonicMean(vectorRates)));
+    };
 
     Json out = Json::object();
     out.set("schema", Json("mfusim-serve-v1"));
-    out.set("machine", Json(simName));
-    out.set("machine_spec", Json(machineSpec));
     out.set("config", Json(cfg.name()));
     out.set("jobs", Json(std::uint64_t(
                         jobs != 0 ? jobs : defaultSweepJobs())));
-    out.set("results", std::move(results));
-    if (!scalarRates.empty())
-        out.set("harmonic_mean_scalar",
-                Json(harmonicMean(scalarRates)));
-    if (!vectorRates.empty())
-        out.set("harmonic_mean_vector",
-                Json(harmonicMean(vectorRates)));
+    out.set("batch_size", Json(std::uint64_t(machineSpecs.size())));
+    if (machineSpecs.size() == 1) {
+        // Single-machine requests keep the v1 response shape.
+        fillMachine(0, out);
+    } else {
+        Json machines = Json::array();
+        for (std::size_t v = 0; v < machineSpecs.size(); ++v) {
+            Json m = Json::object();
+            fillMachine(v, m);
+            machines.push(std::move(m));
+        }
+        out.set("machines", std::move(machines));
+    }
     return HttpResponse(200, "application/json", out.dump() + "\n");
 }
 
@@ -363,6 +409,17 @@ SimService::handleMetrics()
         snapshot.gauge("http.in_flight").set(double(stats.inFlight));
     }
     ResultCache::instance().appendMetrics(snapshot);
+    // Batched lockstep kernel telemetry (sim/batched.hh):
+    // batch_size is the cumulative lane count submitted to
+    // runBatch(), split into lockstep-advanced and scalar-fallback
+    // lanes.
+    const BatchTelemetry batch = batchTelemetry();
+    snapshot.counter("sweep.batches").add(batch.batches);
+    snapshot.counter("sweep.batch_size").add(batch.lanes);
+    snapshot.counter("sweep.batch.lockstep_lanes")
+        .add(batch.lockstepLanes);
+    snapshot.counter("sweep.batch.scalar_lanes")
+        .add(batch.scalarLanes);
     snapshot.setLabel("version", options_.version);
     return HttpResponse(200, "text/plain; version=0.0.4",
                         renderPrometheus(snapshot));

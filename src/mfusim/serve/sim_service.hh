@@ -40,6 +40,8 @@ struct SimServiceOptions
     std::string version = "unknown";
     /** Upper bound on loops per /v1/sweep request (400 beyond it). */
     std::size_t maxSweepLoops = 256;
+    /** Upper bound on machine variants per /v1/sweep request. */
+    std::size_t maxSweepMachines = 64;
 };
 
 class SimService

@@ -5,6 +5,7 @@
 
 #include "mfusim/sim/steady_state.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdlib>
@@ -156,10 +157,20 @@ SteadyStateTracker::finishObserve(ClockCycle base,
     if (match != nullptr) {
         const std::size_t m = k - match->boundary;
         // Two consecutive observed boundaries matching at the same
-        // distance confirm steady state (K = 2).
-        const bool confirmed = lastMatchDist_ == m &&
-            lastMatchBoundary_ == lastObserved_;
+        // distance confirm steady state (K = 2) — or one match
+        // suffices when this segment's family was already confirmed
+        // earlier in the run (the delta still comes from the
+        // same-segment record; only the warm-up is waived).
+        const bool confirmed = (lastMatchDist_ == m &&
+                                lastMatchBoundary_ == lastObserved_) ||
+            std::find(confirmedFamilies_.begin(),
+                      confirmedFamilies_.end(),
+                      seg.family) != confirmedFamilies_.end();
         if (confirmed) {
+            if (std::find(confirmedFamilies_.begin(),
+                          confirmedFamilies_.end(),
+                          seg.family) == confirmedFamilies_.end())
+                confirmedFamilies_.push_back(seg.family);
             // Never extrapolate past the last boundary — and when
             // the cursor sits past the boundary (offset > 0), stop
             // one period short so the landing stays inside the

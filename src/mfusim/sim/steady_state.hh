@@ -39,6 +39,21 @@
  * round-robin bank pointer when inserts-per-period is not a multiple
  * of the width).
  *
+ * Exactness rests entirely on the *signature match*, never on the
+ * confirmation count: a complete-state match already certifies the
+ * replay.  K = 2 is paranoia against a body whose state wanders in
+ * ways the first match happened to hide.  That paranoia is paid once
+ * per body, not once per segment: when a segment's *family* (see
+ * TraceSegment::family — identical steady-state bodies) has been
+ * confirmed earlier in the same run, a first in-segment match skips
+ * immediately (K = 1).  Hierarchically periodic traces (LL6's
+ * triangular nest decomposes into many short same-family segments)
+ * then pay the two-match warm-up once for the whole trace instead of
+ * once per inner run — including two-period segments, which have
+ * only a single boundary pair and could otherwise never skip.  The
+ * extrapolation delta always comes from a same-segment record;
+ * cross-segment state is never reused.
+ *
  * The fast path is on by default; setSteadyStateEnabled(false), the
  * --no-steady-state CLI flag or MFUSIM_NO_STEADY_STATE=1 in the
  * environment disable it, and simulators bypass it whenever an audit
@@ -183,6 +198,12 @@ class SteadyStateTracker
     std::size_t lastObserved_ = std::size_t(-1);
     std::size_t lastMatchDist_ = 0;
     std::size_t lastMatchBoundary_ = std::size_t(-1);
+
+    // Families whose steady state was confirmed earlier in this run.
+    // Deliberately NOT cleared on segment advance: this is the
+    // cross-segment trust that lets a later same-family segment skip
+    // on its first match.
+    std::vector<std::uint32_t> confirmedFamilies_;
 
     std::uint64_t opsSkipped_ = 0;
 };

@@ -398,6 +398,51 @@ TEST_F(ServeE2E, SweepMatchesDirectParallelRates)
             << "row " << i;
 }
 
+TEST_F(ServeE2E, BatchedSweepManyMachinesOneRequest)
+{
+    // A 'machine' list sweeps every variant in one request: the
+    // variants advance over each loop through the batched lockstep
+    // kernel and must reproduce the per-variant scalar sweep.
+    const Response r = roundTrip(
+        port(), "POST", "/v1/sweep",
+        R"({"machine": ["seq:2", "seq:4", "seq:4,1bus"],
+            "config": "M5BR5", "loops": [1, 3, 12]})");
+    ASSERT_EQ(r.status, 200) << r.body;
+    const Json body = parseJson(r.body);
+    ASSERT_NE(body.find("batch_size"), nullptr);
+    EXPECT_EQ(body.find("batch_size")->asNumber(), 3.0);
+    ASSERT_NE(body.find("machines"), nullptr);
+    const auto &machines = body.find("machines")->items();
+    ASSERT_EQ(machines.size(), 3u);
+
+    const MachineConfig cfg = configM5BR5();
+    const std::vector<std::string> specs = { "seq:2", "seq:4",
+                                             "seq:4,1bus" };
+    for (std::size_t v = 0; v < specs.size(); ++v) {
+        const SimFactory factory = [&](const MachineConfig &c) {
+            return parseMachineSpec(specs[v], c);
+        };
+        const std::vector<double> direct =
+            parallelPerLoopRates(factory, { 1, 3, 12 }, cfg);
+        const auto &rows = machines[v].find("results")->items();
+        ASSERT_EQ(rows.size(), 3u) << specs[v];
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            EXPECT_EQ(rows[i].find("rate")->asNumber(), direct[i])
+                << specs[v] << " row " << i;
+    }
+
+    // The batched kernel's telemetry reaches /metrics.
+    const Response metrics = roundTrip(port(), "GET", "/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("mfusim_sweep_batch_size_total"),
+              std::string::npos)
+        << metrics.body;
+    EXPECT_NE(
+        metrics.body.find("mfusim_sweep_batch_lockstep_lanes_total"),
+        std::string::npos)
+        << metrics.body;
+}
+
 TEST_F(ServeE2E, BadInputsMapToFourHundreds)
 {
     // Malformed JSON.

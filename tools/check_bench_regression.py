@@ -8,7 +8,21 @@ snapshot would read as a catastrophic regression).  With fewer than
 two comparable snapshots there is nothing to gate: exit 0 with a
 note, so fresh clones and CI bootstrap runs pass.
 
-Usage: tools/check_bench_regression.py [--tolerance 0.15] [repo-root]
+The newest snapshot must additionally carry
+context.library_build_type == "release": tools/run_bench.sh stamps
+that key from the app's CMake build type (Release/RelWithDebInfo),
+and a snapshot without it — or marked "debug" — came from an
+unoptimized build and is rejected outright (exit 1), not silently
+compared.
+
+When the newest snapshot contains the BM_BatchedSweep pairs, the
+batched/scalar items_per_second ratio must reach --batched-speedup
+(default 2.0) for at least one steady-state setting: the batched
+lockstep kernel exists to make sweeps faster, so losing that win is
+a failure even if no individual benchmark regressed.
+
+Usage: tools/check_bench_regression.py [--tolerance 0.15]
+           [--batched-speedup 2.0] [repo-root]
 """
 
 import argparse
@@ -31,13 +45,50 @@ def load(path):
     # informational: printed when present in both snapshots, never
     # gated — wall times on shared CI machines are too noisy.
     return (context.get("build_type", "unknown"), benches,
-            context.get("self_profile", {}))
+            context.get("self_profile", {}),
+            context.get("library_build_type", "unknown"))
+
+
+def check_batched_speedup(benches, required):
+    """Gate the BM_BatchedSweep batched/scalar throughput ratio.
+
+    Benchmark names look like "BM_BatchedSweep/<batched>/<steady>".
+    Returns (failures, checked): zero failures when no pair is
+    present (older snapshots), or when at least one steady setting
+    meets the required ratio.
+    """
+    pairs = {}
+    for name, ips in benches.items():
+        parts = name.split("/")
+        if parts[0] != "BM_BatchedSweep" or len(parts) != 3:
+            continue
+        pairs.setdefault(parts[2], {})[parts[1]] = ips
+    checked = 0
+    best = 0.0
+    for steady, sides in sorted(pairs.items()):
+        if "0" not in sides or "1" not in sides:
+            continue
+        checked += 1
+        ratio = sides["1"] / sides["0"]
+        best = max(best, ratio)
+        print(f"  BM_BatchedSweep steady={steady}: batched/scalar "
+              f"{ratio:.2f}x (require >= {required:.1f}x on one)")
+    if not checked:
+        return 0, 0
+    if best < required:
+        print(f"batched sweep speedup gate FAILED: best ratio "
+              f"{best:.2f}x < {required:.1f}x")
+        return 1, checked
+    return 0, checked
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--batched-speedup", type=float, default=2.0,
+                        help="required BM_BatchedSweep batched/scalar "
+                             "ratio (default 2.0)")
     parser.add_argument("root", nargs="?", default=None,
                         help="repo root (default: script's parent dir)")
     args = parser.parse_args()
@@ -46,24 +97,40 @@ def main():
         os.path.dirname(os.path.abspath(__file__)))
     snapshots = sorted(glob.glob(os.path.join(root, "BENCH_*.json")),
                        key=os.path.getmtime)
+    if not snapshots:
+        print("check_bench_regression: no snapshots in repo root — "
+              "nothing to gate")
+        return 0
+
+    new_path = snapshots[-1]
+    new_type, new, new_profile, new_lib = load(new_path)
+    if new_lib != "release":
+        print(f"check_bench_regression: {os.path.basename(new_path)} "
+              f"has library_build_type={new_lib!r}; snapshots must "
+              "come from a Release build (tools/run_bench.sh refuses "
+              "debug builds and stamps this key) — REJECTED")
+        return 1
+
+    speedup_failures, speedup_checked = check_batched_speedup(
+        new, args.batched_speedup)
+
     if len(snapshots) < 2:
         print(f"check_bench_regression: {len(snapshots)} snapshot(s) "
               "in repo root; need two to compare — nothing to gate")
-        return 0
+        return 1 if speedup_failures else 0
 
-    new_path, old_path = snapshots[-1], snapshots[-2]
-    old_type, old, old_profile = load(old_path)
-    new_type, new, new_profile = load(new_path)
+    old_path = snapshots[-2]
+    old_type, old, old_profile, _old_lib = load(old_path)
     if old_type != new_type:
         print(f"check_bench_regression: build types differ "
               f"({os.path.basename(old_path)}={old_type}, "
               f"{os.path.basename(new_path)}={new_type}) — skipping")
-        return 0
+        return 1 if speedup_failures else 0
 
     shared = sorted(set(old) & set(new))
     if not shared:
         print("check_bench_regression: no shared benchmarks — skipping")
-        return 0
+        return 1 if speedup_failures else 0
 
     print(f"comparing {os.path.basename(new_path)} against "
           f"{os.path.basename(old_path)} "
@@ -83,11 +150,15 @@ def main():
               f"{old_profile[phase] * 1e3:9.2f} -> "
               f"{new_profile[phase] * 1e3:9.2f} ms  (informational)")
 
-    if failures:
-        print(f"{failures} benchmark(s) regressed more than "
-              f"{args.tolerance:.0%}")
+    if failures or speedup_failures:
+        if failures:
+            print(f"{failures} benchmark(s) regressed more than "
+                  f"{args.tolerance:.0%}")
         return 1
-    print("no regressions")
+    if speedup_checked:
+        print("no regressions; batched sweep speedup gate green")
+    else:
+        print("no regressions")
     return 0
 
 

@@ -44,7 +44,7 @@ esac
 git_sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null ||
     echo unknown)
 
-out="$repo_root/BENCH_$(date +%Y%m%d).json"
+out="$repo_root/BENCH_$(date +%Y%m%d_%H%M%S).json"
 "$bench" --benchmark_min_time=0.2 --benchmark_format=json "$@" > "$out"
 
 # Self-profile the CLI's pipeline phases (decode / period-detect /
@@ -72,6 +72,16 @@ with open(path) as f:
     data = json.load(f)
 data["context"]["build_type"] = build_type
 data["context"]["git_sha"] = git_sha
+# google-benchmark stamps context.library_build_type with how the
+# *library* was compiled; distro packages say "debug" even when the
+# app is -O2, which poisons snapshot comparisons.  Re-stamp it from
+# the app's build type (the one the numbers actually depend on) and
+# keep the library's own claim under another key.
+data["context"]["benchmark_library_build_type"] = \
+    data["context"].get("library_build_type", "unknown")
+data["context"]["library_build_type"] = (
+    "release" if build_type in ("Release", "RelWithDebInfo")
+    else "debug")
 if profile_path:
     with open(profile_path) as f:
         gauges = json.load(f).get("gauges", {})
