@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for chaos testing.
+ *
+ * Robustness claims ("the daemon recovers from a torn cache write",
+ * "a short socket read does not corrupt a response") are only worth
+ * anything if the failure can be provoked on demand, repeatably, in
+ * CI.  This module provides *named fault points*: code sites that ask
+ * `faultAt("persist.write")` before doing something that can fail in
+ * production, and normally get `false` at the cost of one relaxed
+ * atomic load and a predicted branch.
+ *
+ * Faults are armed from a spec string (the `MFUSIM_FAULTS`
+ * environment variable for the daemon), a comma-separated list of
+ * entries:
+ *
+ *     MFUSIM_FAULTS="persist.write:every=7,http.read:short,worker.die:once"
+ *
+ * Each entry names a point plus optional arguments:
+ *
+ *   once        fire on the first evaluation only (alias times=1)
+ *   every=N     fire on every Nth evaluation (N >= 1)
+ *   after=N     skip the first N evaluations
+ *   times=N     stop after N fires
+ *   prob=P      fire with probability P per evaluation, drawn from a
+ *               seeded LCG — deterministic for a given seed
+ *   <word>      any other bare word is the *mode*, interpreted by the
+ *               site ("short" = 1-byte socket I/O, "fail" = hard
+ *               error, "torn" = half-written journal record)
+ *
+ * A standalone `seed=N` entry seeds the LCG (default 1), so `prob=`
+ * schedules replay exactly.  Triggers compose: `persist.write:
+ * after=10:every=3:times=2` fires on evaluations 13 and 16 only.
+ * Unknown point names are a ConfigError — a typo must not silently
+ * disarm a chaos run.
+ *
+ * Cost discipline: like the audit/obs hot paths, the disarmed check
+ * is branch-predicted dead weight only (no fault point sits inside a
+ * simulator issue loop — they guard I/O and thread-lifecycle sites).
+ * Building with -DMFUSIM_NO_FAULT_INJECTION compiles every
+ * `faultAt()` to a constant false, removing even the load.
+ */
+
+#ifndef MFUSIM_CORE_FAULTPOINT_HH
+#define MFUSIM_CORE_FAULTPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mfusim
+{
+
+/** Cumulative telemetry for one armed fault point. */
+struct FaultPointStats
+{
+    std::string point;              //!< the armed point name
+    std::string mode;               //!< site-interpreted mode word
+    std::uint64_t evaluations = 0;  //!< times the site asked
+    std::uint64_t fires = 0;        //!< times the fault fired
+};
+
+/**
+ * The process-wide fault-point table.  configure() is meant to run
+ * once at startup (or between test cases); shouldFire()/mode() are
+ * thread-safe against each other.
+ */
+class FaultRegistry
+{
+  public:
+    static FaultRegistry &instance();
+
+    FaultRegistry() = default;
+    FaultRegistry(const FaultRegistry &) = delete;
+    FaultRegistry &operator=(const FaultRegistry &) = delete;
+
+    /**
+     * Parse @p spec and arm the listed points; an empty spec
+     * disarms everything.  @throws ConfigError on grammar errors or
+     * unknown point names.
+     */
+    void configure(const std::string &spec);
+
+    /** configure() from $MFUSIM_FAULTS (absent/empty = disarmed). */
+    void configureFromEnv();
+
+    /** True when any point is armed. */
+    bool armed() const;
+
+    /** The spec configure() was last given ("" when disarmed). */
+    std::string spec() const;
+
+    /**
+     * Evaluate @p point: count the evaluation and report whether the
+     * fault fires now.  Unarmed points return false without
+     * counting.  Prefer the faultAt() wrapper, which short-circuits
+     * the whole call when nothing is armed.
+     */
+    bool shouldFire(const std::string &point);
+
+    /** The mode word armed for @p point ("" when none/unarmed). */
+    std::string mode(const std::string &point) const;
+
+    /** Per-point telemetry for armed points, in spec order. */
+    std::vector<FaultPointStats> stats() const;
+
+    /** Disarm and zero all state (tests). */
+    void reset();
+
+  private:
+    struct Rule;
+    class Impl;
+    Impl &impl() const;
+};
+
+/**
+ * Every point name a spec may arm, with a one-line meaning.  Sites
+ * and specs must agree on these strings; configure() rejects
+ * anything else.
+ */
+struct FaultPointInfo
+{
+    const char *point;
+    const char *meaning;
+};
+const std::vector<FaultPointInfo> &knownFaultPoints();
+
+namespace detail
+{
+/** Fast-path arm flag; maintained by FaultRegistry::configure(). */
+extern std::atomic<bool> faultsArmed;
+} // namespace detail
+
+#if defined(MFUSIM_NO_FAULT_INJECTION)
+
+inline bool
+faultAt(const char *)
+{
+    return false;
+}
+
+inline std::string
+faultMode(const char *)
+{
+    return {};
+}
+
+#else
+
+/**
+ * The site-facing check: false at the cost of one relaxed load when
+ * nothing is armed; otherwise one registry evaluation.
+ */
+inline bool
+faultAt(const char *point)
+{
+    if (!detail::faultsArmed.load(std::memory_order_relaxed))
+        return false;
+    return FaultRegistry::instance().shouldFire(point);
+}
+
+/** The armed mode word for @p point; call only after faultAt(). */
+inline std::string
+faultMode(const char *point)
+{
+    return FaultRegistry::instance().mode(point);
+}
+
+#endif // MFUSIM_NO_FAULT_INJECTION
+
+} // namespace mfusim
+
+#endif // MFUSIM_CORE_FAULTPOINT_HH

@@ -25,6 +25,7 @@
 #include "mfusim/codegen/synthetic.hh"
 #include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/error.hh"
+#include "mfusim/core/faultpoint.hh"
 #include "mfusim/core/instruction.hh"
 #include "mfusim/core/branch_policy.hh"
 #include "mfusim/core/machine_config.hh"

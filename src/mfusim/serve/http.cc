@@ -14,6 +14,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "mfusim/core/faultpoint.hh"
+
 namespace mfusim
 {
 
@@ -21,6 +23,25 @@ namespace
 {
 
 constexpr std::size_t kMaxHeadBytes = 16 * 1024;
+
+/**
+ * recv() with the http.read fault point applied: mode "short" caps
+ * the read at one byte (exercising every resumption path), mode
+ * "fail" simulates a hard socket error.
+ */
+ssize_t
+faultyRecv(int fd, char *buf, std::size_t cap)
+{
+    if (faultAt("http.read")) {
+        const std::string mode = faultMode("http.read");
+        if (mode == "fail") {
+            errno = EIO;
+            return -1;
+        }
+        cap = 1;    // "short" (and the default mode)
+    }
+    return recv(fd, buf, cap, 0);
+}
 
 std::string
 toLower(std::string s)
@@ -180,8 +201,8 @@ parseRequestHead(const std::string &head, HttpRequest *out,
 
 ReadOutcome
 readHttpRequest(int fd, HttpRequest *out, unsigned budgetMs,
-                unsigned idleMs, std::size_t maxBody,
-                std::string *error)
+                unsigned idleMs, unsigned headerMs,
+                std::size_t maxBody, std::string *error)
 {
     std::string buffer;
     std::size_t headEnd = std::string::npos;
@@ -215,9 +236,18 @@ readHttpRequest(int fd, HttpRequest *out, unsigned budgetMs,
             return ReadOutcome::kTooLarge;
 
         // An idle keep-alive connection (no bytes yet) times out on
-        // the idle clock; a half-sent request on the budget clock.
-        const int wait = sawAnyByte ? remaining(budgetMs)
-                                    : remaining(idleMs);
+        // the idle clock; a half-sent request on the budget clock,
+        // additionally tightened by the header clock (anti-slowloris:
+        // a client dribbling header bytes is cut off long before the
+        // whole request budget).
+        int wait;
+        if (!sawAnyByte) {
+            wait = remaining(idleMs);
+        } else {
+            wait = remaining(budgetMs);
+            if (headerMs != 0)
+                wait = std::min(wait, remaining(headerMs));
+        }
         if (wait <= 0)
             return sawAnyByte ? ReadOutcome::kTimeout
                               : ReadOutcome::kClosed;
@@ -232,7 +262,7 @@ readHttpRequest(int fd, HttpRequest *out, unsigned budgetMs,
             continue;       // loop re-checks the clocks
 
         char chunk[4096];
-        const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+        const ssize_t got = faultyRecv(fd, chunk, sizeof(chunk));
         if (got == 0)
             return sawAnyByte ? ReadOutcome::kMalformed
                               : ReadOutcome::kClosed;
@@ -283,7 +313,7 @@ readHttpRequest(int fd, HttpRequest *out, unsigned budgetMs,
         if (ready == 0)
             continue;
         char chunk[8192];
-        const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+        const ssize_t got = faultyRecv(fd, chunk, sizeof(chunk));
         if (got == 0)
             return ReadOutcome::kMalformed;  // truncated body
         if (got < 0) {
@@ -299,24 +329,56 @@ readHttpRequest(int fd, HttpRequest *out, unsigned budgetMs,
 }
 
 bool
-writeAll(int fd, const std::string &data)
+writeAll(int fd, const std::string &data, unsigned timeoutMs)
 {
+    const std::uint64_t start = nowMs();
+    const auto remaining = [&]() -> int {
+        if (timeoutMs == 0)
+            return -1;      // poll() "wait forever"
+        const std::uint64_t elapsed = nowMs() - start;
+        if (elapsed >= timeoutMs)
+            return 0;
+        return int(timeoutMs - elapsed);
+    };
+
     std::size_t sent = 0;
     while (sent < data.size()) {
-        const ssize_t n =
-            send(fd, data.data() + sent, data.size() - sent,
-#ifdef MSG_NOSIGNAL
-                 MSG_NOSIGNAL
-#else
-                 0
-#endif
-            );
-        if (n < 0) {
-            if (errno == EINTR || errno == EAGAIN)
-                continue;
-            return false;
+        std::size_t cap = data.size() - sent;
+        if (faultAt("http.write")) {
+            const std::string mode = faultMode("http.write");
+            if (mode == "fail")
+                return false;
+            cap = 1;    // "short" (and the default mode)
         }
-        sent += std::size_t(n);
+        const ssize_t n = send(fd, data.data() + sent, cap,
+#ifdef MSG_NOSIGNAL
+                               MSG_NOSIGNAL
+#else
+                               0
+#endif
+        );
+        if (n >= 0) {
+            sent += std::size_t(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            // Kernel buffer full: the peer is not draining.  Wait
+            // for writability within the remaining budget instead of
+            // spinning.
+            const int wait = remaining();
+            if (wait == 0)
+                return false;
+            struct pollfd pfd = { fd, POLLOUT, 0 };
+            const int ready = poll(&pfd, 1, wait);
+            if (ready < 0 && errno != EINTR)
+                return false;
+            if (ready == 0 && remaining() == 0)
+                return false;   // budget exhausted
+            continue;
+        }
+        return false;
     }
     return true;
 }

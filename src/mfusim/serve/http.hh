@@ -95,17 +95,34 @@ enum class ReadOutcome
  * recv() loop).  @p idleMs bounds the initial wait for the first
  * byte separately — a keep-alive connection parked between requests
  * times out as kClosed rather than kTimeout, so idle churn is not an
- * error.  Body reading stops early with kTooLarge as soon as
+ * error.  @p headerMs additionally bounds the header phase once the
+ * first byte has arrived (0 = no separate bound): a slowloris client
+ * dribbling one header byte per second is cut off with kTimeout
+ * after headerMs instead of pinning the worker for the whole request
+ * budget.  Body reading stops early with kTooLarge as soon as
  * Content-Length exceeds @p maxBody (the body is not drained; the
  * caller answers 413 and closes).  @p error receives a diagnostic
  * for kMalformed.
+ *
+ * EINTR/EAGAIN-safe throughout; works with blocking and
+ * O_NONBLOCK fds alike (all waiting happens in poll()).
  */
 ReadOutcome readHttpRequest(int fd, HttpRequest *out,
                             unsigned budgetMs, unsigned idleMs,
-                            std::size_t maxBody, std::string *error);
+                            unsigned headerMs, std::size_t maxBody,
+                            std::string *error);
 
-/** write() until done; false on error/EPIPE. */
-bool writeAll(int fd, const std::string &data);
+/**
+ * write()/send() until every byte of @p data is out; false on
+ * error/EPIPE.  @p timeoutMs bounds the total wall-clock time spent
+ * waiting for a slow-reading peer (0 = wait forever): a client that
+ * stops draining its receive window cannot pin a worker past the
+ * bound.  Partial writes are completed in a loop; EINTR and EAGAIN
+ * are retried (EAGAIN via poll(POLLOUT), so O_NONBLOCK fds do not
+ * spin).
+ */
+bool writeAll(int fd, const std::string &data,
+              unsigned timeoutMs = 0);
 
 } // namespace mfusim
 

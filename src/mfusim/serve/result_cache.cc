@@ -55,10 +55,7 @@ ResultCache::getOrCompute(const std::string &machineKey,
     if (wasHit)
         *wasHit = false;
     const SimResult result = compute();
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        entries_.emplace(key, result);
-    }
+    insertAndPersist(key, result);
     return result;
 }
 
@@ -99,10 +96,92 @@ ResultCache::store(const std::string &machineKey,
                    const MachineConfig &cfg, bool audited,
                    const SimResult &result)
 {
-    const std::string key =
-        composeKey(machineKey, traceKey, cfg, audited);
+    insertAndPersist(composeKey(machineKey, traceKey, cfg, audited),
+                     result);
+}
+
+void
+ResultCache::insertAndPersist(const std::string &key,
+                              const SimResult &result)
+{
+    bool inserted = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inserted = entries_.emplace(key, result).second;
+    }
+    // Journal outside the cache mutex: disk latency (and the
+    // periodic fsync) must never block concurrent lookups.  Lock
+    // order is journal -> cache (the compaction snapshot takes the
+    // cache mutex inside the journal mutex), so the cache mutex is
+    // never held across a journal call.
+    if (inserted && persist_ != nullptr) {
+        persist_->append(key, result);
+        persist_->maybeCompact([this] {
+            std::vector<std::pair<std::string, SimResult>> live;
+            std::lock_guard<std::mutex> lock(mutex_);
+            live.reserve(entries_.size());
+            for (const auto &entry : entries_)
+                live.push_back(entry);
+            return live;
+        });
+    }
+}
+
+PersistLoadStats
+ResultCache::attachPersist(std::unique_ptr<PersistentCache> persist)
+{
+    std::string version;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        version = version_;
+    }
+    PersistLoadStats load;
+    std::unordered_map<std::string, SimResult> warm;
+    try {
+        load = persist->open(
+            version, [&warm](std::string key, const SimResult &r) {
+                warm.emplace(std::move(key), r);
+            });
+    } catch (const std::bad_alloc &) {
+        // Warm-load starved: start cold, keep the journal attached.
+        // Recovered-so-far entries are dropped wholesale — a partial
+        // warm set is fine, but the simple invariant ("warm iff the
+        // load succeeded") is easier to reason about in a crash
+        // report.
+        warm.clear();
+        load = PersistLoadStats{};
+        load.loadFailed = true;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &entry : warm)
+            entries_.emplace(entry.first, entry.second);
+        persistLoad_ = load;
+    }
+    persist_ = std::move(persist);
+    return load;
+}
+
+void
+ResultCache::detachPersist()
+{
+    persist_.reset();
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.emplace(key, result);
+    persistLoad_ = PersistLoadStats{};
+}
+
+void
+ResultCache::flushPersist()
+{
+    if (persist_ != nullptr)
+        persist_->flush();
+}
+
+PersistLoadStats
+ResultCache::persistLoadStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return persistLoad_;
 }
 
 ResultCacheStats
@@ -123,6 +202,25 @@ ResultCache::appendMetrics(MetricsRegistry &metrics) const
     metrics.counter("result_cache.hits").add(s.hits);
     metrics.counter("result_cache.misses").add(s.misses);
     metrics.gauge("result_cache.entries").set(double(s.entries));
+    if (persist_ == nullptr)
+        return;
+    const PersistLoadStats load = persistLoadStats();
+    const PersistStats p = persist_->stats();
+    metrics.counter("result_cache.persist.recovered")
+        .add(load.recovered);
+    metrics.counter("result_cache.persist.discarded")
+        .add(load.discardedCorrupt + load.discardedVersion);
+    metrics.counter("result_cache.persist.truncated_bytes")
+        .add(load.truncatedBytes);
+    metrics.counter("result_cache.persist.load_failures")
+        .add(load.loadFailed ? 1 : 0);
+    metrics.counter("result_cache.persist.appends").add(p.appends);
+    metrics.counter("result_cache.persist.append_errors")
+        .add(p.appendErrors);
+    metrics.counter("result_cache.persist.compactions")
+        .add(p.compactions);
+    metrics.gauge("result_cache.persist.file_bytes")
+        .set(double(p.fileBytes));
 }
 
 void

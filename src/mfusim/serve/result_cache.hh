@@ -26,6 +26,15 @@
  * simulate in parallel.  Two racing misses on the same key both
  * simulate — results are identical by construction, the second
  * store is a no-op.
+ *
+ * Persistence: attachPersist() puts a crash-safe on-disk journal
+ * (persist_cache.hh) behind the map.  Every newly inserted entry is
+ * appended to the journal *after* the cache mutex is released (disk
+ * latency never blocks lookups), and a restarted daemon warm-loads
+ * the journal so it answers warm and bit-identical from its first
+ * request.  Journal I/O failures degrade to in-memory behavior with
+ * counters raised — persistence is an accelerator, never a
+ * correctness dependency.
  */
 
 #ifndef MFUSIM_SERVE_RESULT_CACHE_HH
@@ -34,12 +43,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "mfusim/core/machine_config.hh"
 #include "mfusim/obs/metrics.hh"
+#include "mfusim/serve/persist_cache.hh"
 #include "mfusim/sim/simulator.hh"
 
 namespace mfusim
@@ -125,6 +136,30 @@ class ResultCache
      */
     void setVersion(const std::string &version);
 
+    /**
+     * Attach @p persist, open its journal under the current version
+     * string, and warm-load every recovered entry.  Call before
+     * serving starts (attachment itself is not synchronized against
+     * concurrent stores).  If the warm-load aborts (allocation
+     * failure — see the persist.load fault point), the cache starts
+     * cold with loadFailed set; the journal stays attached and
+     * usable for appends either way.
+     */
+    PersistLoadStats
+    attachPersist(std::unique_ptr<PersistentCache> persist);
+
+    /** Detach (and close) the journal, if any (tests, shutdown). */
+    void detachPersist();
+
+    /** fsync pending journal appends (drain path); no-op unattached. */
+    void flushPersist();
+
+    /** The attached journal, or nullptr. */
+    const PersistentCache *persist() const { return persist_.get(); }
+
+    /** Stats of the last attachPersist() warm-load. */
+    PersistLoadStats persistLoadStats() const;
+
     /** Drop all entries and zero the stats (tests). */
     void clear();
 
@@ -134,9 +169,15 @@ class ResultCache
                            const MachineConfig &cfg,
                            bool audited) const;
 
+    /** Insert under the mutex; journal the entry if it was new. */
+    void insertAndPersist(const std::string &key,
+                          const SimResult &result);
+
     mutable std::mutex mutex_;
     std::unordered_map<std::string, SimResult> entries_;
     std::string version_ = "in-process";
+    std::unique_ptr<PersistentCache> persist_;
+    PersistLoadStats persistLoad_;
     // Atomics, not mutex-guarded fields: getOrCompute() counts a
     // miss after dropping the lock.
     mutable std::atomic<std::uint64_t> hits_{ 0 };

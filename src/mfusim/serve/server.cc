@@ -5,7 +5,9 @@
 
 #include "mfusim/serve/server.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -17,10 +19,30 @@
 #include <unistd.h>
 
 #include "mfusim/core/error.hh"
+#include "mfusim/core/faultpoint.hh"
 #include "mfusim/serve/json.hh"
 
 namespace mfusim
 {
+
+namespace
+{
+
+/**
+ * Thrown by the worker.die fault point to simulate a worker thread
+ * dying mid-service (the closest portable stand-in for a crashed
+ * thread that the process itself survives).  Caught only in
+ * workerLoop(), which respawns a replacement.
+ */
+struct WorkerDeathFault
+{
+};
+
+/** Budget the accept thread spends writing a 429 — it must never
+ *  stall behind a slow rejected client. */
+constexpr unsigned kRejectWriteBudgetMs = 250;
+
+} // namespace
 
 HttpResponse
 jsonErrorResponse(int status, const std::string &message)
@@ -90,9 +112,12 @@ HttpServer::start()
     stopping_.store(false);
     running_.store(true);
     acceptThread_ = std::thread(&HttpServer::acceptLoop, this);
-    workers_.reserve(options_.workers);
-    for (unsigned i = 0; i < options_.workers; ++i)
-        workers_.emplace_back(&HttpServer::workerLoop, this);
+    {
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        workers_.reserve(options_.workers);
+        for (unsigned i = 0; i < options_.workers; ++i)
+            workers_.emplace_back(&HttpServer::workerLoop, this);
+    }
 }
 
 void
@@ -105,11 +130,23 @@ HttpServer::stop()
     if (acceptThread_.joinable())
         acceptThread_.join();
     // Workers drain the queue, then observe stopping_ and exit.
+    // Join in swap-batches: a dying worker may still be appending
+    // its replacement to workers_, so keep draining until the vector
+    // stays empty (respawns stop once stopping_ is observed).
     queueCv_.notify_all();
-    for (std::thread &w : workers_)
-        if (w.joinable())
-            w.join();
-    workers_.clear();
+    for (;;) {
+        std::vector<std::thread> batch;
+        {
+            std::lock_guard<std::mutex> lock(workersMutex_);
+            batch.swap(workers_);
+        }
+        if (batch.empty())
+            break;
+        queueCv_.notify_all();
+        for (std::thread &w : batch)
+            if (w.joinable())
+                w.join();
+    }
     if (listenFd_ >= 0) {
         close(listenFd_);
         listenFd_ = -1;
@@ -177,14 +214,34 @@ HttpServer::acceptLoop()
             queueCv_.notify_one();
         } else {
             // Overload path runs on the accept thread so the client
-            // learns about it within one round trip.
+            // learns about it within one round trip.  The write gets
+            // a short budget of its own: a rejected client that does
+            // not read must not stall admission for everyone else.
             HttpResponse busy =
                 jsonErrorResponse(429, "server overloaded, retry");
-            busy.headers["Retry-After"] = "1";
-            writeAll(fd, busy.serialize(false));
+            busy.headers["Retry-After"] =
+                std::to_string(retryAfterSeconds());
+            writeAll(fd, busy.serialize(false), kRejectWriteBudgetMs);
             close(fd);
         }
     }
+}
+
+unsigned
+HttpServer::retryAfterSeconds() const
+{
+    std::uint64_t backlog = 0;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        backlog += pending_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        backlog += stats_.inFlight;
+    }
+    const std::uint64_t seconds =
+        1 + backlog / std::max(1u, options_.workers);
+    return unsigned(std::min<std::uint64_t>(seconds, 60));
 }
 
 void
@@ -205,7 +262,26 @@ HttpServer::workerLoop()
             fd = pending_.front();
             pending_.pop_front();
         }
-        serveConnection(fd);
+        try {
+            serveConnection(fd);
+        } catch (const WorkerDeathFault &) {
+            // Injected worker death: drop the connection, count it,
+            // and spawn a replacement so the pool self-heals at its
+            // configured size.  This thread then exits; stop() joins
+            // its (finished) handle from the workers_ vector.
+            close(fd);
+            {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++stats_.workerDeaths;
+            }
+            {
+                std::lock_guard<std::mutex> lock(workersMutex_);
+                if (!stopping_.load())
+                    workers_.emplace_back(&HttpServer::workerLoop,
+                                          this);
+            }
+            return;
+        }
         close(fd);
     }
 }
@@ -213,13 +289,17 @@ HttpServer::workerLoop()
 void
 HttpServer::serveConnection(int fd)
 {
+    if (faultAt("worker.die"))
+        throw WorkerDeathFault{};
+
     // Keep-alive loop: one iteration per request on this connection.
     for (;;) {
         HttpRequest request;
         std::string parseError;
         const ReadOutcome outcome = readHttpRequest(
             fd, &request, options_.deadlineMs, options_.idleTimeoutMs,
-            options_.maxBodyBytes, &parseError);
+            options_.headerTimeoutMs, options_.maxBodyBytes,
+            &parseError);
 
         switch (outcome) {
           case ReadOutcome::kOk:
@@ -230,7 +310,8 @@ HttpServer::serveConnection(int fd)
             writeAll(fd, jsonErrorResponse(400, parseError.empty()
                                                     ? "malformed request"
                                                     : parseError)
-                             .serialize(false));
+                             .serialize(false),
+                     options_.writeTimeoutMs);
             return;
           case ReadOutcome::kTooLarge:
             writeAll(fd, jsonErrorResponse(
@@ -238,12 +319,14 @@ HttpServer::serveConnection(int fd)
                                       std::to_string(
                                           options_.maxBodyBytes) +
                                       " bytes")
-                             .serialize(false));
+                             .serialize(false),
+                     options_.writeTimeoutMs);
             return;
           case ReadOutcome::kTimeout:
             writeAll(fd,
                      jsonErrorResponse(408, "request read timed out")
-                         .serialize(false));
+                         .serialize(false),
+                     options_.writeTimeoutMs);
             return;
           case ReadOutcome::kError:
             return;
@@ -269,7 +352,14 @@ HttpServer::serveConnection(int fd)
         }
 
         HttpResponse response;
-        if (budgetMs == 0) {
+        if (faultAt("worker.overrun")) {
+            // Injected deadline overrun: burn (a capped slice of) the
+            // budget, then answer as an expired request would.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min(budgetMs, 200u)));
+            response = jsonErrorResponse(
+                503, "deadline exceeded (injected overrun)");
+        } else if (budgetMs == 0) {
             response = jsonErrorResponse(
                 503, "deadline expired before processing");
         } else {
@@ -291,7 +381,8 @@ HttpServer::serveConnection(int fd)
 
         // During a drain, finish this request but no more.
         const bool keep = request.keepAlive() && !stopping_.load();
-        if (!writeAll(fd, response.serialize(keep)))
+        if (!writeAll(fd, response.serialize(keep),
+                      options_.writeTimeoutMs))
             return;
         if (!keep)
             return;

@@ -60,6 +60,18 @@ struct ServeOptions
     std::size_t maxBodyBytes = 1 << 20;
     /** Keep-alive idle timeout before a parked connection is closed. */
     unsigned idleTimeoutMs = 5000;
+    /**
+     * Header-phase deadline in ms once the first request byte has
+     * arrived (anti-slowloris; 0 disables the separate bound and
+     * falls back to deadlineMs alone).
+     */
+    unsigned headerTimeoutMs = 5000;
+    /**
+     * Response-write deadline in ms: a peer that stops draining its
+     * receive window is disconnected after this long rather than
+     * pinning a worker (0 = wait forever).
+     */
+    unsigned writeTimeoutMs = 10000;
 };
 
 /** Observable server state, exported to /metrics by SimService. */
@@ -70,6 +82,7 @@ struct ServerStats
     std::uint64_t requests = 0;     //!< requests fully read
     std::uint64_t queueDepth = 0;   //!< connections waiting right now
     std::uint64_t inFlight = 0;     //!< requests being handled right now
+    std::uint64_t workerDeaths = 0; //!< workers that died and were respawned
 };
 
 /**
@@ -116,6 +129,14 @@ class HttpServer
     void workerLoop();
     void serveConnection(int fd);
 
+    /**
+     * Seconds a 429'd client should back off, scaled with the
+     * current backlog: 1 + (queued + in-flight) / workers, clamped
+     * to [1, 60].  An idle server sheds a burst with "retry in 1s";
+     * a deeply backlogged one spreads the retry storm out.
+     */
+    unsigned retryAfterSeconds() const;
+
     ServeOptions options_;
     HttpHandler handler_;
 
@@ -129,6 +150,12 @@ class HttpServer
     std::deque<int> pending_;       //!< accepted fds awaiting a worker
 
     std::thread acceptThread_;
+    /**
+     * Guards workers_: a dying worker (worker.die fault, or any
+     * escaped exception) respawns its replacement from its own
+     * thread, racing stop()'s join loop.
+     */
+    mutable std::mutex workersMutex_;
     std::vector<std::thread> workers_;
 
     mutable std::mutex statsMutex_;

@@ -12,6 +12,7 @@
 #include "mfusim/codegen/livermore.hh"
 #include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/error.hh"
+#include "mfusim/core/faultpoint.hh"
 #include "mfusim/core/stats.hh"
 #include "mfusim/harness/spec_parse.hh"
 #include "mfusim/harness/sweep.hh"
@@ -407,6 +408,22 @@ SimService::handleMetrics()
         snapshot.gauge("http.queue_depth")
             .set(double(stats.queueDepth));
         snapshot.gauge("http.in_flight").set(double(stats.inFlight));
+        snapshot.counter("http.worker_deaths")
+            .add(stats.workerDeaths);
+    }
+    // Fault-injection telemetry: visible only while faults are armed
+    // (a production scrape carries zero extra series).
+    if (FaultRegistry::instance().armed()) {
+        snapshot.gauge("faults.armed").set(1.0);
+        for (const FaultPointStats &pointStats :
+             FaultRegistry::instance().stats()) {
+            std::string name = pointStats.point;
+            for (char &c : name)
+                if (c == '.')
+                    c = '_';
+            snapshot.counter("faults." + name + ".fires")
+                .add(pointStats.fires);
+        }
     }
     ResultCache::instance().appendMetrics(snapshot);
     // Batched lockstep kernel telemetry (sim/batched.hh):

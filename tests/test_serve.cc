@@ -24,6 +24,7 @@
 #include <unistd.h>
 
 #include "mfusim/core/error.hh"
+#include "mfusim/core/faultpoint.hh"
 #include "mfusim/harness/spec_parse.hh"
 #include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
@@ -32,6 +33,15 @@
 #include "mfusim/serve/result_cache.hh"
 #include "mfusim/serve/server.hh"
 #include "mfusim/serve/sim_service.hh"
+
+// Tests that need a probe to actually fire cannot run when the
+// probes are compiled down to constant false.
+#ifdef MFUSIM_NO_FAULT_INJECTION
+#define SKIP_WITHOUT_FAULT_INJECTION() \
+    GTEST_SKIP() << "built with MFUSIM_NO_FAULT_INJECTION"
+#else
+#define SKIP_WITHOUT_FAULT_INJECTION() (void)0
+#endif
 
 namespace mfusim
 {
@@ -604,13 +614,222 @@ TEST(HttpServerAdmission, QueueOverflowAnswers429)
     ASSERT_TRUE(rejected.ok());
     const Response r = parseResponse(rejected.readResponse());
     EXPECT_EQ(r.status, 429);
-    EXPECT_NE(r.raw.find("Retry-After:"), std::string::npos);
+    // Retry-After scales with the backlog: 1 queued + 1 in flight
+    // over 1 worker -> 1 + 2/1 = 3 seconds.
+    EXPECT_NE(r.raw.find("Retry-After: 3"), std::string::npos)
+        << r.raw;
 
     release.store(true);
     const Response ok = parseResponse(busy.readResponse());
     EXPECT_EQ(ok.status, 200);
     server.stop();
     EXPECT_GE(server.stats().rejected, 1u);
+}
+
+TEST(HttpServerAdmission, RetryAfterGrowsWithQueueDepth)
+{
+    // Same overload shape but a deeper queue: the advertised backoff
+    // must reflect the longer backlog, not a constant.
+    std::atomic<bool> release{ false };
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    opts.queueDepth = 4;
+    opts.idleTimeoutMs = 200;
+    HttpServer server(opts, [&](const HttpRequest &, unsigned) {
+        while (!release.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        return HttpResponse(200, "text/plain", "done");
+    });
+    server.start();
+
+    ClientSocket busy(server.port());
+    ASSERT_TRUE(busy.ok());
+    busy.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
+    std::vector<std::unique_ptr<ClientSocket>> parked;
+    for (unsigned i = 0; i < opts.queueDepth; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        parked.push_back(
+            std::make_unique<ClientSocket>(server.port()));
+        ASSERT_TRUE(parked.back()->ok());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // 4 queued + 1 in flight over 1 worker -> 1 + 5/1 = 6 seconds.
+    ClientSocket rejected(server.port());
+    ASSERT_TRUE(rejected.ok());
+    const Response r = parseResponse(rejected.readResponse());
+    EXPECT_EQ(r.status, 429);
+    EXPECT_NE(r.raw.find("Retry-After: 6"), std::string::npos)
+        << r.raw;
+
+    release.store(true);
+    parseResponse(busy.readResponse());
+    server.stop();
+}
+
+// --------------------------------------------------- fault injection
+
+/** Tests that arm faults must always disarm, even on early exit. */
+class FaultyTransport : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FaultRegistry::instance().reset(); }
+    void TearDown() override { FaultRegistry::instance().reset(); }
+};
+
+TEST_F(FaultyTransport, ShortReadsStillServeCorrectResponses)
+{
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 2;
+    HttpServer server(opts, [](const HttpRequest &req, unsigned) {
+        return HttpResponse(200, "text/plain", "echo:" + req.body);
+    });
+    server.start();
+
+    // Every server-side recv() returns one byte: the read loop must
+    // reassemble the request byte by byte without corruption.
+    FaultRegistry::instance().configure("http.read:short");
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    sock.sendAll("POST /x HTTP/1.1\r\nHost: x\r\n"
+                 "Content-Length: 5\r\nConnection: close\r\n\r\n"
+                 "hello");
+    const Response r = parseResponse(sock.readResponse());
+    FaultRegistry::instance().reset();
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "echo:hello");
+    server.stop();
+}
+
+TEST_F(FaultyTransport, ShortWritesStillDeliverFullResponses)
+{
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 2;
+    const std::string big(8 * 1024, 'y');
+    HttpServer server(opts, [&](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "text/plain", big);
+    });
+    server.start();
+
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    // Arm after the client send: ClientSocket::sendAll goes through
+    // the same writeAll and would slow the test pointlessly.
+    sock.sendAll(
+        "GET /x HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+    FaultRegistry::instance().configure("http.write:short:times=64");
+    const Response r = parseResponse(sock.readResponse());
+    FaultRegistry::instance().reset();
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, big);
+    server.stop();
+}
+
+TEST_F(FaultyTransport, ReadFailureDropsConnectionNotServer)
+{
+    SKIP_WITHOUT_FAULT_INJECTION();
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 2;
+    HttpServer server(opts, [](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "text/plain", "ok");
+    });
+    server.start();
+
+    FaultRegistry::instance().configure("http.read:fail:once");
+    ClientSocket dropped(server.port());
+    ASSERT_TRUE(dropped.ok());
+    dropped.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_EQ(parseResponse(dropped.readResponse()).status, 0);
+
+    // The next connection is served normally.
+    ClientSocket fine(server.port());
+    ASSERT_TRUE(fine.ok());
+    fine.sendAll(
+        "GET /x HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+    EXPECT_EQ(parseResponse(fine.readResponse()).status, 200);
+    server.stop();
+}
+
+TEST_F(FaultyTransport, DyingWorkerIsRespawned)
+{
+    SKIP_WITHOUT_FAULT_INJECTION();
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;          // the one worker dies; a respawn must serve
+    opts.idleTimeoutMs = 200;
+    HttpServer server(opts, [](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "text/plain", "alive");
+    });
+    server.start();
+
+    FaultRegistry::instance().configure("worker.die:once");
+    ClientSocket killed(server.port());
+    ASSERT_TRUE(killed.ok());
+    killed.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_EQ(parseResponse(killed.readResponse()).status, 0);
+    FaultRegistry::instance().reset();
+
+    ClientSocket next(server.port());
+    ASSERT_TRUE(next.ok());
+    next.sendAll(
+        "GET /x HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+    EXPECT_EQ(parseResponse(next.readResponse()).status, 200);
+    server.stop();
+    EXPECT_EQ(server.stats().workerDeaths, 1u);
+}
+
+TEST_F(FaultyTransport, InjectedOverrunAnswers503)
+{
+    SKIP_WITHOUT_FAULT_INJECTION();
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    HttpServer server(opts, [](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "text/plain", "fast");
+    });
+    server.start();
+
+    FaultRegistry::instance().configure("worker.overrun:once");
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    sock.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n"
+                 "X-Deadline-Ms: 50\r\nConnection: close\r\n\r\n");
+    const Response r = parseResponse(sock.readResponse());
+    FaultRegistry::instance().reset();
+    EXPECT_EQ(r.status, 503);
+    EXPECT_NE(r.body.find("overrun"), std::string::npos);
+    server.stop();
+}
+
+TEST(HttpServerHardening, SlowlorisHeaderDribbleIsCutOff)
+{
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    opts.deadlineMs = 30000;    // the request budget would allow it...
+    opts.headerTimeoutMs = 250; // ...the header clock does not
+    HttpServer server(opts, [](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "text/plain", "ok");
+    });
+    server.start();
+
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    sock.sendAll("GET /x HT");    // never finishes the head
+    const auto start = std::chrono::steady_clock::now();
+    const Response r = parseResponse(sock.readResponse());
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    EXPECT_EQ(r.status, 408);
+    // Cut off by the header clock, far inside the 30 s budget.
+    EXPECT_LT(elapsed.count(), 5000);
+    server.stop();
 }
 
 TEST(HttpServerAdmission, GracefulDrainFinishesInFlightRequest)

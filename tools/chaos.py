@@ -1,0 +1,403 @@
+#!/usr/bin/env python3
+"""Chaos harness for `mfusim serve`: kill it, corrupt it, starve it —
+then prove it recovers.
+
+Standard library only.  Each scenario boots real daemon processes
+(ephemeral ports), drives them over HTTP, injures one on purpose, and
+asserts the recovery invariants the serving tier promises:
+
+  kill9        SIGKILL mid-traffic with a persistent cache attached;
+               a restarted daemon must warm-load the journal, accept
+               zero corrupted entries, and answer every recovered
+               cell bit-identically to a cold control daemon.
+  corrupt      garbage appended to the journal tail; the restart
+               must truncate it (metrics prove it) and keep serving
+               bit-identical results.
+  faults       a soak under MFUSIM_FAULTS (short reads/writes, torn
+               journal appends, dying workers): every 2xx the clients
+               manage to get must still be bit-identical, and the
+               daemon must survive with its worker pool self-healed.
+  drain        SIGTERM must finish in-flight work and exit 0 via the
+               "drained, bye" path.
+
+Exit status: 0 when every selected scenario holds, 1 otherwise.
+
+Example (the CI chaos-smoke job):
+
+    python3 tools/chaos.py --binary build/tools/mfusim
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+
+# ----------------------------------------------------------- daemon glue
+
+class Daemon:
+    """One `mfusim serve` subprocess on an ephemeral port."""
+
+    def __init__(self, binary, cache_dir=None, faults=None, workers=4,
+                 log_path=None):
+        argv = [binary, "serve", "--port", "0",
+                "--workers", str(workers)]
+        if cache_dir:
+            argv += ["--cache-dir", cache_dir]
+        env = dict(os.environ)
+        env.pop("MFUSIM_FAULTS", None)
+        if faults:
+            env["MFUSIM_FAULTS"] = faults
+        self.log_path = log_path
+        self.log = open(log_path, "ab") if log_path else None
+        self.proc = subprocess.Popen(
+            argv, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, env=env)
+        self.port = self._await_port()
+        # Keep draining stdout into the log so the pipe never fills.
+        self.pump = threading.Thread(target=self._pump, daemon=True)
+        self.pump.start()
+
+    def _await_port(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    "daemon exited before announcing its port "
+                    f"(exit {self.proc.poll()})")
+            if self.log:
+                self.log.write(line)
+                self.log.flush()
+            text = line.decode(errors="replace")
+            marker = "listening on port "
+            if marker in text:
+                return int(text.split(marker)[1].split()[0])
+        raise RuntimeError("daemon never announced its port")
+
+    def _pump(self):
+        for line in self.proc.stdout:
+            if self.log:
+                self.log.write(line)
+                self.log.flush()
+
+    def url(self, path):
+        return f"http://127.0.0.1:{self.port}{path}"
+
+    def kill9(self):
+        self.proc.kill()
+        self.proc.wait()
+
+    def sigterm(self, timeout=30.0):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def alive(self):
+        return self.proc.poll() is None
+
+    def close(self):
+        if self.alive():
+            self.proc.kill()
+            self.proc.wait()
+        if self.log:
+            self.log.close()
+            self.log = None
+
+
+def http_get(url, timeout=10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode()
+
+
+def simulate(daemon, loop, machine, config, timeout=30.0, retries=6):
+    """POST /v1/simulate with bounded retries; None when every
+    attempt failed (a chaos run drops connections on purpose)."""
+    body = json.dumps({"loop": loop, "machine": machine,
+                       "config": config}).encode()
+    for attempt in range(retries + 1):
+        request = urllib.request.Request(
+            daemon.url("/v1/simulate"), data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST")
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=timeout) as response:
+                return json.loads(response.read())
+        except Exception:
+            if attempt == retries:
+                return None
+            time.sleep(random.uniform(0, 0.05 * (2 ** attempt)))
+    return None
+
+
+def metric(text, name):
+    """Value of a metric line in Prometheus exposition text."""
+    for line in text.splitlines():
+        if line.startswith(name + " ") or \
+                line.startswith(name + "{"):
+            return float(line.rsplit(" ", 1)[1])
+    return None
+
+
+def result_bits(payload):
+    """The fields that must be bit-identical across recovery."""
+    return (payload["instructions"], payload["cycles"],
+            payload["rate_str"])
+
+
+CELLS = [(loop, machine, config)
+         for loop in (1, 3, 7, 12)
+         for machine in ("cray", "ruu:4:50", "ooo:4", "tomasulo:3:1")
+         for config in ("M11BR5",)]
+
+
+def baseline(daemon):
+    """Answer every cell on a pristine daemon: the ground truth."""
+    truth = {}
+    for loop, machine, config in CELLS:
+        payload = simulate(daemon, loop, machine, config)
+        if payload is None:
+            raise RuntimeError(
+                f"control daemon failed on {loop}/{machine}")
+        truth[(loop, machine, config)] = result_bits(payload)
+    return truth
+
+
+class ScenarioFailure(Exception):
+    pass
+
+
+def expect(condition, message):
+    if not condition:
+        raise ScenarioFailure(message)
+
+
+# ------------------------------------------------------------- scenarios
+
+def scenario_kill9(binary, workdir, truth):
+    """SIGKILL mid-append; the restart must recover a warm,
+    bit-identical cache."""
+    cache = os.path.join(workdir, "kill9-cache")
+    victim = Daemon(binary, cache_dir=cache,
+                    log_path=os.path.join(workdir, "kill9.log"))
+    try:
+        # Warm a few cells, then SIGKILL while a writer thread keeps
+        # new appends (fresh unrolled variants -> cache misses ->
+        # journal writes) in flight.
+        for loop, machine, config in CELLS[:6]:
+            simulate(victim, loop, machine, config)
+        stop = threading.Event()
+
+        def hammer():
+            factor = 2
+            while not stop.is_set():
+                simulate(victim, f"1x{factor}", "ruu:4:50", "M11BR5",
+                         timeout=5.0, retries=0)
+                factor = factor % 8 + 2
+        writer = threading.Thread(target=hammer, daemon=True)
+        writer.start()
+        time.sleep(0.5)
+        victim.kill9()          # no drain, no fsync, mid-traffic
+        stop.set()
+        writer.join(timeout=10)
+    finally:
+        victim.close()
+
+    reborn = Daemon(binary, cache_dir=cache,
+                    log_path=os.path.join(workdir, "kill9.log"))
+    try:
+        _, metrics = http_get(reborn.url("/metrics"))
+        recovered = metric(
+            metrics, "mfusim_result_cache_persist_recovered_total")
+        expect(recovered is not None and recovered >= 6,
+               f"expected >= 6 recovered entries, got {recovered}")
+        hits = 0
+        for (loop, machine, config), bits in truth.items():
+            payload = simulate(reborn, loop, machine, config)
+            expect(payload is not None,
+                   f"no answer for {loop}/{machine} after restart")
+            expect(result_bits(payload) == bits,
+                   f"{loop}/{machine}: recovered answer "
+                   f"{result_bits(payload)} != control {bits}")
+            hits += bool(payload["cached"])
+        expect(hits >= 6,
+               f"expected >= 6 warm answers after restart, got {hits}")
+        print(f"  kill9: recovered={int(recovered)} warm_hits={hits} "
+              f"all {len(truth)} cells bit-identical")
+    finally:
+        reborn.close()
+
+
+def scenario_corrupt(binary, workdir, truth):
+    """A corrupted journal tail must be truncated, never parsed."""
+    cache = os.path.join(workdir, "corrupt-cache")
+    first = Daemon(binary, cache_dir=cache,
+                   log_path=os.path.join(workdir, "corrupt.log"))
+    try:
+        for loop, machine, config in CELLS:
+            simulate(first, loop, machine, config)
+        code = first.sigterm()
+        expect(code == 0, f"drain exit code {code}")
+    finally:
+        first.close()
+
+    journal = os.path.join(cache, "results.mfuj")
+    expect(os.path.exists(journal), "journal file missing after drain")
+    with open(journal, "ab") as f:
+        f.write(b"MFUR\x40\x00\x00\x00garbage-that-is-not-a-record")
+    tail_bytes = 36
+
+    reborn = Daemon(binary, cache_dir=cache,
+                    log_path=os.path.join(workdir, "corrupt.log"))
+    try:
+        _, metrics = http_get(reborn.url("/metrics"))
+        truncated = metric(
+            metrics,
+            "mfusim_result_cache_persist_truncated_bytes_total")
+        expect(truncated is not None and truncated >= tail_bytes,
+               f"expected >= {tail_bytes} truncated bytes, "
+               f"got {truncated}")
+        for (loop, machine, config), bits in truth.items():
+            payload = simulate(reborn, loop, machine, config)
+            expect(payload is not None and
+                   result_bits(payload) == bits,
+                   f"{loop}/{machine}: wrong bits after corruption")
+        print(f"  corrupt: truncated={int(truncated)}B, all "
+              f"{len(truth)} cells bit-identical")
+    finally:
+        reborn.close()
+
+
+def scenario_faults(binary, workdir, truth):
+    """Soak under injected transport + persistence faults."""
+    cache = os.path.join(workdir, "faults-cache")
+    spec = ("http.read:short:every=3,http.write:short:every=5,"
+            "persist.write:torn:every=7,worker.die:every=29")
+    daemon = Daemon(binary, cache_dir=cache, faults=spec, workers=2,
+                    log_path=os.path.join(workdir, "faults.log"))
+    answered = 0
+    try:
+        for round_ in range(3):
+            for (loop, machine, config), bits in truth.items():
+                payload = simulate(daemon, loop, machine, config,
+                                   timeout=15.0)
+                if payload is None:
+                    continue    # dropped by an injected fault
+                answered += 1
+                expect(result_bits(payload) == bits,
+                       f"{loop}/{machine}: answer corrupted under "
+                       f"faults (round {round_})")
+        expect(daemon.alive(), "daemon died during the fault soak")
+        expect(answered >= len(truth),
+               f"too few successful answers under faults: {answered}")
+        _, metrics = http_get(daemon.url("/metrics"))
+        deaths = metric(metrics, "mfusim_http_worker_deaths_total")
+        expect(deaths is not None and deaths >= 1,
+               f"expected respawned workers, deaths={deaths}")
+        read_fires = metric(metrics,
+                            "mfusim_faults_http_read_fires_total")
+        expect(read_fires is not None and read_fires >= 1,
+               "http.read fault never fired")
+        code = daemon.sigterm()
+        expect(code == 0, f"drain exit code {code} after soak")
+        print(f"  faults: answered={answered} "
+              f"worker_deaths={int(deaths)} all bit-identical")
+    finally:
+        daemon.close()
+
+
+def scenario_drain(binary, workdir, truth):
+    """SIGTERM finishes in-flight work and says goodbye."""
+    del truth
+    log_path = os.path.join(workdir, "drain.log")
+    daemon = Daemon(binary, log_path=log_path)
+    try:
+        status, _ = http_get(daemon.url("/healthz"))
+        expect(status == 200, f"healthz {status}")
+        code = daemon.sigterm()
+        expect(code == 0, f"drain exit code {code}")
+        daemon.pump.join(timeout=10)
+        with open(log_path, "rb") as f:
+            log = f.read().decode(errors="replace")
+        expect("drained, bye" in log, "no 'drained, bye' in log")
+        print("  drain: clean exit, 'drained, bye' logged")
+    finally:
+        daemon.close()
+
+
+SCENARIOS = {
+    "kill9": scenario_kill9,
+    "corrupt": scenario_corrupt,
+    "faults": scenario_faults,
+    "drain": scenario_drain,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="mfusim serve chaos harness")
+    parser.add_argument("--binary", default="build/tools/mfusim",
+                        help="path to the mfusim CLI binary")
+    parser.add_argument("--scenario", action="append",
+                        choices=sorted(SCENARIOS), default=None,
+                        help="run only these (repeatable); "
+                             "default: all")
+    parser.add_argument("--workdir", default=None,
+                        help="keep logs/caches here instead of a "
+                             "temp dir")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.binary):
+        print(f"chaos: binary not found: {args.binary}",
+              file=sys.stderr)
+        return 1
+    selected = args.scenario or sorted(SCENARIOS)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="mfusim_chaos_")
+    os.makedirs(workdir, exist_ok=True)
+    print(f"chaos: workdir {workdir}")
+
+    # One pristine control daemon answers every cell first: the
+    # ground truth every scenario checks bit-identity against.
+    control = Daemon(args.binary,
+                     log_path=os.path.join(workdir, "control.log"))
+    try:
+        truth = baseline(control)
+    finally:
+        control.close()
+    print(f"chaos: control baseline over {len(truth)} cells")
+
+    failures = []
+    for name in selected:
+        print(f"chaos: scenario {name}")
+        try:
+            SCENARIOS[name](args.binary, workdir, truth)
+        except ScenarioFailure as failure:
+            failures.append(f"{name}: {failure}")
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            failures.append(f"{name}: {error!r}")
+            print(f"  ERROR: {error!r}", file=sys.stderr)
+
+    if not args.workdir and not failures:
+        shutil.rmtree(workdir, ignore_errors=True)
+    if failures:
+        print(f"chaos: {len(failures)} scenario(s) failed "
+              f"(logs in {workdir})", file=sys.stderr)
+        return 1
+    print(f"chaos: all {len(selected)} scenario(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,11 @@ Standard library only (urllib + threads): usable from CI without
 installing anything.  Fires a mixed burst of /v1/simulate requests —
 optionally across several machine specs and loops — plus periodic
 /healthz probes, then reports status-code counts and latency
-percentiles and writes a machine-readable JSON report.
+percentiles and writes a machine-readable JSON report.  Overload
+(429), 5xx, timeouts and connection failures are retried with
+exponential backoff and full jitter, honoring the server's
+load-aware Retry-After header; retry and timeout totals land in the
+report.
 
 Exit status: 0 when every gate passes; 1 when --fail-on-5xx saw a
 5xx, the p99 exceeded --max-p99-ms, or nothing succeeded at all.
@@ -21,6 +25,8 @@ Example (the CI server-smoke job):
 
 import argparse
 import json
+import random
+import socket
 import sys
 import threading
 import time
@@ -65,26 +71,54 @@ class Worker(threading.Thread):
             "machine": machine,
             "config": config,
         }).encode()
-        request = urllib.request.Request(
-            self.args.base_url + "/v1/simulate",
-            data=body,
-            headers={"Content-Type": "application/json"},
-            method="POST")
         start = time.monotonic()
-        status, cached = 0, False
-        try:
-            with urllib.request.urlopen(
-                    request, timeout=self.args.timeout) as response:
-                status = response.status
-                payload = json.loads(response.read())
-                cached = bool(payload.get("cached"))
-        except urllib.error.HTTPError as error:
-            status = error.code
-        except Exception:
-            status = 0          # connection-level failure
+        status, cached, retries, timeouts = 0, False, 0, 0
+        for attempt in range(self.args.retries + 1):
+            request = urllib.request.Request(
+                self.args.base_url + "/v1/simulate",
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST")
+            retry_after = None
+            try:
+                with urllib.request.urlopen(
+                        request,
+                        timeout=self.args.timeout) as response:
+                    status = response.status
+                    payload = json.loads(response.read())
+                    cached = bool(payload.get("cached"))
+            except urllib.error.HTTPError as error:
+                status = error.code
+                retry_after = error.headers.get("Retry-After")
+            except (socket.timeout, TimeoutError):
+                status = 0
+                timeouts += 1
+            except Exception:
+                status = 0      # connection-level failure
+            # Success and client errors are final; overload (429),
+            # 5xx and connection failures are worth retrying.
+            if 200 <= status < 300 or 400 <= status < 500 and \
+                    status != 429:
+                break
+            if attempt == self.args.retries:
+                break
+            retries += 1
+            # Exponential backoff with full jitter; a 429's
+            # Retry-After (load-aware on the server side) takes
+            # precedence, capped so a test run cannot stall.
+            delay = (self.args.backoff_ms / 1000.0) * (2 ** attempt)
+            if status == 429 and retry_after:
+                try:
+                    delay = min(float(retry_after),
+                                self.args.max_backoff_ms / 1000.0)
+                except ValueError:
+                    pass
+            delay = min(delay, self.args.max_backoff_ms / 1000.0)
+            time.sleep(random.uniform(0, delay))
         elapsed_ms = (time.monotonic() - start) * 1000.0
         with self.lock:
-            self.results.append((status, elapsed_ms, cached))
+            self.results.append(
+                (status, elapsed_ms, cached, retries, timeouts))
 
 
 def main():
@@ -93,7 +127,17 @@ def main():
     parser.add_argument("--base-url", default="http://127.0.0.1:8100")
     parser.add_argument("--requests", type=int, default=100)
     parser.add_argument("--concurrency", type=int, default=4)
-    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request timeout in seconds")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="retry budget per request (429/5xx/"
+                             "connection failures; 0 disables)")
+    parser.add_argument("--backoff-ms", type=float, default=50.0,
+                        help="base backoff, doubled per attempt with "
+                             "full jitter")
+    parser.add_argument("--max-backoff-ms", type=float,
+                        default=2000.0,
+                        help="cap on any single backoff sleep")
     parser.add_argument("--machine", action="append", default=None,
                         help="machine spec; repeatable, round-robined")
     parser.add_argument("--loop", dest="loops", action="append",
@@ -136,15 +180,18 @@ def main():
     wall_seconds = time.monotonic() - started
 
     status_counts = {}
-    for status, _, _ in results:
+    for status, _, _, _, _ in results:
         key = str(status) if status else "connection_error"
         status_counts[key] = status_counts.get(key, 0) + 1
-    latencies = sorted(ms for status, ms, _ in results
+    latencies = sorted(ms for status, ms, _, _, _ in results
                        if 200 <= status < 300)
-    cache_hits = sum(1 for status, _, cached in results
+    cache_hits = sum(1 for status, _, cached, _, _ in results
                      if cached and 200 <= status < 300)
     count_5xx = sum(n for code, n in status_counts.items()
                     if code.isdigit() and code.startswith("5"))
+    total_retries = sum(r for _, _, _, r, _ in results)
+    total_timeouts = sum(t for _, _, _, _, t in results)
+    retried_requests = sum(1 for _, _, _, r, _ in results if r)
 
     report = {
         "schema": "mfusim-loadgen-v1",
@@ -159,6 +206,9 @@ def main():
         "status_counts": status_counts,
         "count_5xx": count_5xx,
         "cache_hits": cache_hits,
+        "retries": total_retries,
+        "retried_requests": retried_requests,
+        "timeouts": total_timeouts,
         "latency_ms": {
             "p50": round(percentile(latencies, 0.50), 2),
             "p90": round(percentile(latencies, 0.90), 2),

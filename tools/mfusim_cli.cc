@@ -18,7 +18,8 @@
  *   mfusim save    <loop> <file>
  *   mfusim replay  <file> <machine> [config]
  *   mfusim serve   [--port N] [--workers K] [--queue-depth D]
- *                  [--deadline-ms M] [--max-body B]
+ *                  [--deadline-ms M] [--max-body B] [--cache-dir P]
+ *                  [--header-timeout-ms H] [--write-timeout-ms W]
  *
  * --jobs N  worker threads for sweeps (also: MFUSIM_JOBS env var);
  *           used by "rate all"
@@ -52,8 +53,14 @@
  * --workers K request workers (default 4), --queue-depth D bounded
  * admission queue (default 64, overflow answers 429), --deadline-ms
  * M per-request deadline (default 30000), --max-body B largest
- * accepted body in bytes (default 1 MiB).  SIGINT/SIGTERM drain
- * gracefully.
+ * accepted body in bytes (default 1 MiB), --cache-dir P persist the
+ * result cache to a crash-safe journal under P (restarts warm-load
+ * it), --header-timeout-ms H anti-slowloris header-phase deadline
+ * (default 5000), --write-timeout-ms W response-write budget
+ * (default 10000).  SIGINT/SIGTERM drain gracefully.  MFUSIM_FAULTS
+ * arms
+ * deterministic fault injection for chaos testing (see
+ * core/faultpoint.hh for the spec grammar).
  * <loop>    1..14 (optionally "<id>x<factor>" for an unrolled
  *           variant, e.g. "1x4", or "<id>v" for a vector-unit
  *           compilation, e.g. "7v"), or "all" (rate only): every
@@ -120,7 +127,10 @@ usage()
                  "replay <file> <machine> [cfg] |\n"
                  "       serve [--port N] [--workers K] "
                  "[--queue-depth D]\n"
-                 "             [--deadline-ms M] [--max-body B]\n"
+                 "             [--deadline-ms M] [--max-body B] "
+                 "[--cache-dir P]\n"
+                 "             [--header-timeout-ms H] "
+                 "[--write-timeout-ms W]\n"
                  "       mfusim --version\n");
     std::exit(2);
 }
@@ -387,6 +397,7 @@ int
 cmdServe(const std::vector<std::string> &args)
 {
     ServeOptions opts;
+    std::string cacheDir;
     const auto numeric = [](const std::string &flag,
                             const std::string &value) -> unsigned long {
         try {
@@ -419,14 +430,62 @@ cmdServe(const std::vector<std::string> &args)
                 unsigned(numeric("--deadline-ms", value()));
         else if (args[i] == "--max-body")
             opts.maxBodyBytes = numeric("--max-body", value());
+        else if (args[i] == "--header-timeout-ms")
+            opts.headerTimeoutMs =
+                unsigned(numeric("--header-timeout-ms", value()));
+        else if (args[i] == "--write-timeout-ms")
+            opts.writeTimeoutMs =
+                unsigned(numeric("--write-timeout-ms", value()));
+        else if (args[i] == "--cache-dir")
+            cacheDir = value();
         else
             usage();
     }
+
+    // Arm fault injection from MFUSIM_FAULTS before any guarded code
+    // runs; a typo in the spec must abort startup, not be silently
+    // inert during a chaos run.
+    try {
+        FaultRegistry::instance().configureFromEnv();
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "mfusim serve: MFUSIM_FAULTS: %s\n",
+                     e.what());
+        return 3;
+    }
+    if (FaultRegistry::instance().armed())
+        std::printf("mfusim serve: fault injection armed: %s\n",
+                    FaultRegistry::instance().spec().c_str());
 
     // Install the drain handler BEFORE the server threads start so
     // every thread inherits the disposition.
     installShutdownHandler();
     ResultCache::instance().setVersion(MFUSIM_GIT_SHA);
+
+    // Warm-load the persistent result cache before serving starts:
+    // a restarted daemon answers its first request from disk state.
+    if (!cacheDir.empty()) {
+        try {
+            const PersistLoadStats load =
+                ResultCache::instance().attachPersist(
+                    std::make_unique<PersistentCache>(cacheDir));
+            std::printf(
+                "mfusim serve: cache journal %s: recovered %llu "
+                "entr%s (%llu discarded, %llu bytes truncated%s)\n",
+                ResultCache::instance().persist()->path().c_str(),
+                (unsigned long long)load.recovered,
+                load.recovered == 1 ? "y" : "ies",
+                (unsigned long long)(load.discardedCorrupt +
+                                     load.discardedVersion),
+                (unsigned long long)load.truncatedBytes,
+                load.loadFailed ? "; warm-load failed, starting cold"
+                                : "");
+        } catch (const Error &e) {
+            std::fprintf(stderr,
+                         "mfusim serve: --cache-dir %s unusable: %s; "
+                         "continuing without persistence\n",
+                         cacheDir.c_str(), e.what());
+        }
+    }
 
     SimService service(SimServiceOptions{ MFUSIM_GIT_SHA, 256 });
     HttpServer server(opts,
@@ -453,6 +512,10 @@ cmdServe(const std::vector<std::string> &args)
                 shutdownSignal());
     std::fflush(stdout);
     server.stop();
+    // Make sure every journaled result survives the exit: appends
+    // are fsync'd only periodically while serving.
+    ResultCache::instance().flushPersist();
+    ResultCache::instance().detachPersist();
     std::printf("mfusim serve: drained, bye\n");
     return 0;
 }
