@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include <poll.h>
@@ -23,25 +24,6 @@ namespace
 {
 
 constexpr std::size_t kMaxHeadBytes = 16 * 1024;
-
-/**
- * recv() with the http.read fault point applied: mode "short" caps
- * the read at one byte (exercising every resumption path), mode
- * "fail" simulates a hard socket error.
- */
-ssize_t
-faultyRecv(int fd, char *buf, std::size_t cap)
-{
-    if (faultAt("http.read")) {
-        const std::string mode = faultMode("http.read");
-        if (mode == "fail") {
-            errno = EIO;
-            return -1;
-        }
-        cap = 1;    // "short" (and the default mode)
-    }
-    return recv(fd, buf, cap, 0);
-}
 
 std::string
 toLower(std::string s)
@@ -115,17 +97,32 @@ HttpResponse::reason(int status)
     }
 }
 
+void
+HttpResponse::serializeHead(bool keepAlive, std::string *out) const
+{
+    char line[64];
+    std::snprintf(line, sizeof(line), "HTTP/1.1 %d ", status);
+    out->append(line);
+    out->append(reason(status));
+    out->append("\r\n");
+    for (const auto &[name, value] : headers) {
+        out->append(name);
+        out->append(": ");
+        out->append(value);
+        out->append("\r\n");
+    }
+    std::snprintf(line, sizeof(line), "Content-Length: %zu\r\n",
+                  body.size());
+    out->append(line);
+    out->append(keepAlive ? "Connection: keep-alive\r\n\r\n"
+                          : "Connection: close\r\n\r\n");
+}
+
 std::string
 HttpResponse::serialize(bool keepAlive) const
 {
-    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
-        reason(status) + "\r\n";
-    for (const auto &[name, value] : headers)
-        out += name + ": " + value + "\r\n";
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-    out += keepAlive ? "Connection: keep-alive\r\n"
-                     : "Connection: close\r\n";
-    out += "\r\n";
+    std::string out;
+    serializeHead(keepAlive, &out);
     out += body;
     return out;
 }
@@ -199,86 +196,41 @@ parseRequestHead(const std::string &head, HttpRequest *out,
     return true;
 }
 
-ReadOutcome
-readHttpRequest(int fd, HttpRequest *out, unsigned budgetMs,
-                unsigned idleMs, unsigned headerMs,
-                std::size_t maxBody, std::string *error)
+ExtractStatus
+extractRequest(const std::string &buffer, std::size_t offset,
+               std::size_t maxBody, HttpRequest *out,
+               std::size_t *consumed, std::string *error,
+               bool *headComplete)
 {
-    std::string buffer;
+    if (headComplete != nullptr)
+        *headComplete = false;
+
+    // Locate the end of the head (CRLFCRLF, or bare LFLF for
+    // hand-typed clients) within the unparsed suffix.
+    const std::size_t crlf = buffer.find("\r\n\r\n", offset);
+    const std::size_t lf = buffer.find("\n\n", offset);
     std::size_t headEnd = std::string::npos;
-    std::size_t headSkip = 0;   // separator length (4 CRLF, 2 LF)
-    const std::uint64_t start = nowMs();
-    bool sawAnyByte = false;
-
-    const auto remaining = [&](unsigned cap) -> int {
-        const std::uint64_t elapsed = nowMs() - start;
-        if (elapsed >= cap)
-            return 0;
-        return int(cap - elapsed);
-    };
-
-    // Phase 1: accumulate until the blank line.
-    for (;;) {
-        const std::size_t crlf = buffer.find("\r\n\r\n");
-        const std::size_t lf = buffer.find("\n\n");
-        if (crlf != std::string::npos &&
-            (lf == std::string::npos || crlf < lf)) {
-            headEnd = crlf;
-            headSkip = 4;
-            break;
-        }
-        if (lf != std::string::npos) {
-            headEnd = lf;
-            headSkip = 2;
-            break;
-        }
-        if (buffer.size() > kMaxHeadBytes)
-            return ReadOutcome::kTooLarge;
-
-        // An idle keep-alive connection (no bytes yet) times out on
-        // the idle clock; a half-sent request on the budget clock,
-        // additionally tightened by the header clock (anti-slowloris:
-        // a client dribbling header bytes is cut off long before the
-        // whole request budget).
-        int wait;
-        if (!sawAnyByte) {
-            wait = remaining(idleMs);
-        } else {
-            wait = remaining(budgetMs);
-            if (headerMs != 0)
-                wait = std::min(wait, remaining(headerMs));
-        }
-        if (wait <= 0)
-            return sawAnyByte ? ReadOutcome::kTimeout
-                              : ReadOutcome::kClosed;
-        struct pollfd pfd = { fd, POLLIN, 0 };
-        const int ready = poll(&pfd, 1, wait);
-        if (ready < 0) {
-            if (errno == EINTR)
-                continue;
-            return ReadOutcome::kError;
-        }
-        if (ready == 0)
-            continue;       // loop re-checks the clocks
-
-        char chunk[4096];
-        const ssize_t got = faultyRecv(fd, chunk, sizeof(chunk));
-        if (got == 0)
-            return sawAnyByte ? ReadOutcome::kMalformed
-                              : ReadOutcome::kClosed;
-        if (got < 0) {
-            if (errno == EINTR || errno == EAGAIN)
-                continue;
-            return ReadOutcome::kError;
-        }
-        sawAnyByte = true;
-        buffer.append(chunk, std::size_t(got));
+    std::size_t headSkip = 0;
+    if (crlf != std::string::npos &&
+        (lf == std::string::npos || crlf < lf)) {
+        headEnd = crlf;
+        headSkip = 4;
+    } else if (lf != std::string::npos) {
+        headEnd = lf;
+        headSkip = 2;
     }
+    if (headEnd == std::string::npos) {
+        if (buffer.size() - offset > kMaxHeadBytes)
+            return ExtractStatus::kTooLarge;
+        return ExtractStatus::kNeedMore;
+    }
+    if (headEnd - offset > kMaxHeadBytes)
+        return ExtractStatus::kTooLarge;
 
-    if (!parseRequestHead(buffer.substr(0, headEnd), out, error))
-        return ReadOutcome::kMalformed;
+    if (!parseRequestHead(
+            buffer.substr(offset, headEnd - offset), out, error))
+        return ExtractStatus::kMalformed;
 
-    // Phase 2: the body, if any.
     std::size_t contentLength = 0;
     const std::string lengthHeader = out->header("content-length");
     if (!lengthHeader.empty()) {
@@ -287,45 +239,26 @@ readHttpRequest(int fd, HttpRequest *out, unsigned budgetMs,
             std::strtoull(lengthHeader.c_str(), &end, 10);
         if (end == nullptr || *end != '\0') {
             *error = "bad Content-Length '" + lengthHeader + "'";
-            return ReadOutcome::kMalformed;
+            return ExtractStatus::kMalformed;
         }
         contentLength = std::size_t(parsed);
     }
     if (!out->header("transfer-encoding").empty()) {
         *error = "Transfer-Encoding is not supported";
-        return ReadOutcome::kMalformed;
+        return ExtractStatus::kMalformed;
     }
     if (contentLength > maxBody)
-        return ReadOutcome::kTooLarge;
+        return ExtractStatus::kTooLarge;
 
-    out->body = buffer.substr(headEnd + headSkip);
-    while (out->body.size() < contentLength) {
-        const int wait = remaining(budgetMs);
-        if (wait <= 0)
-            return ReadOutcome::kTimeout;
-        struct pollfd pfd = { fd, POLLIN, 0 };
-        const int ready = poll(&pfd, 1, wait);
-        if (ready < 0) {
-            if (errno == EINTR)
-                continue;
-            return ReadOutcome::kError;
-        }
-        if (ready == 0)
-            continue;
-        char chunk[8192];
-        const ssize_t got = faultyRecv(fd, chunk, sizeof(chunk));
-        if (got == 0)
-            return ReadOutcome::kMalformed;  // truncated body
-        if (got < 0) {
-            if (errno == EINTR || errno == EAGAIN)
-                continue;
-            return ReadOutcome::kError;
-        }
-        out->body.append(chunk, std::size_t(got));
+    const std::size_t bodyStart = headEnd + headSkip;
+    if (buffer.size() - bodyStart < contentLength) {
+        if (headComplete != nullptr)
+            *headComplete = true;
+        return ExtractStatus::kNeedMore;
     }
-    if (out->body.size() > contentLength)
-        out->body.resize(contentLength);    // ignore pipelined extra
-    return ReadOutcome::kOk;
+    out->body = buffer.substr(bodyStart, contentLength);
+    *consumed = bodyStart - offset + contentLength;
+    return ExtractStatus::kOk;
 }
 
 bool

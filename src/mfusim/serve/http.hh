@@ -6,16 +6,20 @@
  * cleanly in two:
  *
  *  - pure parsing/serialization (parseRequestHead(),
- *    HttpResponse::serialize()) — unit-testable on strings, no
- *    sockets involved;
- *  - socket plumbing (readHttpRequest(), writeAll()) — a poll()-based
- *    blocking read loop with a wall-clock budget, so a stalled or
- *    malicious client cannot pin a worker past its deadline.
+ *    extractRequest(), HttpResponse::serialize()/serializeHead())
+ *    — unit-testable on strings, no sockets involved.  The epoll
+ *    reactor (server.hh) accumulates bytes into a per-connection
+ *    buffer and calls extractRequest() repeatedly, which is what
+ *    makes HTTP/1.1 pipelining natural: every complete request
+ *    already buffered parses without another read.
+ *  - socket plumbing (writeAll()) — a poll()-based blocking write
+ *    used by test clients and one-shot replies; the server's own
+ *    I/O is non-blocking inside the reactor.
  *
  * Supported surface (deliberately narrow — this is a JSON RPC
  * daemon, not a general web server): GET/POST, Content-Length
  * bodies (no chunked transfer), keep-alive with Connection: close
- * opt-out, header section capped at 16 KiB.
+ * opt-out, HTTP/1.1 pipelining, header section capped at 16 KiB.
  */
 
 #ifndef MFUSIM_SERVE_HTTP_HH
@@ -65,6 +69,15 @@ struct HttpResponse
      * Connection added/overridden here), blank line, body.
      */
     std::string serialize(bool keepAlive) const;
+
+    /**
+     * Append the head only (status line, headers, Content-Length,
+     * Connection, blank line — no body) to @p out.  The reactor
+     * reuses one head buffer per connection and sends head + body
+     * with one gathered writev, so the hit path never concatenates
+     * head and body into a fresh string.
+     */
+    void serializeHead(bool keepAlive, std::string *out) const;
 };
 
 /**
@@ -77,40 +90,36 @@ struct HttpResponse
 bool parseRequestHead(const std::string &head, HttpRequest *out,
                       std::string *error);
 
-/** What readHttpRequest() observed. */
-enum class ReadOutcome
+/** What extractRequest() observed about the buffer. */
+enum class ExtractStatus
 {
-    kOk,            //!< full request parsed into *out
-    kClosed,        //!< peer closed before sending anything (benign)
-    kMalformed,     //!< unparseable head; answer 400
-    kTooLarge,      //!< head over cap or body over maxBody; answer 431/413
-    kTimeout,       //!< budget exhausted mid-request; answer 408
-    kError,         //!< socket error; drop the connection
+    kOk,            //!< one full request parsed into *out
+    kNeedMore,      //!< buffer holds a prefix; read more bytes
+    kMalformed,     //!< unparseable head; answer 400 and close
+    kTooLarge,      //!< head over cap or body over maxBody; answer 413
+    kHeadComplete,  //!< internal: head parsed, body incomplete
 };
 
 /**
- * Read one HTTP request from @p fd.
+ * Try to parse one complete request from @p buffer starting at
+ * @p offset (pure function of the bytes — no sockets, no clocks).
  *
- * Blocks up to @p budgetMs wall milliseconds in total (poll() +
- * recv() loop).  @p idleMs bounds the initial wait for the first
- * byte separately — a keep-alive connection parked between requests
- * times out as kClosed rather than kTimeout, so idle churn is not an
- * error.  @p headerMs additionally bounds the header phase once the
- * first byte has arrived (0 = no separate bound): a slowloris client
- * dribbling one header byte per second is cut off with kTimeout
- * after headerMs instead of pinning the worker for the whole request
- * budget.  Body reading stops early with kTooLarge as soon as
- * Content-Length exceeds @p maxBody (the body is not drained; the
- * caller answers 413 and closes).  @p error receives a diagnostic
- * for kMalformed.
- *
- * EINTR/EAGAIN-safe throughout; works with blocking and
- * O_NONBLOCK fds alike (all waiting happens in poll()).
+ * On kOk, *out holds the request and *consumed the total byte count
+ * (head + separator + body) so the caller can advance its offset and
+ * immediately try again — that loop IS pipelining.  kNeedMore means
+ * the suffix is a valid prefix of a request; the caller should keep
+ * accumulating (and apply its header/body clocks).  kTooLarge fires
+ * both for a head growing past the 16 KiB cap without terminating
+ * and for a Content-Length above @p maxBody — in either case the
+ * request is never partially adopted.  @p headComplete (optional)
+ * reports whether the head was already terminated on kNeedMore, so
+ * the caller can pick the body clock over the header clock.
  */
-ReadOutcome readHttpRequest(int fd, HttpRequest *out,
-                            unsigned budgetMs, unsigned idleMs,
-                            unsigned headerMs, std::size_t maxBody,
-                            std::string *error);
+ExtractStatus extractRequest(const std::string &buffer,
+                             std::size_t offset, std::size_t maxBody,
+                             HttpRequest *out, std::size_t *consumed,
+                             std::string *error,
+                             bool *headComplete = nullptr);
 
 /**
  * write()/send() until every byte of @p data is out; false on

@@ -1,9 +1,11 @@
 /**
  * @file
- * ResultCache implementation.
+ * ResultCache implementation (16-way lock-sharded).
  */
 
 #include "mfusim/serve/result_cache.hh"
+
+#include <functional>
 
 #include "mfusim/sim/steady_state.hh"
 
@@ -17,6 +19,16 @@ ResultCache::instance()
     return cache;
 }
 
+ResultCache::Shard &
+ResultCache::shardFor(const std::string &key) const
+{
+    // kShardCount is a power of two; std::hash of the composed key
+    // (which embeds the machine key, trace and config name) spreads
+    // a sweep's key population evenly across shards.
+    return shards_[std::hash<std::string>{}(key) &
+                   (kShardCount - 1)];
+}
+
 std::string
 ResultCache::composeKey(const std::string &machineKey,
                         const std::string &traceKey,
@@ -27,6 +39,9 @@ ResultCache::composeKey(const std::string &machineKey,
     // stalls (bit-identity is tested), but it does change the
     // steadyOpsSkipped diagnostic, so it is part of the key to keep
     // cached diagnostics honest.
+    //
+    // version_ is read unlocked: setVersion() happens once, before
+    // serving starts (same contract as attachPersist()).
     return machineKey + "\n" + traceKey + "\n" + cfg.name() + "\n" +
         (audited ? "audited" : "plain") + "\n" +
         (steadyStateEnabled() ? "steady" : "exact") + "\n" + version_;
@@ -41,17 +56,18 @@ ResultCache::getOrCompute(const std::string &machineKey,
 {
     const std::string key =
         composeKey(machineKey, traceKey, cfg, audited);
+    Shard &shard = shardFor(key);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = entries_.find(key);
-        if (it != entries_.end()) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.entries.find(key);
+        if (it != shard.entries.end()) {
+            shard.hits.fetch_add(1, std::memory_order_relaxed);
             if (wasHit)
                 *wasHit = true;
             return it->second;
         }
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     if (wasHit)
         *wasHit = false;
     const SimResult result = compute();
@@ -67,9 +83,10 @@ ResultCache::lookup(const std::string &machineKey,
 {
     const std::string key =
         composeKey(machineKey, traceKey, cfg, audited);
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it == entries_.end())
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end())
         return false;
     if (out)
         *out = it->second;
@@ -82,12 +99,40 @@ ResultCache::probe(const std::string &machineKey,
                    const MachineConfig &cfg, bool audited,
                    SimResult *out)
 {
-    if (lookup(machineKey, traceKey, cfg, audited, out)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+    const std::string key =
+        composeKey(machineKey, traceKey, cfg, audited);
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.entries.find(key);
+        if (it != shard.entries.end()) {
+            shard.hits.fetch_add(1, std::memory_order_relaxed);
+            if (out)
+                *out = it->second;
+            return true;
+        }
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return false;
+}
+
+bool
+ResultCache::probeHit(const std::string &machineKey,
+                      const std::string &traceKey,
+                      const MachineConfig &cfg, bool audited,
+                      SimResult *out)
+{
+    const std::string key =
+        composeKey(machineKey, traceKey, cfg, audited);
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end())
+        return false;
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    if (out)
+        *out = it->second;
+    return true;
 }
 
 void
@@ -106,22 +151,26 @@ ResultCache::insertAndPersist(const std::string &key,
 {
     bool inserted = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        inserted = entries_.emplace(key, result).second;
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        inserted = shard.entries.emplace(key, result).second;
     }
-    // Journal outside the cache mutex: disk latency (and the
+    // Journal outside the shard mutex: disk latency (and the
     // periodic fsync) must never block concurrent lookups.  Lock
-    // order is journal -> cache (the compaction snapshot takes the
-    // cache mutex inside the journal mutex), so the cache mutex is
-    // never held across a journal call.
+    // order is journal -> shard (the compaction snapshot takes shard
+    // mutexes inside the journal mutex), so no shard mutex is ever
+    // held across a journal call.  The journal keeps insertion order
+    // because this append happens post-insert on the inserting
+    // thread, exactly as in the unsharded cache.
     if (inserted && persist_ != nullptr) {
         persist_->append(key, result);
         persist_->maybeCompact([this] {
             std::vector<std::pair<std::string, SimResult>> live;
-            std::lock_guard<std::mutex> lock(mutex_);
-            live.reserve(entries_.size());
-            for (const auto &entry : entries_)
-                live.push_back(entry);
+            for (Shard &shard : shards_) {
+                std::lock_guard<std::mutex> lock(shard.mutex);
+                for (const auto &entry : shard.entries)
+                    live.push_back(entry);
+            }
             return live;
         });
     }
@@ -132,7 +181,7 @@ ResultCache::attachPersist(std::unique_ptr<PersistentCache> persist)
 {
     std::string version;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<std::mutex> lock(metaMutex_);
         version = version_;
     }
     PersistLoadStats load;
@@ -152,10 +201,13 @@ ResultCache::attachPersist(std::unique_ptr<PersistentCache> persist)
         load = PersistLoadStats{};
         load.loadFailed = true;
     }
+    for (auto &entry : warm) {
+        Shard &shard = shardFor(entry.first);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries.emplace(entry.first, entry.second);
+    }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (auto &entry : warm)
-            entries_.emplace(entry.first, entry.second);
+        std::lock_guard<std::mutex> lock(metaMutex_);
         persistLoad_ = load;
     }
     persist_ = std::move(persist);
@@ -166,7 +218,7 @@ void
 ResultCache::detachPersist()
 {
     persist_.reset();
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(metaMutex_);
     persistLoad_ = PersistLoadStats{};
 }
 
@@ -180,18 +232,23 @@ ResultCache::flushPersist()
 PersistLoadStats
 ResultCache::persistLoadStats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(metaMutex_);
     return persistLoad_;
 }
 
 ResultCacheStats
 ResultCache::stats() const
 {
+    // Per-shard counters aggregate here, so the exported Prometheus
+    // names (and their meaning) are unchanged from the unsharded
+    // cache.
     ResultCacheStats stats;
-    stats.hits = hits_.load(std::memory_order_relaxed);
-    stats.misses = misses_.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats.entries = entries_.size();
+    for (const Shard &shard : shards_) {
+        stats.hits += shard.hits.load(std::memory_order_relaxed);
+        stats.misses += shard.misses.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        stats.entries += shard.entries.size();
+    }
     return stats;
 }
 
@@ -226,17 +283,19 @@ ResultCache::appendMetrics(MetricsRegistry &metrics) const
 void
 ResultCache::setVersion(const std::string &version)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(metaMutex_);
     version_ = version;
 }
 
 void
 ResultCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    entries_.clear();
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries.clear();
+        shard.hits.store(0, std::memory_order_relaxed);
+        shard.misses.store(0, std::memory_order_relaxed);
+    }
 }
 
 } // namespace mfusim

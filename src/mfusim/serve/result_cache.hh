@@ -21,15 +21,18 @@
  * instructions, cycles, stall breakdowns and steady-state telemetry
  * bit-identically.
  *
- * Thread safety: lookups and stores take one mutex; getOrCompute()
- * drops it around the compute so concurrent misses on different keys
+ * Thread safety: the map is sharded 16 ways by key hash — each shard
+ * has its own mutex and hit/miss counters (cache-line separated), so
+ * concurrent cache-hit requests on different keys never contend on a
+ * single lock even at full worker-pool parallelism.  getOrCompute()
+ * drops the shard lock around the compute so concurrent misses
  * simulate in parallel.  Two racing misses on the same key both
  * simulate — results are identical by construction, the second
  * store is a no-op.
  *
  * Persistence: attachPersist() puts a crash-safe on-disk journal
  * (persist_cache.hh) behind the map.  Every newly inserted entry is
- * appended to the journal *after* the cache mutex is released (disk
+ * appended to the journal *after* the shard mutex is released (disk
  * latency never blocks lookups), and a restarted daemon warm-loads
  * the journal so it answers warm and bit-identical from its first
  * request.  Journal I/O failures degrade to in-memory behavior with
@@ -56,7 +59,7 @@
 namespace mfusim
 {
 
-/** Point-in-time cache statistics. */
+/** Point-in-time cache statistics (aggregated across shards). */
 struct ResultCacheStats
 {
     std::uint64_t hits = 0;
@@ -108,6 +111,18 @@ class ResultCache
     bool probe(const std::string &machineKey,
                const std::string &traceKey, const MachineConfig &cfg,
                bool audited, SimResult *out);
+
+    /**
+     * lookup() that counts a hit when the cell is present and counts
+     * NOTHING when it is not.  The serve reactor's fast path probes
+     * with it: a hit is served (and counted) inline, while a miss
+     * falls through to a worker whose getOrCompute() records the one
+     * authoritative miss — probe() here would double-count it.
+     */
+    bool probeHit(const std::string &machineKey,
+                  const std::string &traceKey,
+                  const MachineConfig &cfg, bool audited,
+                  SimResult *out);
 
     /**
      * Insert one completed cell (one batched simulate, many fills).
@@ -163,25 +178,42 @@ class ResultCache
     /** Drop all entries and zero the stats (tests). */
     void clear();
 
+    /** Number of lock shards (power of two; indexed by key hash). */
+    static constexpr std::size_t kShardCount = 16;
+
   private:
+    /**
+     * One lock shard.  Cache-line aligned so two shards' mutexes and
+     * counters never false-share; the hit path of a request touches
+     * exactly one shard.
+     */
+    struct alignas(64) Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, SimResult> entries;
+        // Atomics, not mutex-guarded fields: getOrCompute() counts a
+        // miss after dropping the shard lock.
+        mutable std::atomic<std::uint64_t> hits{ 0 };
+        mutable std::atomic<std::uint64_t> misses{ 0 };
+    };
+
     std::string composeKey(const std::string &machineKey,
                            const std::string &traceKey,
                            const MachineConfig &cfg,
                            bool audited) const;
 
-    /** Insert under the mutex; journal the entry if it was new. */
+    Shard &shardFor(const std::string &key) const;
+
+    /** Insert under the shard mutex; journal the entry if new. */
     void insertAndPersist(const std::string &key,
                           const SimResult &result);
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, SimResult> entries_;
+    mutable Shard shards_[kShardCount];
+    /** Guards version_ and persistLoad_ (never on the hit path). */
+    mutable std::mutex metaMutex_;
     std::string version_ = "in-process";
     std::unique_ptr<PersistentCache> persist_;
     PersistLoadStats persistLoad_;
-    // Atomics, not mutex-guarded fields: getOrCompute() counts a
-    // miss after dropping the lock.
-    mutable std::atomic<std::uint64_t> hits_{ 0 };
-    mutable std::atomic<std::uint64_t> misses_{ 0 };
 };
 
 } // namespace mfusim

@@ -1,6 +1,13 @@
 /**
  * @file
- * HttpServer implementation: accept thread, bounded queue, workers.
+ * HttpServer implementation: epoll reactor + bounded worker pool.
+ *
+ * Single-writer discipline: every Conn is owned by the reactor
+ * thread.  Workers never touch sockets — they receive a parsed
+ * HttpRequest by value and post an HttpResponse back through the
+ * completion queue, keyed by (fd, generation) so a completion for a
+ * connection that died in the meantime is dropped instead of being
+ * written to a recycled fd.
  */
 
 #include "mfusim/serve/server.hh"
@@ -14,8 +21,10 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "mfusim/core/error.hh"
@@ -30,7 +39,7 @@ namespace
 
 /**
  * Thrown by the worker.die fault point to simulate a worker thread
- * dying mid-service (the closest portable stand-in for a crashed
+ * dying mid-request (the closest portable stand-in for a crashed
  * thread that the process itself survives).  Caught only in
  * workerLoop(), which respawns a replacement.
  */
@@ -38,9 +47,28 @@ struct WorkerDeathFault
 {
 };
 
-/** Budget the accept thread spends writing a 429 — it must never
- *  stall behind a slow rejected client. */
-constexpr unsigned kRejectWriteBudgetMs = 250;
+/** Clock-scan cadence: protocol deadlines are enforced within this. */
+constexpr std::uint64_t kClockScanMs = 50;
+
+/** Listener re-arm delay after fd exhaustion (EMFILE/ENFILE). */
+constexpr std::uint64_t kAcceptBackoffMs = 100;
+
+/**
+ * Responses up to this size are corked into the connection's head
+ * buffer so a pipelined burst of small answers (cache hits, errors)
+ * drains in ONE writev.  Larger bodies are moved, not copied, and
+ * must be the last response of their burst (see beginResponse).
+ */
+constexpr std::size_t kInlineBodyBytes = 16u << 10;
+
+std::uint64_t
+nowMs()
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 } // namespace
 
@@ -53,6 +81,68 @@ jsonErrorResponse(int status, const std::string &message)
     return HttpResponse(status, "application/json", body.dump() + "\n");
 }
 
+/** One dispatched request, in flight toward a worker. */
+struct HttpServer::Task
+{
+    int fd = -1;
+    std::uint64_t gen = 0;
+    HttpRequest request;
+    unsigned budgetMs = 0;
+};
+
+/** One finished response, in flight back toward the reactor. */
+struct HttpServer::Completion
+{
+    int fd = -1;
+    std::uint64_t gen = 0;
+    HttpResponse response;
+    bool killConn = false;  //!< worker died: drop the connection
+};
+
+/**
+ * Per-connection reactor state — the entire cost of a parked
+ * keep-alive client.  Buffers keep their capacity across requests on
+ * the same connection (that is the "no allocation on the hit path"
+ * half of the pipelining story; the gathered writev is the other).
+ */
+struct HttpServer::Conn
+{
+    int fd = -1;
+    std::uint64_t gen = 0;
+    std::uint32_t events = 0;       //!< epoll interest currently armed
+
+    // ---- read side ----
+    std::string in;                 //!< unparsed request bytes
+    std::size_t inOff = 0;          //!< parse cursor into `in`
+    std::deque<HttpRequest> parsed; //!< pipelined, awaiting dispatch
+    bool peerEof = false;
+
+    // ---- compute side ----
+    bool computing = false;         //!< one request at a worker
+    bool curKeepAlive = true;       //!< keep-alive of the request in flight
+
+    // ---- write side (corked burst + optional large body) ----
+    std::string head;               //!< reused burst buffer: heads and
+                                    //!< small bodies, write order
+    std::string body;               //!< one large body, always last
+    std::size_t headSent = 0;
+    std::size_t bodySent = 0;
+    bool writing = false;
+    bool closeAfterWrite = false;
+
+    // ---- deferred protocol error (pipelining keeps order) ----
+    int pendingErrorStatus = 0;
+    std::string pendingErrorMessage;
+
+    // ---- clocks (ms, steady) ----
+    std::uint64_t idleSinceMs = 0;
+    std::uint64_t firstByteMs = 0;  //!< first byte of an incomplete request
+    bool headDone = false;          //!< that request's head is complete
+    std::uint64_t writeStartMs = 0;
+
+    bool busy() const { return computing || writing; }
+};
+
 HttpServer::HttpServer(ServeOptions options, HttpHandler handler)
     : options_(options), handler_(std::move(handler))
 {
@@ -60,6 +150,8 @@ HttpServer::HttpServer(ServeOptions options, HttpHandler handler)
         options_.workers = 1;
     if (options_.queueDepth == 0)
         options_.queueDepth = 1;
+    if (options_.maxPipeline == 0)
+        options_.maxPipeline = 1;
 }
 
 HttpServer::~HttpServer()
@@ -73,7 +165,8 @@ HttpServer::start()
     if (running_.load())
         return;
 
-    listenFd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    listenFd_ = socket(AF_INET,
+                       SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
     if (listenFd_ < 0)
         throw ServeError(0, std::string("socket: ") +
                                 std::strerror(errno));
@@ -94,7 +187,7 @@ HttpServer::start()
         listenFd_ = -1;
         throw ServeError(0, what);
     }
-    if (listen(listenFd_, int(options_.queueDepth) + 16) < 0) {
+    if (listen(listenFd_, 256) < 0) {
         const std::string what =
             std::string("listen: ") + std::strerror(errno);
         close(listenFd_);
@@ -109,9 +202,33 @@ HttpServer::start()
                     &len) == 0)
         boundPort_ = ntohs(addr.sin_port);
 
+    epollFd_ = epoll_create1(EPOLL_CLOEXEC);
+    wakeFd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (epollFd_ < 0 || wakeFd_ < 0) {
+        const std::string what = std::string("epoll/eventfd: ") +
+            std::strerror(errno);
+        close(listenFd_);
+        listenFd_ = -1;
+        if (epollFd_ >= 0)
+            close(epollFd_);
+        epollFd_ = -1;
+        if (wakeFd_ >= 0)
+            close(wakeFd_);
+        wakeFd_ = -1;
+        throw ServeError(0, what);
+    }
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd_;
+    epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+    listenArmed_ = true;
+    ev.data.fd = wakeFd_;
+    epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+
     stopping_.store(false);
     running_.store(true);
-    acceptThread_ = std::thread(&HttpServer::acceptLoop, this);
+    reactorThread_ = std::thread(&HttpServer::reactorLoop, this);
     {
         std::lock_guard<std::mutex> lock(workersMutex_);
         workers_.reserve(options_.workers);
@@ -126,14 +243,16 @@ HttpServer::stop()
     if (!running_.load())
         return;
     stopping_.store(true);
-    queueCv_.notify_all();
-    if (acceptThread_.joinable())
-        acceptThread_.join();
-    // Workers drain the queue, then observe stopping_ and exit.
+    // Wake the reactor so it begins the drain immediately.
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wakeFd_, &one, sizeof(one));
+    if (reactorThread_.joinable())
+        reactorThread_.join();
+    // Workers drain the task queue, then observe stopping_ and exit.
     // Join in swap-batches: a dying worker may still be appending
     // its replacement to workers_, so keep draining until the vector
     // stays empty (respawns stop once stopping_ is observed).
-    queueCv_.notify_all();
+    taskCv_.notify_all();
     for (;;) {
         std::vector<std::thread> batch;
         {
@@ -142,14 +261,36 @@ HttpServer::stop()
         }
         if (batch.empty())
             break;
-        queueCv_.notify_all();
+        taskCv_.notify_all();
         for (std::thread &w : batch)
             if (w.joinable())
                 w.join();
     }
+    // The reactor closed every connection (and usually the listener)
+    // during the drain; release whatever remains.
+    for (std::unique_ptr<Conn> &conn : conns_)
+        if (conn != nullptr)
+            close(conn->fd);
+    conns_.clear();
     if (listenFd_ >= 0) {
         close(listenFd_);
         listenFd_ = -1;
+    }
+    if (epollFd_ >= 0) {
+        close(epollFd_);
+        epollFd_ = -1;
+    }
+    if (wakeFd_ >= 0) {
+        close(wakeFd_);
+        wakeFd_ = -1;
+    }
+    {
+        std::lock_guard<std::mutex> lock(taskMutex_);
+        tasks_.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        completions_.clear();
     }
     running_.store(false);
 }
@@ -158,122 +299,692 @@ ServerStats
 HttpServer::stats() const
 {
     ServerStats out;
-    {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        out = stats_;
-    }
-    {
-        std::lock_guard<std::mutex> lock(queueMutex_);
-        out.queueDepth = pending_.size();
-    }
+    out.accepted = stats_.accepted.load(std::memory_order_relaxed);
+    out.rejected = stats_.rejected.load(std::memory_order_relaxed);
+    out.requests = stats_.requests.load(std::memory_order_relaxed);
+    out.pipelined = stats_.pipelined.load(std::memory_order_relaxed);
+    out.fastpath = stats_.fastpath.load(std::memory_order_relaxed);
+    out.queueDepth = stats_.queued.load(std::memory_order_relaxed);
+    out.inFlight = stats_.inFlight.load(std::memory_order_relaxed);
+    out.connections =
+        stats_.connections.load(std::memory_order_relaxed);
+    out.workerDeaths =
+        stats_.workerDeaths.load(std::memory_order_relaxed);
     return out;
-}
-
-void
-HttpServer::acceptLoop()
-{
-    while (!stopping_.load()) {
-        struct pollfd pfd = { listenFd_, POLLIN, 0 };
-        const int ready = poll(&pfd, 1, 100);
-        if (ready < 0) {
-            if (errno == EINTR)
-                continue;
-            break;
-        }
-        if (ready == 0)
-            continue;
-
-        const int fd = accept4(listenFd_, nullptr, nullptr,
-                               SOCK_CLOEXEC);
-        if (fd < 0) {
-            if (errno == EINTR || errno == EAGAIN ||
-                errno == ECONNABORTED)
-                continue;
-            break;
-        }
-        const int one = 1;
-        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-        bool admitted = false;
-        {
-            std::lock_guard<std::mutex> lock(queueMutex_);
-            if (pending_.size() < options_.queueDepth) {
-                pending_.push_back(fd);
-                admitted = true;
-            }
-        }
-        {
-            std::lock_guard<std::mutex> lock(statsMutex_);
-            if (admitted) {
-                ++stats_.accepted;
-            } else {
-                ++stats_.rejected;
-            }
-        }
-        if (admitted) {
-            queueCv_.notify_one();
-        } else {
-            // Overload path runs on the accept thread so the client
-            // learns about it within one round trip.  The write gets
-            // a short budget of its own: a rejected client that does
-            // not read must not stall admission for everyone else.
-            HttpResponse busy =
-                jsonErrorResponse(429, "server overloaded, retry");
-            busy.headers["Retry-After"] =
-                std::to_string(retryAfterSeconds());
-            writeAll(fd, busy.serialize(false), kRejectWriteBudgetMs);
-            close(fd);
-        }
-    }
 }
 
 unsigned
 HttpServer::retryAfterSeconds() const
 {
-    std::uint64_t backlog = 0;
-    {
-        std::lock_guard<std::mutex> lock(queueMutex_);
-        backlog += pending_.size();
-    }
-    {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        backlog += stats_.inFlight;
-    }
+    const std::uint64_t backlog =
+        stats_.queued.load(std::memory_order_relaxed) +
+        stats_.inFlight.load(std::memory_order_relaxed);
     const std::uint64_t seconds =
         1 + backlog / std::max(1u, options_.workers);
     return unsigned(std::min<std::uint64_t>(seconds, 60));
 }
 
+// --------------------------------------------------------- reactor
+
+void
+HttpServer::reactorLoop()
+{
+    bool draining = false;
+    lastClockScanMs_ = nowMs();
+    struct epoll_event events[64];
+
+    for (;;) {
+        if (stopping_.load() && !draining) {
+            beginDrain();
+            draining = true;
+        }
+        if (draining) {
+            // Exit once every connection has flushed and closed.
+            bool anyConn = false;
+            for (const std::unique_ptr<Conn> &conn : conns_)
+                if (conn != nullptr) {
+                    anyConn = true;
+                    break;
+                }
+            if (!anyConn)
+                return;
+        }
+
+        const int ready =
+            epoll_wait(epollFd_, events, 64, int(kClockScanMs));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return;     // epoll fd gone: shutting down
+        }
+        for (int i = 0; i < ready; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == wakeFd_) {
+                std::uint64_t drainCount = 0;
+                while (read(wakeFd_, &drainCount,
+                            sizeof(drainCount)) > 0) {
+                }
+                continue;   // completions applied below
+            }
+            if (fd == listenFd_) {
+                acceptReady();
+                continue;
+            }
+            Conn *conn = std::size_t(fd) < conns_.size()
+                             ? conns_[std::size_t(fd)].get()
+                             : nullptr;
+            if (conn == nullptr)
+                continue;   // closed earlier this same batch
+            if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+                // Peer reset.  A half-closed peer that still reads
+                // is EPOLLIN/recv==0, not HUP, so closing here is
+                // safe.
+                closeConn(*conn);
+                continue;
+            }
+            if (events[i].events & EPOLLIN)
+                connReadable(*conn);
+            conn = std::size_t(fd) < conns_.size()
+                       ? conns_[std::size_t(fd)].get()
+                       : nullptr;
+            if (conn != nullptr && (events[i].events & EPOLLOUT))
+                connWritable(*conn);
+        }
+
+        applyCompletions();
+
+        const std::uint64_t now = nowMs();
+        if (now - lastClockScanMs_ >= kClockScanMs) {
+            lastClockScanMs_ = now;
+            scanClocks();
+        }
+    }
+}
+
+void
+HttpServer::acceptReady()
+{
+    for (;;) {
+        const int fd = accept4(listenFd_, nullptr, nullptr,
+                               SOCK_CLOEXEC | SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            if (errno == EMFILE || errno == ENFILE) {
+                // Out of fds: mute the listener briefly instead of
+                // spinning on a level-triggered event we cannot
+                // satisfy.  scanClocks() re-arms it.
+                epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_,
+                          nullptr);
+                listenArmed_ = false;
+            }
+            return;     // EAGAIN and friends: drained the backlog
+        }
+        const int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        if (std::size_t(fd) >= conns_.size())
+            conns_.resize(std::size_t(fd) + 1);
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->gen = nextGen_++;
+        conn->events = EPOLLIN;
+        conn->idleSinceMs = nowMs();
+        struct epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
+        conns_[std::size_t(fd)] = std::move(conn);
+        stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+        stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+HttpServer::wantWrite(Conn &conn, bool enable)
+{
+    const std::uint32_t events =
+        (conn.events & ~std::uint32_t(EPOLLOUT)) |
+        (enable ? std::uint32_t(EPOLLOUT) : 0u);
+    if (events == conn.events)
+        return;
+    conn.events = events;
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = events;
+    ev.data.fd = conn.fd;
+    epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void
+HttpServer::connReadable(Conn &conn)
+{
+    // Backpressure: a client that pipelines past maxPipeline is not
+    // read further until the backlog drains — its bytes stay in the
+    // kernel buffer and TCP flow control pushes back.
+    if (conn.parsed.size() >= options_.maxPipeline)
+        return;
+
+    char chunk[16384];
+    for (;;) {
+        std::size_t cap = sizeof(chunk);
+        if (faultAt("http.read")) {
+            if (faultMode("http.read") == "fail") {
+                closeConn(conn);
+                return;
+            }
+            cap = 1;    // "short" (and the default mode)
+        }
+        const ssize_t got = recv(conn.fd, chunk, cap, 0);
+        if (got > 0) {
+            if (conn.in.empty() && conn.inOff == 0 &&
+                conn.firstByteMs == 0)
+                conn.firstByteMs = nowMs();
+            conn.in.append(chunk, std::size_t(got));
+            if (conn.in.size() - conn.inOff >
+                options_.maxBodyBytes + (32u << 10))
+                break;  // one request can never need more; parse now
+            continue;
+        }
+        if (got == 0) {
+            conn.peerEof = true;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        closeConn(conn);
+        return;
+    }
+
+    const int fd = conn.fd;
+    const std::uint64_t gen = conn.gen;
+    parseAndDispatch(conn);     // may close (and free) the connection
+
+    // EOF: whatever could be answered is in flight; anything less
+    // than a full request can never complete now.
+    Conn *live = liveConn(fd, gen);
+    if (live != nullptr && live->peerEof && !live->busy() &&
+        live->parsed.empty() && live->pendingErrorStatus == 0)
+        closeConn(*live);
+}
+
+void
+HttpServer::parseAndDispatch(Conn &conn)
+{
+    // Parse EVERY complete request already buffered (bounded by
+    // maxPipeline) — this loop is the pipelining fast path: a batch
+    // of N requests arriving in one TCP segment costs one read
+    // syscall and N handler dispatches.
+    while (conn.parsed.size() < options_.maxPipeline &&
+           conn.pendingErrorStatus == 0) {
+        if (conn.inOff >= conn.in.size())
+            break;
+        HttpRequest request;
+        std::size_t consumed = 0;
+        std::string error;
+        bool headDone = false;
+        const ExtractStatus st = extractRequest(
+            conn.in, conn.inOff, options_.maxBodyBytes, &request,
+            &consumed, &error, &headDone);
+        if (st == ExtractStatus::kOk) {
+            conn.inOff += consumed;
+            conn.firstByteMs = 0;
+            conn.headDone = false;
+            stats_.requests.fetch_add(1, std::memory_order_relaxed);
+            if (conn.busy() || !conn.parsed.empty())
+                stats_.pipelined.fetch_add(
+                    1, std::memory_order_relaxed);
+            conn.parsed.push_back(std::move(request));
+            continue;
+        }
+        if (st == ExtractStatus::kNeedMore) {
+            if (conn.firstByteMs == 0)
+                conn.firstByteMs = nowMs();
+            conn.headDone = headDone;
+            break;
+        }
+        // Protocol failure: the stream is desynchronized beyond this
+        // point.  Answer in order — queue the error response behind
+        // any already-parsed requests — then close.
+        if (st == ExtractStatus::kMalformed) {
+            conn.pendingErrorStatus = 400;
+            conn.pendingErrorMessage =
+                error.empty() ? "malformed request" : error;
+        } else {    // kTooLarge
+            conn.pendingErrorStatus = 413;
+            conn.pendingErrorMessage = "request body exceeds " +
+                std::to_string(options_.maxBodyBytes) + " bytes";
+        }
+        conn.inOff = conn.in.size();    // stop reading this stream
+        break;
+    }
+
+    // Compact: drop the consumed prefix without shifting bytes on
+    // every request (amortized, keeps capacity for reuse).
+    if (conn.inOff >= conn.in.size()) {
+        conn.in.clear();
+        conn.inOff = 0;
+    } else if (conn.inOff > (64u << 10)) {
+        conn.in.erase(0, conn.inOff);
+        conn.inOff = 0;
+    }
+
+    // Dispatch strictly serially per connection: responses come back
+    // in request order by construction.  Fast-path and admission
+    // answers cork into the write buffer and keep the loop going, so
+    // a burst of ready answers costs ONE flush below; the loop stops
+    // at the first request that needs a worker (compute serializes),
+    // at a pending large body (write order: a big body is always the
+    // last segment of a burst), or at a response that closes.
+    while (!conn.computing && conn.body.empty() &&
+           !conn.closeAfterWrite && !conn.parsed.empty()) {
+        HttpRequest request = std::move(conn.parsed.front());
+        conn.parsed.pop_front();
+        dispatch(conn, std::move(request));
+    }
+    if (!conn.computing && conn.body.empty() &&
+        !conn.closeAfterWrite && conn.parsed.empty() &&
+        conn.pendingErrorStatus != 0) {
+        const int status = conn.pendingErrorStatus;
+        conn.pendingErrorStatus = 0;
+        conn.closeAfterWrite = true;
+        beginResponse(
+            conn, jsonErrorResponse(status, conn.pendingErrorMessage),
+            false);
+    }
+    if (conn.writing) {
+        // One gathered writev for the whole corked burst.  May close
+        // the connection (write error, closeAfterWrite) — `conn` must
+        // not be touched afterwards.
+        flushWrites(conn);
+        return;
+    }
+    if (!conn.busy() && conn.parsed.empty() &&
+        conn.pendingErrorStatus == 0 && conn.in.empty())
+        conn.idleSinceMs = nowMs();
+}
+
+void
+HttpServer::dispatch(Conn &conn, HttpRequest request)
+{
+    conn.curKeepAlive = request.keepAlive();
+
+    // Per-request deadline: the default, lowered (never raised) by
+    // an X-Deadline-Ms header.
+    unsigned budgetMs = options_.deadlineMs;
+    const std::string deadlineHeader =
+        request.header("x-deadline-ms");
+    if (!deadlineHeader.empty()) {
+        char *end = nullptr;
+        const unsigned long parsed =
+            std::strtoul(deadlineHeader.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && parsed < budgetMs)
+            budgetMs = unsigned(parsed);
+    }
+
+    // Reactor fast path: no-compute answers (cache hits, liveness)
+    // skip the worker pool entirely.  Tried before admission — a
+    // compute backlog is no reason to turn away a request that never
+    // needed a worker.  An expired deadline (budget 0) still goes to
+    // a worker so the 503 has one owner.
+    if (fastHandler_ && budgetMs > 0) {
+        HttpResponse fast;
+        if (fastHandler_(request, &fast)) {
+            stats_.fastpath.fetch_add(1, std::memory_order_relaxed);
+            beginResponse(conn, fast, conn.curKeepAlive);
+            return;
+        }
+    }
+
+    // Admission control at the dispatch edge: a full compute queue
+    // answers 429 from the reactor within one round trip, and the
+    // connection survives to honor Retry-After.
+    std::size_t backlog;
+    {
+        std::lock_guard<std::mutex> lock(taskMutex_);
+        backlog = tasks_.size();
+    }
+    if (backlog >= options_.queueDepth) {
+        stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse busy =
+            jsonErrorResponse(429, "server overloaded, retry");
+        busy.headers["Retry-After"] =
+            std::to_string(retryAfterSeconds());
+        beginResponse(conn, std::move(busy), conn.curKeepAlive);
+        return;
+    }
+
+    conn.computing = true;
+    Task task;
+    task.fd = conn.fd;
+    task.gen = conn.gen;
+    task.request = std::move(request);
+    task.budgetMs = budgetMs;
+    {
+        std::lock_guard<std::mutex> lock(taskMutex_);
+        tasks_.push_back(std::move(task));
+    }
+    stats_.queued.fetch_add(1, std::memory_order_relaxed);
+    taskCv_.notify_one();
+}
+
+void
+HttpServer::beginResponse(Conn &conn, const HttpResponse &response,
+                          bool keepAlive)
+{
+    // Cork, don't send: the response is serialized BEHIND any not-yet
+    // flushed responses of the same pipelined burst, and the caller
+    // flushes the whole burst in one gathered writev when no more
+    // answers are ready.  Precondition: conn.body is empty — every
+    // dispatch gate stops once a large body is pending, so a burst is
+    // [small]*[large?] and write order always equals request order.
+    const bool keep =
+        keepAlive && !conn.closeAfterWrite && !stopping_.load();
+    if (!keep)
+        conn.closeAfterWrite = true;
+    if (!conn.writing) {
+        conn.head.clear();
+        conn.headSent = 0;
+        conn.writing = true;
+        conn.writeStartMs = nowMs();
+    }
+    response.serializeHead(keep, &conn.head);
+    // The body is moved, not copied: beginResponse's const ref binds
+    // to a response the reactor owns, so stealing is safe.
+    std::string &body = const_cast<HttpResponse &>(response).body;
+    if (body.size() <= kInlineBodyBytes) {
+        conn.head += body;
+    } else {
+        conn.body = std::move(body);
+        conn.bodySent = 0;
+    }
+}
+
+void
+HttpServer::flushWrites(Conn &conn)
+{
+    while (conn.writing) {
+        struct iovec iov[2];
+        int iovCount = 0;
+        std::size_t headLeft = conn.head.size() - conn.headSent;
+        std::size_t bodyLeft = conn.body.size() - conn.bodySent;
+        if (headLeft > 0) {
+            iov[iovCount].iov_base = &conn.head[conn.headSent];
+            iov[iovCount].iov_len = headLeft;
+            ++iovCount;
+        }
+        if (bodyLeft > 0) {
+            iov[iovCount].iov_base = &conn.body[conn.bodySent];
+            iov[iovCount].iov_len = bodyLeft;
+            ++iovCount;
+        }
+        if (iovCount == 0) {
+            // Burst fully written: the connection goes back to
+            // reading (or closes).  clear() keeps the buffers'
+            // capacity for the next burst.
+            conn.writing = false;
+            conn.head.clear();
+            conn.headSent = 0;
+            conn.body.clear();
+            conn.bodySent = 0;
+            wantWrite(conn, false);
+            if (conn.closeAfterWrite) {
+                closeConn(conn);
+                return;
+            }
+            // Pipelined successor requests may already be parsed —
+            // keep the connection moving without another epoll trip.
+            const int fd = conn.fd;
+            const std::uint64_t gen = conn.gen;
+            parseAndDispatch(conn);     // may close (and free) `conn`
+            Conn *live = liveConn(fd, gen);
+            if (live != nullptr && live->peerEof && !live->busy() &&
+                live->parsed.empty() &&
+                live->pendingErrorStatus == 0)
+                closeConn(*live);
+            return;
+        }
+
+        if (faultAt("http.write")) {
+            if (faultMode("http.write") == "fail") {
+                closeConn(conn);
+                return;
+            }
+            // "short": deliver one byte per writev, exercising every
+            // partial-write resumption path.
+            iov[0].iov_len = 1;
+            iovCount = 1;
+        }
+        const ssize_t n = writev(conn.fd, iov, iovCount);
+        if (n >= 0) {
+            std::size_t advanced = std::size_t(n);
+            const std::size_t headTake =
+                std::min(advanced, headLeft);
+            conn.headSent += headTake;
+            advanced -= headTake;
+            conn.bodySent += advanced;
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            // Peer not draining: park the write on EPOLLOUT under
+            // the write-budget clock instead of blocking anything.
+            wantWrite(conn, true);
+            return;
+        }
+        closeConn(conn);    // EPIPE/ECONNRESET and friends
+        return;
+    }
+}
+
+void
+HttpServer::connWritable(Conn &conn)
+{
+    if (conn.writing)
+        flushWrites(conn);
+    else
+        wantWrite(conn, false);
+}
+
+void
+HttpServer::applyCompletions()
+{
+    std::vector<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        batch.swap(completions_);
+    }
+    for (Completion &done : batch) {
+        Conn *conn = std::size_t(done.fd) < conns_.size()
+                         ? conns_[std::size_t(done.fd)].get()
+                         : nullptr;
+        if (conn == nullptr || conn->gen != done.gen)
+            continue;   // connection died while computing
+        conn->computing = false;
+        if (done.killConn) {
+            closeConn(*conn);
+            continue;
+        }
+        beginResponse(*conn, done.response, conn->curKeepAlive);
+        // Pipelined successors may be ready (and may answer inline);
+        // parseAndDispatch corks them behind this response and
+        // flushes the burst.  May close the connection.
+        parseAndDispatch(*conn);
+    }
+}
+
+void
+HttpServer::scanClocks()
+{
+    const std::uint64_t now = nowMs();
+
+    if (!listenArmed_ && listenFd_ >= 0 && !stopping_.load()) {
+        struct epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = EPOLLIN;
+        ev.data.fd = listenFd_;
+        if (epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev) == 0)
+            listenArmed_ = true;
+    }
+
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+        Conn *conn = conns_[i].get();
+        if (conn == nullptr)
+            continue;
+        if (conn->writing) {
+            if (options_.writeTimeoutMs != 0 &&
+                now - conn->writeStartMs >= options_.writeTimeoutMs)
+                closeConn(*conn);   // slow reader: budget exhausted
+            continue;
+        }
+        if (conn->computing)
+            continue;   // the worker owns this request's clock
+        if (conn->firstByteMs != 0) {
+            // Mid-request: the header clock (anti-slowloris) binds
+            // until the head terminates, then the request budget
+            // bounds the body read.
+            std::uint64_t budget = options_.deadlineMs;
+            if (!conn->headDone && options_.headerTimeoutMs != 0)
+                budget = std::min<std::uint64_t>(
+                    budget, options_.headerTimeoutMs);
+            if (now - conn->firstByteMs >= budget) {
+                conn->closeAfterWrite = true;
+                beginResponse(
+                    *conn,
+                    jsonErrorResponse(408, "request read timed out"),
+                    false);
+                flushWrites(*conn);     // may close the connection
+            }
+            continue;
+        }
+        if (!conn->parsed.empty() || conn->pendingErrorStatus != 0)
+            continue;   // waiting on its turn, not idle
+        if (now - conn->idleSinceMs >= options_.idleTimeoutMs)
+            closeConn(*conn);   // parked keep-alive: quiet goodbye
+    }
+}
+
+void
+HttpServer::beginDrain()
+{
+    // Stop accepting.
+    if (listenFd_ >= 0) {
+        if (listenArmed_)
+            epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+        listenArmed_ = false;
+        close(listenFd_);
+        listenFd_ = -1;
+    }
+    // Finish what is in flight, drop what is merely parked: an idle
+    // keep-alive connection or an undispatched pipelined request was
+    // never acknowledged, so closing is honest.
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+        Conn *conn = conns_[i].get();
+        if (conn == nullptr)
+            continue;
+        conn->parsed.clear();
+        conn->pendingErrorStatus = 0;
+        if (conn->busy())
+            conn->closeAfterWrite = true;
+        else
+            closeConn(*conn);
+    }
+}
+
+void
+HttpServer::closeConn(Conn &conn)
+{
+    const int fd = conn.fd;
+    epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+    close(fd);
+    stats_.connections.fetch_sub(1, std::memory_order_relaxed);
+    conns_[std::size_t(fd)].reset();    // `conn` is dead past here
+}
+
+HttpServer::Conn *
+HttpServer::liveConn(int fd, std::uint64_t gen)
+{
+    if (fd < 0 || std::size_t(fd) >= conns_.size())
+        return nullptr;
+    Conn *conn = conns_[std::size_t(fd)].get();
+    if (conn == nullptr || conn->gen != gen)
+        return nullptr;
+    return conn;
+}
+
+// --------------------------------------------------------- workers
+
 void
 HttpServer::workerLoop()
 {
     for (;;) {
-        int fd = -1;
+        Task task;
         {
-            std::unique_lock<std::mutex> lock(queueMutex_);
-            queueCv_.wait(lock, [&] {
-                return stopping_.load() || !pending_.empty();
+            std::unique_lock<std::mutex> lock(taskMutex_);
+            taskCv_.wait(lock, [&] {
+                return stopping_.load() || !tasks_.empty();
             });
-            if (pending_.empty()) {
+            if (tasks_.empty()) {
                 if (stopping_.load())
                     return;
                 continue;
             }
-            fd = pending_.front();
-            pending_.pop_front();
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
         }
+        stats_.queued.fetch_sub(1, std::memory_order_relaxed);
+        stats_.inFlight.fetch_add(1, std::memory_order_relaxed);
+
+        Completion done;
+        done.fd = task.fd;
+        done.gen = task.gen;
         try {
-            serveConnection(fd);
+            if (faultAt("worker.die"))
+                throw WorkerDeathFault{};
+            if (faultAt("worker.overrun")) {
+                // Injected deadline overrun: burn (a capped slice
+                // of) the budget, then answer as an expired request
+                // would.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        std::min(task.budgetMs, 200u)));
+                done.response = jsonErrorResponse(
+                    503, "deadline exceeded (injected overrun)");
+            } else if (task.budgetMs == 0) {
+                done.response = jsonErrorResponse(
+                    503, "deadline expired before processing");
+            } else {
+                try {
+                    done.response =
+                        handler_(task.request, task.budgetMs);
+                } catch (const ServeError &e) {
+                    done.response = jsonErrorResponse(
+                        e.httpStatus() > 0 ? e.httpStatus() : 500,
+                        e.what());
+                } catch (const std::exception &e) {
+                    done.response = jsonErrorResponse(500, e.what());
+                }
+            }
         } catch (const WorkerDeathFault &) {
             // Injected worker death: drop the connection, count it,
             // and spawn a replacement so the pool self-heals at its
             // configured size.  This thread then exits; stop() joins
             // its (finished) handle from the workers_ vector.
-            close(fd);
+            stats_.inFlight.fetch_sub(1, std::memory_order_relaxed);
+            stats_.workerDeaths.fetch_add(1,
+                                          std::memory_order_relaxed);
+            done.killConn = true;
             {
-                std::lock_guard<std::mutex> lock(statsMutex_);
-                ++stats_.workerDeaths;
+                std::lock_guard<std::mutex> lock(completionMutex_);
+                completions_.push_back(std::move(done));
             }
+            const std::uint64_t one = 1;
+            [[maybe_unused]] ssize_t n =
+                write(wakeFd_, &one, sizeof(one));
             {
                 std::lock_guard<std::mutex> lock(workersMutex_);
                 if (!stopping_.load())
@@ -282,110 +993,14 @@ HttpServer::workerLoop()
             }
             return;
         }
-        close(fd);
-    }
-}
-
-void
-HttpServer::serveConnection(int fd)
-{
-    if (faultAt("worker.die"))
-        throw WorkerDeathFault{};
-
-    // Keep-alive loop: one iteration per request on this connection.
-    for (;;) {
-        HttpRequest request;
-        std::string parseError;
-        const ReadOutcome outcome = readHttpRequest(
-            fd, &request, options_.deadlineMs, options_.idleTimeoutMs,
-            options_.headerTimeoutMs, options_.maxBodyBytes,
-            &parseError);
-
-        switch (outcome) {
-          case ReadOutcome::kOk:
-            break;
-          case ReadOutcome::kClosed:
-            return;
-          case ReadOutcome::kMalformed:
-            writeAll(fd, jsonErrorResponse(400, parseError.empty()
-                                                    ? "malformed request"
-                                                    : parseError)
-                             .serialize(false),
-                     options_.writeTimeoutMs);
-            return;
-          case ReadOutcome::kTooLarge:
-            writeAll(fd, jsonErrorResponse(
-                             413, "request body exceeds " +
-                                      std::to_string(
-                                          options_.maxBodyBytes) +
-                                      " bytes")
-                             .serialize(false),
-                     options_.writeTimeoutMs);
-            return;
-          case ReadOutcome::kTimeout:
-            writeAll(fd,
-                     jsonErrorResponse(408, "request read timed out")
-                         .serialize(false),
-                     options_.writeTimeoutMs);
-            return;
-          case ReadOutcome::kError:
-            return;
-        }
-
+        stats_.inFlight.fetch_sub(1, std::memory_order_relaxed);
         {
-            std::lock_guard<std::mutex> lock(statsMutex_);
-            ++stats_.requests;
-            ++stats_.inFlight;
+            std::lock_guard<std::mutex> lock(completionMutex_);
+            completions_.push_back(std::move(done));
         }
-
-        // Per-request deadline: the default, lowered (never raised)
-        // by an X-Deadline-Ms header.
-        unsigned budgetMs = options_.deadlineMs;
-        const std::string deadlineHeader =
-            request.header("x-deadline-ms");
-        if (!deadlineHeader.empty()) {
-            char *end = nullptr;
-            const unsigned long parsed =
-                std::strtoul(deadlineHeader.c_str(), &end, 10);
-            if (end != nullptr && *end == '\0' && parsed < budgetMs)
-                budgetMs = unsigned(parsed);
-        }
-
-        HttpResponse response;
-        if (faultAt("worker.overrun")) {
-            // Injected deadline overrun: burn (a capped slice of) the
-            // budget, then answer as an expired request would.
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                std::min(budgetMs, 200u)));
-            response = jsonErrorResponse(
-                503, "deadline exceeded (injected overrun)");
-        } else if (budgetMs == 0) {
-            response = jsonErrorResponse(
-                503, "deadline expired before processing");
-        } else {
-            try {
-                response = handler_(request, budgetMs);
-            } catch (const ServeError &e) {
-                response = jsonErrorResponse(
-                    e.httpStatus() > 0 ? e.httpStatus() : 500,
-                    e.what());
-            } catch (const std::exception &e) {
-                response = jsonErrorResponse(500, e.what());
-            }
-        }
-
-        {
-            std::lock_guard<std::mutex> lock(statsMutex_);
-            --stats_.inFlight;
-        }
-
-        // During a drain, finish this request but no more.
-        const bool keep = request.keepAlive() && !stopping_.load();
-        if (!writeAll(fd, response.serialize(keep),
-                      options_.writeTimeoutMs))
-            return;
-        if (!keep)
-            return;
+        const std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            write(wakeFd_, &one, sizeof(one));
     }
 }
 

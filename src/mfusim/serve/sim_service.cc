@@ -181,6 +181,102 @@ SimService::handle(const HttpRequest &request, unsigned budgetMs)
     return response;
 }
 
+SimService::FastCell *
+SimService::findFastCell(const std::string &body)
+{
+    // Bound the memo: distinct bodies in real traffic are the points
+    // of a parameter grid, far below this.  A scanner spraying unique
+    // bodies just stops being memoized (and keeps paying the worker
+    // path for misses), it cannot grow the map without limit.
+    constexpr std::size_t kMaxCells = 4096;
+
+    const auto it = fastCells_.find(body);
+    if (it != fastCells_.end())
+        return it->second.usable ? &it->second : nullptr;
+    if (fastCells_.size() >= kMaxCells)
+        return nullptr;
+
+    FastCell cell;
+    try {
+        const Json request = parseJson(body);
+        if (request.isObject()) {
+            cell.loopSpec = loopSpecOf(requireMember(request, "loop"));
+            cell.traceKey = "LL" + cell.loopSpec;
+            cell.machineSpec =
+                requireMember(request, "machine").asString();
+            const Json *cfgField = request.find("config");
+            cell.cfg = parseConfigSpec(
+                cfgField != nullptr ? cfgField->asString() : "M11BR5");
+            const Json *auditField = request.find("audit");
+            cell.audited =
+                (auditField != nullptr && auditField->asBool()) ||
+                auditRequested();
+            auto sim = parseMachineSpec(cell.machineSpec, cell.cfg);
+            cell.simName = sim->name();
+            cell.machineKey = sim->cacheKey();
+            // An empty cacheKey means the cell is never cached, so
+            // the fast path can never serve it.
+            cell.usable = !cell.machineKey.empty();
+        }
+    } catch (...) {
+        // Unparseable body / bad spec: a negative entry — the worker
+        // path owns the canonical error response.
+        cell = FastCell{};
+    }
+    FastCell &stored = fastCells_.emplace(body, std::move(cell))
+                           .first->second;
+    return stored.usable ? &stored : nullptr;
+}
+
+bool
+SimService::tryFastAnswer(const HttpRequest &request,
+                          HttpResponse *response)
+{
+    // Fault plans (tests, chaos harness) reason about worker-path
+    // behavior; keep every request on it while faults are armed.
+    if (FaultRegistry::instance().armed())
+        return false;
+    const double start = nowMsF();
+    if (request.path == "/healthz") {
+        if (request.method != "GET" && request.method != "HEAD")
+            return false;
+        *response = handleHealthz();
+        record("/healthz", response->status, nowMsF() - start);
+        return true;
+    }
+    if (request.path != "/v1/simulate" || request.method != "POST")
+        return false;
+
+    FastCell *cell = findFastCell(request.body);
+    if (cell == nullptr)
+        return false;
+    // Once the response is memoized the probe only needs the hit
+    // itself (still counted), not a copy of the result.
+    SimResult result;
+    const bool needResult = cell->rendered.empty();
+    if (!ResultCache::instance().probeHit(
+            cell->machineKey, cell->traceKey, cell->cfg,
+            cell->audited, needResult ? &result : nullptr))
+        return false;   // miss: a worker computes (and counts) it
+    if (needResult) {
+        // First hit for this body: render once, reuse forever.  The
+        // cached SimResult is deterministic, so the rendering is too.
+        CellOutcome out;
+        out.result = result;
+        out.simName = cell->simName;
+        out.cached = true;
+        out.audited = cell->audited;
+        cell->rendered = cellJson(cell->loopSpec, cell->machineSpec,
+                                  cell->cfg, out)
+                             .dump() +
+            "\n";
+    }
+    *response =
+        HttpResponse(200, "application/json", cell->rendered);
+    record("/v1/simulate", 200, nowMsF() - start);
+    return true;
+}
+
 HttpResponse
 SimService::dispatch(const HttpRequest &request, unsigned budgetMs)
 {
@@ -405,6 +501,12 @@ SimService::handleMetrics()
             .add(stats.rejected);
         snapshot.counter("http.connections.requests")
             .add(stats.requests);
+        snapshot.counter("http.requests.pipelined")
+            .add(stats.pipelined);
+        snapshot.counter("http.requests.fastpath")
+            .add(stats.fastpath);
+        snapshot.gauge("http.connections.open")
+            .set(double(stats.connections));
         snapshot.gauge("http.queue_depth")
             .set(double(stats.queueDepth));
         snapshot.gauge("http.in_flight").set(double(stats.inFlight));

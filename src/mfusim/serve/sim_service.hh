@@ -26,7 +26,9 @@
 #include <cstddef>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
+#include "mfusim/core/machine_config.hh"
 #include "mfusim/obs/metrics.hh"
 #include "mfusim/serve/server.hh"
 
@@ -56,6 +58,26 @@ class SimService
     HttpResponse handle(const HttpRequest &request, unsigned budgetMs);
 
     /**
+     * The HttpFastHandler entry point: answer @p request inline when
+     * it needs no compute — GET/HEAD /healthz, and POST /v1/simulate
+     * requests whose cell is already in the ResultCache.  Returns
+     * false (leaving @p response untouched) for everything else; the
+     * worker-pool handle() path then produces the canonical answer,
+     * including all error responses.
+     *
+     * Answers are bit-identical to the handle() path: the rendered
+     * response of a cache hit is a pure function of the request body
+     * and the (deterministic) cached SimResult, so it is memoized
+     * per distinct body alongside the parsed request fields.
+     *
+     * Runs ONLY on the reactor thread (the memo is unsynchronized by
+     * design); disabled while fault injection is armed so fault plans
+     * keep their worker-path semantics.
+     */
+    bool tryFastAnswer(const HttpRequest &request,
+                       HttpResponse *response);
+
+    /**
      * Attach the transport so /metrics can export its accepted /
      * rejected / queue-depth stats.  Call before start(); may be
      * null (stats are simply absent).
@@ -74,8 +96,37 @@ class SimService
     void record(const std::string &endpoint, int status,
                 double elapsedMs);
 
+    /**
+     * Parsed-request memo for the reactor fast path, keyed by the
+     * raw /v1/simulate body.  Saturation traffic repeats a handful
+     * of distinct bodies, so the JSON + spec parsing (and, once the
+     * first hit renders it, the full response body) is paid once per
+     * distinct request instead of once per request.  `usable` is
+     * false for bodies the fast path must always decline (parse
+     * errors, uncacheable machines) — a negative entry stops the
+     * reactor from re-parsing a hopeless body every time.
+     */
+    struct FastCell
+    {
+        bool usable = false;
+        std::string loopSpec;
+        std::string traceKey;   //!< "LL" + loopSpec, composed once
+        std::string machineSpec;
+        std::string machineKey;
+        std::string simName;
+        MachineConfig cfg;
+        bool audited = false;
+        std::string rendered;   //!< full response body, once a hit rendered it
+    };
+
+    /** Memo lookup/fill; nullptr means "decline the fast path". */
+    FastCell *findFastCell(const std::string &body);
+
     SimServiceOptions options_;
     const HttpServer *server_ = nullptr;
+
+    /** Reactor-thread-only (see tryFastAnswer); no lock. */
+    std::unordered_map<std::string, FastCell> fastCells_;
 
     mutable std::mutex metricsMutex_;
     MetricsRegistry http_;

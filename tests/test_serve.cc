@@ -277,6 +277,11 @@ class ServeE2E : public ::testing::Test
                 return service_->handle(request, budgetMs);
             });
         service_->setServer(server_.get());
+        // The production wiring: cache hits answered on the reactor.
+        server_->setFastHandler(
+            [this](const HttpRequest &request, HttpResponse *out) {
+                return service_->tryFastAnswer(request, out);
+            });
         server_->start();
         ASSERT_NE(server_->port(), 0);
     }
@@ -575,13 +580,93 @@ TEST_F(ServeE2E, MetricsExposePrometheusFamilies)
     }
 }
 
+TEST_F(ServeE2E, ReactorFastPathServesCacheHitsBitIdentically)
+{
+    const std::string body = R"({"loop": 3, "machine": "cray"})";
+    // First request misses the cache and computes on a worker.
+    const Response first =
+        roundTrip(port(), "POST", "/v1/simulate", body);
+    ASSERT_EQ(first.status, 200);
+    EXPECT_EQ(server_->stats().fastpath, 0u);
+
+    // Repeats are answered inline by the reactor from the cache.
+    const Response second =
+        roundTrip(port(), "POST", "/v1/simulate", body);
+    const Response third =
+        roundTrip(port(), "POST", "/v1/simulate", body);
+    ASSERT_EQ(second.status, 200);
+    EXPECT_EQ(second.body, third.body);
+    EXPECT_GE(server_->stats().fastpath, 2u);
+
+    // The inline answer differs from the computed one only in the
+    // cached flag; every simulation field is bit-identical.
+    const Json a = parseJson(first.body);
+    const Json b = parseJson(second.body);
+    EXPECT_FALSE(a.find("cached")->asBool());
+    EXPECT_TRUE(b.find("cached")->asBool());
+    EXPECT_EQ(a.find("cycles")->asNumber(),
+              b.find("cycles")->asNumber());
+    EXPECT_EQ(a.find("instructions")->asNumber(),
+              b.find("instructions")->asNumber());
+    EXPECT_EQ(a.find("rate_str")->asString(),
+              b.find("rate_str")->asString());
+}
+
 // ------------------------------------------- transport-level behaviour
+
+TEST(HttpFastPath, FastHandlerAnswersWhileWorkersAreWedged)
+{
+    // One worker, wedged on a slow request: a fast-path route must
+    // still answer from the reactor thread, and must not consume a
+    // queue slot or a worker.
+    std::atomic<bool> release{ false };
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    opts.idleTimeoutMs = 200;
+    HttpServer server(opts, [&](const HttpRequest &, unsigned) {
+        while (!release.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        return HttpResponse(200, "text/plain", "slow");
+    });
+    server.setFastHandler(
+        [](const HttpRequest &request, HttpResponse *out) {
+            if (request.path != "/fast")
+                return false;
+            *out = HttpResponse(200, "text/plain", "inline");
+            return true;
+        });
+    server.start();
+
+    ClientSocket slow(server.port());
+    ASSERT_TRUE(slow.ok());
+    slow.sendAll("GET /slow HTTP/1.1\r\nHost: x\r\n\r\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    ClientSocket fast(server.port());
+    ASSERT_TRUE(fast.ok());
+    fast.sendAll("GET /fast HTTP/1.1\r\nHost: x\r\n"
+                 "Connection: close\r\n\r\n");
+    const Response r = parseResponse(fast.readResponse());
+    EXPECT_EQ(r.status, 200);
+    EXPECT_EQ(r.body, "inline");
+    EXPECT_EQ(server.stats().fastpath, 1u);
+
+    release.store(true);
+    const Response s = parseResponse(slow.readResponse());
+    EXPECT_EQ(s.status, 200);
+    server.stop();
+}
 
 TEST(HttpServerAdmission, QueueOverflowAnswers429)
 {
     // A deliberately slow handler with one worker and a queue depth
-    // of 1: the third concurrent connection cannot be admitted and
-    // must get an immediate 429 with Retry-After.
+    // of 1: the third concurrent REQUEST cannot be admitted and must
+    // get an immediate 429 with Retry-After.  Admission is enforced
+    // at the dispatch edge — the reactor answers from its own thread
+    // while the sole worker is busy — and the rejected connection
+    // survives the 429 (it is the retry vehicle).
     std::atomic<bool> release{ false };
     ServeOptions opts;
     opts.port = 0;
@@ -598,20 +683,22 @@ TEST(HttpServerAdmission, QueueOverflowAnswers429)
     });
     server.start();
 
-    // First connection: admitted, its request occupies the worker.
+    // First request: admitted, occupies the worker.
     ClientSocket busy(server.port());
     ASSERT_TRUE(busy.ok());
     busy.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
-    // Second connection: admitted, parks in the queue.
+    // Second request: admitted, parks in the compute queue.
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     ClientSocket parked(server.port());
     ASSERT_TRUE(parked.ok());
+    parked.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
-    // Third connection: the queue is full — 429, immediately, while
+    // Third request: the queue is full — 429, immediately, while
     // the worker is still busy.
     ClientSocket rejected(server.port());
     ASSERT_TRUE(rejected.ok());
+    rejected.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
     const Response r = parseResponse(rejected.readResponse());
     EXPECT_EQ(r.status, 429);
     // Retry-After scales with the backlog: 1 queued + 1 in flight
@@ -653,12 +740,14 @@ TEST(HttpServerAdmission, RetryAfterGrowsWithQueueDepth)
         parked.push_back(
             std::make_unique<ClientSocket>(server.port()));
         ASSERT_TRUE(parked.back()->ok());
+        parked.back()->sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
     // 4 queued + 1 in flight over 1 worker -> 1 + 5/1 = 6 seconds.
     ClientSocket rejected(server.port());
     ASSERT_TRUE(rejected.ok());
+    rejected.sendAll("GET /x HTTP/1.1\r\nHost: x\r\n\r\n");
     const Response r = parseResponse(rejected.readResponse());
     EXPECT_EQ(r.status, 429);
     EXPECT_NE(r.raw.find("Retry-After: 6"), std::string::npos)
@@ -878,6 +967,261 @@ TEST(HttpServerAdmission, EphemeralPortsAreIndependent)
     EXPECT_EQ(roundTrip(b.port(), "GET", "/").status, 200);
     a.stop();
     b.stop();
+}
+
+// ----------------------- HTTP/1.1 pipelining & event-driven capacity
+
+/** Read exactly @p count responses off one socket, in arrival order. */
+std::vector<Response>
+readPipelinedResponses(int fd, std::size_t count)
+{
+    std::vector<Response> out;
+    std::string buffer;
+    char chunk[8192];
+    for (;;) {
+        // Split complete responses off the front of the buffer.
+        for (;;) {
+            const std::size_t headEnd = buffer.find("\r\n\r\n");
+            if (headEnd == std::string::npos)
+                break;
+            std::size_t contentLength = 0;
+            const std::size_t cl = buffer.find("Content-Length: ");
+            if (cl != std::string::npos && cl < headEnd)
+                contentLength = std::size_t(std::strtoull(
+                    buffer.c_str() + cl + 16, nullptr, 10));
+            const std::size_t total = headEnd + 4 + contentLength;
+            if (buffer.size() < total)
+                break;
+            out.push_back(parseResponse(buffer.substr(0, total)));
+            buffer.erase(0, total);
+            if (out.size() == count)
+                return out;
+        }
+        const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0)
+            return out;    // EOF/error: fewer than count responses
+        buffer.append(chunk, std::size_t(got));
+    }
+}
+
+std::string
+echoRequest(const std::string &body)
+{
+    return "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+TEST(HttpPipelining, TwoRequestsOneSegmentAnsweredInOrder)
+{
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 2;
+    HttpServer server(opts, [](const HttpRequest &req, unsigned) {
+        return HttpResponse(200, "text/plain", "echo:" + req.body);
+    });
+    server.start();
+
+    // Both requests arrive in ONE send — the server must parse both
+    // from one buffered read and answer them in request order.
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.sendAll(echoRequest("first") +
+                             echoRequest("second")));
+    const std::vector<Response> responses =
+        readPipelinedResponses(sock.fd(), 2);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0].status, 200);
+    EXPECT_EQ(responses[0].body, "echo:first");
+    EXPECT_EQ(responses[1].status, 200);
+    EXPECT_EQ(responses[1].body, "echo:second");
+    // The second request was parsed behind the unanswered first.
+    EXPECT_GE(server.stats().pipelined, 1u);
+    server.stop();
+}
+
+TEST(HttpPipelining, SlowFirstRequestDoesNotReorderResponses)
+{
+    // A slow first request and a fast second one, pipelined: serial
+    // per-connection dispatch means the fast one must still wait its
+    // turn and the responses stay in request order.
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 4;    // plenty of idle workers to tempt reordering
+    HttpServer server(opts, [](const HttpRequest &req, unsigned) {
+        if (req.body == "slow")
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(150));
+        return HttpResponse(200, "text/plain", "echo:" + req.body);
+    });
+    server.start();
+
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(
+        sock.sendAll(echoRequest("slow") + echoRequest("fast")));
+    const std::vector<Response> responses =
+        readPipelinedResponses(sock.fd(), 2);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0].body, "echo:slow");
+    EXPECT_EQ(responses[1].body, "echo:fast");
+    server.stop();
+}
+
+TEST(HttpPipelining, DeepPipelineAnsweredCompletelyInOrder)
+{
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 2;
+    HttpServer server(opts, [](const HttpRequest &req, unsigned) {
+        return HttpResponse(200, "text/plain", "echo:" + req.body);
+    });
+    server.start();
+
+    constexpr int kDepth = 8;
+    std::string batch;
+    for (int i = 0; i < kDepth; ++i)
+        batch += echoRequest("r" + std::to_string(i));
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.sendAll(batch));
+    const std::vector<Response> responses =
+        readPipelinedResponses(sock.fd(), kDepth);
+    ASSERT_EQ(responses.size(), std::size_t(kDepth));
+    for (int i = 0; i < kDepth; ++i) {
+        EXPECT_EQ(responses[std::size_t(i)].status, 200);
+        EXPECT_EQ(responses[std::size_t(i)].body,
+                  "echo:r" + std::to_string(i));
+    }
+    server.stop();
+}
+
+TEST(EventDrivenCapacity, IdleConnectionsDoNotStarveWorkers)
+{
+    // 64 parked keep-alive connections against TWO workers: under a
+    // thread-per-connection server each parked socket would pin a
+    // worker and live traffic would starve; the reactor parks them
+    // as passive epoll entries and live requests go straight
+    // through.
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 2;
+    HttpServer server(opts, [](const HttpRequest &req, unsigned) {
+        return HttpResponse(200, "text/plain", "echo:" + req.body);
+    });
+    server.start();
+
+    std::vector<std::unique_ptr<ClientSocket>> parked;
+    for (int i = 0; i < 64; ++i) {
+        parked.push_back(
+            std::make_unique<ClientSocket>(server.port()));
+        ASSERT_TRUE(parked.back()->ok()) << "conn " << i;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 5; ++i) {
+        const Response r = roundTrip(server.port(), "POST", "/echo",
+                                     "live" + std::to_string(i));
+        ASSERT_EQ(r.status, 200) << "live request " << i;
+        EXPECT_EQ(r.body, "echo:live" + std::to_string(i));
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    // Far inside the idle timeout: the parked fleet cost nothing.
+    EXPECT_LT(elapsed.count(), 3000);
+
+    // The parked connections are still live too, not just ballast.
+    ASSERT_TRUE(parked[0]->sendAll(echoRequest("wakeup")));
+    const Response woken = parseResponse(parked[0]->readResponse());
+    EXPECT_EQ(woken.status, 200);
+    EXPECT_EQ(woken.body, "echo:wakeup");
+    server.stop();
+}
+
+TEST(EventDrivenCapacity, PartialWritesResumeUntilLargeResponseLands)
+{
+    // A response far larger than the initial socket send buffer: the
+    // first writev cannot take it all, so the reactor must park the
+    // partial write on EPOLLOUT and resume — repeatedly — until
+    // every byte is delivered intact and in order.
+    std::string big(8 << 20, '\0');
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = char('a' + int(i % 26));
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    HttpServer server(opts, [&](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "application/octet-stream", big);
+    });
+    server.start();
+
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.sendAll(
+        "GET /big HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"));
+
+    std::string wire;
+    char chunk[64 * 1024];
+    for (;;) {
+        const ssize_t got = recv(sock.fd(), chunk, sizeof(chunk), 0);
+        if (got <= 0)
+            break;
+        wire.append(chunk, std::size_t(got));
+    }
+    const Response r = parseResponse(wire);
+    EXPECT_EQ(r.status, 200);
+    ASSERT_EQ(r.body.size(), big.size());
+    EXPECT_EQ(r.body, big);
+    server.stop();
+}
+
+TEST(EventDrivenCapacity, SlowReaderIsDisconnectedAfterWriteBudget)
+{
+    // A peer that stops draining entirely: the write budget bounds
+    // how long buffered response bytes are held, then the connection
+    // is dropped — it cannot hold reactor memory forever.  Closure
+    // is observed through the server's own connection gauge (the
+    // client side cannot see EOF until it drains what the kernel
+    // already buffered, which is exactly the slow path this test
+    // avoids).
+    const std::string big(4 << 20, 'x');
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    opts.writeTimeoutMs = 250;
+    HttpServer server(opts, [&](const HttpRequest &, unsigned) {
+        return HttpResponse(200, "application/octet-stream", big);
+    });
+    server.start();
+
+    ClientSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    const int rcvbuf = 4096;
+    setsockopt(sock.fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+               sizeof(rcvbuf));
+    ASSERT_TRUE(
+        sock.sendAll("GET /big HTTP/1.1\r\nHost: x\r\n\r\n"));
+
+    // Wait for the request to be accepted and the write to start...
+    const auto start = std::chrono::steady_clock::now();
+    while (server.stats().connections == 0 &&
+           std::chrono::steady_clock::now() - start <
+               std::chrono::seconds(2))
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(server.stats().connections, 1u);
+
+    // ...then read nothing.  Within a few write budgets the reactor
+    // must abandon the stalled write and drop the connection.
+    while (server.stats().connections != 0 &&
+           std::chrono::steady_clock::now() - start <
+               std::chrono::seconds(5))
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    EXPECT_EQ(server.stats().connections, 0u);
+    EXPECT_LT(elapsed.count(), 5000);
+    server.stop();
 }
 
 TEST(HttpServerAdmission, PortCollisionThrowsServeError)

@@ -17,6 +17,9 @@ asserts the recovery invariants the serving tier promises:
                journal appends, dying workers): every 2xx the clients
                manage to get must still be bit-identical, and the
                daemon must survive with its worker pool self-healed.
+  slowloris    connections that dribble header bytes forever must be
+               cut off with 408 by the header clock while live
+               requests keep flowing, bit-identical, around them.
   drain        SIGTERM must finish in-flight work and exit 0 via the
                "drained, bye" path.
 
@@ -49,11 +52,13 @@ class Daemon:
     """One `mfusim serve` subprocess on an ephemeral port."""
 
     def __init__(self, binary, cache_dir=None, faults=None, workers=4,
-                 log_path=None):
+                 log_path=None, extra_args=None):
         argv = [binary, "serve", "--port", "0",
                 "--workers", str(workers)]
         if cache_dir:
             argv += ["--cache-dir", cache_dir]
+        if extra_args:
+            argv += list(extra_args)
         env = dict(os.environ)
         env.pop("MFUSIM_FAULTS", None)
         if faults:
@@ -316,6 +321,87 @@ def scenario_faults(binary, workdir, truth):
         daemon.close()
 
 
+def scenario_slowloris(binary, workdir, truth):
+    """Header-dribbling connections are cut with 408; live traffic
+    keeps flowing around them."""
+    daemon = Daemon(binary, workers=2,
+                    extra_args=["--header-timeout-ms", "500"],
+                    log_path=os.path.join(workdir, "slowloris.log"))
+    attackers = []
+    stop = threading.Event()
+    try:
+        # Eight attackers send a partial request line, then dribble
+        # one header byte every 100 ms — each dribble resets nothing:
+        # the header clock runs from the FIRST byte.
+        for _ in range(8):
+            sock = socket.create_connection(
+                ("127.0.0.1", daemon.port), timeout=10.0)
+            sock.sendall(b"GET /healthz HT")
+            attackers.append(sock)
+
+        def dribble():
+            while not stop.is_set():
+                for sock in attackers:
+                    try:
+                        sock.sendall(b"T")
+                    except OSError:
+                        pass    # already cut off — expected
+                time.sleep(0.1)
+        dribbler = threading.Thread(target=dribble, daemon=True)
+        dribbler.start()
+
+        # With every attacker mid-dribble, live requests must still
+        # be answered promptly and bit-identically: attackers park in
+        # the reactor, they never occupy the two workers.
+        for (loop, machine, config) in list(truth)[:4]:
+            started = time.monotonic()
+            payload = simulate(daemon, loop, machine, config,
+                               timeout=15.0)
+            elapsed = time.monotonic() - started
+            expect(payload is not None,
+                   f"no answer for {loop}/{machine} during slowloris")
+            expect(result_bits(payload) ==
+                   truth[(loop, machine, config)],
+                   f"{loop}/{machine}: wrong bits during slowloris")
+            expect(elapsed < 10.0,
+                   f"{loop}/{machine} took {elapsed:.1f}s "
+                   f"during slowloris")
+
+        # Every attacker must be answered 408 and disconnected within
+        # a few header budgets.
+        cut = 0
+        deadline = time.monotonic() + 10.0
+        for sock in attackers:
+            data = b""
+            try:
+                sock.settimeout(
+                    max(0.1, deadline - time.monotonic()))
+                while True:
+                    got = sock.recv(4096)
+                    if not got:
+                        break
+                    data += got
+            except OSError:
+                pass
+            if b" 408 " in data:
+                cut += 1
+        expect(cut == len(attackers),
+               f"only {cut}/{len(attackers)} attackers got 408")
+        expect(daemon.alive(), "daemon died under slowloris")
+        code = daemon.sigterm()
+        expect(code == 0, f"drain exit code {code} after slowloris")
+        print(f"  slowloris: {cut}/{len(attackers)} attackers cut "
+              f"with 408, live traffic bit-identical")
+    finally:
+        stop.set()
+        for sock in attackers:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        daemon.close()
+
+
 def scenario_drain(binary, workdir, truth):
     """SIGTERM finishes in-flight work and says goodbye."""
     del truth
@@ -339,6 +425,7 @@ SCENARIOS = {
     "kill9": scenario_kill9,
     "corrupt": scenario_corrupt,
     "faults": scenario_faults,
+    "slowloris": scenario_slowloris,
     "drain": scenario_drain,
 }
 

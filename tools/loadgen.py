@@ -2,25 +2,45 @@
 """Concurrent load generator for `mfusim serve`.
 
 Standard library only (urllib + threads): usable from CI without
-installing anything.  Fires a mixed burst of /v1/simulate requests —
-optionally across several machine specs and loops — plus periodic
-/healthz probes, then reports status-code counts and latency
+installing anything.  Two modes:
+
+**Burst mode** (default): fires a mixed burst of /v1/simulate
+requests — optionally across several machine specs and loops — plus
+periodic /healthz probes, then reports status-code counts and latency
 percentiles and writes a machine-readable JSON report.  Overload
 (429), 5xx, timeouts and connection failures are retried with
 exponential backoff and full jitter, honoring the server's
 load-aware Retry-After header; retry and timeout totals land in the
 report.
 
-Exit status: 0 when every gate passes; 1 when --fail-on-5xx saw a
-5xx, the p99 exceeded --max-p99-ms, or nothing succeeded at all.
+**Saturation mode** (`--duration SECS`): measures *sustained*
+throughput instead of burst completion.  A fixed fleet of
+keep-alive connections (`--connections`, raw sockets so the Python
+client costs as little as possible) each sends the same cache-hit
+/v1/simulate request back to back for the whole duration; the report
+carries sustained RPS and p50/p95/p99 latency over the
+post-warmup window.  `--idle-connections M` additionally parks M
+keep-alive connections that never send another byte, and a
+background /healthz probe records whether the parked fleet degrades
+live-request latency — the "idle clients must not deny service"
+acceptance check.  Gates: `--min-rps` (floor on sustained RPS) and
+`--max-p99-ms` both apply.
 
-Example (the CI server-smoke job):
+Exit status: 0 when every gate passes; 1 when --fail-on-5xx saw a
+5xx, the p99 exceeded --max-p99-ms, sustained RPS fell below
+--min-rps, or nothing succeeded at all.
+
+Examples (the CI server-smoke / serve-throughput jobs):
 
     python3 tools/loadgen.py --base-url http://127.0.0.1:8100 \
         --requests 200 --concurrency 8 \
         --machine simple --machine cray --machine cdc \
         --machine tomasulo:3:1 --machine ooo:4 --machine ruu:4:50 \
         --fail-on-5xx --max-p99-ms 2000 --report loadgen.json
+
+    python3 tools/loadgen.py --base-url http://127.0.0.1:8100 \
+        --duration 10 --connections 64 --idle-connections 200 \
+        --machine cray --loop 5 --report SERVE_BENCH.json
 """
 
 import argparse
@@ -31,6 +51,7 @@ import sys
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
 
@@ -121,6 +142,332 @@ class Worker(threading.Thread):
                 (status, elapsed_ms, cached, retries, timeouts))
 
 
+# ------------------------------------------------------ saturation mode
+
+def parse_host_port(base_url):
+    parsed = urllib.parse.urlparse(base_url)
+    return parsed.hostname or "127.0.0.1", parsed.port or 80
+
+
+def read_http_response(sock, buffer):
+    """Read one HTTP/1.1 response from a keep-alive socket.
+
+    Returns (status, leftover_buffer) or (None, buffer) on EOF.
+    Minimal on purpose: the daemon always answers with
+    Content-Length, never chunked.
+    """
+    while True:
+        head_end = buffer.find(b"\r\n\r\n")
+        if head_end >= 0:
+            break
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None, buffer
+        buffer += chunk
+    head = buffer[:head_end].decode(errors="replace")
+    status = int(head.split(" ", 2)[1])
+    content_length = 0
+    for line in head.split("\r\n")[1:]:
+        if line.lower().startswith("content-length:"):
+            content_length = int(line.split(":", 1)[1].strip())
+            break
+    total = head_end + 4 + content_length
+    while len(buffer) < total:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None, buffer
+        buffer += chunk
+    return status, buffer[total:]
+
+
+def read_sized_response(sock, buffer):
+    """Like read_http_response, but also reports the full byte size
+    of the response so the saturation fast path can learn the fixed
+    length of a repeated cache-hit answer.
+
+    Returns (status, size, leftover_buffer), with status None on EOF.
+    """
+    while True:
+        head_end = buffer.find(b"\r\n\r\n")
+        if head_end >= 0:
+            break
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None, 0, buffer
+        buffer += chunk
+    head = buffer[:head_end].decode(errors="replace")
+    status = int(head.split(" ", 2)[1])
+    content_length = 0
+    for line in head.split("\r\n")[1:]:
+        if line.lower().startswith("content-length:"):
+            content_length = int(line.split(":", 1)[1].strip())
+            break
+    total = head_end + 4 + content_length
+    while len(buffer) < total:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None, 0, buffer
+        buffer += chunk
+    return status, total, buffer[total:]
+
+
+class SaturationWorker(threading.Thread):
+    """One persistent keep-alive connection sending the same
+    cache-hit request back to back until the deadline."""
+
+    def __init__(self, host, port, request_bytes, warmup_until,
+                 stop_at, lock, latencies, errors, pipeline=1):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.request_bytes = request_bytes
+        self.warmup_until = warmup_until
+        self.stop_at = stop_at
+        self.lock = lock
+        self.latencies = latencies      # post-warmup successes (ms)
+        self.errors = errors            # [reconnects, non_2xx]
+        self.pipeline = max(1, pipeline)
+
+    def run(self):
+        sock, buffer = None, b""
+        local = []
+        reconnects = non_2xx = 0
+        batch = self.request_bytes * self.pipeline
+        resp_len = None   # byte size of one 2xx answer, once known
+        while time.monotonic() < self.stop_at:
+            try:
+                if sock is None:
+                    sock = socket.create_connection(
+                        (self.host, self.port), timeout=30.0)
+                    sock.setsockopt(socket.IPPROTO_TCP,
+                                    socket.TCP_NODELAY, 1)
+                    buffer = b""
+                    resp_len = None
+                start = time.monotonic()
+                # Pipelining: one send carries the whole batch, then
+                # the responses are collected strictly in order.
+                sock.sendall(batch)
+                if resp_len is not None:
+                    # Fast path: the repeated cache-hit answer is
+                    # byte-identical, so one bulk read of
+                    # pipeline * resp_len bytes drains the batch.  The
+                    # boundary check keeps it honest; any surprise
+                    # (non-2xx, changed length) drops to the parser.
+                    need = resp_len * self.pipeline
+                    while len(buffer) < need:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            raise ConnectionError("peer closed")
+                        buffer += chunk
+                    if all(buffer.startswith(b"HTTP/1.1 2",
+                                             i * resp_len)
+                           for i in range(self.pipeline)):
+                        now = time.monotonic()
+                        buffer = buffer[need:]
+                        if now >= self.warmup_until:
+                            local.extend(
+                                [(now - start) * 1000.0]
+                                * self.pipeline)
+                        continue
+                    resp_len = None   # reparse the buffered bytes
+                for _ in range(self.pipeline):
+                    status, size, buffer = \
+                        read_sized_response(sock, buffer)
+                    now = time.monotonic()
+                    if status is None:
+                        raise ConnectionError("peer closed")
+                    if 200 <= status < 300:
+                        if resp_len is None:
+                            resp_len = size
+                        if now >= self.warmup_until:
+                            local.append((now - start) * 1000.0)
+                    else:
+                        non_2xx += 1
+            except Exception:
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                sock = None
+                reconnects += 1
+                time.sleep(0.01)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        with self.lock:
+            self.latencies.extend(local)
+            self.errors[0] += reconnects
+            self.errors[1] += non_2xx
+
+
+def park_idle_connections(host, port, count):
+    """Open @count keep-alive connections, prove each is live with
+    one /healthz round trip, then leave them parked (no further
+    bytes).  Returns the sockets so they stay open."""
+    parked = []
+    probe = (f"GET /healthz HTTP/1.1\r\nHost: {host}\r\n"
+             "Connection: keep-alive\r\n\r\n").encode()
+    for _ in range(count):
+        try:
+            sock = socket.create_connection((host, port),
+                                            timeout=10.0)
+            sock.sendall(probe)
+            status, _ = read_http_response(sock, b"")
+            if status == 200:
+                parked.append(sock)
+            else:
+                sock.close()
+        except Exception:
+            break
+    return parked
+
+
+class HealthzProber(threading.Thread):
+    """Periodic /healthz round trips on a fresh connection each time:
+    the latency a bystander request sees while the fleet hammers."""
+
+    def __init__(self, host, port, stop_at, interval=0.25):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.stop_at = stop_at
+        self.interval = interval
+        self.latencies = []
+        self.failures = 0
+
+    def run(self):
+        request = (f"GET /healthz HTTP/1.1\r\nHost: {self.host}\r\n"
+                   "Connection: close\r\n\r\n").encode()
+        while time.monotonic() < self.stop_at:
+            start = time.monotonic()
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=10.0)
+                sock.sendall(request)
+                status, _ = read_http_response(sock, b"")
+                sock.close()
+                if status == 200:
+                    self.latencies.append(
+                        (time.monotonic() - start) * 1000.0)
+                else:
+                    self.failures += 1
+            except Exception:
+                self.failures += 1
+            time.sleep(self.interval)
+
+
+def run_saturation(args, health):
+    host, port = parse_host_port(args.base_url)
+    body = json.dumps({
+        "loop": args.loops[0],
+        "machine": args.machine[0],
+        "config": args.config[0],
+    }).encode()
+    request_bytes = (
+        f"POST /v1/simulate HTTP/1.1\r\nHost: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+
+    # Warm the cache once so the measured workload is pure hits.
+    with urllib.request.urlopen(urllib.request.Request(
+            args.base_url + "/v1/simulate", data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST"), timeout=args.timeout) as response:
+        json.loads(response.read())
+
+    parked = park_idle_connections(host, port,
+                                   args.idle_connections)
+    if args.idle_connections and \
+            len(parked) < args.idle_connections:
+        print(f"loadgen: WARNING parked only {len(parked)} of "
+              f"{args.idle_connections} idle connections",
+              file=sys.stderr)
+
+    start = time.monotonic()
+    warmup_until = start + args.warmup
+    stop_at = warmup_until + args.duration
+    lock = threading.Lock()
+    latencies, errors = [], [0, 0]
+    workers = [SaturationWorker(host, port, request_bytes,
+                                warmup_until, stop_at, lock,
+                                latencies, errors,
+                                pipeline=args.pipeline)
+               for _ in range(args.connections)]
+    prober = HealthzProber(host, port, stop_at)
+    for worker in workers:
+        worker.start()
+    prober.start()
+    for worker in workers:
+        worker.join()
+    prober.join()
+    for sock in parked:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    latencies.sort()
+    probe_lat = sorted(prober.latencies)
+    sustained_rps = len(latencies) / args.duration \
+        if args.duration > 0 else 0.0
+    report = {
+        "schema": "mfusim-loadgen-sat-v1",
+        "base_url": args.base_url,
+        "server_version": health.get("version"),
+        "mode": "saturation",
+        "duration_seconds": args.duration,
+        "warmup_seconds": args.warmup,
+        "connections": args.connections,
+        "pipeline_depth": args.pipeline,
+        "idle_connections": len(parked),
+        "machine": args.machine[0],
+        "loop": args.loops[0],
+        "config": args.config[0],
+        "requests_completed": len(latencies),
+        "sustained_rps": round(sustained_rps, 1),
+        "reconnects": errors[0],
+        "non_2xx": errors[1],
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p95": round(percentile(latencies, 0.95), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+        "probe_healthz": {
+            "count": len(probe_lat),
+            "failures": prober.failures,
+            "p50_ms": round(percentile(probe_lat, 0.50), 3),
+            "p99_ms": round(percentile(probe_lat, 0.99), 3),
+        },
+    }
+    print(json.dumps(report, indent=2))
+    if args.report:
+        with open(args.report, "w") as out:
+            json.dump(report, out, indent=2)
+            out.write("\n")
+
+    failures = []
+    if not latencies:
+        failures.append("no request succeeded")
+    if args.min_rps is not None and sustained_rps < args.min_rps:
+        failures.append(f"sustained {sustained_rps:.1f} rps below "
+                        f"floor {args.min_rps}")
+    if args.max_p99_ms is not None and latencies and \
+            report["latency_ms"]["p99"] > args.max_p99_ms:
+        failures.append(
+            f"p99 {report['latency_ms']['p99']}ms exceeds "
+            f"{args.max_p99_ms}ms")
+    if args.idle_connections and probe_lat and \
+            prober.failures > len(probe_lat):
+        failures.append(
+            f"healthz probe failed {prober.failures} times with "
+            f"{len(parked)} idle connections parked")
+    for failure in failures:
+        print(f"loadgen: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="mfusim serve load generator")
@@ -148,6 +495,26 @@ def main():
     parser.add_argument("--max-p99-ms", type=float, default=None)
     parser.add_argument("--report", default=None,
                         help="write a JSON report here")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="saturation mode: sustain load for this "
+                             "many seconds instead of a burst")
+    parser.add_argument("--connections", type=int, default=64,
+                        help="saturation mode: keep-alive connections "
+                             "sending back to back")
+    parser.add_argument("--idle-connections", type=int, default=0,
+                        help="saturation mode: extra parked "
+                             "keep-alive connections that send "
+                             "nothing")
+    parser.add_argument("--pipeline", type=int, default=1,
+                        help="saturation mode: HTTP/1.1 pipelining "
+                             "depth per connection (requests sent "
+                             "back to back before reading)")
+    parser.add_argument("--warmup", type=float, default=1.0,
+                        help="saturation mode: seconds excluded from "
+                             "the measured window")
+    parser.add_argument("--min-rps", type=float, default=None,
+                        help="saturation mode: fail below this "
+                             "sustained RPS")
     args = parser.parse_args()
     if not args.machine:
         args.machine = ["cray"]
@@ -155,6 +522,12 @@ def main():
         args.loops = [1, 3, 5, 7, 9, 12, 14]
     if not args.config:
         args.config = ["M11BR5", "M5BR2"]
+    if args.duration is not None:
+        # Saturation mode hammers ONE cell so every request is a
+        # cache hit: the transport, not the simulators, is under test.
+        args.loops = args.loops[:1]
+        args.machine = args.machine[:1]
+        args.config = args.config[:1]
 
     # One healthz probe up front: fail fast when the daemon is absent
     # rather than timing out N requests.
@@ -166,6 +539,9 @@ def main():
         print(f"loadgen: /healthz unreachable: {error}",
               file=sys.stderr)
         return 1
+
+    if args.duration is not None:
+        return run_saturation(args, health)
 
     results = []
     counter = [0]

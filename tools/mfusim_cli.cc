@@ -20,6 +20,7 @@
  *   mfusim serve   [--port N] [--workers K] [--queue-depth D]
  *                  [--deadline-ms M] [--max-body B] [--cache-dir P]
  *                  [--header-timeout-ms H] [--write-timeout-ms W]
+ *                  [--idle-timeout-ms I] [--max-pipeline P]
  *
  * --jobs N  worker threads for sweeps (also: MFUSIM_JOBS env var);
  *           used by "rate all"
@@ -57,10 +58,11 @@
  * result cache to a crash-safe journal under P (restarts warm-load
  * it), --header-timeout-ms H anti-slowloris header-phase deadline
  * (default 5000), --write-timeout-ms W response-write budget
- * (default 10000).  SIGINT/SIGTERM drain gracefully.  MFUSIM_FAULTS
- * arms
- * deterministic fault injection for chaos testing (see
- * core/faultpoint.hh for the spec grammar).
+ * (default 10000), --idle-timeout-ms I parked keep-alive timeout
+ * (default 5000), --max-pipeline P pipelined-requests-per-connection
+ * bound (default 16).  SIGINT/SIGTERM drain gracefully.
+ * MFUSIM_FAULTS arms deterministic fault injection for chaos testing
+ * (see core/faultpoint.hh for the spec grammar).
  * <loop>    1..14 (optionally "<id>x<factor>" for an unrolled
  *           variant, e.g. "1x4", or "<id>v" for a vector-unit
  *           compilation, e.g. "7v"), or "all" (rate only): every
@@ -84,6 +86,7 @@
 #include <vector>
 
 #include <poll.h>
+#include <sys/resource.h>
 
 #include "mfusim/mfusim.hh"
 
@@ -131,6 +134,8 @@ usage()
                  "[--cache-dir P]\n"
                  "             [--header-timeout-ms H] "
                  "[--write-timeout-ms W]\n"
+                 "             [--idle-timeout-ms I] "
+                 "[--max-pipeline P]\n"
                  "       mfusim --version\n");
     std::exit(2);
 }
@@ -436,6 +441,12 @@ cmdServe(const std::vector<std::string> &args)
         else if (args[i] == "--write-timeout-ms")
             opts.writeTimeoutMs =
                 unsigned(numeric("--write-timeout-ms", value()));
+        else if (args[i] == "--idle-timeout-ms")
+            opts.idleTimeoutMs =
+                unsigned(numeric("--idle-timeout-ms", value()));
+        else if (args[i] == "--max-pipeline")
+            opts.maxPipeline =
+                unsigned(numeric("--max-pipeline", value()));
         else if (args[i] == "--cache-dir")
             cacheDir = value();
         else
@@ -487,6 +498,16 @@ cmdServe(const std::vector<std::string> &args)
         }
     }
 
+    // An event-driven server's connection capacity IS its fd budget:
+    // raise the soft RLIMIT_NOFILE to the hard cap so thousands of
+    // parked keep-alive connections do not hit a 1024-fd default.
+    struct rlimit nofile;
+    if (getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+        nofile.rlim_cur < nofile.rlim_max) {
+        nofile.rlim_cur = nofile.rlim_max;
+        setrlimit(RLIMIT_NOFILE, &nofile);
+    }
+
     SimService service(SimServiceOptions{ MFUSIM_GIT_SHA, 256 });
     HttpServer server(opts,
                       [&service](const HttpRequest &request,
@@ -494,6 +515,10 @@ cmdServe(const std::vector<std::string> &args)
                           return service.handle(request, budgetMs);
                       });
     service.setServer(&server);
+    server.setFastHandler([&service](const HttpRequest &request,
+                                     HttpResponse *response) {
+        return service.tryFastAnswer(request, response);
+    });
     server.start();
     std::printf("mfusim serve %s listening on port %u "
                 "(%u workers, queue depth %u, deadline %u ms)\n",
