@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Process-start anchor for uptime reporting.
+ */
+
+#include "mfusim/core/clock.hh"
+
+namespace mfusim
+{
+
+namespace
+{
+
+/** Captured at static-init time, before main() runs. */
+const std::uint64_t g_processStartNs = monoNanos();
+
+} // namespace
+
+std::uint64_t
+processStartNanos()
+{
+    return g_processStartNs;
+}
+
+double
+processUptimeSeconds()
+{
+    return double(monoNanos() - g_processStartNs) * 1e-9;
+}
+
+} // namespace mfusim

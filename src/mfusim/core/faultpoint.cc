@@ -64,6 +64,7 @@ class FaultRegistry::Impl
     std::unordered_map<std::string, Rule> rules;
     std::string spec;
     std::uint64_t lcg = 1;
+    std::function<void(const std::string &)> fireListener;
 
     /** Deterministic uniform draw in [0, 1). */
     double
@@ -228,23 +229,38 @@ bool
 FaultRegistry::shouldFire(const std::string &point)
 {
     Impl &state = impl();
-    std::lock_guard<std::mutex> lock(state.mutex);
-    const auto it = state.rules.find(point);
-    if (it == state.rules.end())
-        return false;
-    Rule &rule = it->second;
-    ++rule.evaluations;
-    if (rule.evaluations <= rule.after)
-        return false;
-    if (rule.times != 0 && rule.fires >= rule.times)
-        return false;
-    if (rule.every > 1 &&
-        (rule.evaluations - rule.after) % rule.every != 0)
-        return false;
-    if (rule.prob >= 0.0 && state.nextUniform() >= rule.prob)
-        return false;
-    ++rule.fires;
+    std::function<void(const std::string &)> listener;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        const auto it = state.rules.find(point);
+        if (it == state.rules.end())
+            return false;
+        Rule &rule = it->second;
+        ++rule.evaluations;
+        if (rule.evaluations <= rule.after)
+            return false;
+        if (rule.times != 0 && rule.fires >= rule.times)
+            return false;
+        if (rule.every > 1 &&
+            (rule.evaluations - rule.after) % rule.every != 0)
+            return false;
+        if (rule.prob >= 0.0 && state.nextUniform() >= rule.prob)
+            return false;
+        ++rule.fires;
+        listener = state.fireListener;  // copy: invoke outside lock
+    }
+    if (listener)
+        listener(point);
     return true;
+}
+
+void
+FaultRegistry::setFireListener(
+    std::function<void(const std::string &)> listener)
+{
+    Impl &state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.fireListener = std::move(listener);
 }
 
 std::string

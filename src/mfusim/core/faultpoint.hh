@@ -46,6 +46,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,17 @@ class FaultRegistry
 
     /** Per-point telemetry for armed points, in spec order. */
     std::vector<FaultPointStats> stats() const;
+
+    /**
+     * Observe every fire: @p listener is invoked with the point name
+     * right after shouldFire() decides to fire, outside the registry
+     * lock (so the listener may re-enter the registry).  One listener
+     * slot; null clears it.  The serve tier uses this to mark fires
+     * on the request-trace timeline — the listener must therefore be
+     * cheap and must not throw.
+     */
+    void setFireListener(std::function<void(const std::string &)>
+                             listener);
 
     /** Disarm and zero all state (tests). */
     void reset();

@@ -5,8 +5,10 @@
 
 #include "mfusim/obs/metrics.hh"
 
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <set>
 #include <sstream>
 
 #include "mfusim/core/error.hh"
@@ -24,12 +26,31 @@ Histogram::Histogram(std::uint64_t bucketWidth, std::size_t bucketCount)
                     "nonzero");
 }
 
+Histogram
+Histogram::makeLog2(std::size_t bucketCount, double unitScale)
+{
+    Histogram h(1, bucketCount);
+    h.log2_ = true;
+    h.unitScale_ = unitScale;
+    return h;
+}
+
+std::uint64_t
+Histogram::bucketUpperEdge(std::size_t i) const
+{
+    if (!log2_)
+        return width_ * std::uint64_t(i + 1);
+    // Bucket i counts values with bit_width == i: [2^(i-1), 2^i - 1].
+    return i == 0 ? 0 : (std::uint64_t(1) << i) - 1;
+}
+
 void
 Histogram::record(std::uint64_t value, std::uint64_t weight)
 {
     if (weight == 0)
         return;
-    const std::uint64_t idx = value / width_;
+    const std::uint64_t idx =
+        log2_ ? std::uint64_t(std::bit_width(value)) : value / width_;
     if (idx < buckets_.size())
         buckets_[idx] += weight;
     else
@@ -46,7 +67,8 @@ void
 Histogram::merge(const Histogram &other)
 {
     if (other.width_ != width_ ||
-        other.buckets_.size() != buckets_.size())
+        other.buckets_.size() != buckets_.size() ||
+        other.log2_ != log2_ || other.unitScale_ != unitScale_)
         throw Error("Histogram::merge: bucket geometry mismatch");
     for (std::size_t i = 0; i < buckets_.size(); ++i)
         buckets_[i] += other.buckets_[i];
@@ -168,6 +190,22 @@ MetricsRegistry::histogram(const std::string &name,
     return *entry.histogram;
 }
 
+Histogram &
+MetricsRegistry::histogramLog2(const std::string &name,
+                               std::size_t bucketCount,
+                               double unitScale)
+{
+    if (Entry *entry = find(name)) {
+        if (entry->kind != Kind::kHistogram)
+            kindClash(*entry, Kind::kHistogram);
+        return *entry->histogram;
+    }
+    Entry &entry = create(name, Kind::kHistogram);
+    entry.histogram = std::make_unique<Histogram>(
+        Histogram::makeLog2(bucketCount, unitScale));
+    return *entry.histogram;
+}
+
 TimeSeries &
 MetricsRegistry::series(const std::string &name, std::size_t capacity)
 {
@@ -233,9 +271,12 @@ MetricsRegistry::merge(const MetricsRegistry &other)
             gauge(src->name).add(src->gauge->value());
             break;
           case Kind::kHistogram: {
-            Histogram &dst =
-                histogram(src->name, src->histogram->bucketWidth(),
-                          src->histogram->bucketCount());
+            Histogram &dst = src->histogram->isLog2()
+                ? histogramLog2(src->name,
+                                src->histogram->bucketCount(),
+                                src->histogram->unitScale())
+                : histogram(src->name, src->histogram->bucketWidth(),
+                            src->histogram->bucketCount());
             dst.merge(*src->histogram);
             break;
           }
@@ -339,7 +380,11 @@ MetricsRegistry::writeJson(std::ostream &os) const
         const Histogram &h = *entry->histogram;
         os << (first ? "" : ",") << "\n    \""
            << jsonEscape(entry->name) << "\": {\"bucket_width\": "
-           << h.bucketWidth() << ", \"count\": " << h.count()
+           << h.bucketWidth();
+        if (h.isLog2())
+            os << ", \"log2\": true, \"unit_scale\": "
+               << jsonNumber(h.unitScale());
+        os << ", \"count\": " << h.count()
            << ", \"sum\": " << h.sum() << ", \"min\": " << h.min()
            << ", \"max\": " << h.max()
            << ", \"mean\": " << jsonNumber(h.mean())
@@ -497,46 +542,111 @@ promLabelsWith(const std::map<std::string, std::string> &labels,
     return out;
 }
 
+/**
+ * Split a registry name with a trailing embedded-label block
+ * ("http.phase_seconds{phase=parse}") into the base family name and
+ * its label pairs.  Names without a block pass through untouched.
+ */
+struct NameParts
+{
+    std::string base;
+    std::map<std::string, std::string> labels;
+};
+
+NameParts
+splitEmbedded(const std::string &name)
+{
+    NameParts parts;
+    const std::size_t open = name.find('{');
+    if (open == std::string::npos || name.back() != '}') {
+        parts.base = name;
+        return parts;
+    }
+    parts.base = name.substr(0, open);
+    const std::string body =
+        name.substr(open + 1, name.size() - open - 2);
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+        std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        const std::string pair = body.substr(pos, comma - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq != std::string::npos)
+            parts.labels[pair.substr(0, eq)] = pair.substr(eq + 1);
+        pos = comma + 1;
+    }
+    return parts;
+}
+
 } // namespace
 
 void
 MetricsRegistry::writePrometheus(std::ostream &os) const
 {
-    const std::string labels = promLabels(labels_);
+    // Embedded-label names make one family span several entries, so
+    // the TYPE line is emitted at the family's first appearance only.
+    std::set<std::string> typed;
+    const auto typeLine = [&](const std::string &family,
+                              const char *kind) {
+        if (typed.insert(family).second)
+            os << "# TYPE " << family << " " << kind << "\n";
+    };
     for (const auto &entry : entries_) {
+        const NameParts parts = splitEmbedded(entry->name);
+        std::map<std::string, std::string> all = labels_;
+        for (const auto &[key, value] : parts.labels)
+            all[key] = value;
+        const std::string labels = promLabels(all);
         switch (entry->kind) {
           case Kind::kCounter: {
-            const std::string name = promName(entry->name) + "_total";
-            os << "# TYPE " << name << " counter\n";
+            const std::string name = promName(parts.base) + "_total";
+            typeLine(name, "counter");
             os << name << labels << " " << entry->counter->value()
                << "\n";
             break;
           }
           case Kind::kGauge: {
-            const std::string name = promName(entry->name);
-            os << "# TYPE " << name << " gauge\n";
+            const std::string name = promName(parts.base);
+            typeLine(name, "gauge");
             os << name << labels << " "
                << jsonNumber(entry->gauge->value()) << "\n";
             break;
           }
           case Kind::kHistogram: {
             const Histogram &h = *entry->histogram;
-            const std::string name = promName(entry->name);
-            os << "# TYPE " << name << " histogram\n";
+            const std::string name = promName(parts.base);
+            const bool scaled = h.unitScale() != 1.0;
+            typeLine(name, "histogram");
+            // Scaled edges render with %.9g: "1e-09" instead of the
+            // %.17g round-trip noise ("1.0000000000000001e-09") —
+            // `le` is a display edge, not a re-parsed value.
+            const auto edgeString = [&](std::uint64_t raw) {
+                if (!scaled)
+                    return std::to_string(raw);
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.9g",
+                              double(raw) * h.unitScale());
+                return std::string(buf);
+            };
             std::uint64_t cumulative = 0;
             for (std::size_t i = 0; i < h.bucketCount(); ++i) {
                 cumulative += h.bucket(i);
-                const std::uint64_t edge =
-                    h.bucketWidth() * std::uint64_t(i + 1);
+                const std::string edge =
+                    edgeString(h.bucketUpperEdge(i));
                 os << name << "_bucket"
-                   << promLabelsWith(labels_, "le",
-                                     std::to_string(edge))
-                   << " " << cumulative << "\n";
+                   << promLabelsWith(all, "le", edge) << " "
+                   << cumulative << "\n";
             }
             os << name << "_bucket"
-               << promLabelsWith(labels_, "le", "+Inf") << " "
+               << promLabelsWith(all, "le", "+Inf") << " "
                << h.count() << "\n";
-            os << name << "_sum" << labels << " " << h.sum() << "\n";
+            os << name << "_sum" << labels << " ";
+            if (scaled)
+                os << jsonNumber(double(h.sum()) * h.unitScale());
+            else
+                os << h.sum();
+            os << "\n";
             os << name << "_count" << labels << " " << h.count()
                << "\n";
             break;

@@ -65,11 +65,23 @@ class Gauge
  * Values at or above bucketWidth * bucketCount land in a dedicated
  * overflow bucket; exact count/sum/min/max are kept alongside so no
  * precision is lost for the scalar statistics.
+ *
+ * makeLog2() builds the variant the serve tier records latencies
+ * into: bucket i counts values whose bit width is i (bucket 0 holds
+ * exactly 0, bucket i holds [2^(i-1), 2^i - 1]), so 30 buckets span
+ * 1 ns to ~1 s with one bit_width() per record and no division.  An
+ * optional unitScale converts raw recorded units to display units at
+ * export time (record nanoseconds, render seconds) — recording stays
+ * pure integer arithmetic on the hot path.
  */
 class Histogram
 {
   public:
     Histogram(std::uint64_t bucketWidth, std::size_t bucketCount);
+
+    /** Log2-bucket histogram; see the class comment. */
+    static Histogram makeLog2(std::size_t bucketCount,
+                              double unitScale = 1.0);
 
     void record(std::uint64_t value, std::uint64_t weight = 1);
     /** Merge @p other in; bucket geometry must match (throws). */
@@ -79,6 +91,10 @@ class Histogram
     std::size_t bucketCount() const { return buckets_.size(); }
     std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
     std::uint64_t overflow() const { return overflow_; }
+    bool isLog2() const { return log2_; }
+    double unitScale() const { return unitScale_; }
+    /** Inclusive upper edge of bucket @p i, in raw recorded units. */
+    std::uint64_t bucketUpperEdge(std::size_t i) const;
 
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
@@ -89,6 +105,8 @@ class Histogram
   private:
     std::uint64_t width_;
     std::vector<std::uint64_t> buckets_;
+    bool log2_ = false;
+    double unitScale_ = 1.0;
     std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
@@ -140,6 +158,10 @@ class MetricsRegistry
     Histogram &histogram(const std::string &name,
                          std::uint64_t bucketWidth,
                          std::size_t bucketCount);
+    /** Create-or-find a Histogram::makeLog2 histogram. */
+    Histogram &histogramLog2(const std::string &name,
+                             std::size_t bucketCount,
+                             double unitScale = 1.0);
     TimeSeries &series(const std::string &name,
                        std::size_t capacity = 512);
 
@@ -182,6 +204,13 @@ class MetricsRegistry
      *    "_count", matching the native Prometheus histogram type;
      *  - registry labels() are attached to every sample, with label
      *    names sanitized like metric names and values escaped;
+     *  - a name with a trailing `{key=value,...}` block — e.g.
+     *    "http.phase_seconds{phase=parse}" — renders as the base
+     *    family with those labels merged in, so one registry can hold
+     *    many labeled series of a single Prometheus family (the TYPE
+     *    line is emitted once per family, at its first appearance);
+     *  - log2 histograms with a unitScale render their bucket edges
+     *    and _sum in scaled (display) units;
      *  - time series are per-run artifacts with their own cycle axis
      *    and have no Prometheus equivalent, so they are skipped.
      *

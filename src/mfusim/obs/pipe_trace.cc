@@ -6,6 +6,8 @@
 
 #include "mfusim/obs/pipe_trace.hh"
 
+#include "mfusim/obs/trace_event.hh"
+
 #include <algorithm>
 #include <map>
 #include <string>
@@ -86,33 +88,22 @@ constexpr std::int64_t kTidBusBase = 200;    // + bus id
 constexpr std::int64_t kTidStalls = 300;
 constexpr std::int64_t kTidInflight = 301;
 
+// Thin adapters over the shared emitters: the pipeline exporter
+// stamps integer cycles, which the shared layer takes pre-formatted.
 void
 writeEvent(std::ostream &os, bool &first, const std::string &name,
            const char *ph, std::int64_t tid, ClockCycle ts,
            ClockCycle dur, const std::string &args)
 {
-    os << (first ? "" : ",") << "\n  {\"name\": \"" << name
-       << "\", \"ph\": \"" << ph << "\", \"pid\": 1, \"tid\": " << tid
-       << ", \"ts\": " << ts;
-    if (*ph == 'X')
-        os << ", \"dur\": " << dur;
-    if (!args.empty())
-        os << ", \"args\": {" << args << "}";
-    os << "}";
-    first = false;
+    trace_event::event(os, first, name, ph, tid, std::to_string(ts),
+                       std::to_string(dur), args);
 }
 
 void
 writeThreadName(std::ostream &os, bool &first, std::int64_t tid,
                 const std::string &name, std::int64_t sortIndex)
 {
-    os << (first ? "" : ",") << "\n  {\"name\": \"thread_name\", "
-       << "\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
-       << ", \"args\": {\"name\": \"" << name << "\"}},"
-       << "\n  {\"name\": \"thread_sort_index\", \"ph\": \"M\", "
-       << "\"pid\": 1, \"tid\": " << tid
-       << ", \"args\": {\"sort_index\": " << sortIndex << "}}";
-    first = false;
+    trace_event::threadName(os, first, tid, name, sortIndex);
 }
 
 } // namespace
@@ -127,10 +118,7 @@ writeChromeTrace(std::ostream &os, const PipeTraceRecorder &recorder,
     os << "{\n\"traceEvents\": [";
     bool first = true;
 
-    os << (first ? "" : ",")
-       << "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1"
-       << ", \"args\": {\"name\": \"" << label << "\"}}";
-    first = false;
+    trace_event::processName(os, first, label);
 
     // Discover the used issue slots, FU classes and busses so only
     // live tracks get names.

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -27,8 +28,10 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include "mfusim/core/clock.hh"
 #include "mfusim/core/error.hh"
 #include "mfusim/core/faultpoint.hh"
+#include "mfusim/obs/req_trace.hh"
 #include "mfusim/serve/json.hh"
 
 namespace mfusim
@@ -81,12 +84,26 @@ jsonErrorResponse(int status, const std::string &message)
     return HttpResponse(status, "application/json", body.dump() + "\n");
 }
 
+/**
+ * One parsed request and its trace span, awaiting dispatch.  The
+ * span rides every hop of the request (parsed deque, task queue,
+ * completion queue, write queue) so each thread stamps its own phase
+ * boundaries into private state — no shared span storage, no locks.
+ * Disarmed, the span is dead weight of ~100 zeroed bytes per move.
+ */
+struct HttpServer::PendingReq
+{
+    HttpRequest request;
+    RequestSpan span;
+};
+
 /** One dispatched request, in flight toward a worker. */
 struct HttpServer::Task
 {
     int fd = -1;
     std::uint64_t gen = 0;
     HttpRequest request;
+    RequestSpan span;
     unsigned budgetMs = 0;
 };
 
@@ -96,6 +113,7 @@ struct HttpServer::Completion
     int fd = -1;
     std::uint64_t gen = 0;
     HttpResponse response;
+    RequestSpan span;
     bool killConn = false;  //!< worker died: drop the connection
 };
 
@@ -114,8 +132,9 @@ struct HttpServer::Conn
     // ---- read side ----
     std::string in;                 //!< unparsed request bytes
     std::size_t inOff = 0;          //!< parse cursor into `in`
-    std::deque<HttpRequest> parsed; //!< pipelined, awaiting dispatch
+    std::deque<PendingReq> parsed;  //!< pipelined, awaiting dispatch
     bool peerEof = false;
+    std::uint64_t recvNs = 0;       //!< first-byte stamp (traced only)
 
     // ---- compute side ----
     bool computing = false;         //!< one request at a worker
@@ -129,6 +148,21 @@ struct HttpServer::Conn
     std::size_t bodySent = 0;
     bool writing = false;
     bool closeAfterWrite = false;
+
+    /**
+     * Spans of corked responses awaiting their bytes on the wire
+     * (traced only).  Offsets index the burst stream (head bytes
+     * then the large body); responses cork in answer order, so the
+     * deque pops strictly from the front as headSent + bodySent
+     * advances.
+     */
+    struct PendingWrite
+    {
+        RequestSpan span;
+        std::size_t startOffset = 0;
+        std::size_t endOffset = 0;
+    };
+    std::deque<PendingWrite> writeQueue;
 
     // ---- deferred protocol error (pipelining keeps order) ----
     int pendingErrorStatus = 0;
@@ -232,8 +266,10 @@ HttpServer::start()
     {
         std::lock_guard<std::mutex> lock(workersMutex_);
         workers_.reserve(options_.workers);
+        // Worker ids are 1-based: trace track 0 is the reactor.
         for (unsigned i = 0; i < options_.workers; ++i)
-            workers_.emplace_back(&HttpServer::workerLoop, this);
+            workers_.emplace_back(
+                [this, id = i + 1] { workerLoop(id); });
     }
 }
 
@@ -481,6 +517,10 @@ HttpServer::connReadable(Conn &conn)
             if (conn.in.empty() && conn.inOff == 0 &&
                 conn.firstByteMs == 0)
                 conn.firstByteMs = nowMs();
+            // One receive stamp per buffered stretch: every request
+            // parsed out of these bytes anchors its span here.
+            if (tracer_ != nullptr && conn.recvNs == 0)
+                conn.recvNs = monoNanos();
             conn.in.append(chunk, std::size_t(got));
             if (conn.in.size() - conn.inOff >
                 options_.maxBodyBytes + (32u << 10))
@@ -518,6 +558,7 @@ HttpServer::parseAndDispatch(Conn &conn)
     // maxPipeline) — this loop is the pipelining fast path: a batch
     // of N requests arriving in one TCP segment costs one read
     // syscall and N handler dispatches.
+    std::uint64_t parseNs = 0;  //!< shared parse stamp (traced only)
     while (conn.parsed.size() < options_.maxPipeline &&
            conn.pendingErrorStatus == 0) {
         if (conn.inOff >= conn.in.size())
@@ -534,10 +575,28 @@ HttpServer::parseAndDispatch(Conn &conn)
             conn.firstByteMs = 0;
             conn.headDone = false;
             stats_.requests.fetch_add(1, std::memory_order_relaxed);
-            if (conn.busy() || !conn.parsed.empty())
+            const bool pipelined =
+                conn.busy() || !conn.parsed.empty();
+            if (pipelined)
                 stats_.pipelined.fetch_add(
                     1, std::memory_order_relaxed);
-            conn.parsed.push_back(std::move(request));
+            PendingReq pending;
+            if (tracer_ != nullptr) {
+                if (parseNs == 0)
+                    parseNs = monoNanos();
+                pending.span.ts[kStampRecv] =
+                    conn.recvNs != 0 ? conn.recvNs : parseNs;
+                pending.span.ts[kStampParsed] = parseNs;
+                pending.span.fd = conn.fd;
+                pending.span.gen = std::uint32_t(conn.gen);
+                pending.span.setEndpoint(
+                    endpointForPath(request.path));
+                if (pipelined)
+                    pending.span.flags |=
+                        RequestSpan::kFlagPipelined;
+            }
+            pending.request = std::move(request);
+            conn.parsed.push_back(std::move(pending));
             continue;
         }
         if (st == ExtractStatus::kNeedMore) {
@@ -567,6 +626,7 @@ HttpServer::parseAndDispatch(Conn &conn)
     if (conn.inOff >= conn.in.size()) {
         conn.in.clear();
         conn.inOff = 0;
+        conn.recvNs = 0;    // next byte starts a fresh receive stamp
     } else if (conn.inOff > (64u << 10)) {
         conn.in.erase(0, conn.inOff);
         conn.inOff = 0;
@@ -581,9 +641,9 @@ HttpServer::parseAndDispatch(Conn &conn)
     // last segment of a burst), or at a response that closes.
     while (!conn.computing && conn.body.empty() &&
            !conn.closeAfterWrite && !conn.parsed.empty()) {
-        HttpRequest request = std::move(conn.parsed.front());
+        PendingReq pending = std::move(conn.parsed.front());
         conn.parsed.pop_front();
-        dispatch(conn, std::move(request));
+        dispatch(conn, std::move(pending));
     }
     if (!conn.computing && conn.body.empty() &&
         !conn.closeAfterWrite && conn.parsed.empty() &&
@@ -608,9 +668,12 @@ HttpServer::parseAndDispatch(Conn &conn)
 }
 
 void
-HttpServer::dispatch(Conn &conn, HttpRequest request)
+HttpServer::dispatch(Conn &conn, PendingReq pending)
 {
+    HttpRequest &request = pending.request;
     conn.curKeepAlive = request.keepAlive();
+    if (tracer_ != nullptr)
+        pending.span.ts[kStampDispatch] = monoNanos();
 
     // Per-request deadline: the default, lowered (never raised) by
     // an X-Deadline-Ms header.
@@ -632,9 +695,27 @@ HttpServer::dispatch(Conn &conn, HttpRequest request)
     // a worker so the 503 has one owner.
     if (fastHandler_ && budgetMs > 0) {
         HttpResponse fast;
+        if (tracer_ != nullptr) {
+            spanAnnotations() = SpanAnnotations{};
+            pending.span.ts[kStampStart] =
+                pending.span.ts[kStampDispatch];
+        }
         if (fastHandler_(request, &fast)) {
             stats_.fastpath.fetch_add(1, std::memory_order_relaxed);
-            beginResponse(conn, fast, conn.curKeepAlive);
+            if (tracer_ != nullptr) {
+                pending.span.ts[kStampDone] = monoNanos();
+                pending.span.flags |= RequestSpan::kFlagFastpath;
+                const SpanAnnotations &notes = spanAnnotations();
+                if (notes.cacheHit)
+                    pending.span.flags |= RequestSpan::kFlagCacheHit;
+                if (notes.audited)
+                    pending.span.flags |= RequestSpan::kFlagAudited;
+                pending.span.cacheNs = notes.cacheNs;
+                pending.span.worker = 0;
+            }
+            beginResponse(conn, fast, conn.curKeepAlive,
+                          tracer_ != nullptr ? &pending.span
+                                             : nullptr);
             return;
         }
     }
@@ -653,7 +734,8 @@ HttpServer::dispatch(Conn &conn, HttpRequest request)
             jsonErrorResponse(429, "server overloaded, retry");
         busy.headers["Retry-After"] =
             std::to_string(retryAfterSeconds());
-        beginResponse(conn, std::move(busy), conn.curKeepAlive);
+        beginResponse(conn, std::move(busy), conn.curKeepAlive,
+                      tracer_ != nullptr ? &pending.span : nullptr);
         return;
     }
 
@@ -661,7 +743,8 @@ HttpServer::dispatch(Conn &conn, HttpRequest request)
     Task task;
     task.fd = conn.fd;
     task.gen = conn.gen;
-    task.request = std::move(request);
+    task.request = std::move(pending.request);
+    task.span = pending.span;
     task.budgetMs = budgetMs;
     {
         std::lock_guard<std::mutex> lock(taskMutex_);
@@ -673,7 +756,7 @@ HttpServer::dispatch(Conn &conn, HttpRequest request)
 
 void
 HttpServer::beginResponse(Conn &conn, const HttpResponse &response,
-                          bool keepAlive)
+                          bool keepAlive, RequestSpan *span)
 {
     // Cork, don't send: the response is serialized BEHIND any not-yet
     // flushed responses of the same pipelined burst, and the caller
@@ -691,6 +774,10 @@ HttpServer::beginResponse(Conn &conn, const HttpResponse &response,
         conn.writing = true;
         conn.writeStartMs = nowMs();
     }
+    // Burst offsets for write attribution: a span's response spans
+    // [startOffset, endOffset) of the burst's byte stream (head +
+    // corked inline bodies; a large body is always last in a burst).
+    const std::size_t startOffset = conn.head.size() + conn.body.size();
     response.serializeHead(keep, &conn.head);
     // The body is moved, not copied: beginResponse's const ref binds
     // to a response the reactor owns, so stealing is safe.
@@ -700,6 +787,13 @@ HttpServer::beginResponse(Conn &conn, const HttpResponse &response,
     } else {
         conn.body = std::move(body);
         conn.bodySent = 0;
+    }
+    if (span != nullptr) {
+        span->status = std::uint16_t(response.status);
+        span->ts[kStampSerialized] = monoNanos();
+        conn.writeQueue.push_back(Conn::PendingWrite{
+            *span, startOffset,
+            conn.head.size() + conn.body.size() });
     }
 }
 
@@ -766,6 +860,8 @@ HttpServer::flushWrites(Conn &conn)
             conn.headSent += headTake;
             advanced -= headTake;
             conn.bodySent += advanced;
+            if (tracer_ != nullptr && !conn.writeQueue.empty())
+                noteWriteProgress(conn);
             continue;
         }
         if (errno == EINTR)
@@ -779,6 +875,35 @@ HttpServer::flushWrites(Conn &conn)
         closeConn(conn);    // EPIPE/ECONNRESET and friends
         return;
     }
+}
+
+void
+HttpServer::noteWriteProgress(Conn &conn)
+{
+    // Attribute the bytes just written to the burst's pending spans:
+    // `sent` is the cumulative burst position, each span owns
+    // [startOffset, endOffset) of it.  One clock read covers every
+    // span this writev touched.
+    const std::uint64_t now = monoNanos();
+    const std::size_t sent = conn.headSent + conn.bodySent;
+    while (!conn.writeQueue.empty()) {
+        Conn::PendingWrite &front = conn.writeQueue.front();
+        if (front.span.ts[kStampFirstWrite] == 0 &&
+            front.startOffset < sent)
+            front.span.ts[kStampFirstWrite] = now;
+        if (front.endOffset > sent)
+            break;
+        front.span.ts[kStampLastWrite] = now;
+        publishSpan(front.span);
+        conn.writeQueue.pop_front();
+    }
+}
+
+void
+HttpServer::publishSpan(RequestSpan &span)
+{
+    if (tracer_->publish(span))
+        std::fprintf(stderr, "%s\n", formatSlowLine(span).c_str());
 }
 
 void
@@ -809,7 +934,8 @@ HttpServer::applyCompletions()
             closeConn(*conn);
             continue;
         }
-        beginResponse(*conn, done.response, conn->curKeepAlive);
+        beginResponse(*conn, done.response, conn->curKeepAlive,
+                      tracer_ != nullptr ? &done.span : nullptr);
         // Pipelined successors may be ready (and may answer inline);
         // parseAndDispatch corks them behind this response and
         // flushes the burst.  May close the connection.
@@ -902,6 +1028,16 @@ HttpServer::closeConn(Conn &conn)
     epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
     close(fd);
     stats_.connections.fetch_sub(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr && !conn.writeQueue.empty()) {
+        // Responses that never fully reached the socket still get a
+        // span — flagged aborted so the flight recorder shows where
+        // the connection died.
+        for (Conn::PendingWrite &pending : conn.writeQueue) {
+            pending.span.flags |= RequestSpan::kFlagAborted;
+            publishSpan(pending.span);
+        }
+        conn.writeQueue.clear();
+    }
     conns_[std::size_t(fd)].reset();    // `conn` is dead past here
 }
 
@@ -919,7 +1055,7 @@ HttpServer::liveConn(int fd, std::uint64_t gen)
 // --------------------------------------------------------- workers
 
 void
-HttpServer::workerLoop()
+HttpServer::workerLoop(unsigned workerId)
 {
     for (;;) {
         Task task;
@@ -938,6 +1074,12 @@ HttpServer::workerLoop()
         }
         stats_.queued.fetch_sub(1, std::memory_order_relaxed);
         stats_.inFlight.fetch_add(1, std::memory_order_relaxed);
+
+        if (tracer_ != nullptr) {
+            task.span.worker = std::uint8_t(workerId);
+            task.span.ts[kStampStart] = monoNanos();
+            spanAnnotations() = SpanAnnotations{};
+        }
 
         Completion done;
         done.fd = task.fd;
@@ -988,10 +1130,21 @@ HttpServer::workerLoop()
             {
                 std::lock_guard<std::mutex> lock(workersMutex_);
                 if (!stopping_.load())
-                    workers_.emplace_back(&HttpServer::workerLoop,
-                                          this);
+                    workers_.emplace_back([this, workerId] {
+                        workerLoop(workerId);
+                    });
             }
             return;
+        }
+        if (tracer_ != nullptr) {
+            task.span.ts[kStampDone] = monoNanos();
+            const SpanAnnotations &notes = spanAnnotations();
+            if (notes.cacheHit)
+                task.span.flags |= RequestSpan::kFlagCacheHit;
+            if (notes.audited)
+                task.span.flags |= RequestSpan::kFlagAudited;
+            task.span.cacheNs = notes.cacheNs;
+            done.span = task.span;
         }
         stats_.inFlight.fetch_sub(1, std::memory_order_relaxed);
         {

@@ -66,6 +66,9 @@
 namespace mfusim
 {
 
+class RequestTracer;
+struct RequestSpan;
+
 /** Server capacity and protocol knobs. */
 struct ServeOptions
 {
@@ -177,6 +180,19 @@ class HttpServer
         fastHandler_ = std::move(handler);
     }
 
+    /**
+     * Arm request-lifecycle tracing (obs/req_trace.hh).  Call before
+     * start(); the tracer must outlive the server.  Null (the
+     * default) disarms tracing — the request path then takes no
+     * clock reads and touches no ring.  When armed, every request
+     * gets a RequestSpan stamped at each phase boundary; the span is
+     * finalized and published by the reactor when the response's
+     * last byte is written (or at teardown, flagged aborted), and
+     * spans that cross the tracer's slow threshold are logged to
+     * stderr (rate-capped).
+     */
+    void setTracer(RequestTracer *tracer) { tracer_ = tracer; }
+
     /** The bound port (resolves ephemeral port 0 after start()). */
     std::uint16_t port() const { return boundPort_; }
 
@@ -187,21 +203,24 @@ class HttpServer
 
   private:
     struct Conn;        //!< per-connection reactor state (server.cc)
+    struct PendingReq;  //!< one parsed request + its trace span
     struct Task;        //!< one dispatched request
     struct Completion;  //!< one finished response
 
     void reactorLoop();
-    void workerLoop();
+    void workerLoop(unsigned workerId);
 
     // --- reactor-side helpers (called only from reactorLoop) ---
     void acceptReady();
     void connReadable(Conn &conn);
     void connWritable(Conn &conn);
     void parseAndDispatch(Conn &conn);
-    void dispatch(Conn &conn, HttpRequest request);
+    void dispatch(Conn &conn, PendingReq pending);
     void beginResponse(Conn &conn, const HttpResponse &response,
-                       bool keepAlive);
+                       bool keepAlive, RequestSpan *span = nullptr);
     void flushWrites(Conn &conn);
+    void noteWriteProgress(Conn &conn);
+    void publishSpan(RequestSpan &span);
     void applyCompletions();
     void scanClocks();
     void beginDrain();
@@ -227,6 +246,7 @@ class HttpServer
     ServeOptions options_;
     HttpHandler handler_;
     HttpFastHandler fastHandler_;   //!< optional; reactor-inline answers
+    RequestTracer *tracer_ = nullptr;   //!< optional; see setTracer()
 
     int listenFd_ = -1;
     int epollFd_ = -1;

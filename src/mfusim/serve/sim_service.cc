@@ -8,12 +8,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
 
 #include "mfusim/codegen/livermore.hh"
+#include "mfusim/core/clock.hh"
 #include "mfusim/core/decoded_trace.hh"
 #include "mfusim/core/error.hh"
 #include "mfusim/core/faultpoint.hh"
 #include "mfusim/core/stats.hh"
+#include "mfusim/obs/req_trace.hh"
 #include "mfusim/harness/spec_parse.hh"
 #include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
@@ -124,10 +128,25 @@ runCell(const std::string &loopSpec, const std::string &machineSpec,
     const std::string machineKey = sim->cacheKey();
     if (machineKey.empty()) {
         out.result = simulate();
+    } else if (reqTraceArmed()) {
+        const std::uint64_t before = monoNanos();
+        out.result = ResultCache::instance().getOrCompute(
+            machineKey, "LL" + loopSpec, cfg, out.audited, simulate,
+            &out.cached);
+        // A hit's getOrCompute IS the probe; a miss's is dominated
+        // by the simulation, so only the hit time is attributable to
+        // the cache.
+        if (out.cached)
+            spanAnnotations().cacheNs = monoNanos() - before;
     } else {
         out.result = ResultCache::instance().getOrCompute(
             machineKey, "LL" + loopSpec, cfg, out.audited, simulate,
             &out.cached);
+    }
+    if (reqTraceArmed()) {
+        SpanAnnotations &notes = spanAnnotations();
+        notes.cacheHit = notes.cacheHit || out.cached;
+        notes.audited = notes.audited || out.audited;
     }
     return out;
 }
@@ -254,10 +273,18 @@ SimService::tryFastAnswer(const HttpRequest &request,
     // itself (still counted), not a copy of the result.
     SimResult result;
     const bool needResult = cell->rendered.empty();
+    const bool traced = reqTraceArmed();
+    const std::uint64_t probeStart = traced ? monoNanos() : 0;
     if (!ResultCache::instance().probeHit(
             cell->machineKey, cell->traceKey, cell->cfg,
             cell->audited, needResult ? &result : nullptr))
         return false;   // miss: a worker computes (and counts) it
+    if (traced) {
+        SpanAnnotations &notes = spanAnnotations();
+        notes.cacheHit = true;
+        notes.audited = cell->audited;
+        notes.cacheNs = monoNanos() - probeStart;
+    }
     if (needResult) {
         // First hit for this body: render once, reuse forever.  The
         // cached SimResult is deterministic, so the rendering is too.
@@ -301,6 +328,11 @@ SimService::dispatch(const HttpRequest &request, unsigned budgetMs)
         if (request.method != "POST")
             throw ServeError(405, "use POST " + path);
         return handleSweep(request.body);
+    }
+    if (path == "/v1/trace") {
+        if (request.method != "GET")
+            throw ServeError(405, "use GET " + path);
+        return handleTrace(request.target);
     }
     throw ServeError(404, "no route for '" + path + "'");
 }
@@ -479,7 +511,38 @@ SimService::handleHealthz() const
     Json out = Json::object();
     out.set("status", Json("ok"));
     out.set("version", Json(options_.version));
+    out.set("git_sha", Json(options_.gitSha));
+    out.set("uptime_seconds", Json(processUptimeSeconds()));
     return HttpResponse(200, "application/json", out.dump() + "\n");
+}
+
+HttpResponse
+SimService::handleTrace(const std::string &target) const
+{
+    if (options_.tracer == nullptr)
+        throw ServeError(503,
+                         "request tracing is disabled "
+                         "(--no-request-trace)");
+    // The only recognized query parameter: ?last=N bounds the export
+    // to the N most recently published spans (0 / absent = all
+    // retained).  Anything unparseable is a client error.
+    std::size_t lastN = 0;
+    const std::size_t q = target.find('?');
+    if (q != std::string::npos) {
+        const std::string query = target.substr(q + 1);
+        if (query.rfind("last=", 0) != 0)
+            throw ServeError(400,
+                             "unrecognized query (use ?last=N)");
+        char *end = nullptr;
+        const unsigned long parsed =
+            std::strtoul(query.c_str() + 5, &end, 10);
+        if (end == nullptr || *end != '\0')
+            throw ServeError(400, "'last' must be an integer");
+        lastN = std::size_t(parsed);
+    }
+    std::ostringstream os;
+    options_.tracer->writeServeTrace(os, lastN);
+    return HttpResponse(200, "application/json", os.str());
 }
 
 HttpResponse
@@ -539,6 +602,17 @@ SimService::handleMetrics()
         .add(batch.lockstepLanes);
     snapshot.counter("sweep.batch.scalar_lanes")
         .add(batch.scalarLanes);
+    if (options_.tracer != nullptr)
+        options_.tracer->appendMetrics(snapshot);
+    // Build identity as the standard info-gauge idiom: constant 1,
+    // identity in the labels.
+    snapshot
+        .gauge("build_info{version=" + options_.version +
+               ",git_sha=" + options_.gitSha +
+               ",build_type=" + options_.buildType + "}")
+        .set(1.0);
+    snapshot.gauge("process.uptime_seconds")
+        .set(processUptimeSeconds());
     snapshot.setLabel("version", options_.version);
     return HttpResponse(200, "text/plain; version=0.0.4",
                         renderPrometheus(snapshot));
@@ -566,6 +640,8 @@ SimService::record(const std::string &endpoint, int status,
         name = "healthz";
     else if (endpoint == "/metrics")
         name = "metrics";
+    else if (endpoint == "/v1/trace")
+        name = "trace";
     http_.counter("http." + name + ".requests").increment();
     // 2 ms buckets x 50 = 100 ms span; slower requests land in the
     // overflow bucket, which Prometheus renders under +Inf anyway.

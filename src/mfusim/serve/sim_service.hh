@@ -6,8 +6,9 @@
  *
  *   POST /v1/simulate   time one (loop, machine, config) cell
  *   POST /v1/sweep      fan a loop list over the sweep worker pool
- *   GET  /healthz       liveness + build version
+ *   GET  /healthz       liveness + build version + uptime
  *   GET  /metrics       Prometheus text exposition
+ *   GET  /v1/trace      flight recorder as Perfetto trace JSON
  *
  * Both POST endpoints take and return JSON (response schema
  * "mfusim-serve-v1"); responses are bit-identical to the equivalent
@@ -35,6 +36,8 @@
 namespace mfusim
 {
 
+class RequestTracer;
+
 /** Service-level (not transport-level) knobs. */
 struct SimServiceOptions
 {
@@ -44,6 +47,16 @@ struct SimServiceOptions
     std::size_t maxSweepLoops = 256;
     /** Upper bound on machine variants per /v1/sweep request. */
     std::size_t maxSweepMachines = 64;
+    /** Git revision baked into the binary (build_info, /healthz). */
+    std::string gitSha = "unknown";
+    /** CMake build type baked into the binary (build_info). */
+    std::string buildType = "unknown";
+    /**
+     * Request tracer shared with the HttpServer (may be null).  The
+     * service only reads from it: /v1/trace exports the flight
+     * recorder, /metrics merges the phase histograms.
+     */
+    RequestTracer *tracer = nullptr;
 };
 
 class SimService
@@ -91,6 +104,7 @@ class SimService
     HttpResponse handleSweep(const std::string &body);
     HttpResponse handleHealthz() const;
     HttpResponse handleMetrics();
+    HttpResponse handleTrace(const std::string &target) const;
 
     /** Count one finished request into the service registry. */
     void record(const std::string &endpoint, int status,

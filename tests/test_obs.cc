@@ -14,7 +14,10 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -267,6 +270,146 @@ TEST(Metrics, JsonAndCsvOutput)
     reg.writeCsv(csv);
     EXPECT_NE(csv.str().find("name,kind,value"), std::string::npos);
     EXPECT_NE(csv.str().find("cycles.total"), std::string::npos);
+}
+
+TEST(Metrics, Log2HistogramBucketSemantics)
+{
+    // Bucket i counts values with bit_width == i: bucket 0 is
+    // exactly 0, bucket i holds [2^(i-1), 2^i - 1].
+    MetricsRegistry reg;
+    Histogram &h = reg.histogramLog2("lat", 8, 1e-9);
+    EXPECT_TRUE(h.isLog2());
+    EXPECT_DOUBLE_EQ(h.unitScale(), 1e-9);
+
+    h.record(0);        // bucket 0
+    h.record(1);        // bucket 1
+    h.record(2);        // bucket 2
+    h.record(3);        // bucket 2
+    h.record(4);        // bucket 3
+    h.record(7);        // bucket 3
+    h.record(127);      // bucket 7 (last in-range)
+    h.record(128);      // bit_width 8 >= bucketCount: overflow
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(7), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+
+    // Upper edges are (2^i)-1, the largest value the bucket holds.
+    EXPECT_EQ(h.bucketUpperEdge(0), 0u);
+    EXPECT_EQ(h.bucketUpperEdge(1), 1u);
+    EXPECT_EQ(h.bucketUpperEdge(2), 3u);
+    EXPECT_EQ(h.bucketUpperEdge(7), 127u);
+}
+
+TEST(Metrics, Log2HistogramMergeGeometryChecked)
+{
+    MetricsRegistry a, b;
+    a.histogramLog2("lat", 8, 1e-9).record(5);
+    b.histogramLog2("lat", 8, 1e-9).record(9);
+    a.merge(b);
+    EXPECT_EQ(a.histogramLog2("lat", 8, 1e-9).count(), 2u);
+
+    // A linear histogram of the same name must not merge in.
+    MetricsRegistry linear;
+    linear.histogram("lat", 1.0, 8).record(1);
+    EXPECT_THROW(a.merge(linear), Error);
+    // Nor a log2 histogram with a different display scale.
+    MetricsRegistry scaled;
+    scaled.histogramLog2("lat", 8, 1e-6).record(1);
+    EXPECT_THROW(a.merge(scaled), Error);
+}
+
+TEST(Prometheus, EmbeddedLabelNamesRenderAsOneFamily)
+{
+    MetricsRegistry reg;
+    reg.setLabel("sim", "t");
+    reg.histogramLog2("http.phase_seconds{phase=parse}", 4, 1e-9)
+        .record(3);
+    reg.histogramLog2("http.phase_seconds{phase=compute}", 4, 1e-9)
+        .record(5);
+    reg.gauge("build_info{version=v1,git_sha=abc}").set(1.0);
+    const std::string text = renderPrometheus(reg);
+
+    // One TYPE line for the whole family, not one per labeled entry.
+    std::size_t typeCount = 0, pos = 0;
+    const std::string typeLine =
+        "# TYPE mfusim_http_phase_seconds histogram";
+    while ((pos = text.find(typeLine, pos)) != std::string::npos) {
+        ++typeCount;
+        pos += typeLine.size();
+    }
+    EXPECT_EQ(typeCount, 1u);
+
+    // Embedded labels merge with registry labels (le renders last);
+    // log2 edges render scaled to seconds, %.9g-clean.
+    EXPECT_NE(text.find("mfusim_http_phase_seconds_bucket"
+                        "{phase=\"parse\",sim=\"t\",le=\"0\"}"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("mfusim_http_phase_seconds_bucket"
+                        "{phase=\"parse\",sim=\"t\",le=\"3e-09\"}"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("mfusim_http_phase_seconds_count"
+                        "{phase=\"compute\",sim=\"t\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("mfusim_build_info{git_sha=\"abc\",sim=\"t\","
+                  "version=\"v1\"} 1"),
+        std::string::npos)
+        << text;
+}
+
+TEST(Metrics, ConcurrentRecordersMergeWithoutLostCounts)
+{
+    // The serve-tier pattern: each thread records into its own
+    // registry, a collector merges them under a lock.  The merged
+    // output must be exact (no lost counts) and deterministic in
+    // shape regardless of merge order.
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kRecordsPerThread = 5000;
+
+    MetricsRegistry merged;
+    std::mutex mergedMutex;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            MetricsRegistry local;
+            // Registration order varies per thread; merge must align
+            // by name, not position.
+            if (t % 2 == 0) {
+                local.histogramLog2("lat", 24, 1e-9);
+                local.counter("reqs");
+            } else {
+                local.counter("reqs");
+                local.histogramLog2("lat", 24, 1e-9);
+            }
+            Histogram &h = local.histogramLog2("lat", 24, 1e-9);
+            Counter &c = local.counter("reqs");
+            for (unsigned i = 0; i < kRecordsPerThread; ++i) {
+                h.record((std::uint64_t(t) << 10) + i);
+                c.increment();
+            }
+            std::lock_guard<std::mutex> lock(mergedMutex);
+            merged.merge(local);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(merged.counterValue("reqs"),
+              std::uint64_t(kThreads) * kRecordsPerThread);
+    const Histogram &h = merged.histogramLog2("lat", 24, 1e-9);
+    EXPECT_EQ(h.count(),
+              std::uint64_t(kThreads) * kRecordsPerThread);
+    std::uint64_t inBuckets = h.overflow();
+    for (std::size_t i = 0; i < h.bucketCount(); ++i)
+        inBuckets += h.bucket(i);
+    EXPECT_EQ(inBuckets, h.count());
 }
 
 // ---------------------------------------------------------------

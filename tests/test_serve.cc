@@ -26,6 +26,7 @@
 #include "mfusim/core/error.hh"
 #include "mfusim/core/faultpoint.hh"
 #include "mfusim/harness/spec_parse.hh"
+#include "mfusim/obs/req_trace.hh"
 #include "mfusim/harness/sweep.hh"
 #include "mfusim/harness/trace_library.hh"
 #include "mfusim/serve/http.hh"
@@ -1222,6 +1223,358 @@ TEST(EventDrivenCapacity, SlowReaderIsDisconnectedAfterWriteBudget)
     EXPECT_EQ(server.stats().connections, 0u);
     EXPECT_LT(elapsed.count(), 5000);
     server.stop();
+}
+
+// ----------------------------------------------- request tracing
+
+TEST(RequestTrace, PhaseSumIdentityHoldsAndClampsRetrograde)
+{
+    ReqTraceOptions opts;
+    opts.workers = 2;
+    RequestTracer tracer(opts);
+
+    RequestSpan span;
+    span.setEndpoint("simulate");
+    span.ts[kStampRecv] = 1000;
+    span.ts[kStampParsed] = 1200;
+    span.ts[kStampDispatch] = 1100;     // retrograde: clamps to 1200
+    span.ts[kStampStart] = 1500;
+    span.ts[kStampDone] = 2000;
+    span.ts[kStampSerialized] = 0;      // unset: clamps to 2000
+    span.ts[kStampFirstWrite] = 2100;
+    span.ts[kStampLastWrite] = 2400;
+    span.worker = 1;
+    tracer.publish(span);
+
+    EXPECT_EQ(span.seq, 1u);
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < kNumReqPhases; ++i) {
+        EXPECT_GE(span.ts[i + 1], span.ts[i]);
+        sum += span.phaseNs(i);
+    }
+    EXPECT_EQ(sum, span.totalNs());
+    EXPECT_EQ(span.totalNs(), 1400u);
+
+    const std::vector<RequestSpan> spans = tracer.snapshot(0);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].ts[kStampDispatch], 1200u);
+    EXPECT_EQ(spans[0].ts[kStampSerialized], 2000u);
+}
+
+TEST(RequestTrace, RingKeepsNewestSpansOldestFirst)
+{
+    ReqTraceOptions opts;
+    opts.ringCapacity = 4;
+    opts.workers = 0;
+    RequestTracer tracer(opts);
+    for (unsigned i = 0; i < 10; ++i) {
+        RequestSpan span;
+        span.setEndpoint("healthz");
+        span.ts[kStampRecv] = 100 * (i + 1);
+        span.ts[kStampLastWrite] = 100 * (i + 1) + 50;
+        tracer.publish(span);
+    }
+    // Capacity 4: only the last four survive, sorted by seq.
+    const std::vector<RequestSpan> all = tracer.snapshot(0);
+    ASSERT_EQ(all.size(), 4u);
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].seq, 7 + i);
+    // lastN narrows further, still oldest first.
+    const std::vector<RequestSpan> last2 = tracer.snapshot(2);
+    ASSERT_EQ(last2.size(), 2u);
+    EXPECT_EQ(last2[0].seq, 9u);
+    EXPECT_EQ(last2[1].seq, 10u);
+}
+
+TEST(RequestTrace, SlowLogThresholdAndRateCap)
+{
+    ReqTraceOptions opts;
+    opts.slowRequestNs = 1000000;   // 1 ms
+    RequestTracer tracer(opts);
+
+    RequestSpan fast;
+    fast.setEndpoint("simulate");
+    fast.ts[kStampRecv] = 1000;
+    fast.ts[kStampLastWrite] = 2000;    // 1 us: under threshold
+    EXPECT_FALSE(tracer.publish(fast));
+
+    // kSlowLogBurst (10) tokens per window, then suppression; the
+    // stamps stay inside one 1 s window.
+    unsigned logged = 0;
+    for (unsigned i = 0; i < 15; ++i) {
+        RequestSpan slow;
+        slow.setEndpoint("sweep");
+        slow.status = 200;
+        slow.ts[kStampRecv] = 1000 + i;
+        slow.ts[kStampLastWrite] = 3000000 + i;     // ~3 ms
+        if (tracer.publish(slow))
+            ++logged;
+    }
+    EXPECT_EQ(logged, 10u);
+
+    RequestSpan slow;
+    slow.setEndpoint("sweep");
+    slow.flags = RequestSpan::kFlagCacheHit;
+    slow.status = 200;
+    slow.fd = 7;
+    slow.ts[kStampRecv] = 1000;
+    slow.ts[kStampLastWrite] = 5000000;
+    tracer.publish(slow);
+    const std::string line = formatSlowLine(slow);
+    EXPECT_NE(line.find("slow-request"), std::string::npos);
+    EXPECT_NE(line.find("endpoint=sweep"), std::string::npos);
+    EXPECT_NE(line.find("status=200"), std::string::npos);
+    EXPECT_NE(line.find("fd=7"), std::string::npos);
+    EXPECT_NE(line.find("cache_hit=1"), std::string::npos);
+    EXPECT_NE(line.find("compute_us="), std::string::npos);
+    EXPECT_NE(line.find("total_ms="), std::string::npos);
+}
+
+TEST(RequestTrace, MetricsExposePhaseAndEndpointHistograms)
+{
+    ReqTraceOptions opts;
+    RequestTracer tracer(opts);
+    RequestSpan span;
+    span.setEndpoint("simulate");
+    span.ts[kStampRecv] = 1000;
+    span.ts[kStampParsed] = 1100;
+    span.ts[kStampLastWrite] = 9000;
+    tracer.publish(span);
+
+    MetricsRegistry out;
+    tracer.appendMetrics(out);
+    const std::string text = renderPrometheus(out);
+    EXPECT_NE(
+        text.find("mfusim_http_phase_seconds_count{phase=\"total\"}"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("mfusim_http_phase_seconds_count"
+                        "{phase=\"parse\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("mfusim_http_request_seconds_count"
+                        "{endpoint=\"simulate\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("mfusim_http_trace_spans_published_total 1"),
+              std::string::npos);
+}
+
+/** ServeE2E plus an armed RequestTracer — the production wiring. */
+class TracedServeE2E : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ResultCache::instance().clear();
+        ServeOptions opts;
+        opts.port = 0;
+        opts.workers = 2;
+        opts.deadlineMs = 10000;
+
+        ReqTraceOptions traceOpts;
+        traceOpts.workers = opts.workers;
+        tracer_ = std::make_unique<RequestTracer>(traceOpts);
+
+        SimServiceOptions serviceOpts;
+        serviceOpts.version = "test";
+        serviceOpts.gitSha = "deadbeef";
+        serviceOpts.buildType = "Test";
+        serviceOpts.tracer = tracer_.get();
+        service_ = std::make_unique<SimService>(serviceOpts);
+        server_ = std::make_unique<HttpServer>(
+            opts, [this](const HttpRequest &request,
+                         unsigned budgetMs) {
+                return service_->handle(request, budgetMs);
+            });
+        service_->setServer(server_.get());
+        server_->setFastHandler(
+            [this](const HttpRequest &request, HttpResponse *out) {
+                return service_->tryFastAnswer(request, out);
+            });
+        server_->setTracer(tracer_.get());
+        server_->start();
+        ASSERT_NE(server_->port(), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+        FaultRegistry::instance().setFireListener(nullptr);
+        FaultRegistry::instance().reset();
+        ResultCache::instance().clear();
+    }
+
+    std::uint16_t port() const { return server_->port(); }
+
+    std::unique_ptr<RequestTracer> tracer_;
+    std::unique_ptr<SimService> service_;
+    std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(TracedServeE2E, PipelinedBurstExportsValidTrace)
+{
+    // A pipelined burst over one connection: every response must
+    // come back, and every request must appear in /v1/trace with an
+    // exact phase-sum identity.
+    constexpr unsigned kBurst = 8;
+    const std::string simulate =
+        "{\"loop\": 3, \"machine\": \"cray\"}";
+    {
+        ClientSocket sock(port());
+        ASSERT_TRUE(sock.ok());
+        std::string wire;
+        for (unsigned i = 0; i < kBurst; ++i) {
+            const bool last = i + 1 == kBurst;
+            wire += "POST /v1/simulate HTTP/1.1\r\n"
+                    "Host: localhost\r\nConnection: " +
+                std::string(last ? "close" : "keep-alive") +
+                "\r\nContent-Length: " +
+                std::to_string(simulate.size()) + "\r\n\r\n" +
+                simulate;
+        }
+        ASSERT_TRUE(sock.sendAll(wire));
+        std::string all;
+        for (unsigned i = 0; i < kBurst; ++i) {
+            const std::string one = sock.readResponse();
+            if (one.empty())
+                break;
+            all += one;
+        }
+        std::size_t ok = 0, pos = 0;
+        while ((pos = all.find("HTTP/1.1 200", pos)) !=
+               std::string::npos) {
+            ++ok;
+            pos += 8;
+        }
+        EXPECT_EQ(ok, kBurst) << all.substr(0, 400);
+    }
+
+    const Response trace = roundTrip(port(), "GET", "/v1/trace");
+    ASSERT_EQ(trace.status, 200);
+    const Json doc = parseJson(trace.body);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("schema")->asString(),
+              "mfusim-serve-trace-v1");
+
+    // Walk the events: b/e pairing by id, phase-sum identity on
+    // every "e", and thread-name metadata for reactor + workers.
+    const Json *events = doc.find("traceEvents");
+    ASSERT_TRUE(events != nullptr && events->isArray());
+    std::size_t begins = 0, ends = 0, threadNames = 0;
+    std::size_t simulateSpans = 0;
+    for (const Json &event : events->items()) {
+        const std::string ph = event.find("ph")->asString();
+        if (ph == "M") {
+            if (event.find("name")->asString() == "thread_name")
+                ++threadNames;
+            continue;
+        }
+        if (ph == "b")
+            ++begins;
+        if (ph != "e")
+            continue;
+        ++ends;
+        const Json *args = event.find("args");
+        ASSERT_TRUE(args != nullptr && args->isObject());
+        const Json *phases = args->find("phase_ns");
+        ASSERT_TRUE(phases != nullptr && phases->isObject());
+        double sum = 0;
+        for (unsigned i = 0; i < kNumReqPhases; ++i)
+            sum += phases->find(reqPhaseName(i))->asNumber();
+        EXPECT_DOUBLE_EQ(sum, args->find("total_ns")->asNumber());
+        if (event.find("name")->asString() == "simulate")
+            ++simulateSpans;
+    }
+    EXPECT_EQ(begins, ends);
+    EXPECT_GE(simulateSpans, kBurst);
+    // tid 1 (reactor) + one per worker.
+    EXPECT_EQ(threadNames, 3u);
+
+    // ?last=N narrows the export.
+    const Response last2 =
+        roundTrip(port(), "GET", "/v1/trace?last=2");
+    ASSERT_EQ(last2.status, 200);
+    std::size_t last2Ends = 0, pos = 0;
+    while ((pos = last2.body.find("\"ph\": \"e\"", pos)) !=
+           std::string::npos) {
+        ++last2Ends;
+        pos += 9;
+    }
+    EXPECT_EQ(last2Ends, 2u);
+}
+
+TEST_F(TracedServeE2E, MetricsCarryPhaseHistogramsAndBuildInfo)
+{
+    ASSERT_EQ(roundTrip(port(), "GET", "/healthz").status, 200);
+    const Response metrics = roundTrip(port(), "GET", "/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    const std::string &text = metrics.body;
+    EXPECT_NE(text.find("mfusim_http_phase_seconds_bucket"),
+              std::string::npos);
+    EXPECT_NE(text.find("phase=\"compute\""), std::string::npos);
+    EXPECT_NE(text.find("mfusim_http_request_seconds_count"),
+              std::string::npos);
+    EXPECT_NE(text.find("mfusim_build_info{"), std::string::npos);
+    EXPECT_NE(text.find("git_sha=\"deadbeef\""), std::string::npos);
+    EXPECT_NE(text.find("build_type=\"Test\""), std::string::npos);
+    EXPECT_NE(text.find("mfusim_process_uptime_seconds"),
+              std::string::npos);
+}
+
+TEST_F(TracedServeE2E, HealthzReportsUptimeAndGitSha)
+{
+    const Response r = roundTrip(port(), "GET", "/healthz");
+    ASSERT_EQ(r.status, 200);
+    const Json body = parseJson(r.body);
+    EXPECT_EQ(body.find("git_sha")->asString(), "deadbeef");
+    ASSERT_NE(body.find("uptime_seconds"), nullptr);
+    EXPECT_GE(body.find("uptime_seconds")->asNumber(), 0.0);
+}
+
+TEST_F(TracedServeE2E, FaultFiresAppearAsInstantEvents)
+{
+    SKIP_WITHOUT_FAULT_INJECTION();
+    RequestTracer *tracer = tracer_.get();
+    FaultRegistry::instance().setFireListener(
+        [tracer](const std::string &point) {
+            tracer->recordFault(point);
+        });
+    FaultRegistry::instance().configure("worker.overrun:once");
+
+    const Response r = roundTrip(
+        port(), "POST", "/v1/simulate",
+        "{\"loop\": 2, \"machine\": \"cray\"}");
+    EXPECT_EQ(r.status, 503);   // the injected overrun's answer
+
+    const Response trace = roundTrip(port(), "GET", "/v1/trace");
+    ASSERT_EQ(trace.status, 200);
+    EXPECT_NE(trace.body.find("fault worker.overrun"),
+              std::string::npos);
+    EXPECT_NE(trace.body.find("\"ph\": \"i\""), std::string::npos);
+
+    FaultRegistry::instance().setFireListener(nullptr);
+    FaultRegistry::instance().configure("");
+}
+
+TEST(RequestTraceDisabled, TraceEndpointAnswers503)
+{
+    ResultCache::instance().clear();
+    ServeOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    SimService service(SimServiceOptions{ "test", 64 });
+    HttpServer server(opts,
+                      [&service](const HttpRequest &request,
+                                 unsigned budgetMs) {
+                          return service.handle(request, budgetMs);
+                      });
+    service.setServer(&server);
+    server.start();
+    const Response r = roundTrip(server.port(), "GET", "/v1/trace");
+    EXPECT_EQ(r.status, 503);
+    server.stop();
+    ResultCache::instance().clear();
 }
 
 TEST(HttpServerAdmission, PortCollisionThrowsServeError)

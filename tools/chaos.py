@@ -9,7 +9,10 @@ asserts the recovery invariants the serving tier promises:
   kill9        SIGKILL mid-traffic with a persistent cache attached;
                a restarted daemon must warm-load the journal, accept
                zero corrupted entries, and answer every recovered
-               cell bit-identically to a cold control daemon.
+               cell bit-identically to a cold control daemon.  The
+               /v1/trace flight recorder must stay serviceable (200,
+               valid mfusim-serve-trace-v1, balanced b/e pairs) both
+               mid-hammer and on the reborn daemon.
   corrupt      garbage appended to the journal tail; the restart
                must truncate it (metrics prove it) and keep serving
                bit-identical results.
@@ -187,6 +190,27 @@ def expect(condition, message):
         raise ScenarioFailure(message)
 
 
+def expect_trace_serviceable(daemon, when, min_spans=0):
+    """GET /v1/trace must answer 200 with a structurally sound
+    flight-recorder dump: the recorder is the tool you reach for
+    exactly when the daemon is in trouble, so chaos is when it must
+    keep working."""
+    status, body = http_get(daemon.url("/v1/trace"))
+    expect(status == 200, f"/v1/trace {status} {when}")
+    dump = json.loads(body)
+    expect(dump.get("schema") == "mfusim-serve-trace-v1",
+           f"/v1/trace schema {dump.get('schema')!r} {when}")
+    events = dump.get("traceEvents", [])
+    begins = sum(1 for ev in events if ev.get("ph") == "b")
+    ends = sum(1 for ev in events if ev.get("ph") == "e")
+    expect(begins == ends,
+           f"/v1/trace {begins} begins vs {ends} ends {when}")
+    expect(ends >= min_spans,
+           f"/v1/trace only {ends} spans {when}, "
+           f"expected >= {min_spans}")
+    return ends
+
+
 # ------------------------------------------------------------- scenarios
 
 def scenario_kill9(binary, workdir, truth):
@@ -212,6 +236,10 @@ def scenario_kill9(binary, workdir, truth):
         writer = threading.Thread(target=hammer, daemon=True)
         writer.start()
         time.sleep(0.5)
+        # Flight recorder under fire: the dump must be readable WHILE
+        # the hammer thread keeps appends in flight.
+        spans = expect_trace_serviceable(victim, "mid-hammer",
+                                         min_spans=6)
         victim.kill9()          # no drain, no fsync, mid-traffic
         stop.set()
         writer.join(timeout=10)
@@ -237,7 +265,12 @@ def scenario_kill9(binary, workdir, truth):
             hits += bool(payload["cached"])
         expect(hits >= 6,
                f"expected >= 6 warm answers after restart, got {hits}")
+        # The reborn daemon starts a fresh recorder; after the replay
+        # above it must already hold every cell's span.
+        expect_trace_serviceable(reborn, "after restart",
+                                 min_spans=len(truth))
         print(f"  kill9: recovered={int(recovered)} warm_hits={hits} "
+              f"trace_spans_mid_hammer={spans} "
               f"all {len(truth)} cells bit-identical")
     finally:
         reborn.close()

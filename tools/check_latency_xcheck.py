@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Cross-check client- and server-side latency views of one load run.
+
+Usage: check_latency_xcheck.py REPORT.json METRICS.prom [--slack F]
+
+REPORT.json is a saturation report from tools/loadgen.py
+(mfusim-loadgen-sat-v1); METRICS.prom is the Prometheus exposition
+scraped from the same daemon's /metrics right after the run.  The two
+measure the same traffic from opposite ends of the socket, so they
+must agree up to pipelining and histogram coarseness:
+
+  1. the server must have counted at least as many /v1/simulate
+     requests as the client completed (warmup requests make it
+     strictly more);
+  2. the server-side p99 (upper bucket edge of
+     mfusim_http_request_seconds{endpoint="simulate"}) must not
+     exceed the client-observed p99 by more than --slack: the client
+     number includes the whole pipelined batch round trip plus
+     Python overhead, so server time above it means the histograms
+     are lying;
+  3. every mfusim_http_phase_seconds phase histogram must carry the
+     same count as phase="total" — each published span records all
+     phases or none — and that count must equal the
+     mfusim_http_trace_spans_published_total counter.
+
+Exit code 0 when every check holds, 1 otherwise.  Standard library
+only; used by the serve-throughput CI job.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+PHASES = ("parse", "dispatch", "queue", "compute", "serialize",
+          "write_first", "write_drain")
+
+LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+
+
+def parse_prom(path):
+    """{(name, frozenset(label pairs)): float value}"""
+    samples = {}
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = LINE.match(line)
+            if not match:
+                continue
+            labels = frozenset(
+                pair.split("=", 1)[0] + "=" +
+                pair.split("=", 1)[1].strip('"')
+                for pair in (match.group("labels") or "").split(",")
+                if "=" in pair)
+            samples[(match.group("name"), labels)] = \
+                float(match.group("value"))
+    return samples
+
+
+def sample(samples, name, **labels):
+    want = frozenset(f"{k}={v}" for k, v in labels.items())
+    for (sample_name, sample_labels), value in samples.items():
+        if sample_name == name and want <= sample_labels:
+            yield sample_labels, value
+
+
+def one(samples, name, **labels):
+    found = list(sample(samples, name, **labels))
+    if len(found) != 1:
+        return None
+    return found[0][1]
+
+
+def histogram_quantile(samples, name, fraction, **labels):
+    """Upper bucket edge covering the given quantile (seconds)."""
+    buckets = []
+    count = None
+    for labelset, value in sample(samples, name + "_bucket",
+                                  **labels):
+        le = next((label[3:] for label in labelset
+                   if label.startswith("le=")), None)
+        if le is None:
+            continue
+        if le == "+Inf":
+            count = value
+        else:
+            buckets.append((float(le), value))
+    if count is None or count == 0:
+        return None
+    buckets.sort()
+    need = fraction * count
+    for le, cumulative in buckets:
+        if cumulative >= need:
+            return le
+    return buckets[-1][0] if buckets else None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="loadgen vs /metrics latency cross-check")
+    parser.add_argument("report")
+    parser.add_argument("metrics")
+    parser.add_argument("--slack", type=float, default=4.0,
+                        help="server p99 may not exceed client p99 "
+                             "by more than this factor (absorbs the "
+                             "2x log2 upper-edge coarseness)")
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+    if report.get("schema") != "mfusim-loadgen-sat-v1":
+        print(f"xcheck: {args.report} is not a saturation report "
+              f"(schema {report.get('schema')!r})", file=sys.stderr)
+        return 1
+    samples = parse_prom(args.metrics)
+
+    failures = []
+    completed = report.get("requests_completed", 0)
+    client_p99_ms = report.get("latency_ms", {}).get("p99", 0.0)
+    histogram = report.get("latency_histogram", {})
+    if histogram.get("count") != completed:
+        failures.append(
+            f"report histogram count {histogram.get('count')} != "
+            f"requests_completed {completed}")
+
+    server_count = one(samples, "mfusim_http_request_seconds_count",
+                       endpoint="simulate")
+    if server_count is None:
+        failures.append("no mfusim_http_request_seconds_count"
+                        '{endpoint="simulate"} in metrics')
+    elif server_count < completed:
+        failures.append(
+            f"server counted {server_count:.0f} simulate requests "
+            f"but client completed {completed}")
+
+    server_p99_s = histogram_quantile(
+        samples, "mfusim_http_request_seconds", 0.99,
+        endpoint="simulate")
+    if server_p99_s is None:
+        failures.append("simulate latency histogram empty or absent")
+    elif client_p99_ms > 0 and \
+            server_p99_s * 1000.0 > client_p99_ms * args.slack:
+        failures.append(
+            f"server p99 <= {server_p99_s * 1000.0:.3f}ms exceeds "
+            f"client p99 {client_p99_ms}ms x slack {args.slack}")
+
+    total_count = one(samples, "mfusim_http_phase_seconds_count",
+                      phase="total")
+    if total_count is None:
+        failures.append('no mfusim_http_phase_seconds_count'
+                        '{phase="total"} in metrics')
+    else:
+        for phase in PHASES:
+            phase_count = one(samples,
+                              "mfusim_http_phase_seconds_count",
+                              phase=phase)
+            if phase_count != total_count:
+                failures.append(
+                    f"phase {phase} count {phase_count} != total "
+                    f"count {total_count:.0f}")
+        published = one(samples,
+                        "mfusim_http_trace_spans_published_total")
+        if published != total_count:
+            failures.append(
+                f"spans_published {published} != phase=total count "
+                f"{total_count:.0f}")
+
+    for failure in failures:
+        print(f"xcheck: FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"xcheck: OK: server p99 <= "
+              f"{server_p99_s * 1000.0:.3f}ms vs client p99 "
+              f"{client_p99_ms}ms over {completed} requests "
+              f"({total_count:.0f} spans published)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

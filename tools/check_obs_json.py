@@ -5,6 +5,11 @@ Usage: check_obs_json.py FILE [FILE...]
 
 Each FILE is sniffed by its top-level keys:
 
+  - a serve-tier flight-recorder dump ({"schema":
+    "mfusim-serve-trace-v1"}, produced by `GET /v1/trace` or a
+    SIGUSR2 dump) is checked for async b/e pairing, phase-sum
+    identity on every request (sum(phase_ns.*) == total_ns), compute
+    slices on named worker tracks, and well-formed fault instants;
   - a Chrome trace-event file ({"traceEvents": [...]}) is checked for
     structural validity: every event has the required keys for its
     phase, durations are non-negative, and "X" slices never end before
@@ -71,6 +76,111 @@ def check_chrome_trace(path, data):
     slices = sum(1 for ev in events if ev.get("ph") == "X")
     print(f"{path}: OK chrome-trace ({len(events)} events, "
           f"{slices} slices)")
+    return True
+
+
+REQ_PHASES = ("parse", "dispatch", "queue", "compute", "serialize",
+              "write_first", "write_drain")
+
+
+def check_serve_trace(path, data):
+    """Validate a serve-tier flight-recorder dump
+    (mfusim-serve-trace-v1): the Perfetto structure AND the tracing
+    invariants the server promises."""
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "traceEvents missing or empty")
+    if data.get("displayTimeUnit") != "ms":
+        return fail(path, "displayTimeUnit is not 'ms'")
+
+    thread_names = {}           # tid -> track name
+    begin_ids = {}              # async id -> count of "b" events
+    end_ids = {}                # async id -> count of "e" events
+    slice_tids = set()          # tids carrying compute "X" slices
+    counts = {"b": 0, "e": 0, "X": 0, "i": 0, "M": 0}
+    spans = faults = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(path, f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in counts:
+            return fail(path, f"event {i}: unexpected phase {ph!r}")
+        counts[ph] += 1
+        if "name" not in ev or "pid" not in ev:
+            return fail(path, f"event {i}: missing name/pid")
+        if ph == "M":
+            args = ev.get("args")
+            if not isinstance(args, dict):
+                return fail(path, f"event {i}: metadata without args")
+            if ev["name"] in ("process_name", "thread_name") and \
+                    "name" not in args:
+                return fail(path, f"event {i}: {ev['name']} without "
+                                  "args.name")
+            if ev["name"] == "thread_name":
+                thread_names[ev.get("tid")] = args["name"]
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(path, f"event {i}: bad ts {ts!r}")
+        if ph in ("b", "e"):
+            if ev.get("cat") != "request":
+                return fail(path, f"event {i}: async event without "
+                                  "cat 'request'")
+            if "id" not in ev:
+                return fail(path, f"event {i}: async event without id")
+            side = begin_ids if ph == "b" else end_ids
+            side[ev["id"]] = side.get(ev["id"], 0) + 1
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(path, f"event {i}: bad dur {dur!r}")
+            slice_tids.add(ev.get("tid"))
+        if ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                return fail(path, f"event {i}: instant without scope")
+            faults += 1
+        if ph == "e":
+            spans += 1
+            args = ev.get("args")
+            if not isinstance(args, dict):
+                return fail(path, f"event {i}: span end without args")
+            for key in ("seq", "status", "fd", "gen", "worker",
+                        "total_ns", "phase_ns"):
+                if key not in args:
+                    return fail(path, f"event {i}: span end missing "
+                                      f"args.{key}")
+            phase_ns = args["phase_ns"]
+            if not isinstance(phase_ns, dict) or \
+                    set(phase_ns) != set(REQ_PHASES):
+                return fail(path, f"event {i}: phase_ns keys "
+                                  f"{sorted(phase_ns)} != "
+                                  f"{sorted(REQ_PHASES)}")
+            for phase, ns in phase_ns.items():
+                if not isinstance(ns, int) or ns < 0:
+                    return fail(path, f"event {i}: phase {phase} "
+                                      f"bad value {ns!r}")
+            total = args["total_ns"]
+            if sum(phase_ns.values()) != total:
+                return fail(
+                    path,
+                    f"event {i} (seq {args['seq']}): phase-sum "
+                    f"identity violated: {sum(phase_ns.values())} "
+                    f"!= total_ns {total}")
+
+    for async_id, n in end_ids.items():
+        if begin_ids.get(async_id, 0) != n:
+            return fail(path, f"async id {async_id}: {n} end(s) vs "
+                              f"{begin_ids.get(async_id, 0)} begin(s)")
+    if counts["b"] != counts["e"]:
+        return fail(path, f"{counts['b']} begins vs {counts['e']} "
+                          "ends")
+    for tid in slice_tids:
+        if tid not in thread_names:
+            return fail(path, f"compute slice on unnamed track "
+                              f"tid {tid}")
+    print(f"{path}: OK serve-trace ({spans} spans, {counts['X']} "
+          f"slices, {faults} fault instants, "
+          f"{len(thread_names)} named tracks)")
     return True
 
 
@@ -146,6 +256,8 @@ def check_file(path):
         return fail(path, str(e))
     if not isinstance(data, dict):
         return fail(path, "top level is not an object")
+    if data.get("schema") == "mfusim-serve-trace-v1":
+        return check_serve_trace(path, data)
     if "traceEvents" in data:
         return check_chrome_trace(path, data)
     if data.get("schema") == "mfusim-metrics-v1":

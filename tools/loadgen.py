@@ -18,8 +18,11 @@ throughput instead of burst completion.  A fixed fleet of
 keep-alive connections (`--connections`, raw sockets so the Python
 client costs as little as possible) each sends the same cache-hit
 /v1/simulate request back to back for the whole duration; the report
-carries sustained RPS and p50/p95/p99 latency over the
-post-warmup window.  `--idle-connections M` additionally parks M
+carries sustained RPS, p50..p99.9 latency over the post-warmup
+window, and the full latency distribution as log2 buckets in the
+server's own histogram geometry (so
+tools/check_latency_xcheck.py can cross-check the client view
+against the mfusim_http_*_seconds histograms in /metrics).  `--idle-connections M` additionally parks M
 keep-alive connections that never send another byte, and a
 background /healthz probe records whether the parked fleet degrades
 live-request latency — the "idle clients must not deny service"
@@ -62,6 +65,30 @@ def percentile(sorted_values, fraction):
     index = max(0, min(len(sorted_values) - 1,
                        int(round(fraction * (len(sorted_values) - 1)))))
     return sorted_values[index]
+
+
+def log2_latency_histogram(latencies_ms):
+    """Full client-side latency distribution in the server's own
+    histogram geometry: log2 buckets over nanoseconds, bucket i
+    holding values of bit width i with upper edge (2^i - 1) ns.
+    Emitted as cumulative [le_seconds, count] pairs so
+    tools/check_latency_xcheck.py can line the report up against the
+    mfusim_http_*_seconds buckets scraped from /metrics."""
+    per_bucket = {}
+    for ms in latencies_ms:
+        ns = max(0, int(ms * 1e6))
+        index = ns.bit_length()
+        per_bucket[index] = per_bucket.get(index, 0) + 1
+    buckets, running = [], 0
+    for i in range(0, max(per_bucket, default=0) + 1):
+        running += per_bucket.get(i, 0)
+        buckets.append([(2 ** i - 1) * 1e-9, running])
+    return {
+        "scheme": "log2-ns",
+        "unit": "seconds",
+        "count": len(latencies_ms),
+        "buckets": buckets,
+    }
 
 
 class Worker(threading.Thread):
@@ -429,11 +456,17 @@ def run_saturation(args, health):
         "reconnects": errors[0],
         "non_2xx": errors[1],
         "latency_ms": {
+            "min": round(latencies[0], 3) if latencies else 0.0,
+            "mean": round(sum(latencies) / len(latencies), 3)
+                if latencies else 0.0,
             "p50": round(percentile(latencies, 0.50), 3),
+            "p90": round(percentile(latencies, 0.90), 3),
             "p95": round(percentile(latencies, 0.95), 3),
             "p99": round(percentile(latencies, 0.99), 3),
+            "p999": round(percentile(latencies, 0.999), 3),
             "max": round(latencies[-1], 3) if latencies else 0.0,
         },
+        "latency_histogram": log2_latency_histogram(latencies),
         "probe_healthz": {
             "count": len(probe_lat),
             "failures": prober.failures,

@@ -21,6 +21,8 @@
  *                  [--deadline-ms M] [--max-body B] [--cache-dir P]
  *                  [--header-timeout-ms H] [--write-timeout-ms W]
  *                  [--idle-timeout-ms I] [--max-pipeline P]
+ *                  [--slow-request-ms S] [--trace-ring N]
+ *                  [--trace-dump PREFIX] [--no-request-trace]
  *
  * --jobs N  worker threads for sweeps (also: MFUSIM_JOBS env var);
  *           used by "rate all"
@@ -63,6 +65,16 @@
  * bound (default 16).  SIGINT/SIGTERM drain gracefully.
  * MFUSIM_FAULTS arms deterministic fault injection for chaos testing
  * (see core/faultpoint.hh for the spec grammar).
+ *
+ * serve tracing (obs/req_trace.hh, docs/SERVING.md): request
+ * lifecycle tracing is on by default — every request is phase-
+ * stamped into per-worker flight-recorder rings, exported live via
+ * GET /v1/trace?last=N and dumped to <PREFIX>-<n>.json on SIGUSR2
+ * (--trace-dump PREFIX, default "mfusim-trace").  --trace-ring N
+ * sets spans retained per ring (default 2048), --slow-request-ms S
+ * logs a structured line for requests slower than S ms (default 0 =
+ * off), --no-request-trace disarms the whole subsystem (/v1/trace
+ * then answers 503).
  * <loop>    1..14 (optionally "<id>x<factor>" for an unrolled
  *           variant, e.g. "1x4", or "<id>v" for a vector-unit
  *           compilation, e.g. "7v"), or "all" (rate only): every
@@ -86,12 +98,19 @@
 #include <vector>
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include "mfusim/mfusim.hh"
+#include "mfusim/obs/req_trace.hh"
 
 #ifndef MFUSIM_GIT_SHA
 #define MFUSIM_GIT_SHA "unknown"
+#endif
+
+#ifndef MFUSIM_BUILD_TYPE
+#define MFUSIM_BUILD_TYPE "unknown"
 #endif
 
 using namespace mfusim;
@@ -136,6 +155,10 @@ usage()
                  "[--write-timeout-ms W]\n"
                  "             [--idle-timeout-ms I] "
                  "[--max-pipeline P]\n"
+                 "             [--slow-request-ms S] "
+                 "[--trace-ring N]\n"
+                 "             [--trace-dump PREFIX] "
+                 "[--no-request-trace]\n"
                  "       mfusim --version\n");
     std::exit(2);
 }
@@ -398,11 +421,36 @@ cmdRateAll(const std::string &machine, const MachineConfig &cfg)
     return 0;
 }
 
+namespace
+{
+
+/**
+ * SIGUSR2 self-pipe: the handler only writes one byte (async-signal
+ * safe); the serve park loop polls the read end and dumps the flight
+ * recorder when it fires.  Mirrors the shutdown self-pipe pattern
+ * (core/shutdown.hh) — SIGUSR2 stays CLI-local because only the
+ * serve command gives it a meaning.
+ */
+int g_usr2Pipe[2] = { -1, -1 };
+
+void
+handleUsr2(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = write(g_usr2Pipe[1], &byte, 1);
+}
+
+} // namespace
+
 int
 cmdServe(const std::vector<std::string> &args)
 {
     ServeOptions opts;
     std::string cacheDir;
+    bool traceEnabled = true;
+    std::size_t traceRing = 2048;
+    unsigned long slowRequestMs = 0;
+    std::string traceDumpPrefix = "mfusim-trace";
     const auto numeric = [](const std::string &flag,
                             const std::string &value) -> unsigned long {
         try {
@@ -449,9 +497,19 @@ cmdServe(const std::vector<std::string> &args)
                 unsigned(numeric("--max-pipeline", value()));
         else if (args[i] == "--cache-dir")
             cacheDir = value();
+        else if (args[i] == "--slow-request-ms")
+            slowRequestMs = numeric("--slow-request-ms", value());
+        else if (args[i] == "--trace-ring")
+            traceRing = numeric("--trace-ring", value());
+        else if (args[i] == "--trace-dump")
+            traceDumpPrefix = value();
+        else if (args[i] == "--no-request-trace")
+            traceEnabled = false;
         else
             usage();
     }
+    if (traceRing == 0)
+        traceRing = 1;
 
     // Arm fault injection from MFUSIM_FAULTS before any guarded code
     // runs; a typo in the spec must abort startup, not be silently
@@ -508,7 +566,32 @@ cmdServe(const std::vector<std::string> &args)
         setrlimit(RLIMIT_NOFILE, &nofile);
     }
 
-    SimService service(SimServiceOptions{ MFUSIM_GIT_SHA, 256 });
+    // The flight recorder: one ring per worker track plus the
+    // reactor's, alive for the whole serve run.  Declared before the
+    // server so it strictly outlives it (the server publishes into
+    // it until stop() returns).
+    std::unique_ptr<RequestTracer> tracer;
+    if (traceEnabled) {
+        ReqTraceOptions traceOpts;
+        traceOpts.ringCapacity = traceRing;
+        traceOpts.workers = opts.workers == 0 ? 1 : opts.workers;
+        traceOpts.slowRequestNs =
+            std::uint64_t(slowRequestMs) * 1000000u;
+        tracer = std::make_unique<RequestTracer>(traceOpts);
+        // Fault fires become instant events on the trace timeline.
+        RequestTracer *raw = tracer.get();
+        FaultRegistry::instance().setFireListener(
+            [raw](const std::string &point) {
+                raw->recordFault(point);
+            });
+    }
+
+    SimServiceOptions serviceOpts;
+    serviceOpts.version = MFUSIM_GIT_SHA;
+    serviceOpts.gitSha = MFUSIM_GIT_SHA;
+    serviceOpts.buildType = MFUSIM_BUILD_TYPE;
+    serviceOpts.tracer = tracer.get();
+    SimService service(serviceOpts);
     HttpServer server(opts,
                       [&service](const HttpRequest &request,
                                  unsigned budgetMs) {
@@ -519,6 +602,22 @@ cmdServe(const std::vector<std::string> &args)
                                      HttpResponse *response) {
         return service.tryFastAnswer(request, response);
     });
+    server.setTracer(tracer.get());
+
+    // SIGUSR2 dumps the flight recorder to a file without disturbing
+    // the daemon — installed before the server threads spawn so every
+    // thread inherits the disposition (the self-pipe makes it safe
+    // from any of them).
+    if (tracer != nullptr && g_usr2Pipe[0] < 0 &&
+        pipe(g_usr2Pipe) == 0) {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = handleUsr2;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_RESTART;
+        sigaction(SIGUSR2, &sa, nullptr);
+    }
+
     server.start();
     std::printf("mfusim serve %s listening on port %u "
                 "(%u workers, queue depth %u, deadline %u ms)\n",
@@ -527,16 +626,48 @@ cmdServe(const std::vector<std::string> &args)
     std::fflush(stdout);
 
     // Park until SIGINT/SIGTERM: the self-pipe becomes readable the
-    // instant the signal lands.
-    struct pollfd pfd = { shutdownFd(), POLLIN, 0 };
+    // instant the signal lands.  SIGUSR2 (second slot) dumps the
+    // flight recorder and keeps serving.
+    struct pollfd pfds[2] = { { shutdownFd(), POLLIN, 0 },
+                              { g_usr2Pipe[0], POLLIN, 0 } };
+    const nfds_t npfds = g_usr2Pipe[0] >= 0 ? 2 : 1;
+    unsigned dumpCount = 0;
     while (!shutdownRequested()) {
-        if (poll(&pfd, 1, 1000) < 0 && errno != EINTR)
+        pfds[0].revents = pfds[1].revents = 0;
+        if (poll(pfds, npfds, 1000) < 0 && errno != EINTR)
             break;
+        if (npfds > 1 && (pfds[1].revents & POLLIN) != 0) {
+            // One read drains all coalesced signal bytes; a burst
+            // beyond the buffer just means one extra (harmless) dump
+            // on the next loop.
+            char drain[256];
+            [[maybe_unused]] ssize_t got =
+                read(g_usr2Pipe[0], drain, sizeof(drain));
+            const std::string path = traceDumpPrefix + "-" +
+                std::to_string(dumpCount++) + ".json";
+            std::ofstream out(path);
+            if (out) {
+                tracer->writeServeTrace(out, 0);
+                std::printf(
+                    "mfusim serve: SIGUSR2, dumped flight "
+                    "recorder to %s\n",
+                    path.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "mfusim serve: SIGUSR2 dump to %s "
+                             "failed\n",
+                             path.c_str());
+            }
+            std::fflush(stdout);
+        }
     }
     std::printf("mfusim serve: signal %d, draining...\n",
                 shutdownSignal());
     std::fflush(stdout);
     server.stop();
+    // The server is drained and its threads joined: no publisher can
+    // touch the tracer past here, so the fault listener can go.
+    FaultRegistry::instance().setFireListener(nullptr);
     // Make sure every journaled result survives the exit: appends
     // are fsync'd only periodically while serving.
     ResultCache::instance().flushPersist();
