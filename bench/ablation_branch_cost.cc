@@ -40,7 +40,7 @@ main()
             double rates[3];
             int idx = 0;
             for (unsigned br : { 5u, 2u, 1u }) {
-                const MachineConfig cfg{ 11, br };
+                const MachineConfig cfg{ 11, br, {} };
                 rates[idx++] = meanIssueRate(factory, cls, cfg);
             }
             table.addRow({

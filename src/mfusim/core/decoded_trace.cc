@@ -38,6 +38,7 @@ DecodedTrace::DecodedTrace(const DynTrace &trace,
     dst_.reserve(n);
     srcA_.reserve(n);
     srcB_.reserve(n);
+    staticIdx_.reserve(n);
     prodA_.reserve(n);
     prodB_.reserve(n);
     prevWriter_.reserve(n);
@@ -79,6 +80,7 @@ DecodedTrace::DecodedTrace(const DynTrace &trace,
         dst_.push_back(dyn.dst);
         srcA_.push_back(dyn.srcA);
         srcB_.push_back(dyn.srcB);
+        staticIdx_.push_back(std::uint32_t(dyn.staticIdx));
 
         prodA_.push_back(dyn.srcA == kNoReg ? kNoProducer
                                             : lastWriter[dyn.srcA]);

@@ -132,6 +132,13 @@ class DecodedTrace
     RegId srcA(std::size_t i) const { return srcA_[i]; }
     RegId srcB(std::size_t i) const { return srcB_[i]; }
 
+    /** Static instruction index (branch-predictor table hashing). */
+    std::uint32_t
+    staticIdx(std::size_t i) const
+    {
+        return staticIdx_[i];
+    }
+
     // ---- program-order dependence links --------------------------
 
     /** Index of the last earlier writer of srcA, or kNoProducer. */
@@ -159,6 +166,7 @@ class DecodedTrace
     std::vector<RegId> dst_;
     std::vector<RegId> srcA_;
     std::vector<RegId> srcB_;
+    std::vector<std::uint32_t> staticIdx_;
     std::vector<std::uint32_t> prodA_;
     std::vector<std::uint32_t> prodB_;
     std::vector<std::uint32_t> prevWriter_;

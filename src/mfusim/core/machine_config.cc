@@ -13,8 +13,11 @@ namespace mfusim
 std::string
 MachineConfig::name() const
 {
-    return "M" + std::to_string(memLatency) +
+    std::string base = "M" + std::to_string(memLatency) +
         "BR" + std::to_string(branchTime);
+    if (predictor.armed())
+        base += "+" + predictor.key();
+    return base;
 }
 
 void
@@ -33,30 +36,31 @@ MachineConfig::validate() const
             std::to_string(branchTime) + " outside [1, " +
             std::to_string(kMax) + "]");
     }
+    predictor.validate();
 }
 
 MachineConfig
 configM11BR5()
 {
-    return MachineConfig{ 11, 5 };
+    return MachineConfig{ 11, 5, {} };
 }
 
 MachineConfig
 configM11BR2()
 {
-    return MachineConfig{ 11, 2 };
+    return MachineConfig{ 11, 2, {} };
 }
 
 MachineConfig
 configM5BR5()
 {
-    return MachineConfig{ 5, 5 };
+    return MachineConfig{ 5, 5, {} };
 }
 
 MachineConfig
 configM5BR2()
 {
-    return MachineConfig{ 5, 2 };
+    return MachineConfig{ 5, 2, {} };
 }
 
 const std::array<MachineConfig, 4> &

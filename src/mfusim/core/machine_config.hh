@@ -24,6 +24,7 @@
 #include <string>
 
 #include "mfusim/core/types.hh"
+#include "mfusim/spec/predictor.hh"
 
 namespace mfusim
 {
@@ -50,7 +51,18 @@ struct MachineConfig
      */
     unsigned branchTime = 5;
 
-    /** Short name in the paper's notation, e.g. "M11BR5". */
+    /**
+     * Branch-predictor axis (disarmed by default).  When armed, the
+     * speculative simulators fetch down the predicted path and
+     * squash on mispredicts instead of blocking the front end; the
+     * paper-mode configurations all leave this at kNone.
+     */
+    PredictorSpec predictor;
+
+    /**
+     * Short name in the paper's notation, e.g. "M11BR5"; an armed
+     * predictor appends its key ("M11BR5+2bit:512:w8").
+     */
     std::string name() const;
 
     /**
@@ -66,7 +78,8 @@ struct MachineConfig
     operator==(const MachineConfig &other) const
     {
         return memLatency == other.memLatency &&
-            branchTime == other.branchTime;
+            branchTime == other.branchTime &&
+            predictor == other.predictor;
     }
 };
 

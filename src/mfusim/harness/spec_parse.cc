@@ -76,6 +76,9 @@ parseMachineSpec(const std::string &spec, const MachineConfig &cfg)
 
     BusKind bus = BusKind::kPerUnit;
     BranchPolicy policy = BranchPolicy::kBlocking;
+    // ",pred=<spec>" arms a branch predictor on this machine's copy
+    // of the config (MultiIssue / RUU only; others reject it).
+    MachineConfig machineCfg = cfg;
     for (std::size_t i = 1; i < parts.size(); ++i) {
         if (parts[i] == "1bus")
             bus = BusKind::kSingle;
@@ -85,7 +88,11 @@ parseMachineSpec(const std::string &spec, const MachineConfig &cfg)
             policy = BranchPolicy::kBtfn;
         else if (parts[i] == "oracle")
             policy = BranchPolicy::kOracle;
-        else
+        else if (parts[i].rfind("pred=", 0) == 0) {
+            machineCfg.predictor =
+                PredictorSpec::parse(parts[i].substr(5));
+            machineCfg.predictor.validate();
+        } else
             throw ConfigError("unknown machine option '" + parts[i] +
                               "'");
     }
@@ -115,7 +122,7 @@ parseMachineSpec(const std::string &spec, const MachineConfig &cfg)
     };
 
     if (fields[0] == "simple")
-        return std::make_unique<SimpleSim>(cfg);
+        return std::make_unique<SimpleSim>(machineCfg);
     if (fields[0] == "serialmem" || fields[0] == "nonseg" ||
         fields[0] == "cray") {
         ScoreboardConfig org =
@@ -125,23 +132,23 @@ parseMachineSpec(const std::string &spec, const MachineConfig &cfg)
                     ScoreboardConfig::nonSegmented() :
                     ScoreboardConfig::crayLike();
         org.branchPolicy = policy;
-        return std::make_unique<ScoreboardSim>(org, cfg);
+        return std::make_unique<ScoreboardSim>(org, machineCfg);
     }
     if (fields[0] == "seq" || fields[0] == "ooo") {
         MultiIssueConfig org{ arg(1), fields[0] == "ooo", bus, false,
                               policy };
-        return std::make_unique<MultiIssueSim>(org, cfg);
+        return std::make_unique<MultiIssueSim>(org, machineCfg);
     }
     if (fields[0] == "ruu") {
         RuuConfig org{ arg(1), arg(2), bus, policy };
-        return std::make_unique<RuuSim>(org, cfg);
+        return std::make_unique<RuuSim>(org, machineCfg);
     }
     if (fields[0] == "cdc") {
         Cdc6600Config org;
         // ",xbar" lifts the single-result-bus completion model.
         org.modelResultBus = bus != BusKind::kCrossbar;
         org.branchPolicy = policy;
-        return std::make_unique<Cdc6600Sim>(org, cfg);
+        return std::make_unique<Cdc6600Sim>(org, machineCfg);
     }
     if (fields[0] == "tomasulo") {
         TomasuloConfig org;
@@ -150,7 +157,7 @@ parseMachineSpec(const std::string &spec, const MachineConfig &cfg)
         if (fields.size() > 2)
             org.cdbCount = arg(2);
         org.branchPolicy = policy;
-        return std::make_unique<TomasuloSim>(org, cfg);
+        return std::make_unique<TomasuloSim>(org, machineCfg);
     }
     throw ConfigError("unknown machine '" + parts[0] + "'");
 }

@@ -53,6 +53,8 @@ enum class StallCause : std::uint8_t
     kBranch,        //!< branch condition wait + branch issue floor
     kBufferDrain,   //!< issue buffer / RUU window / stations full
     kSerial,        //!< serial execution (Simple machine)
+    kMispredict,    //!< front end fetching the wrong path
+    kSquashDrain,   //!< post-squash refetch (branchTime redirect)
     kOther,         //!< unclassifiable (should not occur)
     kNumCauses
 };
@@ -72,6 +74,8 @@ stallCauseName(StallCause cause)
       case StallCause::kBranch:      return "branch";
       case StallCause::kBufferDrain: return "buffer_drain";
       case StallCause::kSerial:      return "serial";
+      case StallCause::kMispredict:  return "mispredict";
+      case StallCause::kSquashDrain: return "squash_drain";
       default:                       return "other";
     }
 }

@@ -54,6 +54,11 @@ PipeTraceRecorder::onEvent(const AuditEvent &event)
       case AuditPhase::kCommit:
         commit_[event.op] = event.cycle;
         break;
+      case AuditPhase::kWrongPath:
+      case AuditPhase::kSquash:
+        // Speculation events have no per-op lane in the pipeline
+        // view; the attributed mispredict/squash stalls cover them.
+        break;
     }
 }
 

@@ -24,7 +24,10 @@ namespace
 
 constexpr std::uint32_t kFileMagic = 0x4A55464DU;   // "MFUJ" LE
 constexpr std::uint32_t kRecordMagic = 0x5255464DU; // "MFUR" LE
-constexpr std::uint32_t kSchemaVersion = 1;
+// v2: payload grew the speculation counters (squashes, wrongPathOps).
+// A version bump discards v1 journals wholesale — recomputing is
+// always safe; decoding a v1 record into a v2 SimResult never is.
+constexpr std::uint32_t kSchemaVersion = 2;
 /** Framing sanity bound: no composed key approaches this. */
 constexpr std::uint32_t kMaxPayloadBytes = 1 << 20;
 constexpr std::size_t kRecordHeaderBytes = 12;
@@ -61,12 +64,13 @@ getU64(const char *p)
     return v;
 }
 
-/** payload := keyLen key instructions cycles stalls[5] hasStalls skipped */
+/** payload := keyLen key instructions cycles stalls[5] hasStalls
+ *  skipped squashes wrongPathOps */
 std::string
 encodePayload(const std::string &key, const SimResult &r)
 {
     std::string payload;
-    payload.reserve(4 + key.size() + 7 * 8 + 1 + 8);
+    payload.reserve(4 + key.size() + 7 * 8 + 1 + 3 * 8);
     putU32(payload, std::uint32_t(key.size()));
     payload.append(key);
     putU64(payload, r.instructions);
@@ -78,6 +82,8 @@ encodePayload(const std::string &key, const SimResult &r)
     putU64(payload, r.stalls.branch);
     payload.push_back(r.hasStalls ? '\1' : '\0');
     putU64(payload, r.steadyOpsSkipped);
+    putU64(payload, r.squashes);
+    putU64(payload, r.wrongPathOps);
     return payload;
 }
 
@@ -88,7 +94,7 @@ decodePayload(const char *p, std::size_t size, std::string *key,
     if (size < 4)
         return false;
     const std::uint32_t keyLen = getU32(p);
-    if (size != 4 + std::size_t(keyLen) + 7 * 8 + 1 + 8)
+    if (size != 4 + std::size_t(keyLen) + 7 * 8 + 1 + 3 * 8)
         return false;
     key->assign(p + 4, keyLen);
     const char *q = p + 4 + keyLen;
@@ -101,6 +107,8 @@ decodePayload(const char *p, std::size_t size, std::string *key,
     r->stalls.branch = getU64(q + 48);
     r->hasStalls = q[56] != '\0';
     r->steadyOpsSkipped = getU64(q + 57);
+    r->squashes = getU64(q + 65);
+    r->wrongPathOps = getU64(q + 73);
     return true;
 }
 

@@ -25,6 +25,7 @@
 #include "mfusim/serve/result_cache.hh"
 #include "mfusim/sim/audit.hh"
 #include "mfusim/sim/batched.hh"
+#include "mfusim/spec/predictor.hh"
 
 namespace mfusim
 {
@@ -91,6 +92,24 @@ requireMember(const Json &body, const std::string &key)
     if (value == nullptr || value->isNull())
         throw ServeError(400, "missing required field '" + key + "'");
     return *value;
+}
+
+/**
+ * Optional "predictor" request field: a spec string (see
+ * PredictorSpec::parse) that arms speculative execution on the
+ * machine config.  Parse errors surface as ConfigError -> 400.
+ */
+void
+applyPredictorField(const Json &body, MachineConfig *cfg)
+{
+    const Json *field = body.find("predictor");
+    if (field == nullptr || field->isNull())
+        return;
+    if (!field->isString())
+        throw ServeError(400, "'predictor' must be a spec string "
+                              "like \"2bit\" or \"fixed:90\"");
+    cfg->predictor = PredictorSpec::parse(field->asString());
+    cfg->predictor.validate();
 }
 
 /** One timed cell, shared by /v1/simulate and /v1/sweep rows. */
@@ -170,6 +189,13 @@ cellJson(const std::string &loopSpec, const std::string &machineSpec,
     out.set("audited", Json(cell.audited));
     out.set("steady_ops_skipped",
             Json(std::uint64_t(cell.result.steadyOpsSkipped)));
+    if (cfg.predictor.armed()) {
+        out.set("predictor", Json(cfg.predictor.key()));
+        out.set("squashes",
+                Json(std::uint64_t(cell.result.squashes)));
+        out.set("wrong_path_ops",
+                Json(std::uint64_t(cell.result.wrongPathOps)));
+    }
     return out;
 }
 
@@ -226,6 +252,9 @@ SimService::findFastCell(const std::string &body)
             const Json *cfgField = request.find("config");
             cell.cfg = parseConfigSpec(
                 cfgField != nullptr ? cfgField->asString() : "M11BR5");
+            // Without this the fast path would alias speculative and
+            // non-speculative requests onto the same cache key.
+            applyPredictorField(request, &cell.cfg);
             const Json *auditField = request.find("audit");
             cell.audited =
                 (auditField != nullptr && auditField->asBool()) ||
@@ -349,8 +378,9 @@ SimService::handleSimulate(const std::string &body)
     const std::string machineSpec =
         requireMember(request, "machine").asString();
     const Json *cfgField = request.find("config");
-    const MachineConfig cfg = parseConfigSpec(
+    MachineConfig cfg = parseConfigSpec(
         cfgField != nullptr ? cfgField->asString() : "M11BR5");
+    applyPredictorField(request, &cfg);
     const Json *auditField = request.find("audit");
     const bool audit =
         auditField != nullptr && auditField->asBool();
@@ -394,8 +424,9 @@ SimService::handleSweep(const std::string &body)
                              std::to_string(
                                  options_.maxSweepMachines));
     const Json *cfgField = request.find("config");
-    const MachineConfig cfg = parseConfigSpec(
+    MachineConfig cfg = parseConfigSpec(
         cfgField != nullptr ? cfgField->asString() : "M11BR5");
+    applyPredictorField(request, &cfg);
 
     // Validate every machine spec once, up front, so a bad spec is a
     // clean 400 instead of a SweepError from every cell.
@@ -602,6 +633,14 @@ SimService::handleMetrics()
         .add(batch.lockstepLanes);
     snapshot.counter("sweep.batch.scalar_lanes")
         .add(batch.scalarLanes);
+    // Speculation telemetry (spec/predictor.hh): registered
+    // unconditionally so the families exist (at zero) before any
+    // speculative run.
+    const SpecTelemetry specT = specTelemetry();
+    snapshot.counter("sim.squashes").add(specT.squashes);
+    snapshot.counter("sim.wrong_path_ops").add(specT.wrongPathOps);
+    snapshot.counter("sim.stall.mispredict_cycles")
+        .add(specT.mispredictCycles);
     if (options_.tracer != nullptr)
         options_.tracer->appendMetrics(snapshot);
     // Build identity as the standard info-gauge idiom: constant 1,

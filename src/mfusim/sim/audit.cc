@@ -35,8 +35,12 @@ Auditor::Auditor(const DecodedTrace &trace, const AuditRules &rules,
       commit_(trace.size(), kNoCycle),
       completeUnit_(trace.size(), -1),
       dispatchUnit_(trace.size(), -1),
-      insertUnit_(trace.size(), -1)
-{}
+      insertUnit_(trace.size(), -1),
+      squash_(trace.size(), kNoCycle)
+{
+    if (rules_.predictor.armed())
+        predOk_ = precomputePredictions(trace_, rules_.predictor);
+}
 
 void
 Auditor::fail(const std::string &check, ClockCycle cycle,
@@ -79,10 +83,28 @@ Auditor::predictedFree(std::uint64_t i) const
 {
     if (!trace_.isBranch(i))
         return false;
+    if (rules_.predictor.armed())
+        return predOk_[i] != 0;
     if (rules_.branchPolicy == BranchPolicy::kOracle)
         return true;
     return rules_.branchPolicy == BranchPolicy::kBtfn &&
         trace_.btfnCorrect(i);
+}
+
+ClockCycle
+Auditor::resolveCycle(std::uint64_t i) const
+{
+    // A mispredicted branch resolves one cycle after it enters the
+    // front end, or when its condition register materializes,
+    // whichever is later.
+    const ClockCycle f = front(i);
+    ClockCycle resolve = f + 1;
+    const std::uint32_t prod = trace_.prodA(i);
+    if (prod != DecodedTrace::kNoProducer &&
+        complete_[prod] != kNoCycle) {
+        resolve = std::max(resolve, complete_[prod]);
+    }
+    return resolve;
 }
 
 ClockCycle
@@ -127,6 +149,14 @@ Auditor::onEvent(const AuditEvent &event)
     }
     std::vector<ClockCycle> *slot = nullptr;
     switch (event.phase) {
+      case AuditPhase::kWrongPath:
+        // Many per branch; validated wholesale in checkSpeculation.
+        wrongPath_.push_back(event);
+        ++eventCount_;
+        return;
+      case AuditPhase::kSquash:
+        slot = &squash_;
+        break;
       case AuditPhase::kIssue:
         slot = &issue_;
         break;
@@ -166,6 +196,7 @@ Auditor::finish()
     checkFuOccupancy();
     checkWindows();
     checkDispatchCommit();
+    checkSpeculation();
 }
 
 void
@@ -235,6 +266,21 @@ Auditor::checkFrontOrder()
                      std::to_string(floor_branch));
         }
         if (trace_.isBranch(i) && !predictedFree(i)) {
+            if (rules_.predictor.armed()) {
+                // Speculative mispredict: the branch issues without
+                // waiting for its condition; the floor for younger
+                // right-path ops starts at the squash, one redirect
+                // (branchTime) later.
+                const ClockCycle resolve =
+                    resolveCycle(i) + trace_.config().branchTime;
+                if (resolve > floor) {
+                    floor = resolve;
+                    floor_branch = i;
+                }
+                prev = f;
+                have_prev = true;
+                continue;
+            }
             if (rules_.rawAt != AuditRules::RawAt::kNone) {
                 const std::uint32_t prod = trace_.prodA(i);
                 if (prod != DecodedTrace::kNoProducer &&
@@ -577,6 +623,78 @@ Auditor::checkDispatchCommit()
             }
             prev = c;
             have_prev = true;
+        }
+    }
+}
+
+void
+Auditor::checkSpeculation()
+{
+    const std::size_t n = trace_.size();
+    if (!rules_.predictor.armed()) {
+        // A disarmed organization must not emit speculation events.
+        if (!wrongPath_.empty()) {
+            const AuditEvent &ev = wrongPath_.front();
+            fail("unexpected-wrong-path", ev.cycle, ev.op,
+                 "wrong-path event without an armed predictor");
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (squash_[i] != kNoCycle)
+                fail("unexpected-squash", squash_[i], i,
+                     "squash event without an armed predictor");
+        }
+        return;
+    }
+
+    // Squash legality: exactly one squash per mispredicted branch,
+    // at its resolve cycle; nothing else squashes.
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool mispredicted =
+            trace_.isBranch(i) && predOk_[i] == 0;
+        if (!mispredicted) {
+            if (squash_[i] != kNoCycle)
+                fail("squash-legality", squash_[i], i,
+                     "squash on an op that is not a mispredicted"
+                     " branch");
+            continue;
+        }
+        const ClockCycle resolve = resolveCycle(i);
+        if (squash_[i] == kNoCycle)
+            fail("squash-legality", resolve, i,
+                 "mispredicted branch never squashed");
+        if (squash_[i] != resolve) {
+            fail("squash-legality", squash_[i], i,
+                 "squashes at cycle " + std::to_string(squash_[i]) +
+                     " instead of its resolve cycle " +
+                     std::to_string(resolve));
+        }
+    }
+
+    // Wrong-path discipline: every wrong-path slot belongs to a
+    // mispredicted branch, lives strictly between the branch's front
+    // event and its squash, and the per-branch count respects the
+    // fetch window.  (Wrong-path ops are synthesized, not trace ops,
+    // so they structurally cannot commit — kCommit events are
+    // range-checked against the trace.)
+    std::vector<unsigned> per_branch(n, 0);
+    for (const AuditEvent &ev : wrongPath_) {
+        const std::uint64_t b = ev.op;
+        if (!trace_.isBranch(b) || predOk_[b] != 0)
+            fail("wrong-path-legality", ev.cycle, b,
+                 "wrong-path op charged to an op that is not a"
+                 " mispredicted branch");
+        const ClockCycle f = front(b);
+        if (ev.cycle <= f || ev.cycle >= squash_[b]) {
+            fail("wrong-path-legality", ev.cycle, b,
+                 "wrong-path op outside (" + std::to_string(f) +
+                     ", " + std::to_string(squash_[b]) +
+                     "), the branch's fetch..squash span");
+        }
+        if (++per_branch[b] > rules_.predictor.wrongPathWindow) {
+            fail("wrong-path-legality", ev.cycle, b,
+                 "more than " +
+                     std::to_string(rules_.predictor.wrongPathWindow) +
+                     " wrong-path ops for one mispredict");
         }
     }
 }

@@ -64,6 +64,10 @@ enum class AuditPhase : std::uint8_t
     kComplete,  //!< op's result became available
     kInsert,    //!< op entered the RUU window (RUU front event)
     kCommit,    //!< op retired from the RUU head
+    kWrongPath, //!< a wrong-path op occupied a fetch slot (op =
+                //!< the mispredicted branch, unit = slot ordinal)
+    kSquash,    //!< a mispredicted branch resolved and flushed its
+                //!< younger ops (op = the branch)
 };
 
 /** One cycle-stamped pipeline event. */
@@ -126,6 +130,19 @@ struct AuditRules
     bool vectorChaining = false;
 
     BranchPolicy branchPolicy = BranchPolicy::kBlocking;
+
+    /**
+     * Armed predictor: the auditor replays the prediction stream
+     * (precomputePredictions) and enforces the squash-legality
+     * invariants instead of the blocking-branch floor — a correctly
+     * predicted branch imposes no floor; a mispredicted branch must
+     * emit exactly one kSquash at its resolve cycle, younger ops'
+     * front events obey resolve + branchTime, and kWrongPath events
+     * stay within [branch front + 1, resolve) and the wrong-path
+     * window.  Wrong-path ops are not trace ops, so they can never
+     * appear in a kCommit event by construction.
+     */
+    PredictorSpec predictor;
 
     /** Result busses; 0 disables the exclusivity check. */
     unsigned busCount = 0;
@@ -192,6 +209,10 @@ class Auditor : public AuditSink
     void checkFuOccupancy();
     void checkWindows();
     void checkDispatchCommit();
+    void checkSpeculation();
+
+    /** Resolve cycle of mispredicted branch @p i (front + preds). */
+    ClockCycle resolveCycle(std::uint64_t i) const;
 
     const DecodedTrace &trace_;
     AuditRules rules_;
@@ -204,6 +225,13 @@ class Auditor : public AuditSink
         commit_;
     std::vector<std::int32_t> completeUnit_, dispatchUnit_,
         insertUnit_;
+
+    // Speculation stream: replayed predictions (empty unless the
+    // rules arm a predictor), per-op squash cycles, and the raw
+    // wrong-path events for checkSpeculation().
+    std::vector<std::uint8_t> predOk_;
+    std::vector<ClockCycle> squash_;
+    std::vector<AuditEvent> wrongPath_;
 
     ClockCycle front(std::uint64_t i) const;
     ClockCycle exec(std::uint64_t i) const;

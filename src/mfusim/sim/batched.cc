@@ -874,6 +874,10 @@ classify(const BatchLane &lane)
     // Audited runs need the complete event stream: scalar path.
     if (lane.sim->auditSink() != nullptr)
         return LaneKind::kScalar;
+    // Speculative lanes (armed predictor) carry wrong-path fetch and
+    // squash state the lockstep kernels do not model: scalar path.
+    if (lane.sim->config().predictor.armed())
+        return LaneKind::kScalar;
     if (dynamic_cast<const SimpleSim *>(lane.sim) != nullptr)
         return LaneKind::kSimple;
     if (const auto *sb =

@@ -28,6 +28,7 @@
 #define MFUSIM_SIM_CDC6600_SIM_HH
 
 #include "mfusim/core/branch_policy.hh"
+#include "mfusim/core/error.hh"
 #include "mfusim/sim/simulator.hh"
 
 namespace mfusim
@@ -49,7 +50,13 @@ class Cdc6600Sim : public Simulator
   public:
     Cdc6600Sim(const Cdc6600Config &org, const MachineConfig &cfg)
         : org_(org), cfg_(cfg)
-    {}
+    {
+        if (cfg_.predictor.armed())
+            throw ConfigError(
+                "Cdc6600Sim: branch prediction is not modeled for"
+                " the single-issue machines (drop the predictor"
+                " spec)");
+    }
 
     using Simulator::run;
     SimResult run(const DecodedTrace &trace) override;

@@ -33,6 +33,13 @@ MultiIssueSim::MultiIssueSim(const MultiIssueConfig &org,
         throw ConfigError("MultiIssueSim: fuCopies must be >= 1");
     if (org_.memPorts < 1)
         throw ConfigError("MultiIssueSim: memPorts must be >= 1");
+    if (cfg_.predictor.armed() &&
+        org_.branchPolicy != BranchPolicy::kBlocking) {
+        throw ConfigError(
+            "MultiIssueSim: an armed predictor replaces the branch"
+            " policy; combine it only with the default blocking"
+            " policy");
+    }
 }
 
 std::string
@@ -55,7 +62,9 @@ MultiIssueSim::cacheKey() const
         "|bp=" + branchPolicyName(org_.branchPolicy) +
         "|fuc=" + std::to_string(org_.fuCopies) +
         "|mp=" + std::to_string(org_.memPorts) +
-        "|wd=" + std::to_string(org_.watchdogCycles);
+        "|wd=" + std::to_string(org_.watchdogCycles) +
+        (cfg_.predictor.armed() ? "|pred=" + cfg_.predictor.key()
+                                : std::string());
 }
 
 SimResult
@@ -84,24 +93,47 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
             "scalar-only; use ScoreboardSim)");
     }
 
-    // A branch is "predicted free" when the (extension) branch
-    // policy resolves it without gating the stream: oracle always,
-    // BTFN when the static prediction matches the outcome.
-    const auto predicted_free = [this, &trace](std::size_t j) {
+    // Armed predictor: the front end speculates down the predicted
+    // path.  Prediction outcomes are precomputed once in trace order
+    // (they are timing-independent; wrong-path ops never update the
+    // predictor) and replace the static branch-policy logic below.
+    const bool spec = cfg_.predictor.armed();
+    std::vector<std::uint8_t> predOk;
+    if (spec)
+        predOk = precomputePredictions(trace, cfg_.predictor);
+
+    // A branch is "predicted free" when it resolves without gating
+    // the stream: a correctly predicted branch under an armed
+    // predictor, oracle always, BTFN when the static prediction
+    // matches the outcome.
+    const auto predicted_free = [this, &trace, spec,
+                                 &predOk](std::size_t j) {
         if (!trace.isBranch(j))
             return false;
+        if (spec)
+            return predOk[j] != 0;
         if (org_.branchPolicy == BranchPolicy::kOracle)
             return true;
         return org_.branchPolicy == BranchPolicy::kBtfn &&
             trace.btfnCorrect(j);
     };
+    // A branch issues without waiting for its condition when the
+    // front end carries on past it: any branch under an armed
+    // predictor (a mispredicted one resolves — and squashes — in the
+    // background), otherwise exactly the predicted-free ones.
+    const auto issue_free = [&trace, spec,
+                             &predicted_free](std::size_t j) {
+        return spec ? trace.isBranch(j) : predicted_free(j);
+    };
     // A branch squashes the buffer slots behind it when the machine
-    // must refetch: a taken branch under the blocking policy, or any
-    // mispredicted branch under BTFN.
-    const auto squashes = [this, &trace,
+    // must refetch: any mispredicted branch under an armed predictor
+    // or BTFN, or a taken branch under the blocking policy.
+    const auto squashes = [this, &trace, spec,
                            &predicted_free](std::size_t j) {
         if (!trace.isBranch(j) || predicted_free(j))
             return false;
+        if (spec)
+            return true;
         return trace.taken(j) ||
             org_.branchPolicy == BranchPolicy::kBtfn;
     };
@@ -139,12 +171,31 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
 
     // Issue floor imposed by the most recently issued branch: no
     // instruction that follows it in program order may issue before
-    // floorTime.
+    // floorTime.  When the floor comes from a squashed mispredict,
+    // floorResolve splits it for stall attribution: cycles before
+    // the resolve were spent fetching the wrong path, cycles after
+    // it are the post-squash redirect.
     std::size_t floorIdx = std::numeric_limits<std::size_t>::max();
     ClockCycle floorTime = 0;
+    ClockCycle floorResolve = 0;
+    bool floorMispredict = false;
+
+    // One mispredicted branch can be pending per window (it
+    // truncates the window behind itself); its resolve time and
+    // wrong-path fetch are settled once the window drains, when the
+    // condition producer's completion time is known.
+    constexpr std::size_t kNoPending =
+        std::numeric_limits<std::size_t>::max();
+    std::size_t pendingBranch = kNoPending;
+    ClockCycle pendingIssue = 0;
+    std::uint64_t mispredictCycles = 0;
 
     ClockCycle t = 0;
     ClockCycle end = 0;
+    // Forgetting horizon of the result-bus reservation window: the
+    // wrong-path pollution below may only reserve cycles the bus
+    // still remembers (>= its last advanceTo).
+    ClockCycle busBase = 0;
     // No-forward-progress watchdog: cycle of the most recent issue.
     const ClockCycle watchdog = org_.watchdogCycles > 0
                                     ? org_.watchdogCycles
@@ -222,7 +273,13 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
     // the branch floor, the completion times the segment can still
     // read (its link-lookback window plus fixed pre-segment
     // producers), the pool and bus timelines, and the end watermark.
-    const bool steady = !kAudit && steadyStateEnabled();
+    // A non-perfect predictor's mispredict stream is aperiodic in
+    // general (2-bit counters and fixed-accuracy hashes do not
+    // respect the trace's loop period), so the steady-state fast
+    // path stays off for it; a perfect predictor never mispredicts
+    // and keeps the oracle-identical schedule.
+    const bool steady = !kAudit && steadyStateEnabled() &&
+        !(spec && cfg_.predictor.kind != PredictorSpec::Kind::kPerfect);
     SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
                                n);
     std::size_t boundary = tracker.nextBoundary();
@@ -316,7 +373,7 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                     continue;
                 }
                 std::uint64_t mask = 0;
-                const bool free_branch = predicted_free(j);
+                const bool free_branch = issue_free(j);
                 const RegId op_dst = trace.dst(j);
                 const RegId op_srcA = trace.srcA(j);
                 const RegId op_srcB = trace.srcB(j);
@@ -349,6 +406,7 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
         std::size_t remaining = wlen;
         while (remaining > 0) {
             bus.advanceTo(t);
+            busBase = t;
             bool progress = false;
             ClockCycle hint = kNever;   // earliest future issue event
 
@@ -362,6 +420,7 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
             [[maybe_unused]] bool seen_unissued = false;
             [[maybe_unused]] StallCause head_cause = StallCause::kOther;
             [[maybe_unused]] std::uint64_t head_op = 0;
+            [[maybe_unused]] bool head_floor_split = false;
 
             for (std::size_t j = wStart; j < wEnd; ++j) {
                 const std::size_t s = j - wStart;
@@ -390,7 +449,7 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                         }
                         const RegId prev_dst = trace.dst(k);
                         if (prev_dst != kNoReg) {
-                            if (!predicted_free(j) &&
+                            if (!issue_free(j) &&
                                 (prev_dst == trace.srcA(j) ||
                                  prev_dst == trace.srcB(j))) {
                                 buffer_hazard = true;   // RAW in buffer
@@ -423,7 +482,7 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                 // earlier *unissued* entries) are resolved only by a
                 // later cycle's scan.
                 const unsigned latency = trace.latency(j);
-                const bool free_branch = predicted_free(j);
+                const bool free_branch = issue_free(j);
                 ClockCycle earliest = 0;
                 // A predicted-free branch does not wait for its
                 // condition to issue (it resolves in the background).
@@ -454,11 +513,25 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                                     rawT, completion[trace.prodB(j)]);
                             if (trace.prevWriter(j) != kNoProd)
                                 wawT = completion[trace.prevWriter(j)];
-                            head_cause = trace.isBranch(j)
-                                ? StallCause::kBranch
-                                : rawT == earliest ? StallCause::kRaw
-                                : wawT == earliest ? StallCause::kWaw
-                                                   : StallCause::kBranch;
+                            if (floorMispredict && floorIdx < j &&
+                                floorTime == earliest &&
+                                rawT != earliest && wawT != earliest) {
+                                // Blocked by a squashed mispredict:
+                                // wrong-path fetch up to the resolve,
+                                // the refetch redirect after it.
+                                head_cause = t < floorResolve
+                                    ? StallCause::kMispredict
+                                    : StallCause::kSquashDrain;
+                                head_floor_split = t < floorResolve;
+                            } else {
+                                head_cause = trace.isBranch(j)
+                                    ? StallCause::kBranch
+                                    : rawT == earliest
+                                        ? StallCause::kRaw
+                                    : wawT == earliest
+                                        ? StallCause::kWaw
+                                        : StallCause::kBranch;
+                            }
                             head_op = j;
                             head_blocked = true;
                         }
@@ -527,7 +600,15 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                 }
                 completion[j] = ready;
                 if (trace.isBranch(j)) {
-                    if (free_branch) {
+                    if (spec && !predOk[j]) {
+                        // Mispredicted: the resolve time, wrong-path
+                        // fetch and squash floor are settled at
+                        // window drain, once the condition
+                        // producer's completion time is known.
+                        pendingBranch = j;
+                        pendingIssue = t;
+                        end = std::max(end, t + 1);
+                    } else if (free_branch) {
                         // One issue slot, no gating.
                         end = std::max(end, t + 1);
                     } else {
@@ -557,11 +638,81 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
                 throw_watchdog(next, wStart, wEnd);
             if constexpr (kAudit) {
                 // Nothing issued this pass: charge [t, next) to
-                // whatever blocked the oldest unissued entry.
-                if (head_blocked)
-                    emitStall(head_cause, t, next - t, head_op);
+                // whatever blocked the oldest unissued entry.  A
+                // span that straddles a mispredict's resolve cycle
+                // splits into wrong-path fetch + squash drain.
+                if (head_blocked) {
+                    if (head_floor_split && next > floorResolve) {
+                        emitStall(StallCause::kMispredict, t,
+                                  floorResolve - t, head_op);
+                        emitStall(StallCause::kSquashDrain,
+                                  floorResolve, next - floorResolve,
+                                  head_op);
+                    } else {
+                        emitStall(head_cause, t, next - t, head_op);
+                    }
+                }
             }
             t = next;
+        }
+
+        // A mispredicted branch drained with this window: it issued
+        // at pendingIssue and resolves at tr — one cycle later, or
+        // when its condition register materializes, whichever is
+        // later.  Until then the front end fetches and issues down
+        // the wrong path (synthesized from the following trace ops,
+        // bounded by the wrong-path window), polluting FU and
+        // result-bus timelines; right-path reservations all exist by
+        // now, so the wrong path never displaces them.  The squash
+        // at tr flushes every wrong-path op precisely — none has
+        // touched architectural state (completion[] carries only
+        // trace ops) — and the refetch redirect floors the right
+        // path at tr + branchTime.
+        if (spec && pendingBranch != kNoPending) {
+            const std::size_t j = pendingBranch;
+            ClockCycle tr = pendingIssue + 1;
+            if (trace.prodA(j) != kNoProd)
+                tr = std::max(tr, completion[trace.prodA(j)]);
+
+            const unsigned window = cfg_.predictor.wrongPathWindow;
+            for (unsigned k = 0; k < window; ++k) {
+                const ClockCycle c =
+                    pendingIssue + 1 + k / org_.width;
+                if (c >= tr)
+                    break;
+                const std::size_t src = (j + 1 + k) % n;
+                const FuClass wrong_fu = trace.fu(src);
+                const unsigned wrong_lat = trace.latency(src);
+                if (!trace.isBranch(src) && !trace.isTransfer(src) &&
+                    pool.canAccept(wrong_fu, c)) {
+                    pool.accept(wrong_fu, c, wrong_lat);
+                    // Its (doomed) result claims a completion slot
+                    // when the bus still remembers that cycle and no
+                    // right-path op holds it.
+                    const unsigned unit = k % org_.width;
+                    const ClockCycle done = c + wrong_lat;
+                    if (trace.producesResult(src) && done >= busBase &&
+                        done - busBase < 64 &&
+                        bus.canReserve(unit, done)) {
+                        bus.reserve(unit, done);
+                    }
+                }
+                ++result.wrongPathOps;
+                if constexpr (kAudit)
+                    emitAudit(AuditPhase::kWrongPath, c, j,
+                              std::int32_t(k));
+            }
+
+            floorIdx = j;
+            floorResolve = tr;
+            floorTime = tr + cfg_.branchTime;
+            floorMispredict = true;
+            end = std::max(end, floorTime);
+            ++result.squashes;
+            mispredictCycles += floorTime - (pendingIssue + 1);
+            if constexpr (kAudit)
+                emitAudit(AuditPhase::kSquash, tr, j);
+            pendingBranch = kNoPending;
         }
 
         // Refill: the next window's instructions can issue no
@@ -573,6 +724,9 @@ MultiIssueSim::runImpl(const DecodedTrace &trace)
 
     result.cycles = end;
     result.steadyOpsSkipped = tracker.opsSkipped();
+    if (spec)
+        recordSpecRun(result.squashes, result.wrongPathOps,
+                      mispredictCycles);
     return result;
 }
 
@@ -593,6 +747,7 @@ MultiIssueSim::auditRules() const
     rules.checkFuCaps = true;
     rules.fuCopies = org_.fuCopies;
     rules.memPorts = org_.memPorts;
+    rules.predictor = cfg_.predictor;
     return rules;
 }
 

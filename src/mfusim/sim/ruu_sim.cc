@@ -38,6 +38,12 @@ RuuSim::RuuSim(const RuuConfig &org, const MachineConfig &cfg)
         throw ConfigError("RuuSim: fuCopies must be >= 1");
     if (org_.memPorts < 1)
         throw ConfigError("RuuSim: memPorts must be >= 1");
+    if (cfg_.predictor.armed() &&
+        org_.branchPolicy != BranchPolicy::kBlocking) {
+        throw ConfigError(
+            "RuuSim: an armed predictor replaces the branch policy;"
+            " combine it only with the default blocking policy");
+    }
 }
 
 std::string
@@ -57,7 +63,9 @@ RuuSim::cacheKey() const
         "|bp=" + branchPolicyName(org_.branchPolicy) +
         "|fuc=" + std::to_string(org_.fuCopies) +
         "|mp=" + std::to_string(org_.memPorts) +
-        "|wd=" + std::to_string(org_.watchdogCycles);
+        "|wd=" + std::to_string(org_.watchdogCycles) +
+        (cfg_.predictor.armed() ? "|pred=" + cfg_.predictor.key()
+                                : std::string());
 }
 
 SimResult
@@ -105,11 +113,29 @@ RuuSim::runImpl(const DecodedTrace &trace)
     // Per-cycle commit capacity (RUU head -> register file).
     const unsigned commit_cap = dispatch_cap;
 
+    // Armed predictor: prediction outcomes precomputed in trace
+    // order (timing-independent; wrong-path ops never update the
+    // predictor); the static branch-policy logic below defers to
+    // them.
+    const bool spec = cfg_.predictor.armed();
+    std::vector<std::uint8_t> predOk;
+    if (spec)
+        predOk = precomputePredictions(trace, cfg_.predictor);
+
     struct Entry
     {
-        std::uint32_t idx;
+        std::uint32_t idx;  //!< trace op (wrong: the op it mimics)
         unsigned bank;
         bool dispatched;
+        /**
+         * A wrong-path entry: synthesized past a mispredicted
+         * branch.  It occupies its bank slot and contends for
+         * dispatch capacity, functional units and writeback busses
+         * like any entry, but its operands are garbage (treated as
+         * ready), it never writes result_time (no architectural
+         * effect), and it can never commit — the squash flushes it.
+         */
+        bool wrong = false;
     };
 
     // The RUU holds a sliding program-order window [ruu_head,
@@ -147,6 +173,19 @@ RuuSim::runImpl(const DecodedTrace &trace)
     std::size_t next_insert = 0;        // next trace op to issue
     std::uint64_t insert_counter = 0;   // round-robin bank assignment
     ClockCycle insert_blocked_until = 0;
+    // Wrong-path fetch mode: set while a mispredicted branch is in
+    // flight.  The front end pushes synthesized wrong-path entries
+    // (sources, banks and the round-robin phase are all derived from
+    // a private counter so the squash restores the never-fetched
+    // front-end state exactly) until the branch resolves.
+    bool wrong_mode = false;
+    std::size_t wrong_branch = 0;       // the mispredicted branch
+    ClockCycle wrong_ts = 0;            // its insert cycle
+    unsigned wrong_count = 0;           // wrong-path ops fetched
+    std::uint64_t wrong_counter = 0;    // private bank round-robin
+    std::size_t wrong_mark = 0;         // ruu.size() at the mispredict
+    bool drain_from_squash = false;     // attribution of the redirect
+    std::uint64_t mispredict_cycles = 0;
     ClockCycle t = 0;
     ClockCycle end = 0;
     // No-forward-progress watchdog: cycle of the most recent event.
@@ -229,7 +268,12 @@ RuuSim::runImpl(const DecodedTrace &trace)
     // the live RUU entries (index relative to the insert cursor),
     // and the result times the segment can still read — producers of
     // both future inserts (link lookback) and of the live entries.
-    const bool steady = !kAudit && steadyStateEnabled();
+    // Non-perfect mispredict streams are aperiodic in general, so
+    // the steady-state fast path stays off for them; a perfect
+    // predictor never mispredicts and keeps the oracle-identical
+    // schedule.
+    const bool steady = !kAudit && steadyStateEnabled() &&
+        !(spec && cfg_.predictor.kind != PredictorSpec::Kind::kPerfect);
     SteadyStateTracker tracker(steady ? &trace.periodicity() : nullptr,
                                n);
     std::size_t boundary = tracker.nextBoundary();
@@ -342,6 +386,42 @@ RuuSim::runImpl(const DecodedTrace &trace)
         ClockCycle hint = kUnknown;
         wb.advanceTo(t);
 
+        // ---- resolve: squash a mispredicted branch -----------------
+        if (wrong_mode) {
+            // The branch resolves one cycle after insert at the
+            // earliest, or when its condition operand exists.
+            const std::uint32_t prod = trace.prodA(wrong_branch);
+            ClockCycle tr = kUnknown;
+            if (prod == kNoProducer)
+                tr = wrong_ts + 1;
+            else if (result_time[prod] != kUnknown)
+                tr = std::max(result_time[prod], wrong_ts + 1);
+            if (tr != kUnknown && t >= tr) {
+                // Precise squash: every entry younger than the branch
+                // is wrong-path by construction; dropping them (and
+                // their bank slots) restores exactly the state a
+                // machine that never fetched them would hold.  FU and
+                // writeback-bus reservations already made by
+                // dispatched wrong-path work stay — that pollution is
+                // the cost of speculation.
+                for (std::size_t e = wrong_mark; e < ruu.size(); ++e)
+                    bank_count[ruu[e].bank]--;
+                ruu.resize(wrong_mark);
+                wrong_mode = false;
+                insert_blocked_until = tr + cfg_.branchTime;
+                drain_from_squash = true;
+                end = std::max(end, insert_blocked_until);
+                ++result.squashes;
+                mispredict_cycles +=
+                    insert_blocked_until - (wrong_ts + 1);
+                if constexpr (kAudit)
+                    emitAudit(AuditPhase::kSquash, tr, wrong_branch);
+                progress = true;
+            } else if (tr != kUnknown) {
+                hint = std::min(hint, tr);
+            }
+        }
+
         // Front-end stall attribution for this cycle: set when the
         // insert stage has ops left but could not insert anything
         // (branch hold / condition wait / full RUU bank).  Cycles
@@ -355,6 +435,8 @@ RuuSim::runImpl(const DecodedTrace &trace)
         unsigned committed = 0;
         while (committed < commit_cap && ruu_head < ruu.size()) {
             const Entry &head = ruu[ruu_head];
+            if (head.wrong)
+                break;      // wrong-path work never commits
             if (!head.dispatched)
                 break;
             const ClockCycle r = result_time[head.idx];
@@ -384,6 +466,26 @@ RuuSim::runImpl(const DecodedTrace &trace)
                 continue;
 
             const std::uint32_t idx = entry.idx;
+            if (entry.wrong) {
+                // Wrong-path work: operands are garbage, so they are
+                // treated as ready; it contends for the functional
+                // unit and writeback bus like real work but has no
+                // architectural effect — no result_time write and no
+                // audit events (the mimicked trace op runs for real
+                // later).
+                const unsigned wlat = trace.latency(idx);
+                const FuClass wfu = trace.fu(idx);
+                if (!pool.canAccept(wfu, t))
+                    continue;
+                if (!wb.canReserve(entry.bank, t + wlat))
+                    continue;
+                wb.reserve(entry.bank, pool.accept(wfu, t, wlat));
+                entry.dispatched = true;
+                ++dispatched_total;
+                dispatched_bank[entry.bank]++;
+                progress = true;
+                continue;
+            }
             const std::uint32_t prodA = trace.prodA(idx);
             const std::uint32_t prodB = trace.prodB(idx);
             if (!operand_ready(prodA, t) ||
@@ -442,19 +544,64 @@ RuuSim::runImpl(const DecodedTrace &trace)
             if constexpr (kAudit) {
                 if (next_insert < n) {
                     front_blocked = true;
-                    front_cause = StallCause::kBranch;
+                    front_cause = drain_from_squash
+                                      ? StallCause::kSquashDrain
+                                      : StallCause::kBranch;
                     front_op = next_insert;
                 }
             }
             hint = std::min(hint, insert_blocked_until);
+        } else if (wrong_mode) {
+            // Wrong-path fetch: the front end keeps issuing down the
+            // predicted (wrong) path, synthesizing up to `width` ops
+            // per cycle shaped like the upcoming trace, until the
+            // wrong-path window fills or the branch resolves.  Like
+            // real branches, wrong-path branches take an issue slot
+            // but no RUU entry.
+            unsigned fetched = 0;
+            while (fetched < org_.width &&
+                   wrong_count < cfg_.predictor.wrongPathWindow) {
+                const std::size_t src =
+                    (wrong_branch + 1 + wrong_count) % n;
+                if (!trace.isBranch(src)) {
+                    const unsigned bank =
+                        banked ? unsigned(wrong_counter % org_.width)
+                               : 0;
+                    if (bank_count[bank] >= bank_cap[bank])
+                        break;  // RUU (bank) full: fetch stalls
+                    ruu.push_back(Entry{ std::uint32_t(src), bank,
+                                         false, true });
+                    bank_count[bank]++;
+                    ++wrong_counter;
+                }
+                if constexpr (kAudit)
+                    emitAudit(AuditPhase::kWrongPath, t, wrong_branch,
+                              std::int32_t(wrong_count));
+                ++wrong_count;
+                ++result.wrongPathOps;
+                ++fetched;
+                progress = true;
+            }
+            if constexpr (kAudit) {
+                // Wrong-path fetch emits no kInsert events, so the
+                // whole cycle reads as a mispredict stall in the run
+                // metrics.
+                front_blocked = true;
+                front_cause = StallCause::kMispredict;
+                front_op = wrong_branch;
+            }
         } else {
             unsigned inserted = 0;
             while (inserted < org_.width && next_insert < n) {
                 if (trace.isBranch(next_insert)) {
-                    const bool free_branch =
-                        org_.branchPolicy == BranchPolicy::kOracle ||
-                        (org_.branchPolicy == BranchPolicy::kBtfn &&
-                         trace.btfnCorrect(next_insert));
+                    // An armed predictor replaces the static branch
+                    // policy: its replayed outcome decides whether
+                    // the branch is free.
+                    const bool free_branch = spec
+                        ? predOk[next_insert] != 0
+                        : org_.branchPolicy == BranchPolicy::kOracle ||
+                          (org_.branchPolicy == BranchPolicy::kBtfn &&
+                           trace.btfnCorrect(next_insert));
                     if (free_branch) {
                         // Correctly predicted: one issue slot, no
                         // stall, and the front end keeps issuing.
@@ -467,10 +614,31 @@ RuuSim::runImpl(const DecodedTrace &trace)
                         progress = true;
                         continue;
                     }
-                    // Blocking (or mispredicted): the branch holds
-                    // the issue stage until its condition operand
-                    // exists, then blocks issue for the branch
-                    // time.  It never occupies an RUU slot.
+                    if (spec) {
+                        // Mispredicted: the front end redirects down
+                        // the wrong path starting next cycle.  The
+                        // branch itself takes an issue slot but no
+                        // RUU entry; the resolve check at the top of
+                        // the loop squashes when its condition
+                        // arrives.
+                        if constexpr (kAudit)
+                            emitAudit(AuditPhase::kInsert, t,
+                                      next_insert);
+                        wrong_mode = true;
+                        wrong_branch = next_insert;
+                        wrong_ts = t;
+                        wrong_count = 0;
+                        wrong_counter = insert_counter;
+                        wrong_mark = ruu.size();
+                        end = std::max(end, t + 1);
+                        ++next_insert;
+                        progress = true;
+                        break;      // issue stops at the mispredict
+                    }
+                    // Blocking: the branch holds the issue stage
+                    // until its condition operand exists, then
+                    // blocks issue for the branch time.  It never
+                    // occupies an RUU slot.
                     const std::uint32_t prod =
                         trace.prodA(next_insert);
                     if (!operand_ready(prod, t)) {
@@ -490,6 +658,7 @@ RuuSim::runImpl(const DecodedTrace &trace)
                         emitAudit(AuditPhase::kInsert, t,
                                   next_insert);
                     insert_blocked_until = t + cfg_.branchTime;
+                    drain_from_squash = false;
                     end = std::max(end, insert_blocked_until);
                     ++next_insert;
                     progress = true;
@@ -547,6 +716,9 @@ RuuSim::runImpl(const DecodedTrace &trace)
 
     result.cycles = end;
     result.steadyOpsSkipped = tracker.opsSkipped();
+    if (spec)
+        recordSpecRun(result.squashes, result.wrongPathOps,
+                      mispredict_cycles);
     return result;
 }
 
@@ -574,6 +746,7 @@ RuuSim::auditRules() const
     rules.bankedDispatch = org_.busKind == BusKind::kPerUnit;
     rules.commitWidth = rules.dispatchWidth;
     rules.inOrderCommit = true;
+    rules.predictor = cfg_.predictor;
     return rules;
 }
 

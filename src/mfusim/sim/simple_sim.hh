@@ -17,6 +17,7 @@
 #ifndef MFUSIM_SIM_SIMPLE_SIM_HH
 #define MFUSIM_SIM_SIMPLE_SIM_HH
 
+#include "mfusim/core/error.hh"
 #include "mfusim/sim/simulator.hh"
 
 namespace mfusim
@@ -26,7 +27,13 @@ namespace mfusim
 class SimpleSim : public Simulator
 {
   public:
-    explicit SimpleSim(const MachineConfig &cfg) : cfg_(cfg) {}
+    explicit SimpleSim(const MachineConfig &cfg) : cfg_(cfg)
+    {
+        if (cfg_.predictor.armed())
+            throw ConfigError(
+                "SimpleSim: branch prediction is not modeled for the"
+                " serial machine (drop the predictor spec)");
+    }
 
     using Simulator::run;
     SimResult run(const DecodedTrace &trace) override;

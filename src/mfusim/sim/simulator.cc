@@ -36,12 +36,16 @@ runAudited(Simulator &sim, const DecodedTrace &trace)
 /**
  * Shared guard: a DecodedTrace bakes the machine configuration into
  * its stored latencies, so running it on a simulator configured
- * differently would silently produce wrong timings.
+ * differently would silently produce wrong timings.  Only the two
+ * timing parameters matter — the decode is predictor-agnostic (the
+ * TraceLibrary cache shares one decode across predictor variants),
+ * so the predictor axis is deliberately not compared here.
  */
 void
 checkDecodedConfig(const DecodedTrace &trace, const MachineConfig &cfg)
 {
-    if (!(trace.config() == cfg)) {
+    if (trace.config().memLatency != cfg.memLatency ||
+        trace.config().branchTime != cfg.branchTime) {
         throw ConfigError(
             "simulator configured for " + cfg.name() +
             " cannot run a trace decoded for " +

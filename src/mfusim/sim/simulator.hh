@@ -75,6 +75,15 @@ struct SimResult
      */
     std::uint64_t steadyOpsSkipped = 0;
 
+    /**
+     * Speculation telemetry (zero unless a predictor is armed):
+     * mispredicted branches squashed, and wrong-path instructions
+     * that actually occupied issue/FU/bus resources before their
+     * squash.
+     */
+    std::uint64_t squashes = 0;
+    std::uint64_t wrongPathOps = 0;
+
     /** The paper's performance measure: instructions per cycle. */
     double issueRate() const;
 };

@@ -30,6 +30,10 @@ TomasuloSim::TomasuloSim(const TomasuloConfig &org,
         throw ConfigError("TomasuloSim: stationsPerFu must be >= 1");
     if (org_.cdbCount < 1)
         throw ConfigError("TomasuloSim: cdbCount must be >= 1");
+    if (cfg_.predictor.armed())
+        throw ConfigError(
+            "TomasuloSim: branch prediction is not modeled for the"
+            " single-issue machines (drop the predictor spec)");
 }
 
 std::string

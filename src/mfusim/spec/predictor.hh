@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Branch-predictor specifications for the speculative simulators.
+ *
+ * The paper's machines never speculate: every simulator either blocks
+ * the front end on an unresolved branch (BranchPolicy::kBlocking),
+ * assumes a static backward-taken/forward-not-taken predictor that is
+ * only credited when it happens to be right (kBtfn), or assumes
+ * perfect knowledge (kOracle).  A PredictorSpec arms a *dynamic*
+ * front end instead: the fetch stream follows the predicted path,
+ * wrong-path instructions occupy real issue/FU/bus resources until
+ * the branch resolves, and a mispredict squashes the younger ops
+ * precisely (see docs/MODEL.md, "Speculation").
+ *
+ * The spec is a value type carried inside MachineConfig; this header
+ * is therefore deliberately self-contained (no simulator includes).
+ * Prediction outcomes are a pure function of the *architectural*
+ * branch stream — wrong-path ops never update predictor state — so
+ * they can be precomputed once per (trace, spec) pair in trace order
+ * and replayed identically by the simulators and the auditor.
+ */
+
+#ifndef MFUSIM_SPEC_PREDICTOR_HH
+#define MFUSIM_SPEC_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mfusim
+{
+
+class DecodedTrace;
+
+/**
+ * One branch-predictor configuration.  `kind == kNone` (the default)
+ * means speculation is disarmed and the simulators keep their
+ * paper-mode BranchPolicy semantics bit-identically.
+ */
+struct PredictorSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        kNone,     //!< speculation disarmed (paper mode)
+        kPerfect,  //!< every branch predicted correctly
+        kTaken,    //!< static always-taken
+        kBtfn,     //!< static backward-taken / forward-not-taken
+        kTwoBit,   //!< 2-bit saturating counters, direct-mapped table
+        kFixed,    //!< synthetic fixed accuracy (seeded, deterministic)
+    };
+
+    Kind kind = Kind::kNone;
+
+    /** 2-bit counter table entries (power of two; kTwoBit only). */
+    unsigned tableSize = 512;
+
+    /** Percent of branches predicted correctly (kFixed only). */
+    unsigned accuracyPct = 90;
+
+    /** Seed for the kFixed outcome stream. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Wrong-path fetch window: how many wrong-path instructions the
+     * front end can push past a mispredicted branch before it runs
+     * out of fetched-ahead instructions.  Bounds the resource
+     * pollution a single mispredict can cause.
+     */
+    unsigned wrongPathWindow = 8;
+
+    /** True when a predictor is configured (kind != kNone). */
+    bool armed() const { return kind != Kind::kNone; }
+
+    /**
+     * Canonical short form, e.g. "2bit:512:w8" or "fixed:90:s1:w8";
+     * parse(key()) round-trips.  Empty when disarmed.
+     */
+    std::string key() const;
+
+    /**
+     * Parse a spec string:
+     *
+     *   perfect | taken | btfn
+     *   2bit[:TABLE]            (TABLE a power of two, default 512)
+     *   fixed:PCT[:sSEED]       (PCT in [0,100], default seed 1)
+     *
+     * any form may append ":wN" to set the wrong-path window.
+     *
+     * @throws ConfigError on malformed input.
+     */
+    static PredictorSpec parse(const std::string &text);
+
+    /** @throws ConfigError on out-of-range fields. */
+    void validate() const;
+
+    bool
+    operator==(const PredictorSpec &other) const
+    {
+        return kind == other.kind && tableSize == other.tableSize &&
+            accuracyPct == other.accuracyPct && seed == other.seed &&
+            wrongPathWindow == other.wrongPathWindow;
+    }
+};
+
+/**
+ * Replay @p spec over the architectural branch stream of @p trace:
+ * element i is 1 when op i is a branch the predictor gets right, 0
+ * when it is a mispredicted branch, and 1 for non-branches (they are
+ * never squash points).  Deterministic and timing-independent — the
+ * predictor state advances only on retired branches, in trace order,
+ * so the simulators and the auditor share one ground truth.
+ */
+std::vector<std::uint8_t>
+precomputePredictions(const DecodedTrace &trace,
+                      const PredictorSpec &spec);
+
+/**
+ * Process-wide speculative-run telemetry, mirrored into the serve
+ * tier's /metrics exposition (mfusim_sim_squashes_total etc.).
+ */
+struct SpecTelemetry
+{
+    std::uint64_t squashes = 0;
+    std::uint64_t wrongPathOps = 0;
+    /** Cycles lost to mispredicts (wrong-path + squash drain). */
+    std::uint64_t mispredictCycles = 0;
+};
+
+/** Fold one finished speculative run into the process counters. */
+void recordSpecRun(std::uint64_t squashes, std::uint64_t wrongPathOps,
+                   std::uint64_t mispredictCycles);
+
+/** Snapshot the process-wide speculative telemetry. */
+SpecTelemetry specTelemetry();
+
+} // namespace mfusim
+
+#endif // MFUSIM_SPEC_PREDICTOR_HH

@@ -374,9 +374,9 @@ TEST(Errors, ExitCodesAreDistinct)
 
 TEST(Errors, ConfigValidationRejectsGarbage)
 {
-    EXPECT_THROW((MachineConfig{ 0, 5 }.validate()), ConfigError);
-    EXPECT_THROW((MachineConfig{ 11, 0 }.validate()), ConfigError);
-    EXPECT_THROW((MachineConfig{ 1u << 20, 5 }.validate()),
+    EXPECT_THROW((MachineConfig{ 0, 5, {} }.validate()), ConfigError);
+    EXPECT_THROW((MachineConfig{ 11, 0, {} }.validate()), ConfigError);
+    EXPECT_THROW((MachineConfig{ 1u << 20, 5, {} }.validate()),
                  ConfigError);
     EXPECT_NO_THROW(configM11BR5().validate());
     EXPECT_THROW(RuuSim(RuuConfig{ 4, 2, BusKind::kPerUnit },

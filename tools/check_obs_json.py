@@ -40,6 +40,8 @@ KNOWN_STALL_CAUSES = {
     "branch",
     "buffer_drain",
     "serial",
+    "mispredict",
+    "squash_drain",
     "other",
 }
 

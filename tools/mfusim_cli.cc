@@ -6,6 +6,7 @@
  *
  * Usage:
  *   mfusim [--jobs N] [--audit] [--no-steady-state]
+ *          [--predictor SPEC]
  *          [--trace-out F] [--metrics-out F] [--pipeview]
  *          <command> ...
  *
@@ -33,6 +34,13 @@
  *           disable the steady-state extrapolation fast path (also:
  *           MFUSIM_NO_STEADY_STATE=1 env var); results are identical
  *           either way — this is a debugging escape hatch
+ * --predictor SPEC
+ *           arm a branch predictor on the run's machine config
+ *           (MultiIssue / RUU machines only).  SPEC is
+ *           perfect | taken | btfn | 2bit[:TABLE] | fixed:PCT[:sSEED]
+ *           with an optional ":wN" wrong-path-window suffix, e.g.
+ *           "2bit:1024:w8" or "fixed:90".  Equivalent to the
+ *           ",pred=SPEC" machine-spec option.
  * --trace-out F    (rate/replay, single loop) write the pipeline
  *           schedule as Chrome/Perfetto trace-event JSON to F
  * --metrics-out F  (rate/replay) write the run's MetricsRegistry to
@@ -83,8 +91,9 @@
  * <machine> simple | serialmem | nonseg | cray | cdc |
  *           tomasulo[:<rs>[:<cdb>]] |
  *           seq:<w> | ooo:<w> | ruu:<w>:<size>
- *           with optional ",1bus" / ",xbar" and ",btfn" / ",oracle"
- *           suffixes, e.g. "ruu:4:50,1bus,oracle"
+ *           with optional ",1bus" / ",xbar", ",btfn" / ",oracle" and
+ *           ",pred=SPEC" suffixes, e.g. "ruu:4:50,1bus,oracle" or
+ *           "ooo:4,pred=2bit"
  */
 
 #include <cerrno>
@@ -133,12 +142,16 @@ struct ObsOptions
 
 ObsOptions g_obs;
 
+/** --predictor SPEC, applied to every command's machine config. */
+std::string g_predictor;
+
 [[noreturn]] void
 usage()
 {
     std::fprintf(stderr,
                  "usage: mfusim [--jobs N] [--audit] "
                  "[--no-steady-state]\n"
+                 "       [--predictor SPEC]\n"
                  "       [--trace-out F] [--metrics-out F] "
                  "[--pipeview]\n"
                  "       "
@@ -685,10 +698,12 @@ cmdRate(const std::string &loop, const std::string &machine,
     const DynTrace trace = traceFor(loop);
     auto sim = parseMachine(machine, cfg);
     const SimResult result = runObserved(*sim, trace, cfg);
+    // The simulator's own config may carry a ",pred=" predictor the
+    // outer cfg does not; print the name the run actually used.
     std::printf("%s on %s, %s: %.4f instr/cycle "
                 "(%llu instructions, %llu cycles)%s\n",
                 trace.name().c_str(), sim->name().c_str(),
-                cfg.name().c_str(), result.issueRate(),
+                sim->config().name().c_str(), result.issueRate(),
                 (unsigned long long)result.instructions,
                 (unsigned long long)result.cycles,
                 auditRequested() ? " [audited]" : "");
@@ -723,7 +738,7 @@ cmdReplay(const std::string &path, const std::string &machine,
     const SimResult result = runObserved(*sim, trace, cfg);
     std::printf("%s on %s, %s: %.4f instr/cycle%s\n",
                 trace.name().c_str(), sim->name().c_str(),
-                cfg.name().c_str(), result.issueRate(),
+                sim->config().name().c_str(), result.issueRate(),
                 auditRequested() ? " [audited]" : "");
     return 0;
 }
@@ -760,6 +775,12 @@ main(int argc, char **argv)
             setAuditRequested(true);
         } else if (arg == "--no-steady-state") {
             setSteadyStateEnabled(false);
+        } else if (arg == "--predictor") {
+            if (i + 1 >= argc)
+                usage();
+            g_predictor = argv[++i];
+        } else if (arg.rfind("--predictor=", 0) == 0) {
+            g_predictor = arg.substr(12);
         } else if (arg == "--trace-out") {
             if (i + 1 >= argc)
                 usage();
@@ -791,8 +812,18 @@ main(int argc, char **argv)
         usage();
     const std::string cmd = argv[1];
     const auto cfg_arg = [&](int index) {
-        return index < argc ? parseConfig(argv[index])
-                            : configM11BR5();
+        MachineConfig cfg = index < argc ? parseConfig(argv[index])
+                                         : configM11BR5();
+        if (!g_predictor.empty()) {
+            try {
+                cfg.predictor = PredictorSpec::parse(g_predictor);
+                cfg.predictor.validate();
+            } catch (const ConfigError &e) {
+                std::fprintf(stderr, "--predictor: %s\n", e.what());
+                std::exit(2);
+            }
+        }
+        return cfg;
     };
 
     // Typed mfusim errors map to distinct exit codes (see the file
